@@ -1,0 +1,94 @@
+"""E16 (extension) — the chain counting dichotomy recalled in §2.2.
+
+The paper reuses Livshits & Kimelfeld's result that chain FD sets are
+exactly the FD sets whose subset repairs can be *counted* in polynomial
+time.  Claims reproduced:
+
+* the polynomial sum/product recursion matches brute-force enumeration
+  of maximal independent sets on chain FD sets;
+* Figure 1's table has exactly two subset repairs — S1 and S2;
+* the two dichotomies differ: ``{A→B, B→A}`` is PTIME for *optimal*
+  S-repairs (lhs marriage) but non-chain, so counting falls back to
+  enumeration;
+* polynomial scaling of the counting recursion vs the exponential
+  baseline.
+"""
+
+import pytest
+
+from repro.core.counting import (
+    NotChainError,
+    brute_force_count_s_repairs,
+    count_s_repairs,
+)
+from repro.core.dichotomy import osr_succeeds
+from repro.core.fd import FDSet
+from repro.datagen.office import office_fds, office_table
+from repro.datagen.synthetic import planted_violations_table
+
+from conftest import print_table
+
+CHAIN = FDSet("A -> B; A B -> C")
+
+
+def test_chain_count_matches_brute_force(benchmark):
+    tables = [
+        planted_violations_table(("A", "B", "C"), CHAIN, 12, corruption=0.3, domain=2, seed=s)
+        for s in range(6)
+    ]
+
+    counts = benchmark(lambda: [count_s_repairs(t, CHAIN) for t in tables])
+
+    rows = []
+    for t, fast in zip(tables, counts):
+        slow = brute_force_count_s_repairs(t, CHAIN)
+        rows.append((len(t), fast, slow))
+        assert fast == slow
+    print_table(
+        "E16 — chain counting vs maximal-IS enumeration",
+        ("|T|", "chain recursion", "brute force"),
+        rows,
+    )
+
+
+def test_office_has_two_repairs(benchmark):
+    count = benchmark(count_s_repairs, office_table(), office_fds())
+    print_table(
+        "E16 — Figure 1 subset repairs",
+        ("table", "repairs", "expected (S1, S2)"),
+        [("Office", count, 2)],
+    )
+    assert count == 2
+
+
+def test_dichotomies_differ(benchmark):
+    """{A→B, B→A}: tractable for optimal S-repairs, #P-hard for
+    counting — the optimisation and counting dichotomies do not
+    coincide."""
+    fds = FDSet("A -> B; B -> A")
+
+    def verdicts():
+        optimisation = osr_succeeds(fds)
+        try:
+            count_s_repairs(office_table().subset(()), fds)
+            counting = True
+        except NotChainError:
+            counting = False
+        return optimisation, counting
+
+    optimisation, counting = benchmark(verdicts)
+    print_table(
+        "E16 — optimisation vs counting dichotomy on {A→B, B→A}",
+        ("problem", "tractable"),
+        [("optimal S-repair (this paper)", optimisation), ("#S-repairs ([26])", counting)],
+    )
+    assert optimisation is True
+    assert counting is False
+
+
+def test_counting_scales_polynomially(benchmark):
+    table = planted_violations_table(
+        ("A", "B", "C"), CHAIN, 3000, corruption=0.1, domain=6, seed=1
+    )
+    count = benchmark(count_s_repairs, table, CHAIN)
+    assert count >= 1

@@ -1,0 +1,65 @@
+"""E1 — Figure 1 + Example 2.3: the running Office example.
+
+Paper claims reproduced:
+* ``dist_sub``: S1 = S2 = 2 (optimal), S3 = 3 (1.5-optimal);
+* ``dist_upd``: U1 = 2 (optimal), U2 = 3, U3 = 4;
+* our algorithms find cost-2 repairs of both kinds in polynomial time.
+"""
+
+import pytest
+
+from repro.core.srepair import opt_s_repair
+from repro.core.urepair import u_repair
+from repro.core.violations import satisfies
+from repro.datagen.office import (
+    EXPECTED_SUBSET_DISTANCES,
+    EXPECTED_UPDATE_DISTANCES,
+    consistent_subsets,
+    consistent_updates,
+    office_fds,
+    office_table,
+)
+
+from conftest import print_table
+
+
+def test_figure1_s_repair(benchmark):
+    table = office_table()
+    fds = office_fds()
+    repair = benchmark(opt_s_repair, fds, table)
+    assert satisfies(repair, fds)
+    assert table.dist_sub(repair) == 2.0
+
+    rows = []
+    for name, subset in consistent_subsets().items():
+        dist = table.dist_sub(subset)
+        rows.append(
+            (name, dist, EXPECTED_SUBSET_DISTANCES[name], f"{dist / 2.0:g}-optimal")
+        )
+        assert dist == EXPECTED_SUBSET_DISTANCES[name]
+    rows.append(("OptSRepair", table.dist_sub(repair), 2.0, "optimal"))
+    print_table(
+        "E1 / Figure 1 — consistent subsets",
+        ("subset", "dist_sub (measured)", "paper", "quality"),
+        rows,
+    )
+
+
+def test_figure1_u_repair(benchmark):
+    table = office_table()
+    fds = office_fds()
+    result = benchmark(u_repair, table, fds)
+    assert result.optimal
+    assert result.distance == 2.0
+
+    rows = []
+    for name, update in consistent_updates().items():
+        dist = table.dist_upd(update)
+        rows.append((name, dist, EXPECTED_UPDATE_DISTANCES[name]))
+        assert dist == EXPECTED_UPDATE_DISTANCES[name]
+    rows.append(("dispatcher U*", result.distance, 2.0))
+    print_table(
+        "E1 / Figure 1 — consistent updates",
+        ("update", "dist_upd (measured)", "paper"),
+        rows,
+    )

@@ -1,0 +1,85 @@
+"""E4 — Figure 2 + Example 3.8: the five classes of stuck FD sets.
+
+Paper claims reproduced: Δ1–Δ5 of Example 3.8 land in classes 1–5; each
+class's fact-wise reduction (Lemmas A.14–A.17) is injective, preserves
+pair consistency, and preserves the optimal S-repair cost (strictness,
+Lemma 3.7).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.dichotomy import classify
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.reductions.factwise import reduction_for_witness
+
+from conftest import print_table
+
+EXAMPLE_38 = {
+    1: FDSet("A -> B; C -> D"),
+    2: FDSet("A -> C D; B -> C E"),
+    3: FDSet("A -> B C; B -> D"),
+    4: FDSet("A B -> C; A C -> B; B C -> A"),
+    5: FDSet("A B -> C; C -> A D"),
+}
+
+
+def test_figure2_classification(benchmark):
+    results = benchmark(
+        lambda: {cid: classify(fds) for cid, fds in EXAMPLE_38.items()}
+    )
+    rows = []
+    for cid, result in sorted(results.items()):
+        witness = result.witness
+        assert witness.class_id == cid
+        rows.append(
+            (
+                f"Δ{cid} = {EXAMPLE_38[cid]}",
+                witness.class_id,
+                cid,
+                witness.source,
+            )
+        )
+    print_table(
+        "E4 / Figure 2 — Example 3.8 class assignments",
+        ("FD set", "measured class", "paper class", "reduction source"),
+        rows,
+    )
+
+
+@pytest.mark.parametrize("cid", sorted(EXAMPLE_38))
+def test_figure2_factwise_reduction_strictness(benchmark, cid):
+    fds = EXAMPLE_38[cid]
+    result = classify(fds)
+    schema = tuple(sorted(result.residual.attributes))
+    reduction = reduction_for_witness(schema, result.residual, result.witness)
+
+    # Injectivity + pair consistency over the full 3³ tuple space.
+    def verify_pairs():
+        bad = 0
+        for t1 in itertools.product(range(3), repeat=3):
+            for t2 in itertools.product(range(3), repeat=3):
+                src = Table(("A", "B", "C"), {1: t1, 2: t2})
+                tgt = Table(
+                    reduction.target_schema,
+                    {1: reduction.map_tuple(t1), 2: reduction.map_tuple(t2)},
+                )
+                if satisfies(src, reduction.source_fds) != satisfies(
+                    tgt, reduction.target_fds
+                ):
+                    bad += 1
+        return bad
+
+    assert benchmark(verify_pairs) == 0
+
+    # Strictness: optimal S-repair cost preserved on a mixed table.
+    rows = [t for t in itertools.product(range(2), repeat=3)]
+    src = Table.from_rows(("A", "B", "C"), rows)
+    tgt = reduction.map_table(src)
+    src_cost = src.dist_sub(exact_s_repair(src, reduction.source_fds))
+    tgt_cost = tgt.dist_sub(exact_s_repair(tgt, reduction.target_fds))
+    assert src_cost == pytest.approx(tgt_cost)

@@ -1,0 +1,113 @@
+"""E11 — Section 4.4 + Theorem 4.14: the Δ_k / Δ'_k ratio comparison.
+
+Paper claims reproduced:
+
+* on ``Δ_k``: our guarantee ``2·mlc = 2(k+2)`` is Θ(k) while
+  Kolahi–Lakshmanan's ``(MCI+2)(2·MFS−1) = (k+2)(2k+1)`` is Θ(k²);
+* on ``Δ'_k``: ours ``2⌈(k+1)/2⌉`` is Θ(k) while theirs is the constant
+  9 — the two guarantees are incomparable and the combined approximation
+  (taking the min) dominates both;
+* measured nuance: the paper's ``MCI(Δ_k) = k`` holds for k ≥ 2; exact
+  computation gives ``MCI(Δ_1) = 2`` (attribute C's core implicant), see
+  EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.approx import kl_ratio, mci, mfs, our_ratio
+from repro.core.fd import FDSet
+
+from conftest import print_table
+
+
+def delta_k(k: int) -> FDSet:
+    lhs = " ".join(f"A{i}" for i in range(k + 1))
+    parts = [f"{lhs} -> B0", "B0 -> C"]
+    parts += [f"B{i} -> A0" for i in range(1, k + 1)]
+    return FDSet("; ".join(parts))
+
+
+def delta_prime_k(k: int) -> FDSet:
+    return FDSet("; ".join(f"A{i} A{i+1} -> B{i}" for i in range(k + 1)))
+
+
+KS = (1, 2, 3, 4, 5, 6, 8)
+
+
+def test_delta_k_family(benchmark):
+    def compute():
+        return [
+            (k, mfs(delta_k(k)), mci(delta_k(k)), our_ratio(delta_k(k)), kl_ratio(delta_k(k)))
+            for k in KS
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = []
+    for k, m, c, ours, kl in rows:
+        table.append((k, m, c, f"{ours:g}", kl, f"{kl / ours:.2f}"))
+        assert m == k + 1
+        assert c == max(k, 2)
+        assert ours == 2 * (k + 2)  # Θ(k)
+        if k >= 2:
+            assert kl == (k + 2) * (2 * k + 1)  # Θ(k²)
+    print_table(
+        "E11 / §4.4 — Δ_k: ours Θ(k) vs KL Θ(k²)",
+        ("k", "MFS", "MCI", "ours 2·mlc", "KL (MCI+2)(2MFS−1)", "KL/ours"),
+        table,
+    )
+    # The gap grows linearly: KL/ours at k=8 far exceeds the k=2 gap.
+    assert rows[-1][4] / rows[-1][3] > 2 * (rows[1][4] / rows[1][3])
+
+
+def test_delta_prime_k_family(benchmark):
+    def compute():
+        return [
+            (
+                k,
+                mfs(delta_prime_k(k)),
+                mci(delta_prime_k(k)),
+                our_ratio(delta_prime_k(k)),
+                kl_ratio(delta_prime_k(k)),
+            )
+            for k in KS
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = []
+    for k, m, c, ours, kl in rows:
+        table.append((k, m, c, f"{ours:g}", kl))
+        assert m == 2 and c == 1
+        assert ours == 2 * ((k + 2) // 2)  # Θ(k)
+        assert kl == 9  # Θ(1)
+    print_table(
+        "E11 / §4.4 — Δ'_k: ours Θ(k) vs KL constant 9",
+        ("k", "MFS", "MCI", "ours 2·mlc", "KL"),
+        table,
+    )
+
+
+def test_combined_approximation_dominates(benchmark):
+    def combined():
+        out = []
+        for k in KS:
+            dk, dpk = delta_k(k), delta_prime_k(k)
+            out.append(
+                (
+                    k,
+                    min(our_ratio(dk), kl_ratio(dk)),
+                    min(our_ratio(dpk), kl_ratio(dpk)),
+                )
+            )
+        return out
+
+    rows = benchmark.pedantic(combined, rounds=1, iterations=1)
+    table = []
+    for k, comb_k, comb_pk in rows:
+        table.append((k, f"{comb_k:g}", f"{comb_pk:g}"))
+        assert comb_k <= our_ratio(delta_k(k))
+        assert comb_pk <= 9
+    print_table(
+        "E11 / §4.4 — combined approximation (min of both)",
+        ("k", "combined on Δ_k", "combined on Δ'_k"),
+        table,
+    )

@@ -1,0 +1,84 @@
+"""E18 — Theorem 4.14 (Lemmas B.6 / B.7): the family embeddings.
+
+Paper claims reproduced: the constructions that lift U-repair hardness
+to the §4.4 families preserve the optimal U-repair distance *exactly* —
+
+* Lemma B.6: ``{A→B, B→C}`` instances embed into ``Δ_k`` with identical
+  optima;
+* Lemma B.7: ``Δ'_1`` instances embed into ``Δ'_k`` (k > 1) with
+  identical optima.
+
+Measured with the exact branch & bound on small random instances.
+"""
+
+import random
+
+import pytest
+
+from repro.core.exact import exact_u_repair
+from repro.core.table import Table
+from repro.reductions.urepair_families import (
+    DELTA_ABC_CHAIN,
+    delta_k,
+    delta_prime_k,
+    delta_prime_k_schema,
+    embed_chain_into_delta_k,
+    embed_dp1_into_dpk,
+)
+
+from conftest import print_table
+
+
+def _random_table(schema, size, seed):
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(2) for _ in schema) for _ in range(size)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+def test_lemma_b6_distance_identity(benchmark):
+    tables = [_random_table(("A", "B", "C"), 4, seed) for seed in range(5)]
+    fds_2 = delta_k(2)
+
+    def solve_all():
+        out = []
+        for table in tables:
+            embedded = embed_chain_into_delta_k(table, 2)
+            src = table.dist_upd(exact_u_repair(table, DELTA_ABC_CHAIN))
+            tgt = embedded.dist_upd(exact_u_repair(embedded, fds_2))
+            out.append((len(table), src, tgt))
+        return out
+
+    rows = benchmark(solve_all)
+    for _n, src, tgt in rows:
+        assert src == pytest.approx(tgt)
+    print_table(
+        "E18 / Lemma B.6 — {A→B,B→C} ↪ Δ_2 preserves optima",
+        ("|T|", "source U*", "embedded U*"),
+        [(n, f"{s:g}", f"{t:g}") for n, s, t in rows],
+    )
+
+
+def test_lemma_b7_distance_identity(benchmark):
+    schema = delta_prime_k_schema(1)
+    tables = [_random_table(schema, 3, seed) for seed in range(5)]
+    dp1, dp2 = delta_prime_k(1), delta_prime_k(2)
+
+    def solve_all():
+        out = []
+        for table in tables:
+            embedded = embed_dp1_into_dpk(table, 2)
+            src = table.dist_upd(exact_u_repair(table, dp1))
+            tgt = embedded.dist_upd(exact_u_repair(embedded, dp2))
+            out.append((len(table), src, tgt))
+        return out
+
+    rows = benchmark(solve_all)
+    for _n, src, tgt in rows:
+        assert src == pytest.approx(tgt)
+    print_table(
+        "E18 / Lemma B.7 — Δ'_1 ↪ Δ'_2 preserves optima",
+        ("|T|", "source U*", "embedded U*"),
+        [(n, f"{s:g}", f"{t:g}") for n, s, t in rows],
+    )

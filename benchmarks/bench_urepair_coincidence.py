@@ -1,0 +1,59 @@
+"""E9 — Corollaries 4.6/4.8 and Proposition 4.9: when U equals S.
+
+Paper claims reproduced: for common-lhs FD sets passing ``OSRSucceeds``,
+for chain FD sets, and for ``{A→B, B→A}``, the optimal U-repair distance
+*equals* the optimal S-repair distance — measured instance by instance.
+``Δ2 = {state city→zip, state zip→country}`` (Example 4.7) fails the
+dichotomy test and is correctly reported APX-complete.
+"""
+
+import pytest
+
+from repro.core.dichotomy import osr_succeeds
+from repro.core.fd import FDSet
+from repro.core.srepair import opt_s_repair
+from repro.core.urepair import u_repair
+from repro.core.violations import satisfies
+from repro.datagen.synthetic import planted_violations_table
+
+from conftest import print_table
+
+COINCIDENCE_FAMILIES = {
+    "running Δ (common lhs)": FDSet("facility -> city; facility room -> floor"),
+    "Δ1 passports (Ex 4.7)": FDSet("id country -> passport; id passport -> country"),
+    "chain {A→B, AB→C}": FDSet("A -> B; A B -> C"),
+    "two-cycle {A→B, B→A}": FDSet("A -> B; B -> A"),
+}
+
+
+@pytest.mark.parametrize("family", sorted(COINCIDENCE_FAMILIES))
+def test_dist_upd_equals_dist_sub(benchmark, family):
+    fds = COINCIDENCE_FAMILIES[family]
+    schema = tuple(sorted(fds.attributes))
+    tables = [
+        planted_violations_table(schema, fds, 30, corruption=0.15, domain=3, seed=s)
+        for s in range(5)
+    ]
+
+    results = benchmark(lambda: [u_repair(t, fds) for t in tables])
+
+    rows = []
+    for t, res in zip(tables, results):
+        assert res.optimal
+        assert satisfies(res.update, fds)
+        s_dist = t.dist_sub(opt_s_repair(fds, t))
+        rows.append((len(t), f"{s_dist:g}", f"{res.distance:g}"))
+        assert res.distance == pytest.approx(s_dist)
+    print_table(
+        f"E9 — dist_upd(U*) = dist_sub(S*) for {family}",
+        ("|T|", "dist_sub(S*)", "dist_upd(U*)"),
+        rows,
+    )
+
+
+def test_example_47_negative_case(benchmark):
+    """Δ2 of Example 4.7 fails OSRSucceeds → APX-complete for both
+    repair flavours."""
+    fds = FDSet("state city -> zip; state zip -> country")
+    verdict = benchmark(osr_succeeds, fds)
+    assert verdict is False

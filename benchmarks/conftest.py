@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file reproduces one experiment of DESIGN.md's
+per-experiment index (E1–E15).  Benchmarks both *time* the operation via
+pytest-benchmark and *assert* the paper's qualitative claim (who wins, by
+roughly what factor, where the crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the paper-style result tables each experiment prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a small fixed-width results table (paper-style)."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))

@@ -1,0 +1,65 @@
+"""Scenario: assessing and cleaning a merged product catalogue.
+
+Demonstrates the high-level pipeline API on the paper's §1 motivations:
+first *assess* the dirtiness of an integrated catalogue (the optimal
+repair cost bracket is the paper's "educated estimate for the extent to
+which the database is dirty"), then *clean* it under two policies and
+compare.
+
+The FD set is Example 4.2's ``Δ0 = {product → price, buyer → email}``:
+APX-complete for S-repairs (it fails ``OSRSucceeds``) yet polynomial for
+U-repairs (Theorem 4.1 decomposition) — the pipeline reflects exactly
+that asymmetry in the guarantees it reports.
+
+Run with::
+
+    python examples/catalog_pipeline.py
+"""
+
+from repro import FDSet, assess, clean, classify
+from repro.datagen.synthetic import planted_violations_table
+
+FDS = FDSet("product -> price; buyer -> email")
+SCHEMA = ("product", "price", "buyer", "email")
+
+
+def main() -> None:
+    table = planted_violations_table(
+        SCHEMA, FDS, size=60, corruption=0.12, domain=6, weighted=True, seed=42
+    )
+
+    print("=== assessment (polynomial, any Δ) ===")
+    report = assess(table, FDS)
+    print(report.summary())
+
+    verdict = classify(FDS)
+    print(
+        f"\nS-repair dichotomy verdict: {verdict.complexity}"
+        f" (witness: {verdict.witness})"
+    )
+
+    print("\n=== policy 1: delete, best guarantee ===")
+    deletions = clean(table, FDS, strategy="deletions", guarantee="best")
+    print(
+        f"method {deletions.method}: deleted weight {deletions.distance:g} "
+        f"({'optimal' if deletions.optimal else f'≤ {deletions.ratio_bound:g}× optimal'})"
+    )
+
+    print("\n=== policy 2: update, best guarantee ===")
+    updates = clean(table, FDS, strategy="updates", guarantee="best")
+    print(
+        f"method {updates.method}: update distance {updates.distance:g} "
+        f"({'optimal' if updates.optimal else f'≤ {updates.ratio_bound:g}× optimal'})"
+    )
+
+    print(
+        "\nNote the asymmetry (Corollary 4.11): updates are provably "
+        "optimal here (Theorem 4.1 decomposition into single FDs), while "
+        "optimal deletions are APX-complete for this Δ — on large tables "
+        "the pipeline would switch to the 2-approximation for deletions "
+        "but stay exact for updates."
+    )
+
+
+if __name__ == "__main__":
+    main()

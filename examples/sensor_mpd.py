@@ -1,0 +1,81 @@
+"""Scenario: most probable database over noisy sensor registrations.
+
+The paper's Section 3.4 connects repairs to probabilistic cleaning:
+given tuple-level confidences, the Most Probable Database conditioned on
+the FDs is the principled clean instance.  Here, appliance sensors
+register their (sensor → room) placement with confidences produced by an
+image pipeline; each sensor must sit in one room and each room has one
+hub (``sensor → room`` and ``room → hub``... the latter would be hard, so
+facilities uses ``sensor → room; sensor → hub``, a tractable common-lhs
+set — exactly the kind of modelling decision the dichotomy informs).
+
+Run with::
+
+    python examples/sensor_mpd.py
+"""
+
+from repro import (
+    FDSet,
+    Table,
+    brute_force_mpd,
+    classify,
+    most_probable_database,
+)
+
+FDS = FDSet("sensor -> room; sensor -> hub")
+SCHEMA = ("sensor", "room", "hub")
+
+
+def build_readings() -> Table:
+    rows = {
+        "r1": ("s1", "kitchen", "h1"),
+        "r2": ("s1", "hallway", "h1"),   # conflicting placement of s1
+        "r3": ("s2", "kitchen", "h1"),
+        "r4": ("s2", "kitchen", "h2"),   # conflicting hub for s2
+        "r5": ("s3", "garage", "h2"),
+        "r6": ("s3", "garage", "h2"),    # duplicate detection, low trust
+        "r7": ("s4", "attic", "h3"),
+    }
+    confidences = {
+        "r1": 0.92,
+        "r2": 0.55,
+        "r3": 0.97,
+        "r4": 0.60,
+        "r5": 1.0,    # manually verified → certain
+        "r6": 0.35,   # ≤ 0.5: never worth keeping
+        "r7": 0.88,
+    }
+    return Table(SCHEMA, rows, confidences, name="Readings")
+
+
+def main() -> None:
+    table = build_readings()
+    print("sensor registrations with confidences:")
+    print(table.to_string())
+
+    verdict = classify(FDS)
+    print(
+        f"\nΔ is {verdict.complexity}: the MPD reduction (Theorem 3.10) "
+        "routes through OptSRepair and stays polynomial."
+    )
+
+    result = most_probable_database(table, FDS)
+    print(f"\nmost probable consistent database (Pr = {result.probability:.4f}, "
+          f"via {result.method}):")
+    print(result.database.to_string())
+
+    reference = brute_force_mpd(table, FDS)
+    print(
+        f"\nbrute-force check: Pr = {reference.probability:.4f} "
+        f"({'match' if abs(reference.probability - result.probability) < 1e-12 else 'MISMATCH'})"
+    )
+
+    kept = set(result.database.ids())
+    print("\ndecisions:")
+    for tid in table.ids():
+        status = "keep" if tid in kept else "drop"
+        print(f"  {tid} ({table.weight(tid):.2f}): {status}")
+
+
+if __name__ == "__main__":
+    main()

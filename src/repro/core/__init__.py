@@ -1,0 +1,123 @@
+"""Core algorithms: the paper's primary contribution.
+
+Re-exports the public API of the core modules; see the individual modules
+for full documentation:
+
+* :mod:`repro.core.fd` — FDs and FD sets;
+* :mod:`repro.core.table` — weighted tables with identifiers;
+* :mod:`repro.core.violations` — violation detection and conflict graphs;
+* :mod:`repro.core.srepair` — Algorithm 1 (``OptSRepair``);
+* :mod:`repro.core.dichotomy` — Algorithm 2 and hardness classification;
+* :mod:`repro.core.exact` — exact baselines for both repair problems;
+* :mod:`repro.core.approx` — approximation algorithms and ratio formulas;
+* :mod:`repro.core.urepair` — the U-repair dispatcher (Section 4);
+* :mod:`repro.core.mpd` — Most Probable Database (Theorem 3.10).
+"""
+
+from .fd import FD, FDSet, attrset, parse_fd, parse_fd_set
+from .table import FreshValue, Table, fresh_value_factory, hamming_distance
+from .violations import (
+    conflict_graph,
+    conflicting_ids,
+    satisfies,
+    violating_pairs,
+    violating_pairs_of_fd,
+)
+from .srepair import DichotomyFailure, SRepairResult, opt_s_repair, optimal_s_repair
+from .dichotomy import (
+    DELTA_A_B_C,
+    DELTA_A_C_B,
+    DELTA_AB_C_B,
+    DELTA_TRIANGLE,
+    HARD_FD_SETS,
+    DichotomyResult,
+    HardnessWitness,
+    SimplificationStep,
+    classify,
+    classify_stuck,
+    osr_succeeds,
+    simplification_trace,
+)
+from .exact import (
+    ExactSearchLimit,
+    brute_force_s_repair,
+    exact_s_repair,
+    exact_u_repair,
+    exact_u_repair_exhaustive,
+)
+from .approx import (
+    approx_s_repair,
+    approx_u_repair,
+    consensus_majority_update,
+    core_implicant_size,
+    kl_ratio,
+    mci,
+    mfs,
+    minimal_implicants,
+    minimal_implicants_brute,
+    our_ratio,
+    s_repair_from_u_repair,
+    u_repair_from_s_repair,
+)
+from .urepair import (
+    UnknownURepairComplexity,
+    URepairResult,
+    optimal_u_repair,
+    u_repair,
+)
+from .counting import (
+    NotChainError,
+    brute_force_count_s_repairs,
+    count_s_repairs,
+    enumerate_s_repairs,
+)
+from .checking import (
+    is_consistent_subset,
+    is_consistent_update,
+    is_s_repair,
+    is_u_repair,
+    non_restorable_cells,
+)
+from .mpd import (
+    MPDResult,
+    brute_force_mpd,
+    most_probable_database,
+    s_repair_via_mpd,
+    subset_probability,
+)
+
+__all__ = [
+    # fd
+    "FD", "FDSet", "attrset", "parse_fd", "parse_fd_set",
+    # table
+    "FreshValue", "Table", "fresh_value_factory", "hamming_distance",
+    # violations
+    "conflict_graph", "conflicting_ids", "satisfies",
+    "violating_pairs", "violating_pairs_of_fd",
+    # srepair
+    "DichotomyFailure", "SRepairResult", "opt_s_repair", "optimal_s_repair",
+    # dichotomy
+    "DELTA_A_B_C", "DELTA_A_C_B", "DELTA_AB_C_B", "DELTA_TRIANGLE",
+    "HARD_FD_SETS", "DichotomyResult", "HardnessWitness",
+    "SimplificationStep", "classify", "classify_stuck", "osr_succeeds",
+    "simplification_trace",
+    # exact
+    "ExactSearchLimit", "brute_force_s_repair", "exact_s_repair",
+    "exact_u_repair", "exact_u_repair_exhaustive",
+    # approx
+    "approx_s_repair", "approx_u_repair", "consensus_majority_update",
+    "core_implicant_size", "kl_ratio", "mci", "mfs", "minimal_implicants", "minimal_implicants_brute",
+    "our_ratio", "s_repair_from_u_repair", "u_repair_from_s_repair",
+    # urepair
+    "UnknownURepairComplexity", "URepairResult", "optimal_u_repair",
+    "u_repair",
+    # counting
+    "NotChainError", "brute_force_count_s_repairs", "count_s_repairs",
+    "enumerate_s_repairs",
+    # checking
+    "is_consistent_subset", "is_consistent_update", "is_s_repair",
+    "is_u_repair", "non_restorable_cells",
+    # mpd
+    "MPDResult", "brute_force_mpd", "most_probable_database",
+    "s_repair_via_mpd", "subset_probability",
+]

@@ -1,0 +1,167 @@
+"""Counting and enumerating subset repairs (the chain dichotomy).
+
+Section 2.2 of the paper recalls the result of Livshits & Kimelfeld
+(PODS 2017, reference [26]): *chain* FD sets are exactly the FD sets for
+which subset repairs can be counted in polynomial time (assuming
+P ≠ #P).  Chain FD sets resurface throughout the paper (Corollaries 3.6
+and 4.8), so this module implements both sides of that companion
+dichotomy as a substrate:
+
+* :func:`count_s_repairs` — polynomial counting for chain FD sets.
+  After stripping trivial FDs, a chain FD set always has a consensus FD
+  or a common lhs, giving a sum/product recursion over blocks:
+
+  - **common lhs A** — blocks never conflict, so maximal consistent
+    subsets compose blockwise: the count is the *product* of the block
+    counts under ``Δ − A``;
+  - **consensus ∅ → A** — every nonempty consistent subset lives in one
+    A-block and maximality is within the block: the count is the *sum*
+    of the block counts under ``Δ − A``.
+
+* :func:`enumerate_s_repairs` — the same recursion, yielding the actual
+  repairs (their number can be exponential; the *counting* is what is
+  polynomial).
+* :func:`brute_force_count_s_repairs` — baseline via maximal independent
+  sets of the conflict graph, valid for **every** FD set (worst-case
+  exponential); used to cross-validate the chain recursion and to expose
+  the non-chain cases (e.g. the lhs-marriage set ``{A→B, B→A}`` is
+  *tractable for optimal S-repairs* in this paper's dichotomy, yet
+  counting its repairs is #P-hard by [26] — the two dichotomies do not
+  coincide).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..graphs.mis import maximal_independent_sets
+from .fd import FDSet
+from .table import Table
+from .violations import conflict_graph
+
+__all__ = [
+    "NotChainError",
+    "count_s_repairs",
+    "enumerate_s_repairs",
+    "brute_force_count_s_repairs",
+]
+
+
+class NotChainError(Exception):
+    """Raised when the polynomial counting recursion is asked about a
+    non-chain FD set (counting is then #P-hard by [26])."""
+
+
+def _prepare(fds: FDSet) -> FDSet:
+    normalised = fds.with_singleton_rhs().without_trivial()
+    if not normalised.is_chain:
+        raise NotChainError(
+            f"{fds} is not a chain FD set; subset-repair counting is "
+            "#P-hard (Livshits & Kimelfeld 2017) — use "
+            "brute_force_count_s_repairs on small instances"
+        )
+    return normalised
+
+
+def count_s_repairs(table: Table, fds: FDSet) -> int:
+    """The number of subset repairs of *table* under a chain FD set.
+
+    Polynomial in |T| (the recursion visits each tuple once per FD).
+    Raises :class:`NotChainError` off the chain class.
+    """
+    return _count(_prepare(fds), table)
+
+
+def _count(fds: FDSet, table: Table) -> int:
+    fds = fds.without_trivial()
+    if fds.is_trivial:
+        return 1  # T itself is the unique repair
+    if not len(table):
+        return 1  # the empty subset is the unique (maximal) repair
+    consensus = fds.consensus_fds()
+    if consensus:
+        (attr,) = tuple(consensus[0].rhs)
+        reduced = fds.minus((attr,))
+        return sum(
+            _count(reduced, table.subset(ids))
+            for ids in table.group_by((attr,)).values()
+        )
+    common = fds.common_lhs()
+    if common:
+        attr = min(sorted(common))
+        reduced = fds.minus((attr,))
+        product = 1
+        for ids in table.group_by((attr,)).values():
+            product *= _count(reduced, table.subset(ids))
+        return product
+    raise AssertionError(
+        "chain FD sets always expose a consensus FD or a common lhs"
+    )
+
+
+def enumerate_s_repairs(table: Table, fds: FDSet) -> Iterator[Table]:
+    """Yield every subset repair of *table* under a chain FD set.
+
+    Output-sensitive: the number of repairs can be exponential even when
+    counting is polynomial.
+    """
+    yield from _enumerate(_prepare(fds), table)
+
+
+def _enumerate(fds: FDSet, table: Table) -> Iterator[Table]:
+    fds = fds.without_trivial()
+    if fds.is_trivial:
+        yield table
+        return
+    if not len(table):
+        yield table
+        return
+    consensus = fds.consensus_fds()
+    if consensus:
+        (attr,) = tuple(consensus[0].rhs)
+        reduced = fds.minus((attr,))
+        for ids in table.group_by((attr,)).values():
+            yield from _enumerate(reduced, table.subset(ids))
+        return
+    common = fds.common_lhs()
+    if common:
+        attr = min(sorted(common))
+        reduced = fds.minus((attr,))
+        blocks = [
+            list(_enumerate(reduced, table.subset(ids)))
+            for ids in table.group_by((attr,)).values()
+        ]
+        yield from _cross_unions(blocks, 0, None)
+        return
+    raise AssertionError(
+        "chain FD sets always expose a consensus FD or a common lhs"
+    )
+
+
+def _cross_unions(
+    blocks: List[List[Table]], position: int, acc: Optional[Table]
+) -> Iterator[Table]:
+    if position == len(blocks):
+        if acc is not None:
+            yield acc
+        return
+    for choice in blocks[position]:
+        combined = choice if acc is None else acc.union(choice)
+        yield from _cross_unions(blocks, position + 1, combined)
+
+
+def brute_force_count_s_repairs(
+    table: Table, fds: FDSet, max_tuples: int = 18
+) -> int:
+    """Count subset repairs via maximal independent sets (any FD set).
+
+    Subset repairs are exactly the maximal independent sets of the
+    conflict graph, so Bron–Kerbosch enumeration counts them —
+    exponentially in the worst case, hence the *max_tuples* guard.
+    """
+    if len(table) > max_tuples:
+        raise ValueError(
+            f"brute force limited to {max_tuples} tuples, got {len(table)}"
+        )
+    graph = conflict_graph(table, fds.with_singleton_rhs().without_trivial())
+    return sum(1 for _ in maximal_independent_sets(graph))

@@ -1,0 +1,279 @@
+"""Algorithm 2 (``OSRSucceeds``) and the dichotomy classification.
+
+This module answers, from Δ alone, which side of the S-repair dichotomy
+(Theorem 3.4) a combination of schema and FD set lies on:
+
+* :func:`osr_succeeds` — Algorithm 2: simulate the three simplifications
+  until Δ is trivial (→ PTIME) or stuck (→ APX-complete).
+* :func:`simplification_trace` — the full ⇛-chain, as displayed in
+  Example 3.5.
+* :func:`classify` — a :class:`DichotomyResult` combining the boolean
+  verdict, the trace, the residual (stuck) FD set, and — on the hard
+  side — a :class:`HardnessWitness` placing the stuck set in one of the
+  five classes of Figure 2 (Lemma A.22) together with the source hard FD
+  set of Table 1 from which a fact-wise reduction exists.
+
+Table 1's hard FD sets are exposed as module constants
+(:data:`DELTA_A_B_C` etc.) so that tests and benchmarks can refer to them
+by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import List, Optional, Tuple
+
+from .fd import AttrSet, FDSet, attrset
+
+__all__ = [
+    "SimplificationStep",
+    "HardnessWitness",
+    "DichotomyResult",
+    "osr_succeeds",
+    "simplification_trace",
+    "classify",
+    "classify_stuck",
+    "DELTA_A_B_C",
+    "DELTA_A_C_B",
+    "DELTA_AB_C_B",
+    "DELTA_TRIANGLE",
+    "HARD_FD_SETS",
+]
+
+# ---------------------------------------------------------------------------
+# Table 1: the four hard FD sets over R(A, B, C).
+# ---------------------------------------------------------------------------
+
+#: ``Δ_{A→B→C}`` — A → B, B → C.
+DELTA_A_B_C = FDSet("A -> B; B -> C")
+
+#: ``Δ_{A→C←B}`` — A → C, B → C.
+DELTA_A_C_B = FDSet("A -> C; B -> C")
+
+#: ``Δ_{AB→C→B}`` — AB → C, C → B.
+DELTA_AB_C_B = FDSet("A B -> C; C -> B")
+
+#: ``Δ_{AB↔AC↔BC}`` — AB → C, AC → B, BC → A.
+DELTA_TRIANGLE = FDSet("A B -> C; A C -> B; B C -> A")
+
+#: Name → FD set for all of Table 1.
+HARD_FD_SETS = {
+    "Δ_{A→B→C}": DELTA_A_B_C,
+    "Δ_{A→C←B}": DELTA_A_C_B,
+    "Δ_{AB→C→B}": DELTA_AB_C_B,
+    "Δ_{AB↔AC↔BC}": DELTA_TRIANGLE,
+}
+
+
+@dataclass(frozen=True)
+class SimplificationStep:
+    """One ⇛ step of Algorithm 2.
+
+    ``kind`` is ``"common lhs"``, ``"consensus"`` or ``"lhs marriage"``;
+    ``removed`` is the attribute set erased from Δ; *before*/*after* are
+    the FD sets (trivial FDs already stripped) around the step.
+    """
+
+    kind: str
+    removed: AttrSet
+    before: FDSet
+    after: FDSet
+
+    def __str__(self) -> str:
+        removed = " ".join(sorted(self.removed))
+        return f"{self.before}  ({self.kind}: {removed}) ⇛  {self.after}"
+
+
+@dataclass(frozen=True)
+class HardnessWitness:
+    """Placement of a stuck FD set into one of the five classes of Fig. 2.
+
+    ``x1``/``x2`` are the chosen local-minima lhs (``x3`` for class 4);
+    ``source`` names the Table 1 FD set from which a fact-wise reduction
+    to the stuck set exists (Lemmas A.14–A.17); ``lemma`` names it.
+    """
+
+    class_id: int
+    x1: AttrSet
+    x2: AttrSet
+    x3: Optional[AttrSet]
+    source: str
+    lemma: str
+
+    def __str__(self) -> str:
+        parts = [
+            f"class {self.class_id}",
+            f"X1={{{' '.join(sorted(self.x1))}}}",
+            f"X2={{{' '.join(sorted(self.x2))}}}",
+        ]
+        if self.x3 is not None:
+            parts.append(f"X3={{{' '.join(sorted(self.x3))}}}")
+        parts.append(f"reduction from {self.source} ({self.lemma})")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class DichotomyResult:
+    """Complete dichotomy verdict for an FD set (Theorem 3.4)."""
+
+    fds: FDSet
+    tractable: bool
+    steps: Tuple[SimplificationStep, ...]
+    residual: FDSet
+    witness: Optional[HardnessWitness]
+
+    @property
+    def complexity(self) -> str:
+        """``"PTIME"`` or ``"APX-complete"``."""
+        return "PTIME" if self.tractable else "APX-complete"
+
+    def trace_lines(self) -> List[str]:
+        """The Example 3.5-style ⇛ chain as printable lines."""
+        if not self.steps:
+            return [f"{self.residual}  (no simplification applies)"]
+        lines = [str(self.steps[0].before)]
+        for step in self.steps:
+            removed = " ".join(sorted(step.removed))
+            lines.append(f"  ({step.kind}: {removed}) ⇛ {step.after}")
+        if not self.tractable:
+            lines.append("  stuck — APX-complete")
+        return lines
+
+
+def _simplify(fds: FDSet) -> Tuple[Tuple[SimplificationStep, ...], FDSet]:
+    """Run Algorithm 2's loop, recording every step.
+
+    Returns the steps and the residual FD set: trivial (possibly empty)
+    when the loop succeeds, the stuck nontrivial FD set otherwise.
+    """
+    current = fds.with_singleton_rhs()
+    steps: List[SimplificationStep] = []
+    while not current.is_trivial:
+        current = current.without_trivial()
+        common = current.common_lhs()
+        if common:
+            attr = min(sorted(common))
+            after = current.minus((attr,)).without_trivial()
+            steps.append(
+                SimplificationStep("common lhs", frozenset((attr,)), current, after)
+            )
+            current = after
+            continue
+        consensus = current.consensus_fds()
+        if consensus:
+            removed = consensus[0].rhs
+            after = current.minus(removed).without_trivial()
+            steps.append(
+                SimplificationStep("consensus", removed, current, after)
+            )
+            current = after
+            continue
+        marriages = current.lhs_marriages()
+        if marriages:
+            x1, x2 = marriages[0]
+            removed = x1 | x2
+            after = current.minus(removed).without_trivial()
+            steps.append(
+                SimplificationStep("lhs marriage", removed, current, after)
+            )
+            current = after
+            continue
+        return tuple(steps), current  # stuck
+    return tuple(steps), current
+
+
+def osr_succeeds(fds: FDSet) -> bool:
+    """``OSRSucceeds(Δ)`` — Algorithm 2.
+
+    True iff Δ can be reduced to a trivial FD set by common-lhs,
+    consensus, and lhs-marriage eliminations; equivalently (Theorem 3.4),
+    true iff an optimal S-repair under Δ is computable in polynomial time.
+    """
+    _steps, residual = _simplify(fds)
+    return residual.is_trivial
+
+
+def simplification_trace(fds: FDSet) -> Tuple[SimplificationStep, ...]:
+    """The sequence of simplification steps Algorithm 2 performs on Δ."""
+    steps, _residual = _simplify(fds)
+    return steps
+
+
+def classify_stuck(fds: FDSet) -> HardnessWitness:
+    """Place an unsimplifiable FD set into one of Figure 2's five classes.
+
+    *fds* must be nontrivial, in singleton-rhs form without trivial FDs,
+    and admit no simplification (the caller — :func:`classify` — passes
+    the residual of Algorithm 2).  Implements the case analysis of
+    Lemma A.22: for an ordered pair of distinct local minima X1, X2 with
+    closure differences X̂i = cl(Xi) ∖ Xi,
+
+    * class 1 — X̂1 ∩ cl(X2) = ∅ and X̂2 ∩ cl(X1) = ∅ → reduction from
+      ``Δ_{A→C←B}`` (Lemma A.14);
+    * class 2 — X̂1 ∩ X̂2 ≠ ∅, X̂1 ∩ X2 = ∅, X̂2 ∩ X1 = ∅ → from
+      ``Δ_{A→B→C}`` (Lemma A.15);
+    * class 3 — X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 = ∅ → from ``Δ_{A→B→C}``
+      (Lemma A.15);
+    * class 4 — X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 ≠ ∅, X1∖X2 ⊆ X̂2, X2∖X1 ⊆ X̂1 →
+      three local minima exist and there is a reduction from
+      ``Δ_{AB↔AC↔BC}`` (Lemma A.16);
+    * class 5 — X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 ≠ ∅, X2∖X1 ⊄ X̂1 → from
+      ``Δ_{AB→C→B}`` (Lemma A.17).
+    """
+    minima = fds.local_minima()
+    if len(minima) < 2:
+        raise ValueError(
+            f"{fds} has fewer than two local minima; it is simplifiable, "
+            "not stuck"
+        )
+    hats = {x: fds.closure(x) - x for x in minima}
+    closures = {x: fds.closure(x) for x in minima}
+
+    ordered = sorted(minima, key=lambda x: tuple(sorted(x)))
+    for x1, x2 in permutations(ordered, 2):
+        h1, h2 = hats[x1], hats[x2]
+        if not (h2 & x1):
+            if not (h1 & closures[x2]):
+                return HardnessWitness(1, x1, x2, None, "Δ_{A→C←B}", "Lemma A.14")
+            if (h1 & h2) and not (h1 & x2):
+                return HardnessWitness(2, x1, x2, None, "Δ_{A→B→C}", "Lemma A.15")
+            if h1 & x2:
+                return HardnessWitness(3, x1, x2, None, "Δ_{A→B→C}", "Lemma A.15")
+        else:
+            if (h1 & x2) and not ((x2 - x1) <= h1):
+                return HardnessWitness(5, x1, x2, None, "Δ_{AB→C→B}", "Lemma A.17")
+            if (h1 & x2) and (x1 - x2) <= h2 and (x2 - x1) <= h1:
+                # Class 4: a third local minimum must exist when Δ is
+                # stuck (otherwise Δ has a common lhs or an lhs marriage).
+                third = next(
+                    (x for x in ordered if x not in (x1, x2)), None
+                )
+                if third is None:
+                    raise AssertionError(
+                        f"class-4 FD set {fds} with only two local minima; "
+                        "it should have been simplifiable"
+                    )
+                return HardnessWitness(
+                    4, x1, x2, third, "Δ_{AB↔AC↔BC}", "Lemma A.16"
+                )
+    raise AssertionError(f"no class matched for stuck FD set {fds}")
+
+
+def classify(fds: FDSet) -> DichotomyResult:
+    """Full dichotomy classification of an FD set (Theorem 3.4).
+
+    Runs Algorithm 2, and on failure derives the hardness witness for the
+    stuck residual.  Note that the success/failure of ``OptSRepair``
+    depends only on Δ, never on the table.
+    """
+    steps, residual = _simplify(fds)
+    tractable = residual.is_trivial
+    witness = None if tractable else classify_stuck(residual)
+    return DichotomyResult(
+        fds=fds,
+        tractable=tractable,
+        steps=steps,
+        residual=residual,
+        witness=witness,
+    )

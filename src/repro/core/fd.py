@@ -1,0 +1,508 @@
+"""Functional dependencies and FD sets (Section 2.2 of the paper).
+
+This module implements the FD calculus that every other part of the library
+builds on:
+
+* :class:`FD` — a single functional dependency ``X → Y`` over attribute
+  names, with the paper's notions of *trivial* and *consensus* FDs.
+* :class:`FDSet` — an ordered, duplicate-free collection of FDs with
+  closures, entailment, equivalence, the attribute-removal operator
+  ``Δ − X``, and the structural tests used by the dichotomy:
+  *common lhs*, *consensus attributes* (``cl_Δ(∅)``), *lhs marriages*,
+  *local minima*, *chain* FD sets, and the *minimum lhs cover* ``mlc(Δ)``.
+
+Attribute values are plain strings.  Attribute *sets* are ``frozenset`` of
+strings throughout; the helper :func:`attrset` accepts either an iterable of
+names or a single whitespace/comma separated string (mirroring the paper's
+convention of writing attribute sets without braces, e.g. ``"A B C"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+Attribute = str
+AttrSet = FrozenSet[Attribute]
+
+__all__ = [
+    "Attribute",
+    "AttrSet",
+    "attrset",
+    "FD",
+    "FDSet",
+    "parse_fd",
+    "parse_fd_set",
+]
+
+
+def attrset(attrs: Union[str, Iterable[Attribute], None]) -> AttrSet:
+    """Normalise *attrs* into a frozenset of attribute names.
+
+    Accepts ``None`` (empty set), an iterable of names, or a single string
+    in which attribute names are separated by whitespace and/or commas::
+
+        >>> sorted(attrset("A, B C"))
+        ['A', 'B', 'C']
+        >>> attrset(None)
+        frozenset()
+    """
+    if attrs is None:
+        return frozenset()
+    if isinstance(attrs, str):
+        parts = attrs.replace(",", " ").split()
+        return frozenset(parts)
+    return frozenset(attrs)
+
+
+def _format_attrs(attrs: AttrSet) -> str:
+    """Render an attribute set the way the paper writes it (``A B C``)."""
+    if not attrs:
+        return "∅"
+    return " ".join(sorted(attrs))
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs → rhs`` (Section 2.2).
+
+    Both sides are attribute sets.  An empty ``lhs`` denotes a *consensus*
+    FD ``∅ → Y``; an FD with ``rhs ⊆ lhs`` is *trivial*.
+
+    Instances are immutable and hashable, so they can live in sets and be
+    used as dictionary keys.
+    """
+
+    lhs: AttrSet
+    rhs: AttrSet
+
+    def __init__(
+        self,
+        lhs: Union[str, Iterable[Attribute], None],
+        rhs: Union[str, Iterable[Attribute], None],
+    ) -> None:
+        object.__setattr__(self, "lhs", attrset(lhs))
+        object.__setattr__(self, "rhs", attrset(rhs))
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True iff ``rhs ⊆ lhs`` — satisfied by every table."""
+        return self.rhs <= self.lhs
+
+    @property
+    def is_consensus(self) -> bool:
+        """True iff the lhs is empty (``∅ → Y``)."""
+        return not self.lhs
+
+    @property
+    def attributes(self) -> AttrSet:
+        """All attributes mentioned in the FD (lhs ∪ rhs)."""
+        return self.lhs | self.rhs
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def minus(self, attrs: Union[str, Iterable[Attribute]]) -> "FD":
+        """The FD with the attributes *attrs* erased from both sides.
+
+        This is the per-FD piece of the paper's ``Δ − X`` operator.
+        """
+        drop = attrset(attrs)
+        return FD(self.lhs - drop, self.rhs - drop)
+
+    def with_singleton_rhs(self) -> Tuple["FD", ...]:
+        """Decompose ``X → A1…An`` into ``(X→A1, …, X→An)``.
+
+        An empty-rhs FD decomposes into the empty tuple (it is trivial).
+        """
+        return tuple(FD(self.lhs, (a,)) for a in sorted(self.rhs))
+
+    # ------------------------------------------------------------------
+    # Parsing / rendering
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FD":
+        """Parse ``"A B -> C"`` (or with ``→``) into an FD.
+
+        The lhs may be empty (``"-> C"`` is the consensus FD ``∅ → C``).
+        """
+        normalised = text.replace("→", "->")
+        if "->" not in normalised:
+            raise ValueError(f"not an FD (missing '->'): {text!r}")
+        left, _, right = normalised.partition("->")
+        rhs = attrset(right)
+        if not rhs:
+            raise ValueError(f"FD with empty rhs: {text!r}")
+        return cls(attrset(left), rhs)
+
+    def __str__(self) -> str:
+        return f"{_format_attrs(self.lhs)} → {_format_attrs(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"FD({_format_attrs(self.lhs)!r}, {_format_attrs(self.rhs)!r})"
+
+
+def parse_fd(text: str) -> FD:
+    """Convenience alias for :meth:`FD.parse`."""
+    return FD.parse(text)
+
+
+def _coerce_fd(fd: Union[FD, str]) -> FD:
+    if isinstance(fd, FD):
+        return fd
+    if isinstance(fd, str):
+        return FD.parse(fd)
+    raise TypeError(f"cannot interpret {fd!r} as an FD")
+
+
+class FDSet:
+    """An ordered, duplicate-free set ``Δ`` of functional dependencies.
+
+    The class exposes every structural operation the paper's algorithms
+    need.  Instances are immutable; all transformation methods return new
+    ``FDSet`` objects.
+
+    Construction accepts FDs, FD strings, or a single ``;``-separated
+    string::
+
+        >>> FDSet("A -> B; B -> C")
+        FDSet[A → B, B → C]
+        >>> FDSet([FD("A", "B"), "B -> C"])
+        FDSet[A → B, B → C]
+    """
+
+    __slots__ = ("_fds", "_attr_cache")
+
+    def __init__(self, fds: Union[str, Iterable[Union[FD, str]], None] = None):
+        if fds is None:
+            items: List[FD] = []
+        elif isinstance(fds, str):
+            items = [FD.parse(part) for part in fds.split(";") if part.strip()]
+        else:
+            items = [_coerce_fd(fd) for fd in fds]
+        seen: Set[FD] = set()
+        unique: List[FD] = []
+        for fd in items:
+            if fd not in seen:
+                seen.add(fd)
+                unique.append(fd)
+        self._fds: Tuple[FD, ...] = tuple(unique)
+        self._attr_cache: Optional[AttrSet] = None
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: Union[FD, str]) -> bool:
+        return _coerce_fd(fd) in set(self._fds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return set(self._fds) == set(other._fds)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._fds))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(fd) for fd in self._fds) + "}"
+
+    def __repr__(self) -> str:
+        return "FDSet[" + ", ".join(str(fd) for fd in self._fds) + "]"
+
+    @property
+    def fds(self) -> Tuple[FD, ...]:
+        return self._fds
+
+    # ------------------------------------------------------------------
+    # Attributes and closure
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> AttrSet:
+        """``attr(Δ)`` — all attributes appearing in some FD of Δ."""
+        if self._attr_cache is None:
+            acc: Set[Attribute] = set()
+            for fd in self._fds:
+                acc |= fd.attributes
+            self._attr_cache = frozenset(acc)
+        return self._attr_cache
+
+    def closure(self, attrs: Union[str, Iterable[Attribute], None] = None) -> AttrSet:
+        """``cl_Δ(X)`` — all attributes A with ``Δ ⊨ X → A``.
+
+        Standard fixpoint computation; linear passes over Δ until no FD
+        fires.  ``closure(None)`` / ``closure(())`` gives ``cl_Δ(∅)``, the
+        set of *consensus attributes*.
+        """
+        result: Set[Attribute] = set(attrset(attrs))
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= result and not fd.rhs <= result:
+                    result |= fd.rhs
+                    changed = True
+        return frozenset(result)
+
+    def entails(self, fd: Union[FD, str]) -> bool:
+        """``Δ ⊨ X → Y`` — true iff ``Y ⊆ cl_Δ(X)``."""
+        fd = _coerce_fd(fd)
+        return fd.rhs <= self.closure(fd.lhs)
+
+    def is_equivalent(self, other: "FDSet") -> bool:
+        """True iff the two FD sets have the same closure."""
+        return all(other.entails(fd) for fd in self._fds) and all(
+            self.entails(fd) for fd in other
+        )
+
+    # ------------------------------------------------------------------
+    # Triviality / consensus
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True iff Δ contains no nontrivial FD (e.g. Δ is empty)."""
+        return all(fd.is_trivial for fd in self._fds)
+
+    def without_trivial(self) -> "FDSet":
+        """Δ with trivial FDs removed (line 3 of Algorithm 1)."""
+        return FDSet(fd for fd in self._fds if not fd.is_trivial)
+
+    def with_singleton_rhs(self) -> "FDSet":
+        """Equivalent FD set in which every rhs is a single attribute.
+
+        Trivial fragments (``X → A`` with ``A ∈ X``) are dropped; the result
+        is the normal form assumed throughout Section 3 of the paper.
+        """
+        out: List[FD] = []
+        for fd in self._fds:
+            for piece in fd.with_singleton_rhs():
+                if not piece.is_trivial:
+                    out.append(piece)
+        return FDSet(out)
+
+    def consensus_fds(self) -> Tuple[FD, ...]:
+        """All nontrivial consensus FDs ``∅ → Y`` in Δ."""
+        return tuple(fd for fd in self._fds if fd.is_consensus and not fd.is_trivial)
+
+    def consensus_attributes(self) -> AttrSet:
+        """``cl_Δ(∅)`` — every attribute A with ``Δ ⊨ ∅ → A``."""
+        return self.closure(())
+
+    @property
+    def is_consensus_free(self) -> bool:
+        """True iff Δ has no consensus attributes (Section 2.2)."""
+        return not self.consensus_attributes()
+
+    # ------------------------------------------------------------------
+    # Δ − X
+    # ------------------------------------------------------------------
+    def minus(self, attrs: Union[str, Iterable[Attribute]]) -> "FDSet":
+        """``Δ − X``: erase the attributes of X from every lhs and rhs.
+
+        FDs that become trivial after erasure are kept (the paper's
+        algorithms strip them explicitly); duplicates collapse.
+        """
+        drop = attrset(attrs)
+        return FDSet(fd.minus(drop) for fd in self._fds)
+
+    # ------------------------------------------------------------------
+    # Structural features used by the dichotomy
+    # ------------------------------------------------------------------
+    def common_lhs(self) -> AttrSet:
+        """Attributes appearing in the lhs of *every* FD in Δ.
+
+        Returns the full set of common-lhs attributes; empty when Δ is empty
+        or has no common lhs.
+        """
+        if not self._fds:
+            return frozenset()
+        common = set(self._fds[0].lhs)
+        for fd in self._fds[1:]:
+            common &= fd.lhs
+            if not common:
+                break
+        return frozenset(common)
+
+    def lhs_sets(self) -> Tuple[AttrSet, ...]:
+        """The distinct lhs attribute sets of Δ, in first-seen order."""
+        seen: Set[AttrSet] = set()
+        out: List[AttrSet] = []
+        for fd in self._fds:
+            if fd.lhs not in seen:
+                seen.add(fd.lhs)
+                out.append(fd.lhs)
+        return tuple(out)
+
+    def lhs_marriages(self) -> Tuple[Tuple[AttrSet, AttrSet], ...]:
+        """All lhs marriages of Δ (Section 3, *Assumptions and Notation*).
+
+        A pair ``(X1, X2)`` of distinct lhs of FDs in Δ such that
+        ``cl_Δ(X1) = cl_Δ(X2)`` and the lhs of every FD in Δ contains X1 or
+        X2 (or both).  Pairs are returned in deterministic order.
+        """
+        lhss = self.lhs_sets()
+        result: List[Tuple[AttrSet, AttrSet]] = []
+        closures: Dict[AttrSet, AttrSet] = {X: self.closure(X) for X in lhss}
+        for X1, X2 in combinations(lhss, 2):
+            if closures[X1] != closures[X2]:
+                continue
+            if all(X1 <= fd.lhs or X2 <= fd.lhs for fd in self._fds):
+                result.append((X1, X2))
+        return tuple(result)
+
+    def local_minima(self) -> Tuple[AttrSet, ...]:
+        """Distinct lhs that are *local minima* (no other lhs ⊂ them).
+
+        Used by the hardness-side classification (Section 3.3): an FD
+        ``X → Y`` is a local minimum if no FD ``Z → W`` in Δ has ``Z ⊂ X``.
+        """
+        lhss = self.lhs_sets()
+        minima = [
+            X
+            for X in lhss
+            if not any(Z < X for Z in lhss)
+        ]
+        return tuple(minima)
+
+    @property
+    def is_chain(self) -> bool:
+        """True iff the lhs of Δ are totally ordered by ⊆ (Section 2.2)."""
+        lhss = self.lhs_sets()
+        return all(
+            X1 <= X2 or X2 <= X1 for X1, X2 in combinations(lhss, 2)
+        )
+
+    # ------------------------------------------------------------------
+    # lhs covers (Section 4, Notation)
+    # ------------------------------------------------------------------
+    def lhs_covers(self, size: int) -> Iterator[AttrSet]:
+        """Yield every lhs cover of Δ of exactly *size* attributes.
+
+        An lhs cover is a set C of attributes hitting every lhs
+        (``X ∩ C ≠ ∅`` for every FD ``X → Y``).  Only nontrivial FDs with a
+        nonempty lhs constrain the cover; a consensus FD makes the notion
+        undefined (no finite C hits ∅), and we raise in that case.
+        """
+        lhss = [fd.lhs for fd in self._fds if not fd.is_trivial]
+        if any(not X for X in lhss):
+            raise ValueError("lhs cover undefined: Δ has a consensus FD")
+        universe = sorted(set().union(*lhss)) if lhss else []
+        for combo in combinations(universe, size):
+            cand = frozenset(combo)
+            if all(X & cand for X in lhss):
+                yield cand
+
+    def minimum_lhs_cover(self) -> AttrSet:
+        """A minimum-cardinality lhs cover of Δ (brute force, Δ is small).
+
+        Returns ∅ when Δ has no nontrivial FDs.  Raises ``ValueError`` if Δ
+        contains a nontrivial consensus FD (no cover can hit an empty lhs).
+        """
+        lhss = [fd.lhs for fd in self._fds if not fd.is_trivial]
+        if not lhss:
+            return frozenset()
+        if any(not X for X in lhss):
+            raise ValueError("lhs cover undefined: Δ has a consensus FD")
+        universe = sorted(set().union(*lhss))
+        for size in range(1, len(universe) + 1):
+            for cover in self.lhs_covers(size):
+                return cover
+        raise AssertionError("unreachable: the full universe is always a cover")
+
+    def mlc(self) -> int:
+        """``mlc(Δ)`` — the minimum cardinality of an lhs cover."""
+        return len(self.minimum_lhs_cover())
+
+    # ------------------------------------------------------------------
+    # Decomposition (Theorem 4.1)
+    # ------------------------------------------------------------------
+    def attribute_disjoint_components(self) -> Tuple["FDSet", ...]:
+        """Partition Δ into maximal attribute-disjoint sub-FD-sets.
+
+        Two FDs belong to the same component iff their attribute sets are
+        connected through shared attributes.  Theorem 4.1 lets us repair
+        each component independently.
+        """
+        if not self._fds:
+            return ()
+        parent: Dict[FD, FD] = {fd: fd for fd in self._fds}
+
+        def find(x: FD) -> FD:
+            while parent[x] is not x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: FD, b: FD) -> None:
+            ra, rb = find(a), find(b)
+            if ra is not rb:
+                parent[ra] = rb
+
+        by_attr: Dict[Attribute, FD] = {}
+        for fd in self._fds:
+            for a in fd.attributes:
+                if a in by_attr:
+                    union(by_attr[a], fd)
+                else:
+                    by_attr[a] = fd
+        groups: Dict[FD, List[FD]] = {}
+        for fd in self._fds:
+            groups.setdefault(find(fd), []).append(fd)
+        return tuple(FDSet(group) for group in groups.values())
+
+    # ------------------------------------------------------------------
+    # Minimal cover (standard FD theory; convenience for library users)
+    # ------------------------------------------------------------------
+    def minimal_cover(self) -> "FDSet":
+        """A minimal cover of Δ: singleton rhs, no extraneous lhs
+        attributes, no redundant FDs.  Equivalent to Δ.
+        """
+        fds = list(self.with_singleton_rhs())
+        # Remove extraneous lhs attributes.
+        reduced: List[FD] = []
+        for fd in fds:
+            lhs = set(fd.lhs)
+            for a in sorted(fd.lhs):
+                trimmed = frozenset(lhs - {a})
+                if fd.rhs <= FDSet(fds).closure(trimmed):
+                    lhs.discard(a)
+            reduced.append(FD(frozenset(lhs), fd.rhs))
+        # Remove redundant FDs.
+        result = list(reduced)
+        for fd in list(reduced):
+            rest = [g for g in result if g != fd]
+            if FDSet(rest).entails(fd):
+                result = rest
+        return FDSet(result)
+
+    # ------------------------------------------------------------------
+    # Keys (convenience)
+    # ------------------------------------------------------------------
+    def is_key(self, attrs: Union[str, Iterable[Attribute]], schema: Union[str, Iterable[Attribute]]) -> bool:
+        """True iff *attrs* functionally determines the whole *schema*."""
+        return attrset(schema) <= self.closure(attrs)
+
+
+def parse_fd_set(text: str) -> FDSet:
+    """Parse a ``;``-separated FD list, e.g. ``"A -> B; B -> C"``."""
+    return FDSet(text)

@@ -1,0 +1,176 @@
+"""The Most Probable Database problem (Section 3.4, Theorem 3.10).
+
+A *probabilistic table* is a table whose weights lie in ``(0, 1]`` and are
+read as independent tuple probabilities (a tuple-independent probabilistic
+database).  MPD asks for the consistent subset of maximum probability
+
+    Pr(S) = Π_{i ∈ S} w(i) × Π_{i ∉ S} (1 − w(i)).
+
+Theorem 3.10 settles the complexity for arbitrary FD sets by reducing MPD
+to optimal S-repairing and back:
+
+* tuples with ``w ≤ 0.5`` can be excluded up front (removing them never
+  lowers the probability);
+* *certain* tuples (``w = 1``) must be kept when jointly consistent —
+  otherwise every consistent subset has probability zero;
+* for the rest, maximising ``Π w/(1−w)`` over kept tuples is exactly
+  minimising the deleted weight under log-odds weights
+  ``λ(i) = log(w(i)/(1−w(i))) > 0``.
+
+The module provides the forward reduction (:func:`most_probable_database`),
+the reverse reduction used in the hardness direction
+(:func:`s_repair_via_mpd`), and a brute-force baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .fd import FDSet
+from .srepair import optimal_s_repair
+from .table import Table, TupleId
+from .violations import satisfies
+
+__all__ = [
+    "MPDResult",
+    "subset_probability",
+    "most_probable_database",
+    "brute_force_mpd",
+    "s_repair_via_mpd",
+]
+
+
+@dataclass(frozen=True)
+class MPDResult:
+    """A most probable consistent database and its probability."""
+
+    database: Table
+    probability: float
+    method: str
+
+
+def _check_probabilistic(table: Table) -> None:
+    for tid in table.ids():
+        w = table.weight(tid)
+        if not (0.0 < w <= 1.0):
+            raise ValueError(
+                f"tuple {tid!r} has weight {w}, not a probability in (0, 1]"
+            )
+
+
+def subset_probability(table: Table, kept: Iterable[TupleId]) -> float:
+    """``Pr_T(S)`` — equation (2) of the paper."""
+    _check_probabilistic(table)
+    kept = set(kept)
+    prob = 1.0
+    for tid in table.ids():
+        w = table.weight(tid)
+        prob *= w if tid in kept else (1.0 - w)
+    return prob
+
+
+def most_probable_database(
+    table: Table, fds: FDSet, method: str = "auto"
+) -> MPDResult:
+    """MPD via the Theorem 3.10 reduction to optimal S-repairing.
+
+    ``method`` is forwarded to :func:`repro.core.srepair.optimal_s_repair`
+    (``"auto"`` uses ``OptSRepair`` when ``OSRSucceeds(Δ)`` and the exact
+    vertex-cover solver otherwise), so by the dichotomy the overall
+    algorithm is polynomial exactly when ``OSRSucceeds(Δ)`` holds.
+    """
+    _check_probabilistic(table)
+    certain = [tid for tid in table.ids() if table.weight(tid) == 1.0]
+    if not satisfies(table.subset(certain), fds):
+        # Every consistent subset misses a certain tuple and has
+        # probability zero; the paper then returns e.g. the empty subset.
+        empty = table.subset(())
+        return MPDResult(empty, 0.0, method="certain-tuples-inconsistent")
+
+    # Tuples with w ≤ 0.5 are never needed (removal cannot lower Pr).
+    undecided = [
+        tid
+        for tid in table.ids()
+        if 0.5 < table.weight(tid) < 1.0
+    ]
+    relevant = certain + undecided
+    if not relevant:
+        kept: List[TupleId] = []
+        return MPDResult(
+            table.subset(kept),
+            subset_probability(table, kept),
+            method="all-tuples-unlikely",
+        )
+
+    # Log-odds weights; certain tuples get a weight exceeding any possible
+    # total of the others, forcing them into the optimal repair.
+    log_odds = {
+        tid: math.log(table.weight(tid) / (1.0 - table.weight(tid)))
+        for tid in undecided
+    }
+    big = sum(log_odds.values()) + 1.0
+    weights = dict(log_odds)
+    weights.update({tid: big for tid in certain})
+    weighted = Table(
+        table.schema,
+        {tid: table[tid] for tid in relevant},
+        weights,
+        name=table.name,
+    )
+    result = optimal_s_repair(weighted, fds, method=method)
+    kept = list(result.repair.ids())
+    if not set(certain) <= set(kept):
+        raise AssertionError(
+            "big-M weighting failed to retain the certain tuples"
+        )
+    return MPDResult(
+        table.subset(kept),
+        subset_probability(table, kept),
+        method=f"s-repair reduction ({result.method})",
+    )
+
+
+def brute_force_mpd(table: Table, fds: FDSet, max_tuples: int = 20) -> MPDResult:
+    """MPD by enumerating all subsets (baseline for tests/benchmarks)."""
+    _check_probabilistic(table)
+    ids = table.ids()
+    if len(ids) > max_tuples:
+        raise ValueError(
+            f"brute force limited to {max_tuples} tuples, got {len(ids)}"
+        )
+    best_kept: Tuple[TupleId, ...] = ()
+    best_prob = -1.0
+    for r in range(len(ids) + 1):
+        for kept in itertools.combinations(ids, r):
+            if not satisfies(table.subset(kept), fds):
+                continue
+            prob = subset_probability(table, kept)
+            if prob > best_prob:
+                best_prob = prob
+                best_kept = kept
+    return MPDResult(table.subset(best_kept), best_prob, method="brute-force")
+
+
+def s_repair_via_mpd(table: Table, fds: FDSet, probability: float = 0.9) -> Table:
+    """The reverse reduction of Theorem 3.10 (hardness direction).
+
+    Given an *unweighted* table, assign every tuple the same probability
+    ``> 0.5``; a subset is most probable iff it keeps a maximum number of
+    tuples, i.e. iff it is an optimal S-repair.  Implemented with the
+    brute-force MPD oracle, for demonstration and testing.
+    """
+    if not table.is_unweighted:
+        raise ValueError("the reverse reduction applies to unweighted tables")
+    if not (0.5 < probability < 1.0):
+        raise ValueError("probability must lie in (0.5, 1)")
+    prob_table = Table(
+        table.schema,
+        table.rows(),
+        {tid: probability for tid in table.ids()},
+        name=table.name,
+    )
+    result = brute_force_mpd(prob_table, fds)
+    return table.subset(result.database.ids())

@@ -1,0 +1,449 @@
+"""Tables with tuple identifiers and weights (Section 2.1 of the paper).
+
+A :class:`Table` over a schema ``R(A1, …, Ak)`` maps each tuple identifier
+to a k-tuple of values and a positive weight.  Identifiers make duplicate
+tuples representable and let update repairs say exactly which cells changed.
+
+The module also provides:
+
+* :class:`FreshValue` — labelled nulls standing in for values drawn from
+  the paper's countably infinite domain ``Val`` outside the active domain.
+  Fresh values compare equal only to themselves, which is all FD
+  satisfaction can observe.
+* The two distance functions of Section 2.3, ``dist_sub`` and ``dist_upd``
+  (weighted deletions and weighted Hamming distance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from .fd import Attribute, AttrSet, attrset
+
+Value = Hashable
+TupleId = Hashable
+Row = Tuple[Value, ...]
+
+__all__ = [
+    "FreshValue",
+    "fresh_value_factory",
+    "Table",
+    "hamming_distance",
+]
+
+
+class FreshValue:
+    """A labelled null: a value guaranteed distinct from every other value.
+
+    The paper's update repairs may use values from an infinite domain that
+    never occur in the table (e.g. ``F01`` in Figure 1(e)).  Only the
+    *equality pattern* of values matters to FD satisfaction, so identity-
+    distinct sentinel objects are a faithful model of such fresh constants.
+    """
+
+    __slots__ = ("label",)
+    _counter = itertools.count()
+
+    def __init__(self, label: Optional[str] = None) -> None:
+        if label is None:
+            label = f"⊥{next(FreshValue._counter)}"
+        self.label = label
+
+    def __repr__(self) -> str:
+        return self.label
+
+    # Identity-based equality/hash (object defaults) are exactly what we
+    # want; declared explicitly for clarity.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def fresh_value_factory(prefix: str = "⊥") -> Iterator[FreshValue]:
+    """An infinite stream of distinct fresh values with readable labels."""
+    for i in itertools.count():
+        yield FreshValue(f"{prefix}{i}")
+
+
+def hamming_distance(t: Sequence[Value], u: Sequence[Value]) -> int:
+    """``H(t, u)`` — the number of positions where *t* and *u* disagree."""
+    if len(t) != len(u):
+        raise ValueError("Hamming distance of tuples with different arity")
+    return sum(1 for a, b in zip(t, u) if a != b)
+
+
+class Table:
+    """A weighted table with tuple identifiers over a named schema.
+
+    Parameters
+    ----------
+    schema:
+        Attribute names, in column order.
+    rows:
+        Mapping from tuple identifier to a value tuple of matching arity.
+    weights:
+        Optional mapping from identifier to a positive weight; missing
+        identifiers default to ``1.0`` (the *unweighted* case).
+    name:
+        Optional relation name, used only for display.
+
+    Instances are immutable in spirit: all mutating operations return new
+    tables.  Iteration order of identifiers is the insertion order of
+    ``rows``, which keeps every algorithm in the library deterministic.
+    """
+
+    __slots__ = ("_schema", "_rows", "_weights", "name", "_index")
+
+    def __init__(
+        self,
+        schema: Sequence[Attribute],
+        rows: Mapping[TupleId, Sequence[Value]],
+        weights: Optional[Mapping[TupleId, float]] = None,
+        name: str = "R",
+    ) -> None:
+        self._schema: Tuple[Attribute, ...] = tuple(schema)
+        if len(set(self._schema)) != len(self._schema):
+            raise ValueError(f"duplicate attribute in schema {self._schema!r}")
+        arity = len(self._schema)
+        normalised: Dict[TupleId, Row] = {}
+        for tid, row in rows.items():
+            row = tuple(row)
+            if len(row) != arity:
+                raise ValueError(
+                    f"tuple {tid!r} has arity {len(row)}, schema has {arity}"
+                )
+            normalised[tid] = row
+        self._rows = normalised
+        w: Dict[TupleId, float] = {}
+        weights = weights or {}
+        for tid in normalised:
+            weight = float(weights.get(tid, 1.0))
+            if weight <= 0:
+                raise ValueError(f"tuple {tid!r} has non-positive weight {weight}")
+            w[tid] = weight
+        extra = set(weights) - set(normalised)
+        if extra:
+            raise ValueError(f"weights for unknown identifiers: {sorted(map(str, extra))}")
+        self._weights = w
+        self.name = name
+        self._index: Dict[Attribute, int] = {a: i for i, a in enumerate(self._schema)}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Sequence[Attribute],
+        rows: Iterable[Sequence[Value]],
+        weights: Optional[Sequence[float]] = None,
+        name: str = "R",
+    ) -> "Table":
+        """Build a table from a list of value tuples; ids are 1, 2, 3, …"""
+        rows = list(rows)
+        row_map = {i + 1: tuple(row) for i, row in enumerate(rows)}
+        weight_map = None
+        if weights is not None:
+            weights = list(weights)
+            if len(weights) != len(rows):
+                raise ValueError("weights and rows have different lengths")
+            weight_map = {i + 1: w for i, w in enumerate(weights)}
+        return cls(schema, row_map, weight_map, name=name)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Sequence[Attribute],
+        records: Iterable[Mapping[Attribute, Value]],
+        weights: Optional[Sequence[float]] = None,
+        name: str = "R",
+    ) -> "Table":
+        """Build a table from dict records keyed by attribute name."""
+        schema = tuple(schema)
+        rows = [tuple(rec[a] for a in schema) for rec in records]
+        return cls.from_rows(schema, rows, weights, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Tuple[Attribute, ...]:
+        return self._schema
+
+    def ids(self) -> Tuple[TupleId, ...]:
+        """Identifiers in insertion order."""
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, tid: TupleId) -> bool:
+        return tid in self._rows
+
+    def __getitem__(self, tid: TupleId) -> Row:
+        return self._rows[tid]
+
+    def weight(self, tid: TupleId) -> float:
+        return self._weights[tid]
+
+    def weights(self) -> Dict[TupleId, float]:
+        return dict(self._weights)
+
+    def rows(self) -> Dict[TupleId, Row]:
+        return dict(self._rows)
+
+    def tuples(self) -> Iterator[Tuple[TupleId, Row, float]]:
+        """Iterate ``(id, row, weight)`` in insertion order."""
+        for tid, row in self._rows.items():
+            yield tid, row, self._weights[tid]
+
+    def value(self, tid: TupleId, attr: Attribute) -> Value:
+        """The value of attribute *attr* in tuple *tid*."""
+        return self._rows[tid][self._index[attr]]
+
+    def project_row(self, row: Sequence[Value], attrs: Iterable[Attribute]) -> Row:
+        """``t[X]`` — the sub-tuple of *row* on attributes *attrs*.
+
+        Attributes are taken in sorted order so projections are canonical
+        and comparable across calls.
+        """
+        return tuple(row[self._index[a]] for a in sorted(attrs))
+
+    def project(self, tid: TupleId, attrs: Iterable[Attribute]) -> Row:
+        return self.project_row(self._rows[tid], attrs)
+
+    # ------------------------------------------------------------------
+    # Whole-table properties (Section 2.1)
+    # ------------------------------------------------------------------
+    @property
+    def is_duplicate_free(self) -> bool:
+        """True iff distinct identifiers carry distinct tuples."""
+        return len(set(self._rows.values())) == len(self._rows)
+
+    @property
+    def is_unweighted(self) -> bool:
+        """True iff all tuple weights are equal."""
+        return len(set(self._weights.values())) <= 1
+
+    def total_weight(self, ids: Optional[Iterable[TupleId]] = None) -> float:
+        """``w_T(S)`` — sum of weights over *ids* (default: all tuples)."""
+        if ids is None:
+            return sum(self._weights.values())
+        return sum(self._weights[tid] for tid in ids)
+
+    def active_domain(self, attr: Attribute) -> Set[Value]:
+        """All values occurring in column *attr*."""
+        idx = self._index[attr]
+        return {row[idx] for row in self._rows.values()}
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def subset(self, ids: Iterable[TupleId]) -> "Table":
+        """The sub-table containing exactly the given identifiers."""
+        keep = set(ids)
+        missing = keep - set(self._rows)
+        if missing:
+            raise KeyError(f"unknown identifiers: {sorted(map(str, missing))}")
+        rows = {tid: row for tid, row in self._rows.items() if tid in keep}
+        weights = {tid: self._weights[tid] for tid in rows}
+        return Table(self._schema, rows, weights, name=self.name)
+
+    def select_eq(self, assignment: Mapping[Attribute, Value]) -> "Table":
+        """``σ_{A1=a1, …}T`` — tuples matching the given attribute values."""
+        items = [(self._index[a], v) for a, v in assignment.items()]
+        rows = {
+            tid: row
+            for tid, row in self._rows.items()
+            if all(row[i] == v for i, v in items)
+        }
+        weights = {tid: self._weights[tid] for tid in rows}
+        return Table(self._schema, rows, weights, name=self.name)
+
+    def group_by(self, attrs: Iterable[Attribute]) -> Dict[Row, List[TupleId]]:
+        """Identifiers grouped by their projection onto *attrs*.
+
+        Attributes are sorted (see :meth:`project_row`), so the group keys
+        are canonical value tuples.  Grouping by the empty attribute set
+        puts every tuple in the single group keyed by ``()``.
+        """
+        attrs = sorted(attrset(attrs) if not isinstance(attrs, (list, tuple, set, frozenset)) else attrs)
+        groups: Dict[Row, List[TupleId]] = {}
+        for tid, row in self._rows.items():
+            key = tuple(row[self._index[a]] for a in attrs)
+            groups.setdefault(key, []).append(tid)
+        return groups
+
+    def distinct_projection(self, attrs: Iterable[Attribute]) -> List[Row]:
+        """``π_X T[*]`` — distinct projections, in first-seen order."""
+        seen: Set[Row] = set()
+        out: List[Row] = []
+        for tid in self._rows:
+            key = self.project(tid, attrs)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def union(self, other: "Table") -> "Table":
+        """Disjoint union of two tables over the same schema.
+
+        Used to stitch per-group repairs back together; identifier sets
+        must be disjoint.
+        """
+        if other.schema != self._schema:
+            raise ValueError("schema mismatch in union")
+        overlap = set(self._rows) & set(other._rows)
+        if overlap:
+            raise ValueError(f"overlapping identifiers in union: {sorted(map(str, overlap))}")
+        rows = dict(self._rows)
+        rows.update(other._rows)
+        weights = dict(self._weights)
+        weights.update(other._weights)
+        return Table(self._schema, rows, weights, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def with_updates(
+        self, updates: Mapping[Tuple[TupleId, Attribute], Value]
+    ) -> "Table":
+        """A new table with the given ``(id, attribute) → value`` updates.
+
+        Identifier set and weights are unchanged, as required of an update
+        of T (Section 2.3).
+        """
+        rows = {tid: list(row) for tid, row in self._rows.items()}
+        for (tid, attr), value in updates.items():
+            if tid not in rows:
+                raise KeyError(f"unknown identifier {tid!r}")
+            rows[tid][self._index[attr]] = value
+        return Table(
+            self._schema,
+            {tid: tuple(vals) for tid, vals in rows.items()},
+            self._weights,
+            name=self.name,
+        )
+
+    def is_subset_of(self, other: "Table") -> bool:
+        """True iff self is a subset of *other* (ids, rows, and weights)."""
+        if other.schema != self._schema:
+            return False
+        return all(
+            tid in other
+            and other[tid] == row
+            and other.weight(tid) == self._weights[tid]
+            for tid, row in self._rows.items()
+        )
+
+    def is_update_of(self, other: "Table") -> bool:
+        """True iff self is an update of *other* (same ids and weights)."""
+        if other.schema != self._schema:
+            return False
+        if set(self._rows) != set(other.ids()):
+            return False
+        return all(self._weights[tid] == other.weight(tid) for tid in self._rows)
+
+    def changed_cells(self, original: "Table") -> List[Tuple[TupleId, Attribute]]:
+        """The cells on which self (an update of *original*) differs."""
+        out: List[Tuple[TupleId, Attribute]] = []
+        for tid, row in self._rows.items():
+            orig = original[tid]
+            for i, attr in enumerate(self._schema):
+                if row[i] != orig[i]:
+                    out.append((tid, attr))
+        return out
+
+    # ------------------------------------------------------------------
+    # Distances (Section 2.3)
+    # ------------------------------------------------------------------
+    def dist_sub(self, subset: "Table") -> float:
+        """``dist_sub(S, T)`` — total weight of the tuples missing from S.
+
+        ``self`` is the original table T; *subset* must be a subset of T.
+        """
+        if not subset.is_subset_of(self):
+            raise ValueError("dist_sub: argument is not a subset of this table")
+        missing = set(self._rows) - set(subset.ids())
+        return sum(self._weights[tid] for tid in missing)
+
+    def dist_upd(self, update: "Table") -> float:
+        """``dist_upd(U, T)`` — weighted Hamming distance of an update."""
+        if not update.is_update_of(self):
+            raise ValueError("dist_upd: argument is not an update of this table")
+        return sum(
+            self._weights[tid] * hamming_distance(row, update[tid])
+            for tid, row in self._rows.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Display / export
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Rows as dicts including ``id`` and ``weight`` keys."""
+        out = []
+        for tid, row, weight in self.tuples():
+            rec: Dict[str, Any] = {"id": tid}
+            rec.update(zip(self._schema, row))
+            rec["weight"] = weight
+            out.append(rec)
+        return out
+
+    def to_string(self) -> str:
+        """A small fixed-width rendering, in the style of Figure 1."""
+        headers = ["id", *self._schema, "w"]
+        body = [
+            [str(tid), *[str(v) for v in row], f"{weight:g}"]
+            for tid, row, weight in self.tuples()
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self)} tuples, schema={self._schema})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._rows == other._rows
+            and self._weights == other._weights
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._schema,
+                frozenset(self._rows.items()),
+                frozenset(self._weights.items()),
+            )
+        )

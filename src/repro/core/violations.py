@@ -1,0 +1,111 @@
+"""FD violation detection and conflict graphs.
+
+For FDs, consistency is a *pairwise* property: a table satisfies ``X → Y``
+iff every pair of tuples agreeing on X agrees on Y.  Consequently a subset
+of T is consistent iff it is an independent set of the *conflict graph*
+whose nodes are tuple identifiers and whose edges are violating pairs.
+This observation powers both the 2-approximation of Proposition 3.3 and
+our exact baseline (optimal S-repair = minimum-weight vertex cover).
+
+Violating pairs are enumerated with hash grouping: tuples are bucketed by
+their lhs projection, and within a bucket by their rhs projection; pairs
+across different rhs buckets of the same lhs bucket are exactly the
+violations of that FD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..graphs.graph import Graph
+from .fd import FD, FDSet
+from .table import Row, Table, TupleId
+
+__all__ = [
+    "violating_pairs",
+    "violating_pairs_of_fd",
+    "satisfies",
+    "conflict_graph",
+    "conflicting_ids",
+]
+
+
+def violating_pairs_of_fd(table: Table, fd: FD) -> Iterator[Tuple[TupleId, TupleId]]:
+    """Yield each pair of identifiers violating the single FD ``X → Y``.
+
+    Pairs are yielded with the two identifiers in table order, each
+    unordered pair exactly once.  Trivial FDs yield nothing.
+    """
+    if fd.is_trivial:
+        return
+    lhs_groups = table.group_by(fd.lhs)
+    for ids in lhs_groups.values():
+        if len(ids) < 2:
+            continue
+        rhs_buckets: Dict[Row, List[TupleId]] = {}
+        for tid in ids:
+            rhs_buckets.setdefault(table.project(tid, fd.rhs), []).append(tid)
+        if len(rhs_buckets) < 2:
+            continue
+        buckets = list(rhs_buckets.values())
+        for i in range(len(buckets)):
+            for j in range(i + 1, len(buckets)):
+                for t1 in buckets[i]:
+                    for t2 in buckets[j]:
+                        yield (t1, t2)
+
+
+def violating_pairs(
+    table: Table, fds: FDSet
+) -> Iterator[Tuple[TupleId, TupleId, FD]]:
+    """Yield ``(i, j, fd)`` for every FD violation in the table.
+
+    The same pair may be reported once per violated FD; use
+    :func:`conflicting_ids` or :func:`conflict_graph` for the deduplicated
+    pair set.
+    """
+    for fd in fds:
+        for t1, t2 in violating_pairs_of_fd(table, fd):
+            yield t1, t2, fd
+
+
+def satisfies(table: Table, fds: FDSet) -> bool:
+    """``T ⊨ Δ`` — true iff the table has no violating pair."""
+    for _ in violating_pairs(table, fds):
+        return False
+    return True
+
+
+def conflicting_ids(table: Table, fds: FDSet) -> List[Tuple[TupleId, TupleId]]:
+    """The deduplicated list of conflicting identifier pairs.
+
+    Pairs are deduplicated by table position (identifiers may be of
+    mixed, unorderable types), which avoids building a frozenset per
+    pair — the dominant cost on large dirty tables.
+    """
+    position = {tid: i for i, tid in enumerate(table.ids())}
+    seen = set()
+    out: List[Tuple[TupleId, TupleId]] = []
+    for t1, t2, _fd in violating_pairs(table, fds):
+        p1, p2 = position[t1], position[t2]
+        key = (p1, p2) if p1 < p2 else (p2, p1)
+        if key not in seen:
+            seen.add(key)
+            out.append((t1, t2))
+    return out
+
+
+def conflict_graph(table: Table, fds: FDSet) -> Graph:
+    """The conflict graph of T under Δ (Proposition 3.3).
+
+    Nodes are tuple identifiers weighted by tuple weight; edges connect
+    every pair of tuples that jointly violate some FD.  A subset of T is
+    consistent iff its identifiers form an independent set, so the optimal
+    S-repair is the complement of a minimum-weight vertex cover.
+    """
+    g = Graph()
+    for tid, _row, weight in table.tuples():
+        g.add_node(tid, weight=weight)
+    for t1, t2 in conflicting_ids(table, fds):
+        g.add_edge(t1, t2)
+    return g

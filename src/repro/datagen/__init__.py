@@ -1,0 +1,41 @@
+"""Workload generators: paper data and synthetic instances.
+
+* :mod:`repro.datagen.office` — the Figure 1 running example with golden
+  distances;
+* :mod:`repro.datagen.synthetic` — consistent tables with planted
+  corruption;
+* :mod:`repro.datagen.graphs` — random (bounded-degree / tripartite)
+  graphs for the reduction experiments;
+* :mod:`repro.datagen.cnf` — random non-mixed CNF formulas;
+* :mod:`repro.datagen.probabilistic` — tuple-independent probabilistic
+  tables.
+"""
+
+from .office import (
+    EXPECTED_SUBSET_DISTANCES,
+    EXPECTED_UPDATE_DISTANCES,
+    OFFICE_SCHEMA,
+    consistent_subsets,
+    consistent_updates,
+    office_fds,
+    office_table,
+)
+from .synthetic import (
+    consistent_table,
+    corrupt_cells,
+    planted_violations_table,
+    random_table,
+)
+from .graphs import bounded_degree_graph, gnp_graph, random_tripartite_graph
+from .cnf import random_non_mixed_formula
+from .probabilistic import random_probabilistic_table
+
+__all__ = [
+    "EXPECTED_SUBSET_DISTANCES", "EXPECTED_UPDATE_DISTANCES", "OFFICE_SCHEMA",
+    "consistent_subsets", "consistent_updates", "office_fds", "office_table",
+    "consistent_table", "corrupt_cells", "planted_violations_table",
+    "random_table",
+    "bounded_degree_graph", "gnp_graph", "random_tripartite_graph",
+    "random_non_mixed_formula",
+    "random_probabilistic_table",
+]

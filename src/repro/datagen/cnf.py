@@ -1,0 +1,34 @@
+"""Random non-mixed CNF formulas (workloads for Lemma A.13)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..reductions.sat import Clause, NonMixedFormula
+
+__all__ = ["random_non_mixed_formula"]
+
+
+def random_non_mixed_formula(
+    num_vars: int,
+    num_clauses: int,
+    clause_size: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> NonMixedFormula:
+    """A random formula whose clauses are all-positive or all-negative.
+
+    Each clause picks *clause_size* distinct variables and a uniform sign,
+    matching the MAX-non-mixed-SAT instances of Håstad [21] used in the
+    Lemma A.13 reduction.
+    """
+    rng = rng or random.Random(seed)
+    if clause_size > num_vars:
+        raise ValueError("clause_size exceeds the number of variables")
+    variables = [f"x{i}" for i in range(num_vars)]
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = frozenset(rng.sample(variables, clause_size))
+        clauses.append(Clause(positive=rng.random() < 0.5, variables=chosen))
+    return NonMixedFormula(tuple(clauses))

@@ -1,0 +1,86 @@
+"""Random graph generators for the reduction benchmarks.
+
+Theorem 4.10's hardness holds for bounded-degree graphs (the vertex-cover
+problem is APX-complete there), so the U-repair identity experiment uses
+:func:`bounded_degree_graph`; Lemma A.11 uses random tripartite graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..graphs.graph import Graph
+from ..reductions.triangles import TripartiteGraph
+
+__all__ = ["gnp_graph", "bounded_degree_graph", "random_tripartite_graph"]
+
+
+def gnp_graph(
+    n: int, p: float, seed: Optional[int] = None, rng: Optional[random.Random] = None
+) -> Graph:
+    """An Erdős–Rényi G(n, p) graph on nodes ``n0…n{n-1}``."""
+    rng = rng or random.Random(seed)
+    g = Graph()
+    nodes = [f"n{i}" for i in range(n)]
+    for node in nodes:
+        g.add_node(node)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(nodes[i], nodes[j])
+    return g
+
+
+def bounded_degree_graph(
+    n: int,
+    max_degree: int = 3,
+    edge_factor: float = 1.2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Graph:
+    """A random graph whose maximum degree stays at *max_degree*.
+
+    Samples ``⌈edge_factor·n⌉`` candidate edges uniformly and keeps those
+    that respect the degree bound.  Matches the bounded-degree regime used
+    by the APX-hardness arguments (vertex cover in cubic graphs [2]).
+    """
+    rng = rng or random.Random(seed)
+    g = Graph()
+    nodes = [f"n{i}" for i in range(n)]
+    for node in nodes:
+        g.add_node(node)
+    target = int(edge_factor * n)
+    attempts = 0
+    while g.num_edges() < target and attempts < 20 * target:
+        attempts += 1
+        i, j = rng.randrange(n), rng.randrange(n)
+        if i == j:
+            continue
+        u, v = nodes[i], nodes[j]
+        if g.has_edge(u, v):
+            continue
+        if g.degree(u) >= max_degree or g.degree(v) >= max_degree:
+            continue
+        g.add_edge(u, v)
+    return g
+
+
+def random_tripartite_graph(
+    part_size: int,
+    p: float = 0.4,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> TripartiteGraph:
+    """A random tripartite graph with *part_size* nodes per part."""
+    rng = rng or random.Random(seed)
+    part_a = tuple(f"a{i}" for i in range(part_size))
+    part_b = tuple(f"b{i}" for i in range(part_size))
+    part_c = tuple(f"c{i}" for i in range(part_size))
+    g = TripartiteGraph(part_a, part_b, part_c)
+    for xs, ys in ((part_a, part_b), (part_a, part_c), (part_b, part_c)):
+        for x in xs:
+            for y in ys:
+                if rng.random() < p:
+                    g.add_edge(x, y)
+    return g

@@ -1,0 +1,88 @@
+"""The paper's running example (Figure 1, Examples 2.1–2.3).
+
+The ``Office(facility, room, floor, city)`` table with FDs
+``facility → city`` and ``facility room → floor``, together with the
+consistent subsets S1–S3 and consistent updates U1–U3 of Figure 1 and
+their distances as computed in Example 2.3.  These are the golden values
+for experiment E1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.fd import FDSet
+from ..core.table import Table
+
+__all__ = [
+    "OFFICE_SCHEMA",
+    "office_fds",
+    "office_table",
+    "consistent_subsets",
+    "consistent_updates",
+    "EXPECTED_SUBSET_DISTANCES",
+    "EXPECTED_UPDATE_DISTANCES",
+]
+
+OFFICE_SCHEMA = ("facility", "room", "floor", "city")
+
+#: Example 2.3's distances for the consistent subsets of Figure 1.
+EXPECTED_SUBSET_DISTANCES = {"S1": 2.0, "S2": 2.0, "S3": 3.0}
+
+#: Example 2.3's distances for the consistent updates of Figure 1.
+EXPECTED_UPDATE_DISTANCES = {"U1": 2.0, "U2": 3.0, "U3": 4.0}
+
+
+def office_fds() -> FDSet:
+    """Δ of the running example (Example 2.2)."""
+    return FDSet("facility -> city; facility room -> floor")
+
+
+def office_table() -> Table:
+    """Table T of Figure 1(a)."""
+    return Table(
+        OFFICE_SCHEMA,
+        {
+            1: ("HQ", "322", 3, "Paris"),
+            2: ("HQ", "322", 30, "Madrid"),
+            3: ("HQ", "122", 1, "Madrid"),
+            4: ("Lab1", "B35", 3, "London"),
+        },
+        {1: 2, 2: 1, 3: 1, 4: 2},
+        name="Office",
+    )
+
+
+def consistent_subsets() -> Dict[str, Table]:
+    """S1, S2, S3 of Figures 1(b)–1(d)."""
+    table = office_table()
+    return {
+        "S1": table.subset((2, 3, 4)),
+        "S2": table.subset((1, 4)),
+        "S3": table.subset((3, 4)),
+    }
+
+
+def consistent_updates() -> Dict[str, Table]:
+    """U1, U2, U3 of Figures 1(e)–1(g) (changed cells per the yellow
+    shading)."""
+    table = office_table()
+    return {
+        # U1: tuple 1's facility becomes the fresh constant F01.
+        "U1": table.with_updates({(1, "facility"): "F01"}),
+        # U2: tuple 2 gets floor 3 and city Paris; tuple 3 gets city Paris.
+        "U2": table.with_updates(
+            {
+                (2, "floor"): 3,
+                (2, "city"): "Paris",
+                (3, "city"): "Paris",
+            }
+        ),
+        # U3: tuple 1 gets floor 30 and city Madrid (weight 2 → distance 4).
+        "U3": table.with_updates(
+            {
+                (1, "floor"): 30,
+                (1, "city"): "Madrid",
+            }
+        ),
+    }

@@ -1,0 +1,41 @@
+"""Random probabilistic tables (workloads for the MPD experiments)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..core.table import Table
+
+__all__ = ["random_probabilistic_table"]
+
+
+def random_probabilistic_table(
+    schema: Sequence[str],
+    size: int,
+    domain: int = 3,
+    certain_fraction: float = 0.1,
+    unlikely_fraction: float = 0.2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Table:
+    """A tuple-independent probabilistic table.
+
+    Weights are probabilities in ``(0, 1]``: a *certain_fraction* of
+    tuples get probability 1.0, an *unlikely_fraction* get probabilities
+    ≤ 0.5 (which the Theorem 3.10 reduction may discard), and the rest lie
+    in ``(0.5, 1)`` — exercising all three branches of the reduction.
+    """
+    rng = rng or random.Random(seed)
+    rows = []
+    weights = []
+    for _ in range(size):
+        rows.append(tuple(f"v{rng.randrange(domain)}" for _ in schema))
+        roll = rng.random()
+        if roll < certain_fraction:
+            weights.append(1.0)
+        elif roll < certain_fraction + unlikely_fraction:
+            weights.append(round(rng.uniform(0.05, 0.5), 3))
+        else:
+            weights.append(round(rng.uniform(0.501, 0.99), 3))
+    return Table.from_rows(schema, rows, weights)

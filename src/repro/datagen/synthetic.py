@@ -1,0 +1,138 @@
+"""Synthetic dirty-table generators.
+
+The paper has no empirical section, so the benchmark workloads are
+synthetic tables with *planted* inconsistency: we first generate a table
+consistent with Δ (by memoising, per FD, the rhs values implied by each
+lhs value) and then corrupt a controlled fraction of cells.  This gives
+workloads whose optimal repair distance scales with the corruption rate,
+which is what the scaling and approximation-ratio experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.fd import FDSet
+from ..core.table import Table
+
+__all__ = [
+    "random_table",
+    "consistent_table",
+    "planted_violations_table",
+    "corrupt_cells",
+]
+
+
+def random_table(
+    schema: Sequence[str],
+    size: int,
+    domain: int = 4,
+    weighted: bool = False,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Table:
+    """A fully random table (uniform values ``v0…v{domain-1}``)."""
+    rng = rng or random.Random(seed)
+    rows = [
+        tuple(f"v{rng.randrange(domain)}" for _ in schema) for _ in range(size)
+    ]
+    weights = (
+        [float(rng.choice((1, 1, 2, 3))) for _ in range(size)] if weighted else None
+    )
+    return Table.from_rows(schema, rows, weights)
+
+
+def consistent_table(
+    schema: Sequence[str],
+    fds: FDSet,
+    size: int,
+    domain: int = 4,
+    weighted: bool = False,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    max_rounds: int = 100,
+) -> Table:
+    """A random table satisfying Δ.
+
+    Each tuple starts random; we then repeatedly rewrite, per FD, every
+    rhs cell to the *minimum* rhs value of its lhs group.  Cell values
+    only ever decrease in a fixed total order, so the iteration provably
+    converges even when several FDs share an rhs attribute (the flapping
+    case of ``{A→C, B→C}``) or when one FD's rhs feeds another's lhs; at
+    the fixpoint every lhs group is rhs-constant, i.e. the table
+    satisfies Δ.
+    """
+    from ..core.violations import satisfies
+
+    rng = rng or random.Random(seed)
+    fds_n = fds.with_singleton_rhs().without_trivial()
+    index = {a: i for i, a in enumerate(schema)}
+    rows: List[List[str]] = [
+        [f"v{rng.randrange(domain)}" for _ in schema] for _ in range(size)
+    ]
+    for _ in range(max_rounds):
+        changed = False
+        for fd in fds_n:
+            (rhs_attr,) = tuple(fd.rhs)
+            lhs_attrs = sorted(fd.lhs)
+            groups: Dict[Tuple[str, ...], List[List[str]]] = {}
+            for row in rows:
+                key = tuple(row[index[a]] for a in lhs_attrs)
+                groups.setdefault(key, []).append(row)
+            for members in groups.values():
+                want = min(member[index[rhs_attr]] for member in members)
+                for member in members:
+                    if member[index[rhs_attr]] != want:
+                        member[index[rhs_attr]] = want
+                        changed = True
+        if not changed:
+            break
+    table = Table.from_rows(
+        schema,
+        [tuple(row) for row in rows],
+        [float(rng.choice((1, 1, 2, 3))) for _ in range(size)] if weighted else None,
+    )
+    if not satisfies(table, fds_n):
+        raise AssertionError("consistent_table failed to converge")
+    return table
+
+
+def corrupt_cells(
+    table: Table,
+    rate: float,
+    domain: int = 4,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Table:
+    """Flip each cell, independently with probability *rate*, to a random
+    domain value (possibly introducing FD violations)."""
+    rng = rng or random.Random(seed)
+    updates = {}
+    for tid in table.ids():
+        for attr in table.schema:
+            if rng.random() < rate:
+                updates[(tid, attr)] = f"v{rng.randrange(domain)}"
+    return table.with_updates(updates)
+
+
+def planted_violations_table(
+    schema: Sequence[str],
+    fds: FDSet,
+    size: int,
+    corruption: float = 0.1,
+    domain: int = 4,
+    weighted: bool = False,
+    seed: Optional[int] = None,
+) -> Table:
+    """A consistent table with a fraction of cells corrupted.
+
+    The standard dirty-data workload of the benchmarks: corruption ``0``
+    gives a consistent table (repair distance 0); higher rates increase
+    the number of violating pairs roughly proportionally.
+    """
+    rng = random.Random(seed)
+    clean = consistent_table(
+        schema, fds, size, domain=domain, weighted=weighted, rng=rng
+    )
+    return corrupt_cells(clean, corruption, domain=domain, rng=rng)

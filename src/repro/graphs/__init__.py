@@ -1,0 +1,36 @@
+"""Graph substrates: conflict graphs, matching, and vertex cover.
+
+* :mod:`repro.graphs.graph` — a dependency-free weighted undirected graph;
+* :mod:`repro.graphs.bipartite` — O(n³) Hungarian maximum-weight bipartite
+  matching (used by ``MarriageRep``);
+* :mod:`repro.graphs.vertex_cover` — Bar-Yehuda–Even 2-approximation,
+  greedy baseline, and exact branch & bound (used by the exact S-repair
+  baseline and Proposition 3.3).
+"""
+
+from .graph import Graph
+from .bipartite import (
+    hungarian_max_weight,
+    matching_weight,
+    max_weight_bipartite_matching,
+)
+from .mis import count_maximal_independent_sets, maximal_independent_sets
+from .vertex_cover import (
+    bar_yehuda_even,
+    exact_min_weight_vertex_cover,
+    greedy_vertex_cover,
+    maximalize_independent_set,
+)
+
+__all__ = [
+    "Graph",
+    "hungarian_max_weight",
+    "matching_weight",
+    "max_weight_bipartite_matching",
+    "count_maximal_independent_sets",
+    "maximal_independent_sets",
+    "bar_yehuda_even",
+    "exact_min_weight_vertex_cover",
+    "greedy_vertex_cover",
+    "maximalize_independent_set",
+]

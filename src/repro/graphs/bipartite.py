@@ -1,0 +1,126 @@
+"""Maximum-weight bipartite matching (Hungarian algorithm).
+
+``MarriageRep`` (Subroutine 3 of the paper) reduces the lhs-marriage case
+to a maximum-weight matching of a bipartite graph whose sides are the
+distinct ``X1``- and ``X2``-projections of the table.  We implement the
+O(n³) potential-based Hungarian algorithm from scratch (the library's
+matching substrate); tests cross-check it against
+``scipy.optimize.linear_sum_assignment`` and networkx.
+
+Weights may be arbitrary non-negative reals.  The matching returned is a
+maximum-*weight* matching: it never pays to match a zero/absent edge, so
+absent edges are modelled with weight 0 and filtered from the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+__all__ = ["hungarian_max_weight", "max_weight_bipartite_matching"]
+
+_EPS = 1e-12
+
+
+def hungarian_max_weight(weights: Sequence[Sequence[float]]) -> List[Tuple[int, int]]:
+    """Maximum-weight assignment on an n×m weight matrix.
+
+    Returns a list of (row, column) pairs forming a matching of maximum
+    total weight among all matchings (not merely among perfect ones);
+    entries participating with weight 0 contribute nothing and are pruned.
+
+    Implementation: classic shortest-augmenting-path Hungarian algorithm
+    with row/column potentials on the *cost* matrix (negated weights),
+    padded to square form with zeros so that leaving a row unmatched is
+    free.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    m = len(weights[0])
+    if any(len(row) != m for row in weights):
+        raise ValueError("weight matrix is ragged")
+    if any(w < 0 for row in weights for w in row):
+        raise ValueError("weights must be non-negative")
+    size = max(n, m)
+    # cost[i][j] = -weight (square-padded); minimising cost maximises weight.
+    cost = [[0.0] * size for _ in range(size)]
+    for i in range(n):
+        for j in range(m):
+            cost[i][j] = -float(weights[i][j])
+
+    # Potentials u, v; p[j] = row matched to column j (1-based sentinel 0).
+    u = [0.0] * (size + 1)
+    v = [0.0] * (size + 1)
+    p = [0] * (size + 1)
+    way = [0] * (size + 1)
+    INF = float("inf")
+    for i in range(1, size + 1):
+        p[0] = i
+        j0 = 0
+        minv = [INF] * (size + 1)
+        used = [False] * (size + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, size + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(size + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    pairs: List[Tuple[int, int]] = []
+    for j in range(1, size + 1):
+        i = p[j]
+        if 1 <= i <= n and 1 <= j <= m and weights[i - 1][j - 1] > _EPS:
+            pairs.append((i - 1, j - 1))
+    return pairs
+
+
+def max_weight_bipartite_matching(
+    left: Sequence[Hashable],
+    right: Sequence[Hashable],
+    edge_weights: Mapping[Tuple[Hashable, Hashable], float],
+) -> List[Tuple[Hashable, Hashable]]:
+    """Maximum-weight matching between *left* and *right* node sequences.
+
+    *edge_weights* maps ``(l, r)`` pairs to non-negative weights; missing
+    pairs are non-edges.  Returns matched ``(l, r)`` pairs whose edges are
+    present in *edge_weights* with positive weight.
+    """
+    lookup_l = {node: i for i, node in enumerate(left)}
+    lookup_r = {node: j for j, node in enumerate(right)}
+    matrix = [[0.0] * len(right) for _ in range(len(left))]
+    for (l, r), w in edge_weights.items():
+        if l not in lookup_l or r not in lookup_r:
+            raise KeyError(f"edge ({l!r}, {r!r}) references unknown node")
+        matrix[lookup_l[l]][lookup_r[r]] = float(w)
+    pairs = hungarian_max_weight(matrix)
+    return [(left[i], right[j]) for i, j in pairs]
+
+
+def matching_weight(
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    edge_weights: Mapping[Tuple[Hashable, Hashable], float],
+) -> float:
+    """Total weight of a matching under *edge_weights*."""
+    return sum(edge_weights[pair] for pair in pairs)

@@ -1,0 +1,165 @@
+"""A small weighted undirected graph.
+
+The library's graph needs are modest — conflict graphs, vertex covers,
+triangle instances — so we keep a dependency-free adjacency-set
+implementation instead of pulling in networkx for core paths.  Conversion
+helpers to/from networkx live in the test suite.
+
+Nodes are arbitrary hashable objects carrying a positive weight
+(default 1.0); edges are unweighted and self-loops are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Mutable undirected graph with weighted nodes."""
+
+    __slots__ = ("_weights", "_adj")
+
+    def __init__(self) -> None:
+        self._weights: Dict[Node, float] = {}
+        self._adj: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        nodes: Optional[Iterable[Node]] = None,
+        weights: Optional[Dict[Node, float]] = None,
+    ) -> "Graph":
+        g = cls()
+        for node in nodes or ():
+            g.add_node(node, weight=(weights or {}).get(node, 1.0))
+        for u, v in edges:
+            for node in (u, v):
+                if node not in g:
+                    g.add_node(node, weight=(weights or {}).get(node, 1.0))
+            g.add_edge(u, v)
+        return g
+
+    def add_node(self, node: Node, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"node weight must be positive, got {weight}")
+        self._weights[node] = float(weight)
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        if u == v:
+            raise ValueError(f"self-loop at {u!r}")
+        for node in (u, v):
+            if node not in self._weights:
+                self.add_node(node)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_node(self, node: Node) -> None:
+        for nbr in self._adj.pop(node):
+            self._adj[nbr].discard(node)
+        del self._weights[node]
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._weights = dict(self._weights)
+        g._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._weights)
+
+    def weight(self, node: Node) -> float:
+        return self._weights[node]
+
+    def total_weight(self, nodes: Optional[Iterable[Node]] = None) -> float:
+        if nodes is None:
+            return sum(self._weights.values())
+        return sum(self._weights[n] for n in nodes)
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def edges(self) -> List[Edge]:
+        """Each undirected edge exactly once, in deterministic order.
+
+        Deduplication is by insertion position (cheaper than hashing a
+        frozenset per edge, which matters on conflict graphs with
+        millions of edges).
+        """
+        position = {node: i for i, node in enumerate(self._weights)}
+        out: List[Edge] = []
+        for u in self._weights:
+            pu = position[u]
+            for v in self._adj[u]:
+                if pu < position[v]:
+                    out.append((u, v))
+        return out
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._adj.get(u, ())
+
+    def is_independent_set(self, nodes: Iterable[Node]) -> bool:
+        nodes = set(nodes)
+        return not any(self._adj[u] & nodes for u in nodes)
+
+    def is_vertex_cover(self, nodes: Iterable[Node]) -> bool:
+        cover = set(nodes)
+        return all(u in cover or v in cover for u, v in self.edges())
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        keep = set(nodes)
+        g = Graph()
+        for node in keep:
+            g.add_node(node, weight=self._weights[node])
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    def connected_components(self) -> List[Set[Node]]:
+        seen: Set[Node] = set()
+        out: List[Set[Node]] = []
+        for start in self._weights:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in self._adj[node]:
+                    if nbr not in comp:
+                        comp.add(nbr)
+                        stack.append(nbr)
+            seen |= comp
+            out.append(comp)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self)} nodes, {self.num_edges()} edges)"

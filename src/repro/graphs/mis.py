@@ -1,0 +1,61 @@
+"""Enumeration of maximal independent sets (Bron–Kerbosch style).
+
+Subset repairs are exactly the maximal independent sets of the conflict
+graph, so enumerating them — feasible for the small instances used in
+tests — gives a brute-force baseline for repair counting and
+enumeration (:mod:`repro.core.counting`).
+
+The implementation is Bron–Kerbosch with pivoting, run on the
+*complement* adjacency (cliques of the complement are independent sets
+of the graph).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Set
+
+from .graph import Graph, Node
+
+__all__ = ["maximal_independent_sets", "count_maximal_independent_sets"]
+
+
+def maximal_independent_sets(graph: Graph) -> Iterator[FrozenSet[Node]]:
+    """Yield every maximal independent set of *graph* exactly once.
+
+    The empty graph yields the single (empty) set.  Exponential in the
+    worst case — intended as a baseline on small graphs.
+    """
+    nodes = list(graph.nodes())
+    non_neighbors = {
+        v: {u for u in nodes if u != v and not graph.has_edge(u, v)}
+        for v in nodes
+    }
+
+    def expand(
+        current: Set[Node], candidates: Set[Node], excluded: Set[Node]
+    ) -> Iterator[FrozenSet[Node]]:
+        if not candidates and not excluded:
+            yield frozenset(current)
+            return
+        # Pivot on the vertex covering the most candidates (classic BK).
+        pivot = max(
+            candidates | excluded,
+            key=lambda u: len(candidates & non_neighbors[u]),
+        )
+        for v in list(candidates - non_neighbors[pivot]):
+            current.add(v)
+            yield from expand(
+                current,
+                candidates & non_neighbors[v],
+                excluded & non_neighbors[v],
+            )
+            current.discard(v)
+            candidates.discard(v)
+            excluded.add(v)
+
+    yield from expand(set(), set(nodes), set())
+
+
+def count_maximal_independent_sets(graph: Graph) -> int:
+    """The number of maximal independent sets of *graph*."""
+    return sum(1 for _ in maximal_independent_sets(graph))

@@ -1,0 +1,12 @@
+"""I/O helpers: FD-string parsing lives in :mod:`repro.core.fd`
+(:func:`repro.core.fd.parse_fd_set`); this package adds table
+serialisation."""
+
+from .tables import table_from_csv, table_from_json, table_to_csv, table_to_json
+
+__all__ = [
+    "table_from_csv",
+    "table_from_json",
+    "table_to_csv",
+    "table_to_json",
+]

@@ -1,0 +1,216 @@
+"""High-level cleaning pipeline: detect → estimate → repair → report.
+
+The paper's introduction motivates optimal repairs twice: (1) fully
+automated cleaning, where the optimal repair *is* the cleaned instance,
+and (2) human-in-the-loop cleaning, where the optimal repair *cost*
+serves as an educated estimate of how dirty the database is and how much
+effort completion will take.  This module packages both workflows behind
+one call.
+
+:func:`assess` produces a :class:`DirtinessReport` without committing to
+a repair: conflict statistics plus a *bracket* on the optimal repair
+cost — an admissible lower bound (greedy matching over the conflict
+graph: tuple-disjoint conflicting pairs each force one deletion) and the
+2-approximation upper bound of Proposition 3.3, so the true optimum is
+provably inside ``[lower, upper]`` with ``upper ≤ 2·optimum``.
+
+:func:`clean` runs the full pipeline and returns the repaired table with
+the guarantee achieved, choosing deletions or updates and exact or
+approximate computation according to the requested policy and the
+dichotomy verdict for Δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .core.approx import approx_s_repair
+from .core.dichotomy import DichotomyResult, classify
+from .core.fd import FDSet
+from .core.srepair import SRepairResult, optimal_s_repair
+from .core.table import Table, TupleId
+from .core.urepair import URepairResult, u_repair
+from .core.violations import conflict_graph, conflicting_ids
+
+__all__ = ["DirtinessReport", "CleaningResult", "assess", "clean"]
+
+
+@dataclass(frozen=True)
+class DirtinessReport:
+    """Conflict statistics and a provable bracket on the repair cost.
+
+    ``lower_bound ≤ optimal S-repair distance ≤ upper_bound`` always
+    holds, and ``upper_bound ≤ 2 × optimum`` (Proposition 3.3).  A table
+    is consistent iff ``conflict_count == 0`` iff the bracket is [0, 0].
+    """
+
+    total_tuples: int
+    total_weight: float
+    conflict_count: int
+    conflicting_tuples: int
+    lower_bound: float
+    upper_bound: float
+    complexity: str
+    dichotomy: DichotomyResult
+
+    @property
+    def consistent(self) -> bool:
+        return self.conflict_count == 0
+
+    @property
+    def dirtiness_fraction(self) -> float:
+        """Upper-bound estimate of the weight fraction needing change."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.upper_bound / self.total_weight
+
+    @property
+    def bracket_is_tight(self) -> bool:
+        """True iff lower and upper bound coincide — the polynomial
+        assessment then *certifies* the optimal repair cost without
+        solving the (possibly APX-complete) problem exactly.  Happens
+        surprisingly often on real dirtiness patterns, where conflicts
+        form disjoint clusters."""
+        return self.lower_bound == self.upper_bound
+
+    def summary(self) -> str:
+        lines = [
+            f"tuples: {self.total_tuples} (total weight {self.total_weight:g})",
+            f"conflicting pairs: {self.conflict_count} "
+            f"across {self.conflicting_tuples} tuples",
+            f"optimal deletion cost bracket: "
+            f"[{self.lower_bound:g}, {self.upper_bound:g}]",
+            f"estimated dirtiness: ≤ {100 * self.dirtiness_fraction:.1f}% "
+            "of total weight",
+            f"optimal S-repair complexity for Δ: {self.complexity}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CleaningResult:
+    """Outcome of :func:`clean`: the repaired table plus provenance."""
+
+    cleaned: Table
+    report: DirtinessReport
+    strategy: str
+    distance: float
+    optimal: bool
+    ratio_bound: float
+    method: str
+
+
+def assess(table: Table, fds: FDSet) -> DirtinessReport:
+    """Detect conflicts and bracket the optimal repair cost (no repair).
+
+    Polynomial regardless of Δ — the bracket comes from the matching
+    lower bound and the Bar-Yehuda–Even upper bound, not from solving the
+    (possibly APX-complete) exact problem.  The conflict graph is built
+    once and shared by the statistics, the lower bound, and the upper
+    bound.
+    """
+    graph = conflict_graph(table, fds)
+    pairs = graph.edges()
+    involved: Set[TupleId] = set()
+    for t1, t2 in pairs:
+        involved.add(t1)
+        involved.add(t2)
+
+    # Matching lower bound: tuple-disjoint conflicting pairs each force
+    # one deletion of at least the lighter tuple.
+    used: Set[TupleId] = set()
+    lower = 0.0
+    for t1, t2 in pairs:
+        if t1 in used or t2 in used:
+            continue
+        used.add(t1)
+        used.add(t2)
+        lower += min(table.weight(t1), table.weight(t2))
+
+    # Upper bound: Bar-Yehuda–Even cover on the same graph (Prop 3.3).
+    if pairs:
+        from .graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
+
+        cover = bar_yehuda_even(graph)
+        kept = {tid for tid in table.ids() if tid not in cover}
+        kept = maximalize_independent_set(graph, kept)
+        upper = table.total_weight() - table.total_weight(kept)
+    else:
+        upper = 0.0
+
+    verdict = classify(fds)
+    return DirtinessReport(
+        total_tuples=len(table),
+        total_weight=table.total_weight(),
+        conflict_count=len(pairs),
+        conflicting_tuples=len(involved),
+        lower_bound=lower,
+        upper_bound=upper,
+        complexity=verdict.complexity,
+        dichotomy=verdict,
+    )
+
+
+def clean(
+    table: Table,
+    fds: FDSet,
+    strategy: str = "deletions",
+    guarantee: str = "best",
+) -> CleaningResult:
+    """Repair *table* end to end.
+
+    Parameters
+    ----------
+    strategy:
+        ``"deletions"`` (S-repair) or ``"updates"`` (U-repair).
+    guarantee:
+        * ``"best"`` — optimal when the dichotomy (or instance size)
+          permits, bounded approximation otherwise;
+        * ``"optimal"`` — insist on a provably optimal repair (may be
+          exponential on the hard side; raises on infeasible U cases);
+        * ``"fast"`` — polynomial approximation regardless of Δ.
+    """
+    if strategy not in ("deletions", "updates"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if guarantee not in ("best", "optimal", "fast"):
+        raise ValueError(f"unknown guarantee {guarantee!r}")
+    report = assess(table, fds)
+
+    if strategy == "deletions":
+        if guarantee == "fast" or (
+            guarantee == "best" and not report.dichotomy.tractable and len(table) > 64
+        ):
+            result = approx_s_repair(table, fds)
+        else:
+            result = optimal_s_repair(table, fds)
+        return CleaningResult(
+            cleaned=result.repair,
+            report=report,
+            strategy=strategy,
+            distance=result.distance,
+            optimal=result.optimal,
+            ratio_bound=result.ratio_bound,
+            method=result.method,
+        )
+
+    # strategy == "updates"
+    if guarantee == "fast":
+        from .core.approx import approx_u_repair
+
+        u_result: URepairResult = approx_u_repair(table, fds)
+    elif guarantee == "optimal":
+        from .core.urepair import optimal_u_repair
+
+        u_result = optimal_u_repair(table, fds)
+    else:
+        u_result = u_repair(table, fds)
+    return CleaningResult(
+        cleaned=u_result.update,
+        report=report,
+        strategy=strategy,
+        distance=u_result.distance,
+        optimal=u_result.optimal,
+        ratio_bound=u_result.ratio_bound,
+        method=u_result.method,
+    )

@@ -1,0 +1,71 @@
+"""Executable hardness constructions from the paper's appendix.
+
+* :mod:`repro.reductions.factwise` — fact-wise reductions
+  (Lemmas A.14–A.18), the glue of the dichotomy's hardness side;
+* :mod:`repro.reductions.sat` — MAX-non-mixed-SAT → ``Δ_{AB→C→B}``
+  (Lemma A.13);
+* :mod:`repro.reductions.triangles` — edge-disjoint triangle packing →
+  ``Δ_{AB↔AC↔BC}`` (Lemma A.11, Figure 5 gadget);
+* :mod:`repro.reductions.vc_upd` — vertex cover → U-repair under
+  ``Δ_{A↔B→C}`` (Theorem 4.10).
+"""
+
+from .factwise import (
+    DOT,
+    FactwiseReduction,
+    class1_reduction,
+    class23_reduction,
+    class4_reduction,
+    class5_reduction,
+    erasure_reduction,
+    reduction_for_witness,
+)
+from .sat import (
+    SAT_FDS,
+    Clause,
+    NonMixedFormula,
+    assignment_to_subset,
+    brute_force_max_sat,
+    formula_to_table,
+    subset_to_assignment,
+)
+from .triangles import (
+    TRIANGLE_FDS,
+    Triangle,
+    TripartiteGraph,
+    amini_gadget,
+    max_edge_disjoint_triangles,
+    packing_to_subset,
+    subset_to_packing,
+    triangles_to_table,
+)
+from .urepair_families import (
+    DELTA_ABC_CHAIN,
+    PAD,
+    delta_k,
+    delta_prime_k,
+    embed_chain_into_delta_k,
+    embed_dp1_into_dpk,
+)
+from .vc_upd import (
+    DELTA_A_IFF_B_TO_C,
+    cover_to_update,
+    expected_optimal_cost,
+    graph_to_table,
+    update_to_cover,
+)
+
+__all__ = [
+    "DOT", "FactwiseReduction", "class1_reduction", "class23_reduction",
+    "class4_reduction", "class5_reduction", "erasure_reduction",
+    "reduction_for_witness",
+    "SAT_FDS", "Clause", "NonMixedFormula", "assignment_to_subset",
+    "brute_force_max_sat", "formula_to_table", "subset_to_assignment",
+    "TRIANGLE_FDS", "Triangle", "TripartiteGraph", "amini_gadget",
+    "max_edge_disjoint_triangles", "packing_to_subset", "subset_to_packing",
+    "triangles_to_table",
+    "DELTA_ABC_CHAIN", "PAD", "delta_k", "delta_prime_k",
+    "embed_chain_into_delta_k", "embed_dp1_into_dpk",
+    "DELTA_A_IFF_B_TO_C", "cover_to_update", "expected_optimal_cost",
+    "graph_to_table", "update_to_cover",
+]

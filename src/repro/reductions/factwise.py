@@ -1,0 +1,279 @@
+"""Fact-wise reductions (Section 3.3 and Appendix A.2.2).
+
+A *fact-wise reduction* from ``(R, Δ)`` to ``(R′, Δ′)`` is an injective,
+polynomial-time tuple mapping Π that preserves consistency and
+inconsistency of tuple pairs.  It induces a strict reduction between the
+corresponding optimal-S-repair problems (Lemma 3.7): apply Π tuple-wise,
+keep identifiers and weights, repair, and pull the kept identifiers back.
+
+This module implements, as executable objects, every fact-wise reduction
+in the paper's hardness proof:
+
+* Lemma A.14 — class 1 stuck sets, from ``Δ_{A→C←B}``;
+* Lemma A.15 — class 2/3 stuck sets, from ``Δ_{A→B→C}``;
+* Lemma A.16 — class 4 stuck sets (three local minima), from
+  ``Δ_{AB↔AC↔BC}``;
+* Lemma A.17 — class 5 stuck sets, from ``Δ_{AB→C→B}``;
+* Lemma A.18 — attribute erasure: from ``(R, Δ−X)`` to ``(R, Δ)`` (the
+  glue that lifts hardness back through Algorithm 2's simplifications).
+
+Composite values such as ⟨a, c⟩ are modelled as tagged tuples
+``("<>", a, c)``: hashable, and injective in their components.  The
+special constant ⊙ is the singleton :data:`DOT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..core.dichotomy import (
+    DELTA_A_B_C,
+    DELTA_A_C_B,
+    DELTA_AB_C_B,
+    DELTA_TRIANGLE,
+    HardnessWitness,
+)
+from ..core.fd import AttrSet, FDSet
+from ..core.table import Table, Value
+
+__all__ = [
+    "DOT",
+    "FactwiseReduction",
+    "class1_reduction",
+    "class23_reduction",
+    "class4_reduction",
+    "class5_reduction",
+    "erasure_reduction",
+    "reduction_for_witness",
+]
+
+#: The constant ⊙ used by the paper's tuple mappings.
+DOT = "⊙"
+
+
+def _pair(*values: Value) -> Value:
+    """The composite value ⟨v1, …, vn⟩ as a tagged, hashable tuple."""
+    return ("<>",) + values
+
+
+@dataclass(frozen=True)
+class FactwiseReduction:
+    """A concrete fact-wise reduction Π from ``(source_schema, source_fds)``
+    to ``(target_schema, target_fds)``.
+
+    ``map_tuple`` realises Π on a single tuple; :meth:`map_table` lifts it
+    to tables, preserving identifiers and weights, which makes the induced
+    S-repair reduction *strict* (Lemma 3.7).
+    """
+
+    name: str
+    source_schema: Tuple[str, ...]
+    source_fds: FDSet
+    target_schema: Tuple[str, ...]
+    target_fds: FDSet
+    mapper: Callable[[Tuple[Value, ...]], Tuple[Value, ...]]
+
+    def map_tuple(self, row: Sequence[Value]) -> Tuple[Value, ...]:
+        if len(row) != len(self.source_schema):
+            raise ValueError(
+                f"tuple arity {len(row)} does not match source schema "
+                f"{self.source_schema}"
+            )
+        return self.mapper(tuple(row))
+
+    def map_table(self, table: Table) -> Table:
+        if table.schema != self.source_schema:
+            raise ValueError(
+                f"table schema {table.schema} does not match source schema "
+                f"{self.source_schema}"
+            )
+        rows = {tid: self.map_tuple(table[tid]) for tid in table.ids()}
+        return Table(self.target_schema, rows, table.weights(), name=table.name)
+
+    def pull_back(self, table: Table, repaired: Table) -> Table:
+        """Translate a repair of Π(T) back to a repair of T (same ids)."""
+        return table.subset(repaired.ids())
+
+
+def _attr_mapper(
+    schema: Sequence[str],
+    cases: Sequence[Tuple[AttrSet, Callable[[Value, Value, Value], Value]]],
+    fallback: Callable[[Value, Value, Value], Value],
+) -> Callable[[Tuple[Value, ...]], Tuple[Value, ...]]:
+    """Build a Π over R(A,B,C) → R(schema) from per-attribute case rules.
+
+    *cases* is an ordered list of (attribute-set, value-builder) pairs;
+    the first set containing the attribute wins, else *fallback* applies.
+    """
+    builders = []
+    for attr in schema:
+        chosen = fallback
+        for attrs, builder in cases:
+            if attr in attrs:
+                chosen = builder
+                break
+        builders.append(chosen)
+
+    def mapper(row: Tuple[Value, ...]) -> Tuple[Value, ...]:
+        a, b, c = row
+        return tuple(build(a, b, c) for build in builders)
+
+    return mapper
+
+
+def class1_reduction(
+    schema: Sequence[str], fds: FDSet, x1: AttrSet, x2: AttrSet
+) -> FactwiseReduction:
+    """Lemma A.14: Π from ``(R(A,B,C), Δ_{A→C←B})`` to ``(R, Δ)``.
+
+    Requires local minima X1, X2 with ``X̂1 ∩ cl(X2) = ∅`` and
+    ``X̂2 ∩ cl(X1) = ∅`` (class 1 of Figure 2).
+    """
+    fds = fds.with_singleton_rhs().without_trivial()
+    cl1, cl2 = fds.closure(x1), fds.closure(x2)
+    cases = [
+        (x1 & x2, lambda a, b, c: DOT),
+        (x1 - x2, lambda a, b, c: a),
+        (x2 - x1, lambda a, b, c: b),
+        (cl1 - x1, lambda a, b, c: _pair(a, c)),
+        (cl2 - x2, lambda a, b, c: _pair(b, c)),
+    ]
+    return FactwiseReduction(
+        name="Lemma A.14 (class 1)",
+        source_schema=("A", "B", "C"),
+        source_fds=DELTA_A_C_B,
+        target_schema=tuple(schema),
+        target_fds=fds,
+        mapper=_attr_mapper(schema, cases, lambda a, b, c: _pair(a, b)),
+    )
+
+
+def class23_reduction(
+    schema: Sequence[str], fds: FDSet, x1: AttrSet, x2: AttrSet
+) -> FactwiseReduction:
+    """Lemma A.15: Π from ``(R(A,B,C), Δ_{A→B→C})`` to ``(R, Δ)``.
+
+    Covers class 2 (``X̂1 ∩ X̂2 ≠ ∅``, ``X̂1 ∩ X2 = ∅``, ``X̂2 ∩ X1 = ∅``)
+    and class 3 (``X̂1 ∩ X2 ≠ ∅``, ``X̂2 ∩ X1 = ∅``).
+    """
+    fds = fds.with_singleton_rhs().without_trivial()
+    cl1, cl2 = fds.closure(x1), fds.closure(x2)
+    cases = [
+        (x1 & x2, lambda a, b, c: DOT),
+        (x1 - x2, lambda a, b, c: a),
+        (x2 - x1, lambda a, b, c: b),
+        ((cl1 - x1) - cl2, lambda a, b, c: _pair(a, c)),
+        (cl2 - x2, lambda a, b, c: _pair(b, c)),
+    ]
+    return FactwiseReduction(
+        name="Lemma A.15 (classes 2–3)",
+        source_schema=("A", "B", "C"),
+        source_fds=DELTA_A_B_C,
+        target_schema=tuple(schema),
+        target_fds=fds,
+        mapper=_attr_mapper(schema, cases, lambda a, b, c: a),
+    )
+
+
+def class4_reduction(
+    schema: Sequence[str], fds: FDSet, x1: AttrSet, x2: AttrSet, x3: AttrSet
+) -> FactwiseReduction:
+    """Lemma A.16: Π from ``(R(A,B,C), Δ_{AB↔AC↔BC})`` to ``(R, Δ)``.
+
+    Requires three distinct local minima X1, X2, X3.
+    """
+    fds = fds.with_singleton_rhs().without_trivial()
+    cases = [
+        (x1 & x2 & x3, lambda a, b, c: DOT),
+        ((x1 & x2) - x3, lambda a, b, c: a),
+        ((x1 & x3) - x2, lambda a, b, c: b),
+        ((x2 & x3) - x1, lambda a, b, c: c),
+        ((x1 - x2) - x3, lambda a, b, c: _pair(a, b)),
+        ((x2 - x1) - x3, lambda a, b, c: _pair(a, c)),
+        ((x3 - x1) - x2, lambda a, b, c: _pair(b, c)),
+    ]
+    return FactwiseReduction(
+        name="Lemma A.16 (class 4)",
+        source_schema=("A", "B", "C"),
+        source_fds=DELTA_TRIANGLE,
+        target_schema=tuple(schema),
+        target_fds=fds,
+        mapper=_attr_mapper(schema, cases, lambda a, b, c: _pair(a, b, c)),
+    )
+
+
+def class5_reduction(
+    schema: Sequence[str], fds: FDSet, x1: AttrSet, x2: AttrSet
+) -> FactwiseReduction:
+    """Lemma A.17: Π from ``(R(A,B,C), Δ_{AB→C→B})`` to ``(R, Δ)``.
+
+    Requires ``X̂1 ∩ X2 ≠ ∅``, ``X̂2 ∩ X1 ≠ ∅`` and
+    ``(X2 ∖ X1) ⊄ X̂1`` (class 5 of Figure 2).
+    """
+    fds = fds.with_singleton_rhs().without_trivial()
+    hat1 = fds.closure(x1) - x1
+    cases = [
+        (x1 & x2, lambda a, b, c: DOT),
+        (x1 - x2, lambda a, b, c: c),
+        ((x2 - x1) & hat1, lambda a, b, c: b),
+        ((x2 - x1) - hat1, lambda a, b, c: _pair(a, b)),
+        (hat1 - (x2 - x1), lambda a, b, c: _pair(b, c)),
+    ]
+    return FactwiseReduction(
+        name="Lemma A.17 (class 5)",
+        source_schema=("A", "B", "C"),
+        source_fds=DELTA_AB_C_B,
+        target_schema=tuple(schema),
+        target_fds=fds,
+        mapper=_attr_mapper(schema, cases, lambda a, b, c: _pair(a, b, c)),
+    )
+
+
+def erasure_reduction(
+    schema: Sequence[str], fds: FDSet, erased: AttrSet
+) -> FactwiseReduction:
+    """Lemma A.18: Π from ``(R, Δ−X)`` to ``(R, Δ)``.
+
+    Maps every erased attribute to ⊙ and keeps the rest; this lifts
+    hardness of a simplified FD set back to the original one (Lemmas
+    A.19–A.21 are the three instantiations for common lhs, consensus, and
+    lhs marriage).
+    """
+    schema = tuple(schema)
+    erased_idx = {i for i, attr in enumerate(schema) if attr in erased}
+
+    def mapper(row: Tuple[Value, ...]) -> Tuple[Value, ...]:
+        return tuple(
+            DOT if i in erased_idx else value for i, value in enumerate(row)
+        )
+
+    return FactwiseReduction(
+        name=f"Lemma A.18 (erase {{{' '.join(sorted(erased))}}})",
+        source_schema=schema,
+        source_fds=fds.minus(erased),
+        target_schema=schema,
+        target_fds=fds,
+        mapper=mapper,
+    )
+
+
+def reduction_for_witness(
+    schema: Sequence[str], fds: FDSet, witness: HardnessWitness
+) -> FactwiseReduction:
+    """The fact-wise reduction matching a dichotomy hardness witness.
+
+    *fds* must be the stuck (residual) FD set the witness classifies; the
+    returned reduction maps from the witness's Table 1 source FD set over
+    ``R(A, B, C)``.
+    """
+    if witness.class_id == 1:
+        return class1_reduction(schema, fds, witness.x1, witness.x2)
+    if witness.class_id in (2, 3):
+        return class23_reduction(schema, fds, witness.x1, witness.x2)
+    if witness.class_id == 4:
+        assert witness.x3 is not None
+        return class4_reduction(schema, fds, witness.x1, witness.x2, witness.x3)
+    if witness.class_id == 5:
+        return class5_reduction(schema, fds, witness.x1, witness.x2)
+    raise ValueError(f"unknown class id {witness.class_id}")

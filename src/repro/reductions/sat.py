@@ -1,0 +1,159 @@
+"""MAX-non-mixed-SAT and its reduction to optimal S-repairs (Lemma A.13).
+
+A *non-mixed* CNF formula has clauses that are either all-positive or
+all-negative.  Lemma A.13 reduces MAX-non-mixed-SAT to computing an
+optimal S-repair under ``Δ_{AB→C→B} = {AB → C, C → B}`` over
+``R(A, B, C)``:
+
+* for every all-positive clause ``c_j`` and variable ``x_i ∈ c_j`` the
+  table gets the tuple ``(c_j, 1, x_i)``;
+* for every all-negative clause and ``¬x_i ∈ c_j`` it gets
+  ``(c_j, 0, x_i)``.
+
+The FD ``AB → C`` (with A = clause, B = sign, C = variable) lets a
+consistent subset keep at most one tuple per clause, and ``C → B`` forces
+a consistent truth assignment; hence the maximum number of simultaneously
+satisfiable clauses equals the maximum size of a consistent subset.  The
+reduction is strict for the complement (minimisation) problems, which is
+what APX-hardness needs (Lemma A.12).
+
+This module provides the formula type, a brute-force MAX-SAT baseline,
+both directions of the Lemma A.13 translation, and a random generator
+(see :mod:`repro.datagen.cnf` for workload-level helpers).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dichotomy import DELTA_AB_C_B
+from ..core.fd import FDSet
+from ..core.table import Table, TupleId
+
+__all__ = [
+    "Clause",
+    "NonMixedFormula",
+    "brute_force_max_sat",
+    "formula_to_table",
+    "subset_to_assignment",
+    "assignment_to_subset",
+    "SAT_FDS",
+]
+
+#: The FD set of Lemma A.13 (an alias of Table 1's ``Δ_{AB→C→B}``).
+SAT_FDS: FDSet = DELTA_AB_C_B
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A non-mixed clause: a disjunction of only-positive or only-negative
+    literals over the given variables."""
+
+    positive: bool
+    variables: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("empty clause")
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> bool:
+        want = self.positive
+        return any(assignment.get(v, False) == want for v in self.variables)
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return "(" + " ∨ ".join(f"{sign}{v}" for v in sorted(self.variables)) + ")"
+
+
+@dataclass(frozen=True)
+class NonMixedFormula:
+    """A conjunction of non-mixed clauses."""
+
+    clauses: Tuple[Clause, ...]
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        out: set = set()
+        for clause in self.clauses:
+            out |= clause.variables
+        return frozenset(out)
+
+    def satisfied_count(self, assignment: Dict[str, bool]) -> int:
+        return sum(1 for c in self.clauses if c.satisfied_by(assignment))
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(c) for c in self.clauses)
+
+
+def brute_force_max_sat(formula: NonMixedFormula, max_vars: int = 20) -> Tuple[Dict[str, bool], int]:
+    """The optimum of MAX-non-mixed-SAT by exhausting assignments."""
+    variables = sorted(formula.variables)
+    if len(variables) > max_vars:
+        raise ValueError(
+            f"brute force limited to {max_vars} variables, got {len(variables)}"
+        )
+    best_assignment: Dict[str, bool] = {}
+    best = -1
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        count = formula.satisfied_count(assignment)
+        if count > best:
+            best = count
+            best_assignment = assignment
+    return best_assignment, best
+
+
+def formula_to_table(formula: NonMixedFormula) -> Table:
+    """Lemma A.13's construction: one tuple per (clause, literal).
+
+    Identifiers are ``(clause_index, variable)`` pairs; the table is
+    unweighted and duplicate-free, as the hardness statement requires.
+    """
+    rows: Dict[TupleId, Tuple[object, ...]] = {}
+    for j, clause in enumerate(formula.clauses):
+        sign = 1 if clause.positive else 0
+        for var in sorted(clause.variables):
+            rows[(j, var)] = (f"c{j}", sign, var)
+    return Table(("A", "B", "C"), rows, name="sat")
+
+
+def subset_to_assignment(subset: Table) -> Dict[str, bool]:
+    """Read a truth assignment off a consistent subset (Lemma A.13, "if").
+
+    ``C → B`` guarantees each variable occurs with a single sign, so
+    ``τ(x) = B-value of any kept tuple with C = x`` is well defined.
+    """
+    assignment: Dict[str, bool] = {}
+    for tid in subset.ids():
+        _clause, sign, var = subset[tid]
+        previous = assignment.get(var)
+        truth = bool(sign)
+        if previous is not None and previous != truth:
+            raise ValueError(
+                f"subset is inconsistent: variable {var} appears with both signs"
+            )
+        assignment[var] = truth
+    return assignment
+
+
+def assignment_to_subset(
+    formula: NonMixedFormula, table: Table, assignment: Dict[str, bool]
+) -> Table:
+    """Lemma A.13, "only if": keep one witness tuple per satisfied clause.
+
+    For every clause the assignment satisfies, keep the tuple of one
+    satisfying literal; the result is consistent and has as many tuples as
+    satisfied clauses.
+    """
+    keep: List[TupleId] = []
+    for j, clause in enumerate(formula.clauses):
+        want = clause.positive
+        witness = next(
+            (v for v in sorted(clause.variables) if assignment.get(v, False) == want),
+            None,
+        )
+        if witness is not None:
+            keep.append((j, witness))
+    return table.subset(keep)

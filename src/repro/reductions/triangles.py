@@ -1,0 +1,226 @@
+"""Edge-disjoint triangle packing and Lemma A.11's reduction.
+
+Lemma A.11 proves APX-completeness of optimal S-repairing under
+``Δ_{AB↔AC↔BC} = {AB→C, AC→B, BC→A}`` by reduction from MECT-B — maximum
+edge-disjoint triangles in a bounded-degree tripartite graph (Amini,
+Pérennes & Sau [3]).  The reduction itself is delightfully direct: each
+triangle ``(a_i, b_j, c_k)`` becomes the tuple ``(a_i, b_j, c_k)``, and a
+subset of tuples is consistent iff the corresponding triangles are
+pairwise edge-disjoint.
+
+This module implements:
+
+* :class:`TripartiteGraph` — with triangle enumeration;
+* :func:`max_edge_disjoint_triangles` — an exact branch & bound packing
+  solver (baseline for small instances);
+* :func:`triangles_to_table` / :func:`subset_to_packing` — the two
+  directions of Lemma A.11;
+* :func:`amini_gadget` — a reconstruction of the 13-triangle chain gadget
+  of Figure 5: thirteen triangles T1…T13 in which consecutive triangles
+  share exactly one edge, so the six even-indexed triangles are pairwise
+  edge-disjoint (≥ 6/13 of all triangles are packable — the property the
+  paper's Lemma A.9/A.10 analysis relies on).  The published figure's
+  exact edge list is not reproduced in the paper text, so this is a
+  faithful-by-property reconstruction (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.dichotomy import DELTA_TRIANGLE
+from ..core.fd import FDSet
+from ..core.table import Table, TupleId
+
+__all__ = [
+    "Triangle",
+    "TripartiteGraph",
+    "max_edge_disjoint_triangles",
+    "triangles_to_table",
+    "subset_to_packing",
+    "packing_to_subset",
+    "amini_gadget",
+    "TRIANGLE_FDS",
+]
+
+#: The FD set of Lemma A.11 (an alias of Table 1's ``Δ_{AB↔AC↔BC}``).
+TRIANGLE_FDS: FDSet = DELTA_TRIANGLE
+
+Triangle = Tuple[str, str, str]
+
+
+def _edges_of(triangle: Triangle) -> FrozenSet[FrozenSet[str]]:
+    a, b, c = triangle
+    return frozenset((frozenset((a, b)), frozenset((a, c)), frozenset((b, c))))
+
+
+@dataclass
+class TripartiteGraph:
+    """A tripartite graph with parts A, B, C and an undirected edge set."""
+
+    part_a: Tuple[str, ...]
+    part_b: Tuple[str, ...]
+    part_c: Tuple[str, ...]
+    edges: Set[FrozenSet[str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        parts = (set(self.part_a), set(self.part_b), set(self.part_c))
+        if parts[0] & parts[1] or parts[0] & parts[2] or parts[1] & parts[2]:
+            raise ValueError("parts must be disjoint")
+        self._membership: Dict[str, int] = {}
+        for index, part in enumerate(parts):
+            for node in part:
+                self._membership[node] = index
+        for edge in self.edges:
+            self._check_edge(edge)
+
+    def _check_edge(self, edge: FrozenSet[str]) -> None:
+        u, v = tuple(edge)
+        if self._membership[u] == self._membership[v]:
+            raise ValueError(f"edge {set(edge)} stays inside one part")
+
+    def add_edge(self, u: str, v: str) -> None:
+        edge = frozenset((u, v))
+        self._check_edge(edge)
+        self.edges.add(edge)
+
+    def add_triangle(self, a: str, b: str, c: str) -> None:
+        self.add_edge(a, b)
+        self.add_edge(a, c)
+        self.add_edge(b, c)
+
+    def max_degree(self) -> int:
+        degree: Dict[str, int] = {}
+        for edge in self.edges:
+            for node in edge:
+                degree[node] = degree.get(node, 0) + 1
+        return max(degree.values(), default=0)
+
+    def triangles(self) -> List[Triangle]:
+        """All triangles (one node per part), in deterministic order."""
+        out: List[Triangle] = []
+        for a in self.part_a:
+            for b in self.part_b:
+                if frozenset((a, b)) not in self.edges:
+                    continue
+                for c in self.part_c:
+                    if (
+                        frozenset((a, c)) in self.edges
+                        and frozenset((b, c)) in self.edges
+                    ):
+                        out.append((a, b, c))
+        return out
+
+
+def max_edge_disjoint_triangles(
+    triangles: Sequence[Triangle], limit: int = 40
+) -> List[Triangle]:
+    """An optimum edge-disjoint triangle packing (exact branch & bound).
+
+    Intended as the baseline on the small instances used in tests and
+    benchmarks; raises ``ValueError`` beyond *limit* triangles.
+    """
+    if len(triangles) > limit:
+        raise ValueError(
+            f"exact packing limited to {limit} triangles, got {len(triangles)}"
+        )
+    edge_sets = [_edges_of(t) for t in triangles]
+    best: List[int] = []
+
+    def branch(index: int, used_edges: FrozenSet[FrozenSet[str]], chosen: List[int]) -> None:
+        nonlocal best
+        remaining = len(triangles) - index
+        if len(chosen) + remaining <= len(best):
+            return
+        if index == len(triangles):
+            if len(chosen) > len(best):
+                best = list(chosen)
+            return
+        # Include triangle `index` if edge-disjoint from the chosen ones.
+        if not (edge_sets[index] & used_edges):
+            chosen.append(index)
+            branch(index + 1, used_edges | edge_sets[index], chosen)
+            chosen.pop()
+        branch(index + 1, used_edges, chosen)
+
+    branch(0, frozenset(), [])
+    return [triangles[i] for i in best]
+
+
+def triangles_to_table(triangles: Sequence[Triangle]) -> Table:
+    """Lemma A.11's construction: one tuple per triangle.
+
+    The resulting (unweighted, duplicate-free) table over ``R(A, B, C)``
+    has consistent subsets under ``Δ_{AB↔AC↔BC}`` in 1–1 correspondence
+    with edge-disjoint triangle sets.
+    """
+    rows: Dict[TupleId, Triangle] = {t: t for t in triangles}
+    if len(rows) != len(triangles):
+        raise ValueError("duplicate triangles in input")
+    return Table(("A", "B", "C"), rows, name="triangles")
+
+
+def subset_to_packing(subset: Table) -> List[Triangle]:
+    """Read an edge-disjoint packing off a consistent subset."""
+    triangles = [tuple(subset[tid]) for tid in subset.ids()]
+    used: Set[FrozenSet[str]] = set()
+    for t in triangles:
+        edges = _edges_of(t)  # type: ignore[arg-type]
+        if edges & used:
+            raise ValueError(f"subset is not edge-disjoint at triangle {t}")
+        used |= edges
+    return triangles  # type: ignore[return-value]
+
+
+def packing_to_subset(table: Table, packing: Sequence[Triangle]) -> Table:
+    """Keep exactly the tuples of a given packing."""
+    return table.subset(list(packing))
+
+
+def amini_gadget(
+    x: Tuple[str, str],
+    y: Tuple[str, str],
+    z: Tuple[str, str],
+    tag: str = "g",
+) -> List[Triangle]:
+    """A 13-triangle chain gadget in the style of Figure 5.
+
+    Builds triangles T1…T13 over three parts such that consecutive
+    triangles share exactly one edge and non-consecutive ones share at
+    most one vertex.  The element pairs *x*, *y*, *z* are embedded in
+    T1, T7 and T13 respectively, mirroring how the Amini et al. gadget
+    hooks a 3-set ``(x, y, z)`` into the global graph.  Selecting the six
+    even triangles is always possible (they are pairwise edge-disjoint);
+    selecting the seven odd ones covers the x/y/z edges — the packing
+    dichotomy that drives the reduction.
+
+    Returns the triangles; part membership is positional
+    (``a``-part, ``b``-part, ``c``-part).
+    """
+    # Fresh internal nodes a{tag}[i]; x, y, z pairs sit in the b/c parts of
+    # triangles T1, T7, T13.
+    p = [f"{tag}.p{i}" for i in range(1, 6)]  # a-part nodes p1..p5
+    q = [f"{tag}.q{i}" for i in range(1, 6)]  # b-part nodes q1..q5
+    r = [f"{tag}.r{i}" for i in range(1, 6)]  # c-part nodes r1..r5
+    # Embed the endpoint pairs.
+    q[0], r[0] = x  # T1 carries the x-pair
+    q[2], r[2] = y  # T7 carries the y-pair
+    q[4], r[4] = z  # T13 carries the z-pair
+
+    triangles: List[Triangle] = []
+    pi, qi, ri = 0, 0, 0
+    triangles.append((p[pi], q[qi], r[ri]))  # T1
+    # Rotate which coordinate is refreshed: a, b, c, a, b, c, …
+    for step in range(2, 14):
+        coordinate = (step - 2) % 3
+        if coordinate == 0:
+            pi += 1
+        elif coordinate == 1:
+            qi += 1
+        else:
+            ri += 1
+        triangles.append((p[pi], q[qi], r[ri]))
+    assert len(triangles) == 13
+    return triangles

@@ -1,0 +1,119 @@
+"""Theorem 4.14's embedding reductions (Lemmas B.6 and B.7).
+
+The paper proves APX-completeness of optimal U-repairing for the §4.4
+families by embedding known-hard instances:
+
+* **Lemma B.6** — ``S(A,B,C)`` under ``{A→B, B→C}`` embeds into
+  ``R(A0…Ak, B0…Bk, C)`` under ``Δ_k``: the tuple ``(a, b, c)`` becomes
+  the R-tuple with ``A1 = a``, ``B0 = b``, ``C = c`` and 0 everywhere
+  else.  The instance has a consistent update of distance ≤ M iff the
+  embedded one does.
+* **Lemma B.7** — ``Δ'_1`` instances over ``R(A0, A1, A2, B0, B1)``
+  embed into ``Δ'_k`` for any k > 1 by padding every new attribute with
+  the constant ⊙.  Distances are preserved exactly.
+
+Both constructions are implemented verbatim so the cost-preservation
+identities can be *measured* (benchmark E11/E18); on small instances the
+exact solver confirms ``dist_upd`` is identical before and after each
+embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.fd import FDSet
+from ..core.table import Table, TupleId, Value
+
+__all__ = [
+    "delta_k",
+    "delta_prime_k",
+    "DELTA_ABC_CHAIN",
+    "embed_chain_into_delta_k",
+    "embed_dp1_into_dpk",
+    "PAD",
+]
+
+#: The hard source FD set of Lemma B.6 (Kolahi–Lakshmanan's instance).
+DELTA_ABC_CHAIN = FDSet("A -> B; B -> C")
+
+#: The padding constant ⊙ of Lemma B.7.
+PAD = "⊙"
+
+
+def delta_k(k: int) -> FDSet:
+    """``Δ_k = {A0…Ak → B0, B0 → C, B1 → A0, …, Bk → A0}`` (§4.4)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    lhs = " ".join(f"A{i}" for i in range(k + 1))
+    parts = [f"{lhs} -> B0", "B0 -> C"]
+    parts += [f"B{i} -> A0" for i in range(1, k + 1)]
+    return FDSet("; ".join(parts))
+
+
+def delta_prime_k(k: int) -> FDSet:
+    """``Δ'_k = {A0A1 → B0, …, AkAk+1 → Bk}`` (§4.4)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return FDSet("; ".join(f"A{i} A{i+1} -> B{i}" for i in range(k + 1)))
+
+
+def delta_k_schema(k: int) -> Tuple[str, ...]:
+    return tuple(
+        [f"A{i}" for i in range(k + 1)] + [f"B{i}" for i in range(k + 1)] + ["C"]
+    )
+
+
+def delta_prime_k_schema(k: int) -> Tuple[str, ...]:
+    return tuple(
+        [f"A{i}" for i in range(k + 2)] + [f"B{i}" for i in range(k + 1)]
+    )
+
+
+def embed_chain_into_delta_k(table: Table, k: int) -> Table:
+    """Lemma B.6: a ``{A→B, B→C}`` table becomes a ``Δ_k`` table.
+
+    ``(a, b, c) ↦ (0, a, 0, …, 0 | b, 0, …, 0 | c)`` — value *a* lands in
+    A1, *b* in B0, *c* in C, and every other attribute carries the
+    constant 0.  Identifiers and weights are preserved, so optimal
+    U-repair distances coincide (the proof normalises any Δ_k-repair so
+    that only A1/B0/C cells change).
+    """
+    if table.schema != ("A", "B", "C"):
+        raise ValueError(f"expected schema (A, B, C), got {table.schema}")
+    schema = delta_k_schema(k)
+    index = {attr: i for i, attr in enumerate(schema)}
+    rows: Dict[TupleId, Tuple[Value, ...]] = {}
+    for tid, (a, b, c), _w in table.tuples():
+        row = [0] * len(schema)
+        row[index["A1"]] = a
+        row[index["B0"]] = b
+        row[index["C"]] = c
+        rows[tid] = tuple(row)
+    return Table(schema, rows, table.weights(), name=f"delta_{k}")
+
+
+def embed_dp1_into_dpk(table: Table, k: int) -> Table:
+    """Lemma B.7: a ``Δ'_1`` table becomes a ``Δ'_k`` table (k > 1).
+
+    Values of ``A0, A1, A2, B0, B1`` are kept; every new attribute is the
+    constant ⊙.  All new FDs are vacuously satisfied (every tuple agrees
+    on their rhs), so consistent updates correspond one-to-one and the
+    distances are equal.
+    """
+    if k <= 1:
+        raise ValueError("the embedding targets k > 1")
+    source_schema = delta_prime_k_schema(1)
+    if table.schema != source_schema:
+        raise ValueError(
+            f"expected schema {source_schema}, got {table.schema}"
+        )
+    schema = delta_prime_k_schema(k)
+    keep = set(source_schema)
+    rows: Dict[TupleId, Tuple[Value, ...]] = {}
+    for tid, row, _w in table.tuples():
+        values = dict(zip(source_schema, row))
+        rows[tid] = tuple(
+            values[attr] if attr in keep else PAD for attr in schema
+        )
+    return Table(schema, rows, table.weights(), name=f"delta_prime_{k}")

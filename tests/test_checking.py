@@ -1,0 +1,139 @@
+"""Tests for repair checking (local minimality, Section 2.3) and the
+Section 5 restricted-update-domain extension."""
+
+import pytest
+
+from repro.core.checking import (
+    is_consistent_subset,
+    is_consistent_update,
+    is_s_repair,
+    is_u_repair,
+    non_restorable_cells,
+)
+from repro.core.exact import ExactSearchLimit, exact_s_repair, exact_u_repair
+from repro.core.fd import FDSet
+from repro.core.srepair import opt_s_repair
+from repro.core.table import Table
+from repro.core.urepair import u_repair
+from repro.datagen.office import (
+    consistent_subsets,
+    consistent_updates,
+    office_fds,
+    office_table,
+)
+
+from conftest import random_small_table
+
+
+class TestSRepairChecking:
+    def test_figure1_subsets_are_repairs(self):
+        """S1 and S2 are maximal (S-repairs in the strict, local sense);
+        S3 is a consistent subset but *not* maximal — it is strictly
+        contained in S1 (the paper deliberately blurs the distinction:
+        'we do not distinguish between an S-repair and a consistent
+        subset', §2.3)."""
+        table, fds = office_table(), office_fds()
+        subsets = consistent_subsets()
+        for name in ("S1", "S2"):
+            assert is_consistent_subset(table, fds, subsets[name]), name
+            assert is_s_repair(table, fds, subsets[name]), name
+        assert is_consistent_subset(table, fds, subsets["S3"])
+        assert not is_s_repair(table, fds, subsets["S3"])
+        assert subsets["S3"].is_subset_of(subsets["S1"])
+
+    def test_non_maximal_subset_is_not_a_repair(self):
+        table, fds = office_table(), office_fds()
+        s2 = consistent_subsets()["S2"]
+        smaller = s2.subset([1])  # tuple 4 could be added back
+        assert is_consistent_subset(table, fds, smaller)
+        assert not is_s_repair(table, fds, smaller)
+
+    def test_inconsistent_subset_rejected(self):
+        table, fds = office_table(), office_fds()
+        assert not is_s_repair(table, fds, table)  # T itself violates Δ
+
+    def test_optimal_repairs_are_maximal(self, rng):
+        """Every optimal S-repair is an S-repair in the local sense."""
+        for fds in (FDSet("A -> B; A -> C"), FDSet("A -> B; B -> A")):
+            for _ in range(8):
+                table = random_small_table(rng, ("A", "B", "C"), 7, domain=2)
+                repair = opt_s_repair(fds, table)
+                assert is_s_repair(table, fds, repair)
+
+    def test_exact_repairs_are_maximal(self, rng):
+        fds = FDSet("A -> B; B -> C")
+        for _ in range(8):
+            table = random_small_table(rng, ("A", "B", "C"), 7, domain=2)
+            repair = exact_s_repair(table, fds)
+            assert is_s_repair(table, fds, repair)
+
+
+class TestURepairChecking:
+    def test_figure1_updates_are_repairs(self):
+        """U1–U3 of Figure 1 are update repairs: no changed value can be
+        restored without breaking consistency."""
+        table, fds = office_table(), office_fds()
+        for name, update in consistent_updates().items():
+            assert is_consistent_update(table, fds, update), name
+            assert is_u_repair(table, fds, update), name
+
+    def test_wasteful_update_is_not_a_repair(self):
+        table, fds = office_table(), office_fds()
+        u1 = consistent_updates()["U1"]
+        wasteful = u1.with_updates({(4, "room"): "Z99"})  # pointless change
+        assert is_consistent_update(table, fds, wasteful)
+        assert not is_u_repair(table, fds, wasteful)
+
+    def test_non_restorable_cells(self):
+        table, fds = office_table(), office_fds()
+        u1 = consistent_updates()["U1"]
+        assert non_restorable_cells(table, fds, u1) == [(1, "facility")]
+        wasteful = u1.with_updates({(4, "room"): "Z99"})
+        assert (4, "room") not in non_restorable_cells(table, fds, wasteful)
+
+    def test_dispatcher_output_is_u_repair(self, rng):
+        for fds in (FDSet("A -> B"), FDSet("A -> B; B -> A")):
+            for _ in range(6):
+                table = random_small_table(rng, ("A", "B"), 5, domain=2)
+                result = u_repair(table, fds)
+                assert is_u_repair(table, fds, result.update)
+
+    def test_changed_cell_guard(self):
+        table = Table.from_rows(("A",), [("x",)] * 20)
+        update = table.with_updates(
+            {(i, "A"): f"y{i}" for i in range(1, 20)}
+        )
+        with pytest.raises(ValueError):
+            is_u_repair(table, FDSet(), update, max_changed_cells=16)
+
+
+class TestRestrictedUpdateDomains:
+    """Section 5's future-work restriction: finite per-attribute value
+    pools (no fresh nulls)."""
+
+    def test_restriction_changes_the_optimum(self):
+        fds = FDSet("A -> B; A -> C")
+        table = Table.from_rows(("A", "B", "C"), [("a", 1, 1), ("a", 2, 2)])
+        # Unrestricted: one fresh value on A suffices (distance 1).
+        free = exact_u_repair(table, fds)
+        assert table.dist_upd(free) == 1.0
+        # Restricting A to its active domain forces reconciling B and C.
+        restricted = exact_u_repair(
+            table, fds, allowed_values={"A": {"a"}}
+        )
+        assert table.dist_upd(restricted) == 2.0
+
+    def test_restriction_can_make_repair_impossible(self):
+        fds = FDSet("-> A")
+        table = Table.from_rows(("A",), [("x",), ("y",)])
+        with pytest.raises(ExactSearchLimit):
+            # Neither cell may move: no consistent update exists.
+            exact_u_repair(table, fds, allowed_values={"A": set()})
+
+    def test_restriction_with_matching_pool_matches_unrestricted(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(("A", "B"), [("a", 1), ("a", 2)])
+        restricted = exact_u_repair(
+            table, fds, allowed_values={"B": {1, 2}}
+        )
+        assert table.dist_upd(restricted) == 1.0

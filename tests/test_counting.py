@@ -1,0 +1,152 @@
+"""Tests for subset-repair counting/enumeration (the chain dichotomy of
+Livshits & Kimelfeld [26], recalled in Section 2.2 of the paper)."""
+
+import pytest
+
+from repro.core.counting import (
+    NotChainError,
+    brute_force_count_s_repairs,
+    count_s_repairs,
+    enumerate_s_repairs,
+)
+from repro.core.fd import FDSet
+from repro.core.checking import is_s_repair
+from repro.core.table import Table
+from repro.datagen.office import consistent_subsets, office_fds, office_table
+from repro.graphs.graph import Graph
+from repro.graphs.mis import count_maximal_independent_sets, maximal_independent_sets
+
+from conftest import random_small_table
+
+CHAIN_SETS = [
+    FDSet("A -> B"),
+    FDSet("A -> B; A B -> C"),
+    FDSet("-> A; A -> B"),
+    FDSet("A -> B C"),
+]
+
+
+class TestMaximalIndependentSets:
+    def test_empty_graph_has_one(self):
+        assert count_maximal_independent_sets(Graph()) == 1
+
+    def test_edgeless_graph(self):
+        g = Graph()
+        for i in range(3):
+            g.add_node(i)
+        sets = list(maximal_independent_sets(g))
+        assert sets == [frozenset({0, 1, 2})]
+
+    def test_single_edge(self):
+        g = Graph.from_edges([("a", "b")])
+        assert {frozenset("a"), frozenset("b")} == set(
+            maximal_independent_sets(g)
+        )
+
+    def test_path_graph(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        sets = set(maximal_independent_sets(g))
+        assert sets == {frozenset({1, 3}), frozenset({2})}
+
+    def test_sets_are_maximal_and_independent(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            g = Graph()
+            n = rng.randrange(2, 8)
+            for i in range(n):
+                g.add_node(i)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.4:
+                        g.add_edge(i, j)
+            for s in maximal_independent_sets(g):
+                assert g.is_independent_set(s)
+                for v in g.nodes():
+                    if v not in s:
+                        assert not g.is_independent_set(s | {v})
+
+
+class TestChainCounting:
+    def test_office_has_exactly_two_repairs(self):
+        """Figure 1: the subset repairs of T are exactly S1 and S2."""
+        table, fds = office_table(), office_fds()
+        assert count_s_repairs(table, fds) == 2
+        repairs = {frozenset(r.ids()) for r in enumerate_s_repairs(table, fds)}
+        expected = {
+            frozenset(consistent_subsets()["S1"].ids()),
+            frozenset(consistent_subsets()["S2"].ids()),
+        }
+        assert repairs == expected
+
+    @pytest.mark.parametrize("fds", CHAIN_SETS, ids=str)
+    def test_matches_brute_force(self, fds, rng):
+        schema = sorted(fds.attributes)
+        for _ in range(10):
+            table = random_small_table(rng, schema, rng.randrange(0, 10), domain=2)
+            assert count_s_repairs(table, fds) == brute_force_count_s_repairs(
+                table, fds
+            )
+
+    @pytest.mark.parametrize("fds", CHAIN_SETS, ids=str)
+    def test_enumeration_yields_distinct_repairs(self, fds, rng):
+        schema = sorted(fds.attributes)
+        table = random_small_table(rng, schema, 8, domain=2)
+        repairs = list(enumerate_s_repairs(table, fds))
+        assert len(repairs) == count_s_repairs(table, fds)
+        assert len({frozenset(r.ids()) for r in repairs}) == len(repairs)
+        for repair in repairs:
+            assert is_s_repair(table, fds, repair)
+
+    def test_consistent_table_has_one_repair(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(("A", "B"), [("a", 1), ("b", 2)])
+        assert count_s_repairs(table, fds) == 1
+
+    def test_empty_table(self):
+        assert count_s_repairs(Table(("A", "B"), {}), FDSet("A -> B")) == 1
+
+    def test_trivial_fds(self):
+        table = Table.from_rows(("A",), [("x",), ("y",)])
+        assert count_s_repairs(table, FDSet()) == 1
+
+    def test_consensus_sums_blocks(self):
+        table = Table.from_rows(("A",), [("x",), ("x",), ("y",)])
+        # Blocks {x, x} and {y}: each is internally consistent → 2 repairs.
+        assert count_s_repairs(table, FDSet("-> A")) == 2
+
+    def test_common_lhs_multiplies_blocks(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(
+            ("A", "B"), [("a", 1), ("a", 2), ("b", 1), ("b", 2)]
+        )
+        # Each A-block contributes 2 repairs → 4 in total.
+        assert count_s_repairs(table, fds) == 4
+
+
+class TestNonChain:
+    def test_non_chain_rejected(self):
+        table = Table(("A", "B"), {})
+        with pytest.raises(NotChainError):
+            count_s_repairs(table, FDSet("A -> B; B -> A"))
+        with pytest.raises(NotChainError):
+            list(enumerate_s_repairs(table, FDSet("A -> B; B -> A")))
+
+    def test_brute_force_handles_non_chain(self, rng):
+        """The two dichotomies differ: {A→B, B→A} is PTIME for *optimal*
+        S-repairs (lhs marriage) but non-chain, so counting needs the
+        brute-force route."""
+        fds = FDSet("A -> B; B -> A")
+        table = Table.from_rows(
+            ("A", "B"), [("a1", "b1"), ("a1", "b2"), ("a2", "b2")]
+        )
+        # Repairs: {1}, {2}, {3}, {1,3}? — 1=(a1,b1), 3=(a2,b2) share no
+        # value, so {1,3} is consistent and maximal; {2}=(a1,b2) conflicts
+        # with both.
+        assert brute_force_count_s_repairs(table, fds) == 2
+
+    def test_brute_force_guard(self):
+        table = Table.from_rows(("A",), [("x",)] * 25)
+        with pytest.raises(ValueError):
+            brute_force_count_s_repairs(table, FDSet("-> A"), max_tuples=18)

@@ -1,0 +1,155 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.fd import FDSet
+from repro.core.violations import satisfies
+from repro.datagen.cnf import random_non_mixed_formula
+from repro.datagen.graphs import bounded_degree_graph, gnp_graph, random_tripartite_graph
+from repro.datagen.office import (
+    EXPECTED_SUBSET_DISTANCES,
+    EXPECTED_UPDATE_DISTANCES,
+    consistent_subsets,
+    consistent_updates,
+    office_fds,
+    office_table,
+)
+from repro.datagen.probabilistic import random_probabilistic_table
+from repro.datagen.synthetic import (
+    consistent_table,
+    corrupt_cells,
+    planted_violations_table,
+    random_table,
+)
+
+
+class TestOffice:
+    def test_table_matches_figure1(self):
+        t = office_table()
+        assert len(t) == 4
+        assert t[1] == ("HQ", "322", 3, "Paris")
+        assert t.weight(1) == 2 and t.weight(2) == 1
+
+    def test_golden_subset_distances(self):
+        """Example 2.3's distances for S1–S3."""
+        t = office_table()
+        for name, subset in consistent_subsets().items():
+            assert t.dist_sub(subset) == EXPECTED_SUBSET_DISTANCES[name], name
+
+    def test_golden_update_distances(self):
+        """Example 2.3's distances for U1–U3."""
+        t = office_table()
+        for name, update in consistent_updates().items():
+            assert t.dist_upd(update) == EXPECTED_UPDATE_DISTANCES[name], name
+
+    def test_all_variants_consistent(self):
+        fds = office_fds()
+        for variant in (*consistent_subsets().values(), *consistent_updates().values()):
+            assert satisfies(variant, fds)
+
+    def test_original_violates(self):
+        assert not satisfies(office_table(), office_fds())
+
+
+class TestSynthetic:
+    def test_random_table_shape(self):
+        t = random_table(("A", "B"), 10, domain=3, seed=1)
+        assert len(t) == 10 and t.schema == ("A", "B")
+
+    def test_random_table_deterministic(self):
+        t1 = random_table(("A", "B"), 10, seed=42)
+        t2 = random_table(("A", "B"), 10, seed=42)
+        assert t1 == t2
+
+    @pytest.mark.parametrize(
+        "fds",
+        [FDSet("A -> B"), FDSet("A -> B; B -> C"), FDSet("A B -> C; C -> B")],
+        ids=str,
+    )
+    def test_consistent_table_satisfies(self, fds):
+        schema = sorted(fds.attributes)
+        for seed in range(5):
+            t = consistent_table(schema, fds, 20, seed=seed)
+            assert satisfies(t, fds)
+
+    def test_corrupt_cells_rate_zero_is_identity(self):
+        t = random_table(("A", "B"), 8, seed=3)
+        assert corrupt_cells(t, 0.0, seed=4) == t
+
+    def test_corrupt_cells_rate_changes_cells(self):
+        t = random_table(("A", "B"), 30, domain=10, seed=5)
+        corrupted = corrupt_cells(t, 0.5, domain=10, seed=6)
+        assert len(corrupted.changed_cells(t)) > 5
+
+    def test_planted_violations_zero_corruption(self):
+        fds = FDSet("A -> B; B -> C")
+        t = planted_violations_table(("A", "B", "C"), fds, 15, corruption=0.0, seed=7)
+        assert satisfies(t, fds)
+
+    def test_planted_violations_introduce_dirt(self):
+        fds = FDSet("A -> B")
+        dirty_count = 0
+        for seed in range(5):
+            t = planted_violations_table(
+                ("A", "B"), fds, 30, corruption=0.4, domain=2, seed=seed
+            )
+            if not satisfies(t, fds):
+                dirty_count += 1
+        assert dirty_count >= 3  # corruption at 40% almost surely violates
+
+    def test_weighted_generation(self):
+        t = planted_violations_table(
+            ("A", "B"), FDSet("A -> B"), 10, weighted=True, seed=8
+        )
+        assert len(t) == 10
+
+
+class TestGraphGenerators:
+    def test_gnp_extremes(self):
+        empty = gnp_graph(6, 0.0, seed=1)
+        full = gnp_graph(6, 1.0, seed=1)
+        assert empty.num_edges() == 0
+        assert full.num_edges() == 15
+
+    def test_bounded_degree_respected(self):
+        for seed in range(5):
+            g = bounded_degree_graph(20, max_degree=3, seed=seed)
+            assert g.max_degree() <= 3
+
+    def test_tripartite_edges_cross_parts(self):
+        g = random_tripartite_graph(3, 0.8, seed=2)
+        for edge in g.edges:
+            u, v = tuple(edge)
+            assert u[0] != v[0]  # parts are labelled a/b/c
+
+
+class TestCnfGenerator:
+    def test_clause_count_and_size(self):
+        f = random_non_mixed_formula(5, 9, 3, seed=3)
+        assert len(f.clauses) == 9
+        assert all(len(c.variables) == 3 for c in f.clauses)
+
+    def test_clause_size_guard(self):
+        with pytest.raises(ValueError):
+            random_non_mixed_formula(2, 3, 5, seed=0)
+
+    def test_non_mixed_property(self):
+        f = random_non_mixed_formula(6, 20, 2, seed=4)
+        for clause in f.clauses:
+            assert isinstance(clause.positive, bool)
+
+
+class TestProbabilisticGenerator:
+    def test_weights_are_probabilities(self):
+        t = random_probabilistic_table(("A", "B"), 50, seed=5)
+        for tid in t.ids():
+            assert 0.0 < t.weight(tid) <= 1.0
+
+    def test_fraction_mix(self):
+        t = random_probabilistic_table(
+            ("A",), 200, certain_fraction=0.2, unlikely_fraction=0.3, seed=6
+        )
+        certain = sum(1 for tid in t.ids() if t.weight(tid) == 1.0)
+        unlikely = sum(1 for tid in t.ids() if t.weight(tid) <= 0.5)
+        assert certain > 10
+        assert unlikely > 20

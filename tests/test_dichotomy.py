@@ -1,0 +1,196 @@
+"""Tests for Algorithm 2 (``OSRSucceeds``) and the dichotomy classifier."""
+
+import pytest
+
+from repro.core.dichotomy import (
+    DELTA_A_B_C,
+    DELTA_A_C_B,
+    DELTA_AB_C_B,
+    DELTA_TRIANGLE,
+    HARD_FD_SETS,
+    classify,
+    classify_stuck,
+    osr_succeeds,
+    simplification_trace,
+)
+from repro.core.fd import FDSet
+
+from conftest import DELTA_A_IFF_B_TO_C, DELTA_SSN, EXAMPLE_38
+
+
+class TestOSRSucceeds:
+    def test_running_example(self, office_delta):
+        """Example 3.5: the Office Δ passes."""
+        assert osr_succeeds(office_delta)
+
+    def test_a_iff_b_to_c_passes(self):
+        """Example 3.5: ``Δ_{A↔B→C}`` passes (marriage then consensus)."""
+        assert osr_succeeds(DELTA_A_IFF_B_TO_C)
+
+    def test_ssn_delta_passes(self):
+        """Example 3.5: Δ1 over the ssn schema passes."""
+        assert osr_succeeds(DELTA_SSN)
+
+    @pytest.mark.parametrize("name,fds", sorted(HARD_FD_SETS.items()), ids=lambda x: str(x))
+    def test_table1_all_fail(self, name, fds):
+        assert not osr_succeeds(fds)
+
+    def test_example_35_failures(self):
+        """Example 3.5: {A→B, B→C} and {A→B, C→D} fail."""
+        assert not osr_succeeds(FDSet("A -> B; B -> C"))
+        assert not osr_succeeds(FDSet("A -> B; C -> D"))
+
+    def test_example_47_passport(self):
+        """Example 4.7: Δ1 (id/country/passport) passes;
+        Δ2 (state city→zip, state zip→country) fails."""
+        assert osr_succeeds(
+            FDSet("id country -> passport; id passport -> country")
+        )
+        assert not osr_succeeds(
+            FDSet("state city -> zip; state zip -> country")
+        )
+
+    def test_trivial_and_empty(self):
+        assert osr_succeeds(FDSet())
+        assert osr_succeeds(FDSet("A B -> A"))
+
+    def test_consensus_only(self):
+        assert osr_succeeds(FDSet("-> A; -> B"))
+
+    def test_chain_sets_always_pass(self):
+        """Corollary 3.6: chain FD sets are on the tractable side."""
+        chains = [
+            FDSet("A -> B; A B -> C; A B C -> D"),
+            FDSet("facility -> city; facility room -> floor"),
+            FDSet("-> A; A -> B"),
+            FDSet("A -> B C D"),
+        ]
+        for fds in chains:
+            assert fds.with_singleton_rhs().is_chain or fds.is_chain
+            assert osr_succeeds(fds), fds
+
+    def test_success_depends_only_on_fds(self):
+        """The verdict is a function of Δ alone (Section 3.2)."""
+        fds = FDSet("A -> B; B -> A; B -> C")
+        assert osr_succeeds(fds) == osr_succeeds(FDSet(str_fds(fds)))
+
+
+def str_fds(fds: FDSet) -> str:
+    return "; ".join(
+        f"{' '.join(sorted(fd.lhs))} -> {' '.join(sorted(fd.rhs))}" for fd in fds
+    )
+
+
+class TestTraces:
+    def test_running_example_trace_kinds(self, office_delta):
+        """Example 3.5's chain: common lhs ⇛ consensus ⇛ common lhs ⇛
+        consensus."""
+        steps = simplification_trace(office_delta)
+        assert [s.kind for s in steps] == [
+            "common lhs",
+            "consensus",
+            "common lhs",
+            "consensus",
+        ]
+        assert [sorted(s.removed) for s in steps] == [
+            ["facility"],
+            ["city"],
+            ["room"],
+            ["floor"],
+        ]
+
+    def test_a_iff_b_trace_kinds(self):
+        """Example 3.5: lhs marriage ⇛ consensus."""
+        steps = simplification_trace(DELTA_A_IFF_B_TO_C)
+        assert [s.kind for s in steps] == ["lhs marriage", "consensus"]
+
+    def test_ssn_trace_kinds(self):
+        """Example 3.5: marriage ⇛ consensus ⇛ common lhs ⇛ consensus."""
+        steps = simplification_trace(DELTA_SSN)
+        kinds = [s.kind for s in steps]
+        assert kinds[0] == "lhs marriage"
+        assert kinds.count("consensus") >= 2
+        assert "common lhs" in kinds
+
+    def test_stuck_set_has_no_steps(self):
+        assert simplification_trace(FDSet("A -> B; B -> C")) == ()
+
+    def test_steps_are_printable(self, office_delta):
+        for step in simplification_trace(office_delta):
+            assert "⇛" in str(step)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("class_id", sorted(EXAMPLE_38))
+    def test_example_38_classes(self, class_id):
+        """Example 3.8: Δ1–Δ5 land in classes 1–5 respectively."""
+        result = classify(EXAMPLE_38[class_id])
+        assert not result.tractable
+        assert result.witness is not None
+        assert result.witness.class_id == class_id, (
+            f"Δ{class_id} classified as class {result.witness.class_id}"
+        )
+
+    def test_table1_sources(self):
+        """Each Table 1 set should (at least) classify as hard with a
+        sensible witness; the triangle set needs three local minima."""
+        triangle = classify(DELTA_TRIANGLE)
+        assert triangle.witness.class_id == 4
+        assert triangle.witness.x3 is not None
+        ab_c_b = classify(DELTA_AB_C_B)
+        assert ab_c_b.witness.class_id == 5
+
+    def test_tractable_has_no_witness(self, office_delta):
+        result = classify(office_delta)
+        assert result.tractable and result.witness is None
+        assert result.complexity == "PTIME"
+
+    def test_hard_complexity_string(self):
+        assert classify(DELTA_A_B_C).complexity == "APX-complete"
+
+    def test_residual_is_stuck(self):
+        result = classify(FDSet("E -> F; A -> B; B -> C"))
+        assert not result.tractable
+        # E → F simplifies away? No: {E} is not a common lhs of all FDs and
+        # no marriage exists, so the whole set is already stuck.
+        assert len(result.residual) == 3
+
+    def test_classify_stuck_rejects_simplifiable(self):
+        with pytest.raises(ValueError):
+            classify_stuck(FDSet("A -> B"))
+
+    def test_trace_lines_render(self, office_delta):
+        lines = classify(office_delta).trace_lines()
+        assert len(lines) == 5  # initial set + 4 steps
+        hard_lines = classify(DELTA_A_B_C).trace_lines()
+        assert any("stuck" in line or "no simplification" in line for line in hard_lines)
+
+    def test_witness_str(self):
+        witness = classify(DELTA_A_B_C).witness
+        text = str(witness)
+        assert "class 3" in text and "Lemma" in text
+
+
+class TestSimplificationLiftsHardness:
+    """Hardness classification is stable under prepended simplifications:
+    wrapping a hard set with removable structure keeps it hard."""
+
+    def test_common_lhs_wrapper(self):
+        fds = FDSet("K A -> B; K B -> C")  # common lhs K, then stuck
+        result = classify(fds)
+        assert not result.tractable
+        assert result.residual == FDSet("A -> B; B -> C")
+
+    def test_consensus_wrapper(self):
+        fds = FDSet("-> K; A -> B; B -> C")
+        result = classify(fds)
+        assert not result.tractable
+
+    def test_marriage_wrapper(self):
+        fds = FDSet("M -> N; N -> M; M A -> B; N B -> C")
+        result = classify(fds)
+        # The marriage ({M},{N}) applies first; the residual {A→B, B→C}
+        # is stuck.
+        kinds = [s.kind for s in result.steps]
+        assert kinds and kinds[0] == "lhs marriage"
+        assert not result.tractable

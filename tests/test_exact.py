@@ -1,0 +1,138 @@
+"""Tests for the exact baselines (vertex-cover S-repair, U-repair search)."""
+
+import pytest
+
+from repro.core.exact import (
+    ExactSearchLimit,
+    brute_force_s_repair,
+    exact_s_repair,
+    exact_u_repair,
+)
+from repro.core.fd import FDSet
+from repro.core.table import FreshValue, Table
+from repro.core.violations import satisfies
+
+from conftest import random_small_table
+
+
+class TestExactSRepair:
+    def test_matches_brute_force(self, rng):
+        for fds in [FDSet("A -> B; B -> C"), FDSet("A -> B; C -> D"), FDSet("A B -> C; C -> B")]:
+            schema = sorted(fds.attributes)
+            for _ in range(10):
+                table = random_small_table(
+                    rng, schema, rng.randrange(0, 9), domain=2, weighted=True
+                )
+                vc = exact_s_repair(table, fds)
+                bf = brute_force_s_repair(table, fds)
+                assert satisfies(vc, fds)
+                assert table.dist_sub(vc) == pytest.approx(table.dist_sub(bf))
+
+    def test_consistent_table_unchanged(self, office, office_delta):
+        from repro.datagen.office import consistent_subsets
+
+        s1 = consistent_subsets()["S1"]
+        assert exact_s_repair(s1, office_delta) == s1
+
+    def test_figure1_distance(self, office, office_delta):
+        repair = exact_s_repair(office, office_delta)
+        assert office.dist_sub(repair) == 2.0
+
+    def test_result_is_maximal(self, rng):
+        """The complement of a minimum cover is a *maximal* independent
+        set, i.e. a subset repair in the local sense too."""
+        fds = FDSet("A -> B; B -> C")
+        for _ in range(10):
+            table = random_small_table(rng, ("A", "B", "C"), 7, domain=2)
+            repair = exact_s_repair(table, fds)
+            kept = set(repair.ids())
+            for tid in table.ids():
+                if tid in kept:
+                    continue
+                candidate = table.subset(sorted(kept | {tid}, key=str))
+                assert not satisfies(candidate, fds)
+
+    def test_brute_force_guard(self):
+        table = Table.from_rows(("A",), [("x",)] * 25)
+        with pytest.raises(ExactSearchLimit):
+            brute_force_s_repair(table, FDSet("-> A"), max_tuples=20)
+
+
+class TestExactURepair:
+    def test_already_consistent(self, office_delta):
+        from repro.datagen.office import consistent_subsets
+
+        s2 = consistent_subsets()["S2"]
+        assert exact_u_repair(s2, office_delta) == s2
+
+    def test_single_fd_one_cell_fix(self):
+        table = Table.from_rows(("A", "B"), [("a", 1), ("a", 2)])
+        fixed = exact_u_repair(table, FDSet("A -> B"))
+        assert table.dist_upd(fixed) == 1.0
+        assert satisfies(fixed, FDSet("A -> B"))
+
+    def test_weighted_prefers_cheap_tuple(self):
+        table = Table.from_rows(
+            ("A", "B"), [("a", 1), ("a", 2)], weights=[10.0, 1.0]
+        )
+        fixed = exact_u_repair(table, FDSet("A -> B"))
+        assert table.dist_upd(fixed) == 1.0
+        assert fixed[1] == ("a", 1)  # the heavy tuple is untouched
+
+    def test_consensus_fd_majority(self):
+        table = Table.from_rows(("A",), [("x",), ("x",), ("y",)])
+        fixed = exact_u_repair(table, FDSet("-> A"))
+        assert table.dist_upd(fixed) == 1.0
+
+    def test_fresh_values_used_when_beneficial(self):
+        """Breaking an lhs with a fresh value can beat any active-domain
+        fix (the Figure 1(e) pattern)."""
+        fds = FDSet("A -> B; A -> C")
+        table = Table.from_rows(
+            ("A", "B", "C"),
+            [("a", 1, 1), ("a", 2, 2)],
+        )
+        fixed = exact_u_repair(table, fds)
+        # One cell: retarget A of either tuple to a fresh value; two cells
+        # would be needed to reconcile B and C.
+        assert table.dist_upd(fixed) == 1.0
+        changed = fixed.changed_cells(table)
+        assert len(changed) == 1 and changed[0][1] == "A"
+
+    def test_figure1_running_example_cost(self, office, office_delta):
+        fixed = exact_u_repair(office, office_delta)
+        assert office.dist_upd(fixed) == 2.0
+        assert satisfies(fixed, office_delta)
+
+    def test_upper_bound_prunes_but_preserves_optimum(self):
+        table = Table.from_rows(("A", "B"), [("a", 1), ("a", 2), ("a", 3)])
+        fds = FDSet("A -> B")
+        fixed = exact_u_repair(table, fds, upper_bound=5.0)
+        assert table.dist_upd(fixed) == 2.0
+
+    def test_budget_guard(self):
+        table = Table.from_rows(
+            ("A", "B", "C"),
+            [(f"a{i % 3}", i, i) for i in range(9)],
+        )
+        with pytest.raises(ExactSearchLimit):
+            exact_u_repair(table, FDSet("A -> B; B -> C"), cell_budget=10)
+
+    def test_max_changes_too_small(self):
+        table = Table.from_rows(("A",), [("x",), ("y",), ("z",)])
+        with pytest.raises(ExactSearchLimit):
+            # Enforcing ∅ → A needs two cell changes.
+            exact_u_repair(table, FDSet("-> A"), max_changes=1)
+
+    def test_cross_check_with_corollary_45(self, rng):
+        """Corollary 4.5: dist_sub(S*) ≤ dist_upd(U*) ≤ mlc·dist_sub(S*)
+        for consensus-free Δ."""
+        fds = FDSet("A -> B; B -> A")
+        for _ in range(8):
+            table = random_small_table(rng, ("A", "B"), rng.randrange(1, 5), domain=2)
+            s_star = exact_s_repair(table, fds)
+            u_star = exact_u_repair(table, fds)
+            ds = table.dist_sub(s_star)
+            du = table.dist_upd(u_star)
+            assert ds <= du + 1e-9
+            assert du <= fds.mlc() * ds + 1e-9

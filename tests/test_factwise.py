@@ -1,0 +1,154 @@
+"""Tests for the fact-wise reductions (Lemmas A.14–A.18).
+
+Each reduction Π must be (a) injective, (b) consistency-preserving on
+tuple pairs, and (c) a *strict* reduction for optimal S-repairs — the
+optimal cost is preserved through Π (Lemma 3.7).  We verify all three on
+the canonical stuck FD set of each class (Example 3.8) plus the Table 1
+sets.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.dichotomy import classify
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.reductions.factwise import (
+    DOT,
+    erasure_reduction,
+    reduction_for_witness,
+)
+
+from conftest import EXAMPLE_38
+
+STUCK_SETS = list(EXAMPLE_38.values()) + [
+    FDSet("A -> B; B -> C"),
+    FDSet("A -> C; B -> C"),
+    FDSet("A B -> C; C -> B"),
+    FDSet("A -> B; C -> D; E -> F"),
+    FDSet("A B -> C D; C -> A"),
+]
+
+
+def witness_reduction(fds: FDSet):
+    result = classify(fds)
+    assert not result.tractable, f"{fds} unexpectedly tractable"
+    schema = tuple(sorted(result.residual.attributes))
+    return reduction_for_witness(schema, result.residual, result.witness)
+
+
+@pytest.mark.parametrize("fds", STUCK_SETS, ids=str)
+class TestPerClassProperties:
+    def test_injective(self, fds, rng):
+        red = witness_reduction(fds)
+        seen = {}
+        for t in itertools.product(range(3), repeat=3):
+            image = red.map_tuple(t)
+            assert image not in seen, (t, seen[image])
+            seen[image] = t
+
+    def test_preserves_pair_consistency(self, fds, rng):
+        red = witness_reduction(fds)
+        domain = range(3)
+        for t1 in itertools.product(domain, repeat=3):
+            for t2 in itertools.product(domain, repeat=3):
+                src = Table(("A", "B", "C"), {1: t1, 2: t2})
+                tgt = Table(
+                    red.target_schema,
+                    {1: red.map_tuple(t1), 2: red.map_tuple(t2)},
+                )
+                assert satisfies(src, red.source_fds) == satisfies(
+                    tgt, red.target_fds
+                ), (t1, t2)
+
+    def test_strict_reduction_preserves_optimal_cost(self, fds, rng):
+        red = witness_reduction(fds)
+        for _ in range(5):
+            rows = [
+                tuple(rng.randrange(2) for _ in range(3)) for _ in range(7)
+            ]
+            weights = [float(rng.choice((1, 2))) for _ in range(7)]
+            src = Table.from_rows(("A", "B", "C"), rows, weights)
+            tgt = red.map_table(src)
+            src_cost = src.dist_sub(exact_s_repair(src, red.source_fds))
+            tgt_cost = tgt.dist_sub(exact_s_repair(tgt, red.target_fds))
+            assert src_cost == pytest.approx(tgt_cost)
+
+    def test_pull_back_round_trip(self, fds, rng):
+        red = witness_reduction(fds)
+        rows = [tuple(rng.randrange(2) for _ in range(3)) for _ in range(6)]
+        src = Table.from_rows(("A", "B", "C"), rows)
+        tgt = red.map_table(src)
+        repaired = exact_s_repair(tgt, red.target_fds)
+        pulled = red.pull_back(src, repaired)
+        assert satisfies(pulled, red.source_fds)
+        assert src.dist_sub(pulled) == pytest.approx(tgt.dist_sub(repaired))
+
+
+class TestMapTableValidation:
+    def test_schema_mismatch_rejected(self):
+        red = witness_reduction(FDSet("A -> B; B -> C"))
+        with pytest.raises(ValueError):
+            red.map_table(Table(("X", "Y"), {}))
+
+    def test_arity_mismatch_rejected(self):
+        red = witness_reduction(FDSet("A -> B; B -> C"))
+        with pytest.raises(ValueError):
+            red.map_tuple((1, 2))
+
+    def test_weights_preserved(self, rng):
+        red = witness_reduction(FDSet("A -> B; B -> C"))
+        src = Table.from_rows(("A", "B", "C"), [(1, 2, 3)], weights=[7.0])
+        tgt = red.map_table(src)
+        assert tgt.weight(1) == 7.0
+
+
+class TestErasure:
+    def test_erased_attributes_become_dot(self):
+        fds = FDSet("K A -> B")
+        red = erasure_reduction(("K", "A", "B"), fds, frozenset("K"))
+        assert red.map_tuple(("k", "a", "b")) == (DOT, "a", "b")
+        assert red.source_fds == FDSet("A -> B")
+
+    def test_preserves_pair_consistency(self, rng):
+        fds = FDSet("K A -> B; K -> C")
+        red = erasure_reduction(tuple("KABC"), fds, frozenset("K"))
+        for _ in range(200):
+            t1 = tuple(rng.randrange(2) for _ in range(4))
+            t2 = tuple(rng.randrange(2) for _ in range(4))
+            src = Table(tuple("KABC"), {1: t1, 2: t2})
+            tgt = Table(
+                tuple("KABC"), {1: red.map_tuple(t1), 2: red.map_tuple(t2)}
+            )
+            assert satisfies(src, red.source_fds) == satisfies(
+                tgt, red.target_fds
+            ), (t1, t2)
+
+    def test_injective(self, rng):
+        red = erasure_reduction(("K", "A"), FDSet("K -> A"), frozenset("K"))
+        # Injectivity holds on tuples that agree on the erased attributes
+        # (that is how Lemma A.18 applies it: inputs are tables over Δ−X,
+        # where the X-columns are irrelevant); here we fix K and vary A.
+        images = {red.map_tuple(("⊥", a)) for a in range(10)}
+        assert len(images) == 10
+
+    def test_lifts_hardness_cost(self, rng):
+        """Composition of Lemma A.18 with a hard core: cost preserved."""
+        fds = FDSet("K A -> B; K B -> C")  # common lhs K, residual hard
+        red = erasure_reduction(tuple("KABC"), fds, frozenset("K"))
+        for _ in range(5):
+            rows = [
+                ("fix",) + tuple(rng.randrange(2) for _ in range(3))
+                for _ in range(6)
+            ]
+            # Source tables live over Δ−K = {A→B, B→C}; the K column is
+            # constant so it does not affect Δ−K consistency.
+            src = Table.from_rows(tuple("KABC"), rows)
+            tgt = red.map_table(src)
+            src_cost = src.dist_sub(exact_s_repair(src, red.source_fds))
+            tgt_cost = tgt.dist_sub(exact_s_repair(tgt, red.target_fds))
+            assert src_cost == pytest.approx(tgt_cost)

@@ -1,0 +1,335 @@
+"""Unit tests for the FD calculus (Section 2.2)."""
+
+import pytest
+
+from repro.core.fd import FD, FDSet, attrset, parse_fd, parse_fd_set
+
+
+class TestAttrset:
+    def test_from_string_with_spaces(self):
+        assert attrset("A B C") == frozenset("ABC")
+
+    def test_from_string_with_commas(self):
+        assert attrset("A, B,C") == frozenset("ABC")
+
+    def test_from_iterable(self):
+        assert attrset(["A", "B"]) == frozenset("AB")
+
+    def test_none_is_empty(self):
+        assert attrset(None) == frozenset()
+
+    def test_multicharacter_names(self):
+        assert attrset("facility room") == frozenset({"facility", "room"})
+
+
+class TestFD:
+    def test_parse_basic(self):
+        fd = FD.parse("A B -> C")
+        assert fd.lhs == frozenset("AB")
+        assert fd.rhs == frozenset("C")
+
+    def test_parse_unicode_arrow(self):
+        assert FD.parse("A → B") == FD("A", "B")
+
+    def test_parse_consensus(self):
+        fd = FD.parse("-> C")
+        assert fd.is_consensus
+        assert fd.lhs == frozenset()
+
+    def test_parse_rejects_missing_arrow(self):
+        with pytest.raises(ValueError):
+            FD.parse("A B C")
+
+    def test_parse_rejects_empty_rhs(self):
+        with pytest.raises(ValueError):
+            FD.parse("A ->")
+
+    def test_trivial_when_rhs_subset_of_lhs(self):
+        assert FD("A B", "A").is_trivial
+        assert not FD("A", "B").is_trivial
+
+    def test_empty_rhs_fd_is_trivial(self):
+        assert FD("A", ()).is_trivial
+
+    def test_consensus_trivial_interaction(self):
+        fd = FD((), "A")
+        assert fd.is_consensus and not fd.is_trivial
+
+    def test_attributes(self):
+        assert FD("A B", "C").attributes == frozenset("ABC")
+
+    def test_minus_removes_from_both_sides(self):
+        fd = FD("A B", "B C").minus("B")
+        assert fd == FD("A", "C")
+
+    def test_minus_can_empty_lhs(self):
+        fd = FD("A", "B").minus("A")
+        assert fd.is_consensus and fd.rhs == frozenset("B")
+
+    def test_singleton_rhs_decomposition(self):
+        pieces = FD("A", "B C").with_singleton_rhs()
+        assert set(pieces) == {FD("A", "B"), FD("A", "C")}
+
+    def test_hashable_and_equal(self):
+        assert FD("A B", "C") == FD(["B", "A"], "C")
+        assert len({FD("A", "B"), FD("A", "B")}) == 1
+
+    def test_str_uses_paper_notation(self):
+        assert str(FD("A B", "C")) == "A B → C"
+        assert str(FD((), "C")) == "∅ → C"
+
+
+class TestFDSetBasics:
+    def test_parse_semicolon_string(self):
+        fds = FDSet("A -> B; B -> C")
+        assert len(fds) == 2
+        assert FD("A", "B") in fds
+
+    def test_mixed_construction(self):
+        fds = FDSet([FD("A", "B"), "B -> C"])
+        assert len(fds) == 2
+
+    def test_duplicates_collapse(self):
+        assert len(FDSet("A -> B; A->B")) == 1
+
+    def test_equality_is_set_like(self):
+        assert FDSet("A -> B; B -> C") == FDSet("B -> C; A -> B")
+
+    def test_attributes(self):
+        assert FDSet("A -> B; C D -> E").attributes == frozenset("ABCDE")
+
+    def test_empty_set(self):
+        fds = FDSet()
+        assert len(fds) == 0
+        assert fds.is_trivial
+
+
+class TestClosure:
+    def test_reflexivity(self):
+        fds = FDSet("A -> B")
+        assert attrset("A C") <= fds.closure("A C")
+
+    def test_transitivity(self):
+        fds = FDSet("A -> B; B -> C")
+        assert fds.closure("A") == frozenset("ABC")
+
+    def test_compound_lhs_fires_only_when_complete(self):
+        fds = FDSet("A B -> C")
+        assert "C" not in fds.closure("A")
+        assert "C" in fds.closure("A B")
+
+    def test_closure_of_empty_set(self):
+        fds = FDSet("-> A; A -> B; C -> D")
+        assert fds.closure(()) == frozenset("AB")
+
+    def test_entails(self):
+        fds = FDSet("A -> B; B -> C")
+        assert fds.entails("A -> C")
+        assert fds.entails("A -> B C")
+        assert not fds.entails("C -> A")
+
+    def test_entails_trivial(self):
+        assert FDSet().entails("A B -> A")
+
+    def test_equivalence(self):
+        assert FDSet("A -> B C").is_equivalent(FDSet("A -> B; A -> C"))
+        assert not FDSet("A -> B").is_equivalent(FDSet("B -> A"))
+
+
+class TestTrivialityAndNormalisation:
+    def test_is_trivial(self):
+        assert FDSet("A B -> A").is_trivial
+        assert not FDSet("A -> B").is_trivial
+
+    def test_without_trivial(self):
+        fds = FDSet("A B -> A; A -> C").without_trivial()
+        assert fds == FDSet("A -> C")
+
+    def test_with_singleton_rhs(self):
+        fds = FDSet("A -> B C").with_singleton_rhs()
+        assert fds == FDSet("A -> B; A -> C")
+
+    def test_with_singleton_rhs_drops_trivial_fragments(self):
+        fds = FDSet("A -> A B").with_singleton_rhs()
+        assert fds == FDSet("A -> B")
+
+    def test_consensus_fds(self):
+        fds = FDSet("-> A; B -> C")
+        assert len(fds.consensus_fds()) == 1
+
+    def test_consensus_attributes_closed(self):
+        # ∅ → A and A → B make both A and B consensus attributes.
+        fds = FDSet("-> A; A -> B; C -> D")
+        assert fds.consensus_attributes() == frozenset("AB")
+
+    def test_is_consensus_free(self):
+        assert FDSet("A -> B").is_consensus_free
+        assert not FDSet("-> B").is_consensus_free
+
+
+class TestMinus:
+    def test_minus_removes_attribute_everywhere(self):
+        fds = FDSet("A B -> C; C -> A").minus("A")
+        assert fds == FDSet([FD("B", "C"), FD("C", ())])
+
+    def test_minus_creates_consensus(self):
+        fds = FDSet("A -> B").minus("A")
+        assert fds.consensus_fds() == (FD((), "B"),)
+
+    def test_minus_multiple(self):
+        fds = FDSet("A B -> C D").minus("A C")
+        assert fds == FDSet([FD("B", "D")])
+
+    def test_example_35_running_chain(self):
+        """The exact ⇛ chain of Example 3.5 for the running example."""
+        delta = FDSet("facility -> city; facility room -> floor")
+        step1 = delta.minus("facility")
+        assert step1 == FDSet([FD((), "city"), FD("room", "floor")])
+        step2 = step1.minus("city").without_trivial()
+        assert step2 == FDSet([FD("room", "floor")])
+        step3 = step2.minus("room")
+        assert step3 == FDSet([FD((), "floor")])
+        step4 = step3.minus("floor").without_trivial()
+        assert step4.is_trivial
+
+
+class TestStructuralFeatures:
+    def test_common_lhs(self):
+        fds = FDSet("A B -> C; A -> D")
+        assert fds.common_lhs() == frozenset("A")
+
+    def test_no_common_lhs(self):
+        assert FDSet("A -> B; B -> C").common_lhs() == frozenset()
+
+    def test_common_lhs_of_running_example(self):
+        fds = FDSet("facility -> city; facility room -> floor")
+        assert fds.common_lhs() == frozenset({"facility"})
+
+    def test_lhs_marriage_simple(self):
+        """Example 3.1: ``Δ_{A↔B→C}`` has the marriage ({A}, {B})."""
+        fds = FDSet("A -> B; B -> A; B -> C")
+        marriages = fds.lhs_marriages()
+        assert (frozenset("A"), frozenset("B")) in marriages or (
+            frozenset("B"),
+            frozenset("A"),
+        ) in marriages
+
+    def test_lhs_marriage_ssn(self):
+        """Example 3.1: ({ssn}, {first, last}) is an lhs marriage of Δ1."""
+        fds = FDSet(
+            "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; "
+            "ssn office -> phone; ssn office -> fax"
+        )
+        pairs = {frozenset((x1, x2)) for x1, x2 in fds.lhs_marriages()}
+        assert (
+            frozenset(
+                (frozenset({"ssn"}), frozenset({"first", "last"}))
+            )
+            in pairs
+        )
+
+    def test_no_marriage_without_equal_closures(self):
+        assert FDSet("A -> B; B -> C").lhs_marriages() == ()
+
+    def test_no_marriage_without_coverage(self):
+        # cl(A)=cl(B) but C→D's lhs contains neither A nor B.
+        fds = FDSet("A -> B; B -> A; C -> D")
+        assert fds.lhs_marriages() == ()
+
+    def test_local_minima(self):
+        fds = FDSet("A -> B; A C -> D; E -> F")
+        assert set(fds.local_minima()) == {frozenset("A"), frozenset("E")}
+
+    def test_local_minima_all_incomparable(self):
+        fds = FDSet("A B -> C; A C -> B; B C -> A")
+        assert len(fds.local_minima()) == 3
+
+    def test_is_chain(self):
+        assert FDSet("facility -> city; facility room -> floor").is_chain
+        assert FDSet("A -> B; A B -> C; A B C -> D").is_chain
+        assert not FDSet("A -> B; B -> C").is_chain
+
+    def test_empty_is_chain(self):
+        assert FDSet().is_chain
+
+
+class TestLhsCovers:
+    def test_mlc_common_lhs_is_one(self):
+        fds = FDSet("facility -> city; facility room -> floor")
+        assert fds.mlc() == 1
+
+    def test_mlc_disjoint_lhs(self):
+        assert FDSet("A -> B; C -> D").mlc() == 2
+
+    def test_mlc_delta_k_formula(self):
+        """Section 4.4: ``mlc(Δ_k) = k + 2``."""
+        for k in range(1, 5):
+            lhs_a = " ".join(f"A{i}" for i in range(k + 1))
+            parts = [f"{lhs_a} -> B0", "B0 -> C"]
+            parts += [f"B{i} -> A0" for i in range(1, k + 1)]
+            fds = FDSet("; ".join(parts))
+            assert fds.mlc() == k + 2
+
+    def test_mlc_delta_prime_k_formula(self):
+        """Section 4.4: ``mlc(Δ'_k) = ⌈(k+1)/2⌉``."""
+        for k in range(1, 6):
+            parts = [f"A{i} A{i+1} -> B{i}" for i in range(k + 1)]
+            fds = FDSet("; ".join(parts))
+            assert fds.mlc() == (k + 2) // 2
+
+    def test_mlc_rejects_consensus(self):
+        with pytest.raises(ValueError):
+            FDSet("-> A; B -> C").minimum_lhs_cover()
+
+    def test_mlc_empty_fdset(self):
+        assert FDSet().mlc() == 0
+
+    def test_minimum_cover_hits_every_lhs(self):
+        fds = FDSet("A B -> C; B D -> E; A D -> F")
+        cover = fds.minimum_lhs_cover()
+        for fd in fds:
+            assert fd.lhs & cover
+
+
+class TestComponents:
+    def test_attribute_disjoint_split(self):
+        """Example 4.2's ``Δ = {item→cost, buyer→address}`` decomposes."""
+        fds = FDSet("item -> cost; buyer -> address")
+        components = fds.attribute_disjoint_components()
+        assert len(components) == 2
+
+    def test_shared_attribute_joins(self):
+        fds = FDSet("A -> B; B -> C")
+        assert len(fds.attribute_disjoint_components()) == 1
+
+    def test_transitive_sharing_joins(self):
+        fds = FDSet("A -> B; C -> D; B -> C")
+        assert len(fds.attribute_disjoint_components()) == 1
+
+    def test_components_partition_fds(self):
+        fds = FDSet("A -> B C; C -> D; E -> F; G H -> I")
+        components = fds.attribute_disjoint_components()
+        total = sum(len(c) for c in components)
+        assert total == len(fds)
+        seen = set()
+        for component in components:
+            assert not (component.attributes & seen)
+            seen |= component.attributes
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        fds = FDSet("A -> B; B -> C; A -> C")
+        cover = fds.minimal_cover()
+        assert cover.is_equivalent(fds)
+        assert len(cover) == 2
+
+    def test_removes_extraneous_lhs_attribute(self):
+        fds = FDSet("A -> B; A C -> B")
+        cover = fds.minimal_cover()
+        assert cover == FDSet("A -> B")
+
+    def test_is_key(self):
+        fds = FDSet("A -> B; B -> C")
+        assert fds.is_key("A", "A B C")
+        assert not fds.is_key("B", "A B C")

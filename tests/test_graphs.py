@@ -1,0 +1,237 @@
+"""Unit tests for the graph substrate (graph, vertex cover, matching)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs.bipartite import (
+    hungarian_max_weight,
+    matching_weight,
+    max_weight_bipartite_matching,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.vertex_cover import (
+    bar_yehuda_even,
+    exact_min_weight_vertex_cover,
+    greedy_vertex_cover,
+    maximalize_independent_set,
+)
+
+
+def brute_force_min_vc(graph: Graph) -> float:
+    """Reference optimum by enumerating all vertex subsets."""
+    nodes = graph.nodes()
+    best = float("inf")
+    for r in range(len(nodes) + 1):
+        for subset in itertools.combinations(nodes, r):
+            if graph.is_vertex_cover(subset):
+                best = min(best, graph.total_weight(subset))
+    return best
+
+
+def random_graph(rng: random.Random, n: int, p: float, weighted: bool) -> Graph:
+    g = Graph()
+    for i in range(n):
+        g.add_node(i, weight=rng.choice((1, 2, 3)) if weighted else 1.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestGraph:
+    def test_add_and_query(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+        assert g.degree("b") == 2
+        assert g.num_edges() == 2
+        assert set(g.neighbors("b")) == {"a", "c"}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge("a", "a")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_node("a", weight=0)
+
+    def test_remove_node(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        g.remove_node("b")
+        assert g.num_edges() == 0 and "b" not in g
+
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([("a", "b")])
+        h = g.copy()
+        h.remove_node("a")
+        assert g.has_edge("a", "b") and "a" not in h
+
+    def test_edges_listed_once(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        assert len(g.edges()) == 3
+
+    def test_independent_set_and_cover(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert g.is_independent_set({"a", "c"})
+        assert not g.is_independent_set({"a", "b"})
+        assert g.is_vertex_cover({"b"})
+        assert not g.is_vertex_cover({"a"})
+
+    def test_connected_components(self):
+        g = Graph.from_edges([("a", "b")], nodes=["c"])
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [1, 2]
+
+    def test_subgraph(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        sub = g.subgraph({"a", "b"})
+        assert sub.num_edges() == 1 and len(sub) == 2
+
+    def test_max_degree(self):
+        g = Graph.from_edges([("a", "b"), ("a", "c"), ("a", "d")])
+        assert g.max_degree() == 3
+        assert Graph().max_degree() == 0
+
+
+class TestVertexCover:
+    def test_exact_matches_brute_force_unweighted(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            g = random_graph(rng, rng.randrange(2, 9), 0.4, weighted=False)
+            exact = exact_min_weight_vertex_cover(g)
+            assert g.is_vertex_cover(exact)
+            assert g.total_weight(exact) == pytest.approx(brute_force_min_vc(g))
+
+    def test_exact_matches_brute_force_weighted(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            g = random_graph(rng, rng.randrange(2, 9), 0.5, weighted=True)
+            exact = exact_min_weight_vertex_cover(g)
+            assert g.is_vertex_cover(exact)
+            assert g.total_weight(exact) == pytest.approx(brute_force_min_vc(g))
+
+    def test_weighted_star_prefers_center(self):
+        """Regression: the pendant rule must not grab cheap leaves blindly."""
+        g = Graph()
+        g.add_node("hub", weight=10)
+        for i in range(5):
+            g.add_node(i, weight=3)
+            g.add_edge("hub", i)
+        cover = exact_min_weight_vertex_cover(g)
+        assert g.total_weight(cover) == 10
+
+    def test_bye_is_cover_and_2_approximate(self):
+        rng = random.Random(17)
+        for _ in range(30):
+            g = random_graph(rng, rng.randrange(2, 10), 0.4, weighted=True)
+            approx = bar_yehuda_even(g)
+            assert g.is_vertex_cover(approx)
+            opt = g.total_weight(exact_min_weight_vertex_cover(g))
+            assert g.total_weight(approx) <= 2 * opt + 1e-9
+
+    def test_greedy_is_cover(self):
+        rng = random.Random(19)
+        for _ in range(10):
+            g = random_graph(rng, 8, 0.4, weighted=True)
+            assert g.is_vertex_cover(greedy_vertex_cover(g))
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert exact_min_weight_vertex_cover(g) == set()
+        assert bar_yehuda_even(g) == set()
+
+    def test_node_limit_guard(self):
+        g = Graph()
+        for i in range(5):
+            g.add_node(i)
+        with pytest.raises(ValueError):
+            exact_min_weight_vertex_cover(g, node_limit=3)
+
+    def test_maximalize_independent_set(self):
+        g = Graph.from_edges([("a", "b")], nodes=["c", "d"])
+        grown = maximalize_independent_set(g, {"a"})
+        assert grown == {"a", "c", "d"}
+        assert g.is_independent_set(grown)
+
+
+class TestHungarian:
+    def test_tiny_known_case(self):
+        pairs = hungarian_max_weight([[3, 1], [1, 3]])
+        assert set(pairs) == {(0, 0), (1, 1)}
+
+    def test_prefers_heavy_single_edge(self):
+        # Taking the single heavy edge beats two light ones.
+        pairs = hungarian_max_weight([[10, 4], [4, 0]])
+        weight = sum([[10, 4], [4, 0]][i][j] for i, j in pairs)
+        assert weight == 10 + 0 or weight == 10  # (0,0) alone or with (1,1)=0
+        assert (0, 0) in pairs
+
+    def test_rectangular(self):
+        pairs = hungarian_max_weight([[5, 1, 1]])
+        assert pairs == [(0, 0)]
+
+    def test_empty(self):
+        assert hungarian_max_weight([]) == []
+
+    def test_zero_matrix_matches_nothing(self):
+        assert hungarian_max_weight([[0, 0], [0, 0]]) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hungarian_max_weight([[-1]])
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            hungarian_max_weight([[1, 2], [3]])
+
+    def test_against_scipy(self):
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        rng = random.Random(23)
+        for _ in range(30):
+            n, m = rng.randrange(1, 7), rng.randrange(1, 7)
+            matrix = [
+                [rng.randrange(0, 10) for _ in range(m)] for _ in range(n)
+            ]
+            pairs = hungarian_max_weight(matrix)
+            ours = sum(matrix[i][j] for i, j in pairs)
+            # scipy maximises over square-padded matrix.
+            size = max(n, m)
+            padded = np.zeros((size, size))
+            padded[:n, :m] = np.array(matrix)
+            rows, cols = linear_sum_assignment(padded, maximize=True)
+            theirs = padded[rows, cols].sum()
+            assert ours == pytest.approx(theirs)
+
+    def test_against_networkx(self):
+        import networkx as nx
+
+        rng = random.Random(29)
+        for _ in range(15):
+            n, m = rng.randrange(1, 6), rng.randrange(1, 6)
+            weights = {}
+            for i in range(n):
+                for j in range(m):
+                    if rng.random() < 0.6:
+                        weights[(f"l{i}", f"r{j}")] = rng.randrange(1, 9)
+            left = [f"l{i}" for i in range(n)]
+            right = [f"r{j}" for j in range(m)]
+            pairs = max_weight_bipartite_matching(left, right, weights)
+            ours = matching_weight(pairs, weights)
+            g = nx.Graph()
+            g.add_nodes_from(left + right)
+            for (l, r), w in weights.items():
+                g.add_edge(l, r, weight=w)
+            theirs = sum(
+                g[u][v]["weight"] for u, v in nx.max_weight_matching(g)
+            )
+            assert ours == pytest.approx(theirs)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            max_weight_bipartite_matching(["l"], ["r"], {("l", "zzz"): 1.0})

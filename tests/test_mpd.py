@@ -1,0 +1,116 @@
+"""Tests for the Most Probable Database reduction (Theorem 3.10)."""
+
+import pytest
+
+from repro.core.fd import FDSet
+from repro.core.mpd import (
+    brute_force_mpd,
+    most_probable_database,
+    s_repair_via_mpd,
+    subset_probability,
+)
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.datagen.probabilistic import random_probabilistic_table
+
+from conftest import DELTA_A_IFF_B_TO_C
+
+
+def prob_table(rows, weights, schema=("A", "B")):
+    return Table.from_rows(schema, rows, weights)
+
+
+class TestProbability:
+    def test_formula(self):
+        t = prob_table([("a", 1), ("a", 2)], [0.8, 0.6])
+        assert subset_probability(t, [1]) == pytest.approx(0.8 * 0.4)
+        assert subset_probability(t, [1, 2]) == pytest.approx(0.8 * 0.6)
+        assert subset_probability(t, []) == pytest.approx(0.2 * 0.4)
+
+    def test_rejects_bad_weights(self):
+        t = prob_table([("a", 1)], [1.5])
+        with pytest.raises(ValueError):
+            subset_probability(t, [])
+
+
+class TestReduction:
+    @pytest.mark.parametrize(
+        "fds",
+        [FDSet("A -> B"), FDSet("-> A"), DELTA_A_IFF_B_TO_C, FDSet("A -> B; B -> C")],
+        ids=str,
+    )
+    def test_matches_brute_force(self, fds, rng):
+        schema = sorted(fds.attributes) or ["A", "B"]
+        for seed in range(12):
+            table = random_probabilistic_table(
+                schema, rng.randrange(1, 9), domain=2, seed=seed
+            )
+            ours = most_probable_database(table, fds)
+            reference = brute_force_mpd(table, fds)
+            assert ours.probability == pytest.approx(reference.probability)
+            assert satisfies(ours.database, fds)
+
+    def test_certain_tuples_retained(self):
+        fds = FDSet("A -> B")
+        t = prob_table([("a", 1), ("a", 2), ("b", 3)], [1.0, 0.9, 0.7])
+        result = most_probable_database(t, fds)
+        assert 1 in result.database  # the certain tuple survives
+        assert 2 not in result.database  # conflicts with a certain tuple
+
+    def test_inconsistent_certain_tuples_give_probability_zero(self):
+        fds = FDSet("A -> B")
+        t = prob_table([("a", 1), ("a", 2)], [1.0, 1.0])
+        result = most_probable_database(t, fds)
+        assert result.probability == 0.0
+        assert len(result.database) == 0
+
+    def test_unlikely_tuples_dropped(self):
+        """Tuples with w ≤ 0.5 never enter the most probable database."""
+        fds = FDSet("A -> B")
+        t = prob_table([("a", 1), ("b", 2)], [0.4, 0.9])
+        result = most_probable_database(t, fds)
+        assert 1 not in result.database
+        assert 2 in result.database
+
+    def test_all_unlikely(self):
+        fds = FDSet("A -> B")
+        t = prob_table([("a", 1), ("a", 2)], [0.3, 0.2])
+        result = most_probable_database(t, fds)
+        assert len(result.database) == 0
+        assert result.probability == pytest.approx(0.7 * 0.8)
+
+    def test_dichotomy_route_reported(self):
+        """Comment 3.11: ``Δ_{A↔B→C}`` is PTIME in our dichotomy, so the
+        reduction must route through OptSRepair, not the exact solver."""
+        t = Table.from_rows(
+            ("A", "B", "C"),
+            [("u", "v", 0), ("v", "u", 0), ("u", "u", 1)],
+            weights=[0.9, 0.8, 0.7],
+        )
+        result = most_probable_database(t, DELTA_A_IFF_B_TO_C)
+        assert "OptSRepair" in result.method
+        reference = brute_force_mpd(t, DELTA_A_IFF_B_TO_C)
+        assert result.probability == pytest.approx(reference.probability)
+
+
+class TestReverseReduction:
+    def test_s_repair_via_mpd(self, rng):
+        """Theorem 3.10, hardness direction: uniform probability 0.9 turns
+        MPD into maximum-cardinality consistent subset."""
+        fds = FDSet("A -> B")
+        table = Table.from_rows(
+            ("A", "B"), [("a", 1), ("a", 2), ("a", 2), ("b", 5)]
+        )
+        repair = s_repair_via_mpd(table, fds)
+        assert satisfies(repair, fds)
+        assert len(repair) == 3  # keep both (a,2) duplicates and (b,5)
+
+    def test_rejects_weighted_tables(self):
+        table = Table.from_rows(("A",), [("x",), ("y",)], weights=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            s_repair_via_mpd(table, FDSet("-> A"))
+
+    def test_rejects_bad_probability(self):
+        table = Table.from_rows(("A",), [("x",)])
+        with pytest.raises(ValueError):
+            s_repair_via_mpd(table, FDSet("-> A"), probability=0.4)

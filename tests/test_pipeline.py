@@ -1,0 +1,107 @@
+"""Tests for the high-level cleaning pipeline."""
+
+import pytest
+
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.violations import satisfies
+from repro.datagen.office import office_fds, office_table
+from repro.datagen.synthetic import planted_violations_table
+from repro.pipeline import CleaningResult, DirtinessReport, assess, clean
+
+from conftest import random_small_table
+
+
+class TestAssess:
+    def test_consistent_table(self):
+        from repro.datagen.office import consistent_subsets
+
+        report = assess(consistent_subsets()["S1"], office_fds())
+        assert report.consistent
+        assert report.lower_bound == report.upper_bound == 0.0
+        assert report.dirtiness_fraction == 0.0
+
+    def test_office_bracket(self):
+        report = assess(office_table(), office_fds())
+        assert not report.consistent
+        assert report.conflict_count == 2  # (1,2) and (1,3)
+        assert report.conflicting_tuples == 3
+        # The true optimum (2.0) sits inside the bracket.
+        assert report.lower_bound <= 2.0 <= report.upper_bound
+        assert report.upper_bound <= 2 * 2.0
+        assert report.complexity == "PTIME"
+
+    def test_bracket_always_contains_optimum(self, rng):
+        fds = FDSet("A -> B; B -> C")
+        for _ in range(10):
+            table = random_small_table(rng, ("A", "B", "C"), 10, domain=2, weighted=True)
+            report = assess(table, fds)
+            optimum = table.dist_sub(exact_s_repair(table, fds))
+            assert report.lower_bound <= optimum + 1e-9
+            assert optimum <= report.upper_bound + 1e-9
+            assert report.upper_bound <= 2 * optimum + 1e-9
+
+    def test_summary_renders(self):
+        text = assess(office_table(), office_fds()).summary()
+        assert "bracket" in text and "APX" in text or "PTIME" in text
+
+    def test_empty_table(self):
+        from repro.core.table import Table
+
+        report = assess(Table(("A",), {}), FDSet("-> A"))
+        assert report.consistent and report.total_tuples == 0
+
+
+class TestClean:
+    def test_deletions_best_on_tractable(self):
+        result = clean(office_table(), office_fds())
+        assert result.optimal and result.distance == 2.0
+        assert satisfies(result.cleaned, office_fds())
+        assert result.strategy == "deletions"
+
+    def test_updates_best_on_tractable(self):
+        result = clean(office_table(), office_fds(), strategy="updates")
+        assert result.optimal and result.distance == 2.0
+        assert satisfies(result.cleaned, office_fds())
+
+    def test_fast_guarantee_is_polynomial_approx(self):
+        fds = FDSet("A -> B; B -> C")
+        table = planted_violations_table(("A", "B", "C"), fds, 120, corruption=0.1, domain=4, seed=4)
+        result = clean(table, fds, guarantee="fast")
+        assert not result.optimal or result.distance == 0.0
+        assert result.ratio_bound == 2.0
+        assert satisfies(result.cleaned, fds)
+
+    def test_best_switches_to_approx_on_large_hard(self):
+        fds = FDSet("A -> B; B -> C")
+        table = planted_violations_table(("A", "B", "C"), fds, 100, corruption=0.1, domain=4, seed=5)
+        result = clean(table, fds, guarantee="best")
+        assert satisfies(result.cleaned, fds)
+        assert result.ratio_bound <= 2.0
+
+    def test_optimal_guarantee_on_hard_small(self, rng):
+        fds = FDSet("A -> B; B -> C")
+        table = random_small_table(rng, ("A", "B", "C"), 10, domain=2)
+        result = clean(table, fds, guarantee="optimal")
+        assert result.optimal
+        assert result.distance == table.dist_sub(exact_s_repair(table, fds))
+
+    def test_updates_optimal_guarantee(self):
+        fds = FDSet("product -> price; buyer -> email")
+        table = planted_violations_table(
+            tuple(sorted(fds.attributes)), fds, 20, corruption=0.2, domain=3, seed=6
+        )
+        result = clean(table, fds, strategy="updates", guarantee="optimal")
+        assert result.optimal
+        assert satisfies(result.cleaned, fds)
+
+    def test_report_attached(self):
+        result = clean(office_table(), office_fds())
+        assert isinstance(result.report, DirtinessReport)
+        assert result.report.conflict_count == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clean(office_table(), office_fds(), strategy="teleport")
+        with pytest.raises(ValueError):
+            clean(office_table(), office_fds(), guarantee="psychic")

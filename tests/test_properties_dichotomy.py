@@ -1,0 +1,144 @@
+"""End-to-end property tests of the dichotomy machinery (hypothesis).
+
+Random FD sets over a small attribute universe are pushed through
+``classify``:
+
+* on the tractable side, ``OptSRepair`` must match the exact
+  vertex-cover optimum on random tables — the soundness half of
+  Theorem 3.4 exercised over the whole space of FD sets, not just the
+  paper's examples;
+* on the hard side, a witness must exist, and its fact-wise reduction
+  must be injective and preserve pair (in)consistency — the
+  completeness half's machinery;
+* the dichotomy verdict is invariant under equivalence-preserving
+  rewrites (singleton rhs) and attribute renaming.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dichotomy import classify, osr_succeeds
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FD, FDSet
+from repro.core.srepair import DichotomyFailure, opt_s_repair
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.reductions.factwise import reduction_for_witness
+
+ATTRS = list("ABCD")
+
+nonempty = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3).map(frozenset)
+maybe_empty = st.sets(st.sampled_from(ATTRS), max_size=2).map(frozenset)
+fd_strategy = st.builds(FD, maybe_empty, nonempty)
+fdset_strategy = st.lists(fd_strategy, min_size=1, max_size=4).map(FDSet)
+
+
+def _random_tables(fds, count=3, size=7, seed=0):
+    rng = random.Random(seed)
+    schema = tuple(sorted(fds.attributes)) or ("A",)
+    for _ in range(count):
+        rows = [
+            tuple(rng.randrange(2) for _ in schema)
+            for _ in range(rng.randrange(0, size))
+        ]
+        weights = [float(rng.choice((1, 2))) for _ in rows]
+        yield Table.from_rows(schema, rows, weights)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fdset_strategy, st.integers(min_value=0, max_value=10_000))
+def test_tractable_side_is_sound(fds, seed):
+    """Theorem 3.4, positive side, over random FD sets."""
+    if not osr_succeeds(fds):
+        return
+    for table in _random_tables(fds, seed=seed):
+        repair = opt_s_repair(fds, table)
+        assert repair.is_subset_of(table)
+        assert satisfies(repair, fds)
+        exact = exact_s_repair(table, fds)
+        assert abs(table.dist_sub(repair) - table.dist_sub(exact)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(fdset_strategy)
+def test_hard_side_has_valid_witness(fds):
+    """Theorem 3.4, negative side: a class witness and a working
+    fact-wise reduction must exist for every stuck FD set."""
+    result = classify(fds)
+    if result.tractable:
+        return
+    witness = result.witness
+    assert witness is not None and 1 <= witness.class_id <= 5
+    schema = tuple(sorted(result.residual.attributes))
+    reduction = reduction_for_witness(schema, result.residual, witness)
+    rng = random.Random(17)
+    seen = {}
+    for _ in range(80):
+        t1 = tuple(rng.randrange(3) for _ in range(3))
+        t2 = tuple(rng.randrange(3) for _ in range(3))
+        m1, m2 = reduction.map_tuple(t1), reduction.map_tuple(t2)
+        # Injectivity.
+        for t, m in ((t1, m1), (t2, m2)):
+            assert seen.setdefault(m, t) == t
+        # Pair consistency preservation.
+        src = Table(("A", "B", "C"), {1: t1, 2: t2})
+        tgt = Table(reduction.target_schema, {1: m1, 2: m2})
+        assert satisfies(src, reduction.source_fds) == satisfies(
+            tgt, reduction.target_fds
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(fdset_strategy)
+def test_verdict_invariant_under_singleton_rhs(fds):
+    assert osr_succeeds(fds) == osr_succeeds(fds.with_singleton_rhs())
+
+
+@settings(max_examples=40, deadline=None)
+@given(fdset_strategy)
+def test_verdict_invariant_under_renaming(fds):
+    mapping = {a: f"{a}'" for a in ATTRS}
+    renamed = FDSet(
+        FD(
+            frozenset(mapping[a] for a in fd.lhs),
+            frozenset(mapping[a] for a in fd.rhs),
+        )
+        for fd in fds
+    )
+    assert osr_succeeds(fds) == osr_succeeds(renamed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fdset_strategy, st.integers(min_value=0, max_value=10_000))
+def test_opt_s_repair_never_fails_on_tractable_and_is_sound_anyway(fds, seed):
+    """If ``OSRSucceeds(Δ)``, Algorithm 1 never fails.  If not, it *may*
+    still terminate on degenerate tables (e.g. an empty table makes the
+    common-lhs recursion visit zero groups and line 10 is never reached)
+    — and whenever it terminates, its output is nonetheless an optimal
+    S-repair, because the per-step soundness lemmas (A.1–A.3) do not
+    depend on the residual being simplifiable."""
+    tractable = osr_succeeds(fds)
+    for table in _random_tables(fds, count=2, seed=seed):
+        try:
+            repair = opt_s_repair(fds, table)
+        except DichotomyFailure:
+            assert not tractable
+            continue
+        assert satisfies(repair, fds)
+        exact = exact_s_repair(table, fds)
+        assert abs(table.dist_sub(repair) - table.dist_sub(exact)) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(fdset_strategy, st.integers(min_value=0, max_value=10_000))
+def test_approximation_covers_both_sides(fds, seed):
+    """Prop 3.3's 2-approximation holds regardless of the verdict."""
+    from repro.core.approx import approx_s_repair
+
+    for table in _random_tables(fds, count=2, seed=seed):
+        result = approx_s_repair(table, fds)
+        assert satisfies(result.repair, fds)
+        optimum = table.dist_sub(exact_s_repair(table, fds))
+        assert result.distance <= 2 * optimum + 1e-9

@@ -1,0 +1,124 @@
+"""Property-based tests for the FD calculus (hypothesis).
+
+Armstrong-axiom consequences, closure algebra, and the Δ − X operator are
+checked on randomly generated FD sets over a small attribute universe.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD, FDSet
+
+ATTRS = list("ABCDEF")
+
+attr_subsets = st.sets(st.sampled_from(ATTRS), max_size=4).map(frozenset)
+nonempty_subsets = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=4).map(
+    frozenset
+)
+
+fd_strategy = st.builds(FD, attr_subsets, nonempty_subsets)
+fdset_strategy = st.lists(fd_strategy, max_size=6).map(FDSet)
+
+
+@given(fdset_strategy, attr_subsets)
+def test_closure_is_extensive(fds, attrs):
+    """X ⊆ cl(X) (reflexivity)."""
+    assert attrs <= fds.closure(attrs)
+
+
+@given(fdset_strategy, attr_subsets)
+def test_closure_is_idempotent(fds, attrs):
+    assert fds.closure(fds.closure(attrs)) == fds.closure(attrs)
+
+
+@given(fdset_strategy, attr_subsets, attr_subsets)
+def test_closure_is_monotone(fds, x, y):
+    assert fds.closure(x) <= fds.closure(x | y)
+
+
+@given(fdset_strategy, attr_subsets, nonempty_subsets)
+def test_augmentation(fds, x, z):
+    """Armstrong augmentation: X → Y entails XZ → YZ."""
+    y = fds.closure(x)
+    assert fds.entails(FD(x | z, y | z))
+
+
+@given(fdset_strategy)
+def test_every_member_is_entailed(fds):
+    for fd in fds:
+        assert fds.entails(fd)
+
+
+@given(fdset_strategy)
+def test_singleton_rhs_is_equivalent(fds):
+    assert fds.with_singleton_rhs().is_equivalent(fds)
+
+
+@given(fdset_strategy)
+def test_minimal_cover_is_equivalent(fds):
+    assert fds.minimal_cover().is_equivalent(fds)
+
+
+@given(fdset_strategy)
+def test_without_trivial_is_equivalent(fds):
+    assert fds.without_trivial().is_equivalent(fds)
+
+
+@given(fdset_strategy, nonempty_subsets)
+def test_minus_removes_attributes(fds, attrs):
+    reduced = fds.minus(attrs)
+    assert not (reduced.attributes & attrs)
+
+
+@given(fdset_strategy, nonempty_subsets, nonempty_subsets)
+def test_minus_is_commutative(fds, x, y):
+    assert fds.minus(x).minus(y) == fds.minus(y).minus(x) == fds.minus(x | y)
+
+
+@given(fdset_strategy)
+def test_consensus_attributes_are_closure_of_empty(fds):
+    consensus = fds.consensus_attributes()
+    assert consensus == fds.closure(())
+    # Consensus attributes are consensus-free after removal.
+    assert fds.minus(consensus).without_trivial().is_consensus_free
+
+
+@given(fdset_strategy)
+def test_components_are_attribute_disjoint(fds):
+    seen = set()
+    for component in fds.attribute_disjoint_components():
+        assert not (component.attributes & seen)
+        seen |= component.attributes
+
+
+@given(fdset_strategy)
+def test_local_minima_are_incomparable(fds):
+    minima = fds.local_minima()
+    for x in minima:
+        for y in minima:
+            if x != y:
+                assert not (x < y)
+
+
+@given(fdset_strategy)
+def test_common_lhs_is_in_every_lhs(fds):
+    for attr in fds.common_lhs():
+        assert all(attr in fd.lhs for fd in fds)
+
+
+@given(fdset_strategy)
+def test_marriages_have_equal_closures(fds):
+    for x1, x2 in fds.lhs_marriages():
+        assert x1 != x2
+        assert fds.closure(x1) == fds.closure(x2)
+        assert all(x1 <= fd.lhs or x2 <= fd.lhs for fd in fds)
+
+
+@given(fdset_strategy)
+def test_minimum_lhs_cover_hits_every_lhs(fds):
+    nontrivial = fds.without_trivial()
+    if any(fd.is_consensus for fd in nontrivial):
+        return  # cover undefined
+    cover = nontrivial.minimum_lhs_cover()
+    for fd in nontrivial:
+        assert fd.lhs & cover

@@ -1,0 +1,69 @@
+"""Property-based tests for the pipeline bracket (hypothesis).
+
+The assessment bracket must contain the true optimal S-repair distance
+for *every* FD set and table, with the upper bound within a factor 2 —
+this combines the admissibility of the matching bound with
+Proposition 3.3 and is checked end-to-end here.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FD, FDSet
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.pipeline import assess, clean
+
+ATTRS = list("ABC")
+
+nonempty = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2).map(frozenset)
+maybe_empty = st.sets(st.sampled_from(ATTRS), max_size=2).map(frozenset)
+fd_strategy = st.builds(FD, maybe_empty, nonempty)
+fdset_strategy = st.lists(fd_strategy, min_size=1, max_size=3).map(FDSet)
+
+
+def tables(max_size=8):
+    value = st.integers(min_value=0, max_value=2)
+    row = st.tuples(value, value, value)
+    weight = st.sampled_from((1.0, 2.0, 3.0))
+    return st.lists(st.tuples(row, weight), max_size=max_size).map(
+        lambda pairs: Table.from_rows(
+            ("A", "B", "C"), [p[0] for p in pairs], [p[1] for p in pairs]
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(fdset_strategy, tables())
+def test_bracket_contains_optimum(fds, table):
+    report = assess(table, fds)
+    optimum = table.dist_sub(exact_s_repair(table, fds))
+    assert report.lower_bound <= optimum + 1e-9
+    assert optimum <= report.upper_bound + 1e-9
+    assert report.upper_bound <= 2 * optimum + 1e-9
+    if report.bracket_is_tight:
+        assert abs(optimum - report.lower_bound) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(fdset_strategy, tables(max_size=6))
+def test_clean_outputs_are_consistent(fds, table):
+    for strategy in ("deletions", "updates"):
+        result = clean(table, fds, strategy=strategy)
+        assert satisfies(result.cleaned, fds)
+        if strategy == "deletions":
+            assert result.cleaned.is_subset_of(table)
+        else:
+            assert result.cleaned.is_update_of(table)
+
+
+@settings(max_examples=30, deadline=None)
+@given(fdset_strategy, tables())
+def test_consistency_iff_zero_bracket(fds, table):
+    report = assess(table, fds)
+    assert report.consistent == satisfies(table, fds)
+    if report.consistent:
+        assert report.lower_bound == report.upper_bound == 0.0
+    else:
+        assert report.lower_bound > 0.0

@@ -1,0 +1,138 @@
+"""Property-based tests for the repair algorithms (hypothesis).
+
+Random tables (weighted, with duplicates) are pushed through the full
+algorithm stack, asserting the paper's invariants:
+
+* ``OptSRepair`` output is a consistent subset whose distance matches the
+  exact vertex-cover optimum (Theorem 3.2) — on FD sets passing
+  ``OSRSucceeds``;
+* the 2-approximation never exceeds twice the optimum (Proposition 3.3);
+* the dispatcher's U-repairs are consistent updates, optimal ones sit in
+  the Corollary 4.5 sandwich, and approximate ones respect their ratio.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import approx_s_repair
+from repro.core.dichotomy import osr_succeeds
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.srepair import opt_s_repair
+from repro.core.table import Table
+from repro.core.urepair import u_repair
+from repro.core.violations import satisfies
+
+TRACTABLE_FDS = [
+    FDSet("A -> B"),
+    FDSet("A -> B; A -> C"),
+    FDSet("A -> B; A B -> C"),
+    FDSet("-> A; B -> C"),
+    FDSet("A -> B; B -> A"),
+    FDSet("A -> B; B -> A; B -> C"),
+]
+
+HARD_FDS = [
+    FDSet("A -> B; B -> C"),
+    FDSet("A -> C; B -> C"),
+    FDSet("A B -> C; C -> B"),
+]
+
+U_TRACTABLE_FDS = [
+    FDSet("A -> B"),
+    FDSet("A -> B; A -> C"),
+    FDSet("A -> B; B -> A"),
+    FDSet("-> A; B -> C"),
+]
+
+
+def tables(max_size=9, domain=3):
+    """Random weighted tables over schema (A, B, C), duplicates allowed."""
+    value = st.integers(min_value=0, max_value=domain - 1)
+    row = st.tuples(value, value, value)
+    weight = st.sampled_from((1.0, 1.0, 2.0, 3.0))
+    return st.lists(
+        st.tuples(row, weight), min_size=0, max_size=max_size
+    ).map(
+        lambda pairs: Table.from_rows(
+            ("A", "B", "C"),
+            [p[0] for p in pairs],
+            [p[1] for p in pairs],
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(TRACTABLE_FDS), tables())
+def test_opt_s_repair_is_optimal_consistent_subset(fds, table):
+    assert osr_succeeds(fds)
+    repair = opt_s_repair(fds, table)
+    assert repair.is_subset_of(table)
+    assert satisfies(repair, fds)
+    exact = exact_s_repair(table, fds)
+    assert abs(table.dist_sub(repair) - table.dist_sub(exact)) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(TRACTABLE_FDS + HARD_FDS), tables())
+def test_two_approximation_invariants(fds, table):
+    result = approx_s_repair(table, fds)
+    assert satisfies(result.repair, fds)
+    opt = table.dist_sub(exact_s_repair(table, fds))
+    assert result.distance <= 2 * opt + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(HARD_FDS), tables())
+def test_exact_baseline_dominates_any_consistent_subset(fds, table):
+    """The exact repair's kept weight is maximal among a sample of greedy
+    consistent subsets."""
+    exact = exact_s_repair(table, fds)
+    assert satisfies(exact, fds)
+    # Greedy heaviest-first subset as a competitor.
+    kept = []
+    for tid in sorted(table.ids(), key=lambda i: -table.weight(i)):
+        candidate = table.subset(kept + [tid])
+        if satisfies(candidate, fds):
+            kept.append(tid)
+    assert exact.total_weight() >= table.subset(kept).total_weight() - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(U_TRACTABLE_FDS), tables(max_size=6, domain=2))
+def test_u_repair_dispatcher_invariants(fds, table):
+    result = u_repair(table, fds)
+    assert result.update.is_update_of(table)
+    assert satisfies(result.update, fds)
+    assert result.optimal  # these FD sets are all in the tractable cases
+    # Corollary 4.5 sandwich against the exact S-repair distance.
+    s_dist = table.dist_sub(exact_s_repair(table, fds))
+    assert s_dist <= result.distance + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(HARD_FDS), tables(max_size=5, domain=2))
+def test_u_repair_approx_ratio_bound(fds, table):
+    result = u_repair(table, fds, allow_exact_search=False)
+    assert satisfies(result.update, fds)
+    s_dist = table.dist_sub(exact_s_repair(table, fds))
+    # dist_upd(approx) ≤ mlc · dist_sub(2-approx S) ≤ 2·mlc · dist_sub(S*)
+    # and dist_sub(S*) ≤ dist_upd(U*), hence the advertised bound.
+    assert result.distance <= result.ratio_bound * max(s_dist, 0) + 1e-9 or s_dist == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables(max_size=8))
+def test_mpd_reduction_against_brute_force(table):
+    from repro.core.mpd import brute_force_mpd, most_probable_database
+
+    # Rescale weights into (0, 1].
+    prob = Table(
+        table.schema,
+        table.rows(),
+        {tid: min(table.weight(tid) / 3.0 + 0.05, 1.0) for tid in table.ids()},
+    )
+    fds = FDSet("A -> B")
+    ours = most_probable_database(prob, fds)
+    reference = brute_force_mpd(prob, fds)
+    assert abs(ours.probability - reference.probability) < 1e-9

@@ -1,0 +1,158 @@
+"""Robustness tests: malformed inputs, unusual values, failure injection.
+
+A production-quality library must fail loudly and precisely on bad
+inputs and behave correctly on unusual-but-legal ones (unicode attribute
+names, mixed value types, huge weights, single-column schemas).
+"""
+
+import math
+
+import pytest
+
+from repro.core.dichotomy import classify
+from repro.core.fd import FD, FDSet, parse_fd_set
+from repro.core.srepair import opt_s_repair
+from repro.core.table import FreshValue, Table
+from repro.core.urepair import u_repair
+from repro.core.violations import satisfies
+from repro.io.tables import table_from_csv
+from repro.pipeline import assess, clean
+
+
+class TestMalformedFDStrings:
+    @pytest.mark.parametrize(
+        "text", ["A B C", "A ->", "->", "A - > B", "A => B"]
+    )
+    def test_bad_fd_rejected(self, text):
+        with pytest.raises(ValueError):
+            FD.parse(text)
+
+    def test_empty_segments_ignored(self):
+        fds = parse_fd_set("A -> B; ; ;B -> C;")
+        assert len(fds) == 2
+
+    def test_whitespace_only_is_empty(self):
+        assert len(parse_fd_set("  ")) == 0
+
+
+class TestUnusualButLegalInputs:
+    def test_unicode_attribute_names(self):
+        fds = FDSet("Stadt -> Postleitzahl")
+        table = Table.from_rows(
+            ("Stadt", "Postleitzahl"),
+            [("München", "80331"), ("München", "80333")],
+        )
+        repair = opt_s_repair(fds, table)
+        assert satisfies(repair, fds)
+        assert len(repair) == 1
+
+    def test_mixed_value_types_in_column(self):
+        # Equality across types is well-defined in Python; 1 != "1".
+        fds = FDSet("A -> B")
+        table = Table.from_rows(("A", "B"), [(1, "x"), ("1", "y"), (1, "z")])
+        repair = opt_s_repair(fds, table)
+        assert satisfies(repair, fds)
+        assert len(repair) == 2  # ("1", y) never conflicts with (1, ·)
+
+    def test_none_as_value(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(("A", "B"), [(None, 1), (None, 2)])
+        repair = opt_s_repair(fds, table)
+        assert len(repair) == 1
+
+    def test_huge_and_tiny_weights(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(
+            ("A", "B"), [("a", 1), ("a", 2)], weights=[1e12, 1e-9]
+        )
+        repair = opt_s_repair(fds, table)
+        assert list(repair.ids()) == [1]  # keep the heavy tuple
+
+    def test_single_column_schema(self):
+        fds = FDSet("-> A")
+        table = Table.from_rows(("A",), [("x",), ("y",), ("x",)])
+        result = u_repair(table, fds)
+        assert result.optimal and result.distance == 1.0
+
+    def test_fresh_values_in_input_table(self):
+        """Labelled nulls may already appear in the input (e.g. the
+        output of a previous repair is re-repaired)."""
+        null = FreshValue()
+        fds = FDSet("A -> B")
+        table = Table.from_rows(("A", "B"), [(null, 1), (null, 2), ("a", 1)])
+        repair = opt_s_repair(fds, table)
+        assert satisfies(repair, fds)
+        assert len(repair) == 2
+
+    def test_wide_schema(self):
+        schema = tuple(f"C{i}" for i in range(30))
+        fds = FDSet("C0 -> C29")
+        rows = [tuple(f"v{i % 3}" for i in range(30)) for _ in range(5)]
+        table = Table.from_rows(schema, rows)
+        assert satisfies(table, fds)
+        assert assess(table, fds).consistent
+
+    def test_idempotent_repair(self):
+        """Repairing a repair changes nothing."""
+        from repro.datagen.office import office_fds, office_table
+
+        first = opt_s_repair(office_fds(), office_table())
+        second = opt_s_repair(office_fds(), first)
+        assert first == second
+
+    def test_re_repairing_an_update_is_free(self):
+        from repro.datagen.office import office_fds, office_table
+
+        result = u_repair(office_table(), office_fds())
+        again = u_repair(result.update, office_fds())
+        assert again.distance == 0.0
+
+
+class TestMalformedCsv:
+    def test_missing_weight_column(self):
+        with pytest.raises(ValueError):
+            table_from_csv("x", text="id,A\n1,foo\n")
+
+    def test_missing_id_column(self):
+        with pytest.raises(ValueError):
+            table_from_csv("x", text="A,weight\nfoo,1\n")
+
+    def test_non_numeric_weight(self):
+        with pytest.raises(ValueError):
+            table_from_csv("x", text="id,A,weight\n1,foo,heavy\n")
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("x", text="id,A,weight\n1,foo,0\n")
+
+    def test_blank_lines_tolerated(self):
+        table = table_from_csv("x", text="id,A,weight\n1,foo,1\n\n2,bar,2\n")
+        assert len(table) == 2
+
+
+class TestPipelineEdgeCases:
+    def test_empty_table(self):
+        report = assess(Table(("A", "B"), {}), FDSet("A -> B"))
+        assert report.consistent and report.bracket_is_tight
+
+    def test_trivial_fd_set(self):
+        from repro.datagen.office import office_table
+
+        result = clean(office_table(), FDSet())
+        assert result.distance == 0.0 and result.optimal
+
+    def test_all_tuples_identical(self):
+        fds = FDSet("A -> B; B -> A; -> A")
+        table = Table.from_rows(("A", "B"), [("x", 1)] * 6)
+        report = assess(table, fds)
+        assert report.consistent
+        result = clean(table, fds, strategy="updates")
+        assert result.distance == 0.0
+
+    def test_every_tuple_conflicts(self):
+        fds = FDSet("-> A")
+        table = Table.from_rows(("A",), [(f"v{i}",) for i in range(6)])
+        report = assess(table, fds)
+        assert report.conflicting_tuples == 6
+        result = clean(table, fds)
+        assert result.distance == 5.0  # keep exactly one

@@ -1,0 +1,121 @@
+"""Tests for the MAX-non-mixed-SAT reduction (Lemma A.13)."""
+
+import pytest
+
+from repro.core.exact import exact_s_repair
+from repro.core.violations import satisfies
+from repro.datagen.cnf import random_non_mixed_formula
+from repro.reductions.sat import (
+    SAT_FDS,
+    Clause,
+    NonMixedFormula,
+    assignment_to_subset,
+    brute_force_max_sat,
+    formula_to_table,
+    subset_to_assignment,
+)
+
+
+def tiny_formula() -> NonMixedFormula:
+    return NonMixedFormula(
+        (
+            Clause(True, frozenset({"x1", "x2"})),
+            Clause(False, frozenset({"x1"})),
+            Clause(True, frozenset({"x2", "x3"})),
+        )
+    )
+
+
+class TestFormula:
+    def test_clause_satisfaction(self):
+        pos = Clause(True, frozenset({"x"}))
+        neg = Clause(False, frozenset({"x"}))
+        assert pos.satisfied_by({"x": True})
+        assert not pos.satisfied_by({"x": False})
+        assert neg.satisfied_by({"x": False})
+        assert not neg.satisfied_by({"x": True})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(True, frozenset())
+
+    def test_satisfied_count(self):
+        f = tiny_formula()
+        assert f.satisfied_count({"x1": True, "x2": True, "x3": False}) == 2
+        assert f.satisfied_count({"x1": False, "x2": True, "x3": False}) == 3
+
+    def test_brute_force_optimum(self):
+        _tau, best = brute_force_max_sat(tiny_formula())
+        assert best == 3
+
+    def test_brute_force_guard(self):
+        f = NonMixedFormula(
+            tuple(Clause(True, frozenset({f"x{i}"})) for i in range(25))
+        )
+        with pytest.raises(ValueError):
+            brute_force_max_sat(f, max_vars=20)
+
+    def test_variables(self):
+        assert tiny_formula().variables == frozenset({"x1", "x2", "x3"})
+
+    def test_str_renders(self):
+        assert "∨" in str(tiny_formula().clauses[0])
+        assert "∧" in str(tiny_formula())
+
+
+class TestConstruction:
+    def test_table_layout(self):
+        table = formula_to_table(tiny_formula())
+        # One tuple per (clause, literal): 2 + 1 + 2 = 5.
+        assert len(table) == 5
+        assert table[(0, "x1")] == ("c0", 1, "x1")
+        assert table[(1, "x1")] == ("c1", 0, "x1")
+        assert table.is_unweighted and table.is_duplicate_free
+
+    def test_assignment_to_subset_is_consistent(self):
+        f = tiny_formula()
+        table = formula_to_table(f)
+        tau = {"x1": False, "x2": True, "x3": False}
+        subset = assignment_to_subset(f, table, tau)
+        assert satisfies(subset, SAT_FDS)
+        assert len(subset) == f.satisfied_count(tau)
+
+    def test_subset_to_assignment_rejects_mixed_signs(self):
+        f = tiny_formula()
+        table = formula_to_table(f)
+        bad = table.subset([(0, "x1"), (1, "x1")])  # x1 with both signs
+        with pytest.raises(ValueError):
+            subset_to_assignment(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimum_equality(self, seed):
+        """Lemma A.13: max satisfiable clauses == max consistent-subset
+        size (and the complement equality: min unsatisfied == min
+        deletions)."""
+        f = random_non_mixed_formula(4, 7, 2, seed=seed)
+        table = formula_to_table(f)
+        _tau, best_sat = brute_force_max_sat(f)
+        repair = exact_s_repair(table, SAT_FDS)
+        assert len(repair) == best_sat
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_extracted_assignment_achieves_subset_size(self, seed):
+        f = random_non_mixed_formula(5, 8, 3, seed=seed)
+        table = formula_to_table(f)
+        repair = exact_s_repair(table, SAT_FDS)
+        tau = subset_to_assignment(repair)
+        # Every kept tuple witnesses one distinct satisfied clause.
+        assert f.satisfied_count(tau) >= len(repair)
+
+    def test_unsatisfied_equals_deleted(self):
+        f = tiny_formula()
+        table = formula_to_table(f)
+        repair = exact_s_repair(table, SAT_FDS)
+        deleted = len(table) - len(repair)
+        _tau, best = brute_force_max_sat(f)
+        # Strictness of the complement reduction: deletions count the
+        # non-witnessing tuples; with one witness per satisfied clause,
+        # deleted = |tuples| − satisfied.
+        assert deleted == len(table) - best

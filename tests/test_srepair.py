@@ -1,0 +1,212 @@
+"""Tests for Algorithm 1 (``OptSRepair``) — soundness and optimality.
+
+Soundness and optimality are checked against the exact vertex-cover
+baseline on randomly generated weighted tables with duplicates, for a
+battery of FD sets covering every simplification path (common lhs,
+consensus, lhs marriage, and their compositions).
+"""
+
+import random
+
+import pytest
+
+from repro.core.dichotomy import osr_succeeds
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.srepair import DichotomyFailure, opt_s_repair, optimal_s_repair
+from repro.core.table import Table
+from repro.core.violations import satisfies
+
+from conftest import DELTA_A_IFF_B_TO_C, DELTA_SSN, random_small_table
+
+TRACTABLE_SETS = [
+    FDSet("A -> B"),
+    FDSet("A -> B; A -> C"),
+    FDSet("A -> B; A B -> C"),  # chain
+    FDSet("A -> B C"),
+    FDSet("-> A"),
+    FDSet("-> A; B -> C"),
+    DELTA_A_IFF_B_TO_C,
+    FDSet("A -> B; B -> A"),
+    FDSet("A B -> C; A -> D"),
+]
+
+HARD_SETS = [
+    FDSet("A -> B; B -> C"),
+    FDSet("A -> B; C -> D"),
+    FDSet("A -> C; B -> C"),
+]
+
+
+class TestFigure1:
+    def test_running_example_optimal_distance(self, office, office_delta):
+        repair = opt_s_repair(office_delta, office)
+        assert satisfies(repair, office_delta)
+        assert office.dist_sub(repair) == 2.0
+
+    def test_s1_and_s2_are_optimal(self, office, office_delta):
+        """Example 2.3: S1 and S2 both achieve the optimal distance 2."""
+        from repro.datagen.office import consistent_subsets
+
+        repair = opt_s_repair(office_delta, office)
+        optimum = office.dist_sub(repair)
+        subsets = consistent_subsets()
+        assert office.dist_sub(subsets["S1"]) == optimum == 2.0
+        assert office.dist_sub(subsets["S2"]) == optimum
+
+    def test_s3_is_suboptimal_15_optimal(self, office, office_delta):
+        """Example 2.3: S3 has distance 3, a 1.5-optimal S-repair."""
+        from repro.datagen.office import consistent_subsets
+
+        s3 = consistent_subsets()["S3"]
+        assert office.dist_sub(s3) == 3.0
+        assert office.dist_sub(s3) / 2.0 == 1.5
+
+
+class TestTerminationPaths:
+    def test_trivial_fdset_returns_table(self, office):
+        assert opt_s_repair(FDSet(), office) == office
+        assert opt_s_repair(FDSet("facility -> facility"), office) == office
+
+    def test_consensus_keeps_heaviest_group(self):
+        table = Table.from_rows(
+            ("A", "B"),
+            [("x", 1), ("x", 2), ("y", 3)],
+            weights=[1.0, 1.0, 5.0],
+        )
+        repair = opt_s_repair(FDSet("-> A"), table)
+        # Group A=y weighs 5 > group A=x weighing 2.
+        assert set(repair.ids()) == {3}
+
+    def test_consensus_tie_break_deterministic(self):
+        table = Table.from_rows(("A",), [("x",), ("y",)])
+        r1 = opt_s_repair(FDSet("-> A"), table)
+        r2 = opt_s_repair(FDSet("-> A"), table)
+        assert r1.ids() == r2.ids()
+
+    def test_common_lhs_partitions_independently(self):
+        fds = FDSet("A -> B")
+        table = Table.from_rows(
+            ("A", "B"),
+            [("x", 1), ("x", 2), ("y", 1), ("y", 1)],
+            weights=[3.0, 1.0, 1.0, 1.0],
+        )
+        repair = opt_s_repair(fds, table)
+        assert set(repair.ids()) == {1, 3, 4}
+
+    def test_marriage_case_simple(self):
+        """{A→B, B→A}: keep the heaviest consistent pairing."""
+        fds = FDSet("A -> B; B -> A")
+        table = Table.from_rows(
+            ("A", "B"),
+            [("a1", "b1"), ("a1", "b2"), ("a2", "b2")],
+            weights=[1.0, 5.0, 1.0],
+        )
+        repair = opt_s_repair(fds, table)
+        # Keeping tuple 2 (weight 5) forces dropping tuples 1 and 3.
+        assert set(repair.ids()) == {2}
+
+    def test_marriage_matching_combines_blocks(self):
+        fds = FDSet("A -> B; B -> A")
+        table = Table.from_rows(
+            ("A", "B"),
+            [("a1", "b1"), ("a2", "b2"), ("a1", "b1")],
+        )
+        repair = opt_s_repair(fds, table)
+        assert set(repair.ids()) == {1, 2, 3}
+
+    def test_failure_raises_dichotomy_failure(self, office):
+        with pytest.raises(DichotomyFailure):
+            opt_s_repair(FDSet("A -> B; B -> C"), Table(("A", "B", "C"), {}))
+
+    def test_failure_exception_carries_stuck_fds(self):
+        try:
+            opt_s_repair(FDSet("A -> B; B -> C"), Table(("A", "B", "C"), {}))
+        except DichotomyFailure as exc:
+            assert exc.fds == FDSet("A -> B; B -> C")
+        else:
+            pytest.fail("expected DichotomyFailure")
+
+    def test_empty_table(self):
+        table = Table(("A", "B"), {})
+        repair = opt_s_repair(FDSet("A -> B; -> B"), table)
+        assert len(repair) == 0
+
+
+class TestSsnExample:
+    def test_example_31_ssn_delta_succeeds(self, rng):
+        """Example 3.5 walks Δ1 (ssn) through marriage → consensus →
+        common lhs → consensus; the algorithm must therefore succeed."""
+        assert osr_succeeds(DELTA_SSN)
+        schema = sorted(DELTA_SSN.attributes)
+        table = random_small_table(rng, schema, 10, domain=2, weighted=True)
+        repair = opt_s_repair(DELTA_SSN, table)
+        assert satisfies(repair, DELTA_SSN)
+        exact = exact_s_repair(table, DELTA_SSN)
+        assert table.dist_sub(repair) == pytest.approx(table.dist_sub(exact))
+
+
+class TestRandomCrossValidation:
+    @pytest.mark.parametrize("fds", TRACTABLE_SETS, ids=str)
+    def test_matches_exact_baseline(self, fds, rng):
+        assert osr_succeeds(fds)
+        schema = sorted(fds.attributes | {"Z"})  # an extra free attribute
+        for _ in range(15):
+            table = random_small_table(
+                rng, schema, rng.randrange(0, 12), domain=3, weighted=True
+            )
+            repair = opt_s_repair(fds, table)
+            assert satisfies(repair, fds)
+            assert repair.is_subset_of(table)
+            exact = exact_s_repair(table, fds)
+            assert table.dist_sub(repair) == pytest.approx(
+                table.dist_sub(exact)
+            ), table.to_records()
+
+    @pytest.mark.parametrize("fds", TRACTABLE_SETS, ids=str)
+    def test_handles_duplicates(self, fds, rng):
+        schema = sorted(fds.attributes)
+        base = random_small_table(rng, schema, 5, domain=2)
+        rows = list(base.rows().values()) * 2  # duplicate every tuple
+        table = Table.from_rows(schema, rows)
+        repair = opt_s_repair(fds, table)
+        assert satisfies(repair, fds)
+        exact = exact_s_repair(table, fds)
+        assert table.dist_sub(repair) == pytest.approx(table.dist_sub(exact))
+
+    @pytest.mark.parametrize("fds", HARD_SETS, ids=str)
+    def test_hard_sets_fail(self, fds):
+        assert not osr_succeeds(fds)
+        with pytest.raises(DichotomyFailure):
+            opt_s_repair(fds, Table(tuple(sorted(fds.attributes)), {}))
+
+
+class TestHighLevelAPI:
+    def test_auto_uses_dichotomy_when_possible(self, office, office_delta):
+        result = optimal_s_repair(office, office_delta)
+        assert result.method == "OptSRepair"
+        assert result.optimal and result.ratio_bound == 1.0
+        assert result.distance == 2.0
+
+    def test_auto_falls_back_to_exact(self, rng):
+        fds = FDSet("A -> B; B -> C")
+        table = random_small_table(rng, ("A", "B", "C"), 8, domain=2)
+        result = optimal_s_repair(table, fds)
+        assert result.method == "exact-vertex-cover"
+        assert satisfies(result.repair, fds)
+
+    def test_exact_method_forced(self, office, office_delta):
+        result = optimal_s_repair(office, office_delta, method="exact")
+        assert result.distance == 2.0
+
+    def test_dichotomy_method_raises_on_hard_set(self):
+        with pytest.raises(DichotomyFailure):
+            optimal_s_repair(
+                Table(("A", "B", "C"), {}),
+                FDSet("A -> B; B -> C"),
+                method="dichotomy",
+            )
+
+    def test_unknown_method_rejected(self, office, office_delta):
+        with pytest.raises(ValueError):
+            optimal_s_repair(office, office_delta, method="magic")

@@ -1,0 +1,228 @@
+"""Unit tests for the table model (Section 2.1) and distances (§2.3)."""
+
+import pytest
+
+from repro.core.table import FreshValue, Table, fresh_value_factory, hamming_distance
+
+
+def small_table() -> Table:
+    return Table(
+        ("A", "B"),
+        {1: ("x", 1), 2: ("x", 2), 3: ("y", 1)},
+        {1: 2.0, 2: 1.0, 3: 1.0},
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = small_table()
+        assert len(t) == 3
+        assert t.schema == ("A", "B")
+        assert t[1] == ("x", 1)
+        assert t.weight(1) == 2.0
+
+    def test_default_weights_are_one(self):
+        t = Table(("A",), {1: ("x",), 2: ("y",)})
+        assert t.weight(1) == 1.0 and t.weight(2) == 1.0
+        assert t.is_unweighted
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("A", "A"), {})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("A", "B"), {1: ("x",)})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("A",), {1: ("x",)}, {1: 0.0})
+
+    def test_unknown_weight_id_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("A",), {1: ("x",)}, {2: 1.0})
+
+    def test_from_rows_sequential_ids(self):
+        t = Table.from_rows(("A",), [("x",), ("y",)])
+        assert t.ids() == (1, 2)
+
+    def test_from_dicts(self):
+        t = Table.from_dicts(("A", "B"), [{"A": 1, "B": 2}, {"B": 4, "A": 3}])
+        assert t[1] == (1, 2) and t[2] == (3, 4)
+
+    def test_from_rows_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Table.from_rows(("A",), [("x",)], weights=[1.0, 2.0])
+
+
+class TestProperties:
+    def test_duplicate_free(self):
+        assert small_table().is_duplicate_free
+        dup = Table(("A",), {1: ("x",), 2: ("x",)})
+        assert not dup.is_duplicate_free
+
+    def test_unweighted(self):
+        assert not small_table().is_unweighted
+        assert Table(("A",), {1: ("x",)}, {1: 5.0}).is_unweighted
+
+    def test_total_weight(self):
+        assert small_table().total_weight() == 4.0
+        assert small_table().total_weight([1, 3]) == 3.0
+
+    def test_active_domain(self):
+        assert small_table().active_domain("A") == {"x", "y"}
+        assert small_table().active_domain("B") == {1, 2}
+
+    def test_figure1_flags(self):
+        """Example 2.1: S2 duplicate-free & unweighted; S1 duplicate-free
+        but weighted; U2 neither."""
+        from repro.datagen.office import consistent_subsets, consistent_updates
+
+        subsets = consistent_subsets()
+        assert subsets["S2"].is_duplicate_free and subsets["S2"].is_unweighted
+        assert subsets["S1"].is_duplicate_free and not subsets["S1"].is_unweighted
+        u2 = consistent_updates()["U2"]
+        assert not u2.is_duplicate_free and not u2.is_unweighted
+
+
+class TestRelationalOps:
+    def test_project(self):
+        t = small_table()
+        assert t.project(1, ("B",)) == (1,)
+        assert t.project(1, ("B", "A")) == ("x", 1)  # sorted attribute order
+
+    def test_select_eq(self):
+        t = small_table()
+        sel = t.select_eq({"A": "x"})
+        assert set(sel.ids()) == {1, 2}
+
+    def test_select_eq_multiple(self):
+        t = small_table()
+        sel = t.select_eq({"A": "x", "B": 2})
+        assert sel.ids() == (2,)
+
+    def test_group_by(self):
+        groups = small_table().group_by(("A",))
+        assert groups[("x",)] == [1, 2]
+        assert groups[("y",)] == [3]
+
+    def test_group_by_empty_attrs(self):
+        groups = small_table().group_by(())
+        assert groups == {(): [1, 2, 3]}
+
+    def test_distinct_projection_order(self):
+        assert small_table().distinct_projection(("A",)) == [("x",), ("y",)]
+
+    def test_subset(self):
+        sub = small_table().subset([1, 3])
+        assert sub.ids() == (1, 3)
+        assert sub.weight(1) == 2.0
+
+    def test_subset_unknown_id(self):
+        with pytest.raises(KeyError):
+            small_table().subset([9])
+
+    def test_union_disjoint(self):
+        t = small_table()
+        u = t.subset([1]).union(t.subset([3]))
+        assert set(u.ids()) == {1, 3}
+
+    def test_union_overlap_rejected(self):
+        t = small_table()
+        with pytest.raises(ValueError):
+            t.subset([1]).union(t.subset([1, 2]))
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            small_table().union(Table(("C",), {9: ("z",)}))
+
+
+class TestUpdates:
+    def test_with_updates(self):
+        t = small_table().with_updates({(2, "B"): 1})
+        assert t[2] == ("x", 1)
+        assert t.weight(2) == 1.0  # weights preserved
+
+    def test_with_updates_unknown_id(self):
+        with pytest.raises(KeyError):
+            small_table().with_updates({(9, "B"): 1})
+
+    def test_is_update_of(self):
+        t = small_table()
+        assert t.with_updates({(1, "A"): "z"}).is_update_of(t)
+        assert not t.subset([1]).is_update_of(t)
+
+    def test_is_subset_of(self):
+        t = small_table()
+        assert t.subset([1, 2]).is_subset_of(t)
+        assert not t.with_updates({(1, "A"): "z"}).is_subset_of(t)
+
+    def test_changed_cells(self):
+        t = small_table()
+        u = t.with_updates({(1, "A"): "z", (3, "B"): 9})
+        assert set(u.changed_cells(t)) == {(1, "A"), (3, "B")}
+
+
+class TestDistances:
+    def test_hamming(self):
+        assert hamming_distance(("a", "b"), ("a", "c")) == 1
+        assert hamming_distance(("a", "b"), ("a", "b")) == 0
+
+    def test_hamming_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(("a",), ("a", "b"))
+
+    def test_dist_sub_weighted(self):
+        t = small_table()
+        assert t.dist_sub(t.subset([2, 3])) == 2.0  # dropped tuple 1, w=2
+        assert t.dist_sub(t) == 0.0
+
+    def test_dist_sub_rejects_non_subset(self):
+        t = small_table()
+        with pytest.raises(ValueError):
+            t.dist_sub(t.with_updates({(1, "A"): "z"}))
+
+    def test_dist_upd_weighted_hamming(self):
+        t = small_table()
+        u = t.with_updates({(1, "A"): "z", (1, "B"): 7, (2, "B"): 1})
+        # tuple 1 (w=2) changed 2 cells, tuple 2 (w=1) changed 1 cell.
+        assert t.dist_upd(u) == 2 * 2 + 1
+
+    def test_dist_upd_rejects_subset(self):
+        t = small_table()
+        with pytest.raises(ValueError):
+            t.dist_upd(t.subset([1]))
+
+
+class TestFreshValues:
+    def test_distinct_from_everything(self):
+        f1, f2 = FreshValue(), FreshValue()
+        assert f1 != f2
+        assert f1 == f1
+        assert f1 != "x"
+
+    def test_factory_labels(self):
+        gen = fresh_value_factory("n")
+        a, b = next(gen), next(gen)
+        assert repr(a) == "n0" and repr(b) == "n1"
+
+    def test_usable_as_cell_value(self):
+        f = FreshValue()
+        t = small_table().with_updates({(1, "A"): f})
+        assert t[1][0] is f
+        assert t.active_domain("A") == {f, "x", "y"}
+
+
+class TestDisplay:
+    def test_to_string_contains_all_cells(self):
+        text = small_table().to_string()
+        assert "x" in text and "y" in text and "id" in text
+
+    def test_to_records(self):
+        recs = small_table().to_records()
+        assert recs[0] == {"id": 1, "A": "x", "B": 1, "weight": 2.0}
+
+    def test_equality_and_hash(self):
+        assert small_table() == small_table()
+        assert hash(small_table()) == hash(small_table())
+        assert small_table() != small_table().subset([1, 2])

@@ -1,0 +1,155 @@
+"""Tests for the triangle-packing reduction (Lemma A.11, Figure 5)."""
+
+import pytest
+
+from repro.core.exact import exact_s_repair
+from repro.core.violations import satisfies
+from repro.datagen.graphs import random_tripartite_graph
+from repro.reductions.triangles import (
+    TRIANGLE_FDS,
+    TripartiteGraph,
+    _edges_of,
+    amini_gadget,
+    max_edge_disjoint_triangles,
+    packing_to_subset,
+    subset_to_packing,
+    triangles_to_table,
+)
+
+
+class TestTripartiteGraph:
+    def test_parts_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            TripartiteGraph(("x",), ("x",), ("z",))
+
+    def test_intra_part_edge_rejected(self):
+        g = TripartiteGraph(("a1", "a2"), ("b1",), ("c1",))
+        with pytest.raises(ValueError):
+            g.add_edge("a1", "a2")
+
+    def test_triangle_enumeration(self):
+        g = TripartiteGraph(("a",), ("b",), ("c",))
+        assert g.triangles() == []
+        g.add_triangle("a", "b", "c")
+        assert g.triangles() == [("a", "b", "c")]
+
+    def test_max_degree(self):
+        g = TripartiteGraph(("a",), ("b", "b2"), ("c",))
+        g.add_edge("a", "b")
+        g.add_edge("a", "b2")
+        assert g.max_degree() == 2
+
+
+class TestPackingSolver:
+    def test_disjoint_triangles_all_packed(self):
+        tris = [("a1", "b1", "c1"), ("a2", "b2", "c2")]
+        assert len(max_edge_disjoint_triangles(tris)) == 2
+
+    def test_edge_sharing_triangles_conflict(self):
+        tris = [("a1", "b1", "c1"), ("a1", "b1", "c2")]  # share edge a1-b1
+        assert len(max_edge_disjoint_triangles(tris)) == 1
+
+    def test_vertex_sharing_is_allowed(self):
+        tris = [("a1", "b1", "c1"), ("a1", "b2", "c2")]  # share only a1
+        assert len(max_edge_disjoint_triangles(tris)) == 2
+
+    def test_limit_guard(self):
+        tris = [(f"a{i}", f"b{i}", f"c{i}") for i in range(50)]
+        with pytest.raises(ValueError):
+            max_edge_disjoint_triangles(tris, limit=40)
+
+
+class TestLemmaA11:
+    def test_table_construction(self):
+        tris = [("a1", "b1", "c1"), ("a1", "b1", "c2")]
+        table = triangles_to_table(tris)
+        assert len(table) == 2
+        assert table.is_unweighted and table.is_duplicate_free
+
+    def test_duplicate_triangles_rejected(self):
+        with pytest.raises(ValueError):
+            triangles_to_table([("a", "b", "c"), ("a", "b", "c")])
+
+    def test_consistency_iff_edge_disjoint(self):
+        """The heart of Lemma A.11: a subset is consistent under
+        ``Δ_{AB↔AC↔BC}`` iff its triangles are pairwise edge-disjoint."""
+        share_ab = [("a", "b", "c1"), ("a", "b", "c2")]
+        share_ac = [("a", "b1", "c"), ("a", "b2", "c")]
+        share_bc = [("a1", "b", "c"), ("a2", "b", "c")]
+        for tris in (share_ab, share_ac, share_bc):
+            table = triangles_to_table(tris)
+            assert not satisfies(table, TRIANGLE_FDS)
+        disjoint = triangles_to_table([("a", "b", "c"), ("a", "b2", "c2")])
+        assert satisfies(disjoint, TRIANGLE_FDS)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_optimum(self, seed):
+        g = random_tripartite_graph(4, 0.5, seed=seed)
+        tris = g.triangles()[:22]
+        if not tris:
+            pytest.skip("no triangles in this draw")
+        table = triangles_to_table(tris)
+        packing = max_edge_disjoint_triangles(tris)
+        repair = exact_s_repair(table, TRIANGLE_FDS)
+        assert len(repair) == len(packing)
+        extracted = subset_to_packing(repair)
+        assert len(extracted) == len(packing)
+
+    def test_packing_to_subset(self):
+        tris = [("a", "b", "c"), ("a", "b2", "c2")]
+        table = triangles_to_table(tris)
+        subset = packing_to_subset(table, tris)
+        assert len(subset) == 2
+
+    def test_subset_to_packing_rejects_sharing(self):
+        tris = [("a", "b", "c1"), ("a", "b", "c2")]
+        table = triangles_to_table(tris)
+        with pytest.raises(ValueError):
+            subset_to_packing(table)  # both tuples share edge (a, b)
+
+
+class TestAminiGadget:
+    def test_thirteen_triangles(self):
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        assert len(gadget) == 13
+
+    def test_consecutive_share_exactly_one_edge(self):
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        for t1, t2 in zip(gadget, gadget[1:]):
+            assert len(_edges_of(t1) & _edges_of(t2)) == 1
+
+    def test_even_triangles_edge_disjoint(self):
+        """The 6/13 property the hardness amplification relies on."""
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        evens = gadget[1::2]
+        assert len(evens) == 6
+        used = set()
+        for tri in evens:
+            edges = _edges_of(tri)
+            assert not (edges & used)
+            used |= edges
+
+    def test_endpoint_embedding(self):
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        assert {"x0", "x1"} <= set(gadget[0])
+        assert {"y0", "y1"} <= set(gadget[6])
+        assert {"z0", "z1"} <= set(gadget[12])
+
+    def test_odd_selection_covers_endpoints(self):
+        """Selecting the 7 odd triangles is also edge-disjoint and covers
+        the x/y/z pairs (the 'set selected' branch of the reduction)."""
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        odds = gadget[0::2]
+        assert len(odds) == 7
+        used = set()
+        for tri in odds:
+            edges = _edges_of(tri)
+            assert not (edges & used)
+            used |= edges
+
+    def test_optimal_packing_size(self):
+        """Max packing of the chain alternates triangles: exactly 7."""
+        gadget = amini_gadget(("x0", "x1"), ("y0", "y1"), ("z0", "z1"))
+        assert len(max_edge_disjoint_triangles(list(gadget))) == 7
+        # ≥ 6/13 of all triangles, as required.
+        assert 7 / 13 >= 6 / 13

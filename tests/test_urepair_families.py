@@ -1,0 +1,120 @@
+"""Tests for the Theorem 4.14 embeddings (Lemmas B.6 / B.7).
+
+The headline property: the optimal U-repair distance is preserved by
+both embeddings — verified with the exact solver on small instances.
+"""
+
+import pytest
+
+from repro.core.exact import exact_u_repair
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.reductions.urepair_families import (
+    DELTA_ABC_CHAIN,
+    PAD,
+    delta_k,
+    delta_k_schema,
+    delta_prime_k,
+    delta_prime_k_schema,
+    embed_chain_into_delta_k,
+    embed_dp1_into_dpk,
+)
+
+from conftest import random_small_table
+
+
+class TestFamilies:
+    def test_delta_k_shape(self):
+        fds = delta_k(3)
+        assert len(fds) == 2 + 3
+        assert fds.mlc() == 5  # k + 2
+
+    def test_delta_prime_k_shape(self):
+        fds = delta_prime_k(3)
+        assert len(fds) == 4
+        assert fds.mlc() == 2  # ⌈(k+1)/2⌉
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            delta_k(0)
+        with pytest.raises(ValueError):
+            embed_dp1_into_dpk(Table(delta_prime_k_schema(1), {}), 1)
+
+
+class TestLemmaB6:
+    def test_embedding_layout(self):
+        table = Table.from_rows(("A", "B", "C"), [("a", "b", "c")])
+        embedded = embed_chain_into_delta_k(table, 2)
+        assert embedded.schema == delta_k_schema(2)
+        record = dict(zip(embedded.schema, embedded[1]))
+        assert record["A1"] == "a" and record["B0"] == "b" and record["C"] == "c"
+        assert record["A0"] == 0 and record["B2"] == 0
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            embed_chain_into_delta_k(Table(("X", "Y"), {}), 2)
+
+    def test_consistency_preserved_both_ways(self, rng):
+        fds_k = delta_k(2)
+        for _ in range(10):
+            table = random_small_table(rng, ("A", "B", "C"), 5, domain=2)
+            embedded = embed_chain_into_delta_k(table, 2)
+            assert satisfies(table, DELTA_ABC_CHAIN) == satisfies(
+                embedded, fds_k
+            )
+
+    @pytest.mark.parametrize("k", (1, 2))
+    def test_optimal_distance_preserved(self, k, rng):
+        """The Lemma B.6 identity: dist_upd optima coincide."""
+        fds_k = delta_k(k)
+        for _ in range(4):
+            table = random_small_table(rng, ("A", "B", "C"), 4, domain=2)
+            embedded = embed_chain_into_delta_k(table, k)
+            source_opt = table.dist_upd(exact_u_repair(table, DELTA_ABC_CHAIN))
+            target_opt = embedded.dist_upd(exact_u_repair(embedded, fds_k))
+            assert source_opt == pytest.approx(target_opt)
+
+    def test_weights_preserved(self):
+        table = Table.from_rows(
+            ("A", "B", "C"), [("a", "b", "c")], weights=[7.0]
+        )
+        assert embed_chain_into_delta_k(table, 2).weight(1) == 7.0
+
+
+class TestLemmaB7:
+    def _dp1_table(self, rng, size):
+        return random_small_table(rng, delta_prime_k_schema(1), size, domain=2)
+
+    def test_embedding_layout(self, rng):
+        table = self._dp1_table(rng, 1)
+        embedded = embed_dp1_into_dpk(table, 3)
+        assert embedded.schema == delta_prime_k_schema(3)
+        record = dict(zip(embedded.schema, embedded[1]))
+        assert record["A4"] == PAD and record["B3"] == PAD
+
+    def test_consistency_preserved(self, rng):
+        dp1, dp3 = delta_prime_k(1), delta_prime_k(3)
+        for _ in range(10):
+            table = self._dp1_table(rng, 5)
+            embedded = embed_dp1_into_dpk(table, 3)
+            assert satisfies(table, dp1) == satisfies(embedded, dp3)
+
+    def test_optimal_distance_preserved(self, rng):
+        """The Lemma B.7 identity: dist_upd optima coincide."""
+        dp1, dp2 = delta_prime_k(1), delta_prime_k(2)
+        for _ in range(3):
+            table = self._dp1_table(rng, 3)
+            embedded = embed_dp1_into_dpk(table, 2)
+            source_opt = table.dist_upd(exact_u_repair(table, dp1))
+            target_opt = embedded.dist_upd(exact_u_repair(embedded, dp2))
+            assert source_opt == pytest.approx(target_opt)
+
+    def test_dp1_has_common_lhs_a1(self):
+        """Theorem 4.14's base case: Δ'_1 has common lhs A1 and fails
+        OSRSucceeds (its residual is the hard {A→B, C→D} shape)."""
+        from repro.core.dichotomy import osr_succeeds
+
+        dp1 = delta_prime_k(1)
+        assert dp1.common_lhs() == frozenset({"A1"})
+        assert not osr_succeeds(dp1)

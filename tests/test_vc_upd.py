@@ -1,0 +1,121 @@
+"""Tests for the Theorem 4.10 reduction (vertex cover → U-repair)."""
+
+import pytest
+
+from repro.core.exact import exact_u_repair
+from repro.core.violations import satisfies
+from repro.datagen.graphs import bounded_degree_graph
+from repro.graphs.graph import Graph
+from repro.graphs.vertex_cover import exact_min_weight_vertex_cover
+from repro.reductions.vc_upd import (
+    DELTA_A_IFF_B_TO_C,
+    cover_to_update,
+    expected_optimal_cost,
+    graph_to_table,
+    update_to_cover,
+)
+
+
+def triangle_graph() -> Graph:
+    return Graph.from_edges([("u", "v"), ("v", "w"), ("u", "w")])
+
+
+def path_graph() -> Graph:
+    return Graph.from_edges([("u", "v"), ("v", "w")])
+
+
+class TestConstruction:
+    def test_table_layout(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        # 2 tuples per edge + 1 per vertex: 2·2 + 3 = 7.
+        assert len(table) == 7
+        assert table[("edge", "u", "v")] == ("u", "v", 0)
+        assert table[("edge", "v", "u")] == ("v", "u", 0)
+        assert table[("vertex", "v")] == ("v", "v", 1)
+        assert table.is_unweighted and table.is_duplicate_free
+
+    def test_table_is_inconsistent(self):
+        table = graph_to_table(path_graph())
+        assert not satisfies(table, DELTA_A_IFF_B_TO_C)
+
+    def test_edgeless_graph_is_consistent(self):
+        g = Graph()
+        g.add_node("u")
+        table = graph_to_table(g)
+        assert satisfies(table, DELTA_A_IFF_B_TO_C)
+
+
+class TestCoverToUpdate:
+    def test_cost_identity_on_path(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        update = cover_to_update(table, g, {"v"})
+        assert satisfies(update, DELTA_A_IFF_B_TO_C)
+        assert table.dist_upd(update) == expected_optimal_cost(g, 1) == 5
+
+    def test_cost_identity_on_triangle(self):
+        g = triangle_graph()
+        table = graph_to_table(g)
+        update = cover_to_update(table, g, {"u", "v"})
+        assert satisfies(update, DELTA_A_IFF_B_TO_C)
+        assert table.dist_upd(update) == 2 * 3 + 2
+
+    def test_rejects_non_cover(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        with pytest.raises(ValueError):
+            cover_to_update(table, g, {"u"})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cost_identity_random(self, seed):
+        g = bounded_degree_graph(7, 3, 1.1, seed=seed)
+        table = graph_to_table(g)
+        cover = set(exact_min_weight_vertex_cover(g))
+        update = cover_to_update(table, g, cover)
+        assert table.dist_upd(update) == expected_optimal_cost(g, len(cover))
+
+
+class TestUpdateToCover:
+    def test_extracts_cover(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        update = cover_to_update(table, g, {"v"})
+        cover = update_to_cover(table, g, update)
+        assert g.is_vertex_cover(cover)
+        assert cover == {"v"}
+
+    def test_rejects_inconsistent_update(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        with pytest.raises(ValueError):
+            update_to_cover(table, g, table)
+
+
+class TestTheorem410Identity:
+    """The headline identity: optimal U-repair distance = 2|E| + τ(G)."""
+
+    def test_exact_on_single_edge(self):
+        g = Graph.from_edges([("u", "v")])
+        table = graph_to_table(g)
+        optimum = exact_u_repair(table, DELTA_A_IFF_B_TO_C)
+        assert table.dist_upd(optimum) == expected_optimal_cost(g, 1) == 3
+
+    def test_exact_on_path(self):
+        g = path_graph()
+        table = graph_to_table(g)
+        tau = len(exact_min_weight_vertex_cover(g))
+        optimum = exact_u_repair(
+            table, DELTA_A_IFF_B_TO_C, upper_bound=expected_optimal_cost(g, tau) + 0.5
+        )
+        assert table.dist_upd(optimum) == expected_optimal_cost(g, tau) == 5
+
+    def test_never_cheaper_than_construction(self):
+        """The cover construction upper-bounds the optimum: on small
+        graphs the exhaustive search must match it exactly."""
+        g = Graph.from_edges([("u", "v"), ("u", "w")])  # star, τ = 1
+        table = graph_to_table(g)
+        tau = len(exact_min_weight_vertex_cover(g))
+        expected = expected_optimal_cost(g, tau)
+        optimum = exact_u_repair(table, DELTA_A_IFF_B_TO_C, upper_bound=expected + 0.5)
+        assert table.dist_upd(optimum) == expected == 5

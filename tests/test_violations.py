@@ -1,0 +1,126 @@
+"""Unit tests for violation detection and conflict graphs."""
+
+import pytest
+
+from repro.core.fd import FD, FDSet
+from repro.core.table import Table
+from repro.core.violations import (
+    conflict_graph,
+    conflicting_ids,
+    satisfies,
+    violating_pairs,
+    violating_pairs_of_fd,
+)
+
+
+def t(rows, weights=None, schema=("A", "B", "C")):
+    return Table.from_rows(schema, rows, weights)
+
+
+class TestViolatingPairs:
+    def test_simple_violation(self):
+        table = t([("a", 1, 0), ("a", 2, 0)])
+        pairs = list(violating_pairs_of_fd(table, FD("A", "B")))
+        assert pairs == [(1, 2)]
+
+    def test_no_violation_when_rhs_agrees(self):
+        table = t([("a", 1, 0), ("a", 1, 9)])
+        assert list(violating_pairs_of_fd(table, FD("A", "B"))) == []
+
+    def test_no_violation_across_lhs_groups(self):
+        table = t([("a", 1, 0), ("b", 2, 0)])
+        assert list(violating_pairs_of_fd(table, FD("A", "B"))) == []
+
+    def test_trivial_fd_never_violated(self):
+        table = t([("a", 1, 0), ("a", 2, 0)])
+        assert list(violating_pairs_of_fd(table, FD("A B", "A"))) == []
+
+    def test_consensus_fd_violation(self):
+        table = t([("a", 1, 0), ("b", 1, 0), ("c", 2, 0)])
+        pairs = set(
+            frozenset(p) for p in violating_pairs_of_fd(table, FD((), "B"))
+        )
+        assert pairs == {frozenset((1, 3)), frozenset((2, 3))}
+
+    def test_compound_lhs(self):
+        table = t([("a", 1, 0), ("a", 1, 1), ("a", 2, 0)])
+        pairs = list(violating_pairs_of_fd(table, FD("A B", "C")))
+        assert pairs == [(1, 2)]
+
+    def test_multi_attribute_rhs(self):
+        table = t([("a", 1, 0), ("a", 1, 1)])
+        pairs = list(violating_pairs_of_fd(table, FD("A", "B C")))
+        assert pairs == [(1, 2)]
+
+    def test_pairs_with_fd_annotation(self):
+        fds = FDSet("A -> B; A -> C")
+        table = t([("a", 1, 0), ("a", 2, 1)])
+        annotated = list(violating_pairs(table, fds))
+        assert len(annotated) == 2  # both FDs violated by the same pair
+        assert {fd for _, _, fd in annotated} == {FD("A", "B"), FD("A", "C")}
+
+    def test_duplicates_never_conflict(self):
+        table = t([("a", 1, 0), ("a", 1, 0)])
+        assert satisfies(table, FDSet("A -> B; B -> C; -> A"))
+
+
+class TestSatisfies:
+    def test_figure1_tables(self):
+        from repro.datagen.office import (
+            consistent_subsets,
+            consistent_updates,
+            office_fds,
+            office_table,
+        )
+
+        fds = office_fds()
+        assert not satisfies(office_table(), fds)
+        for sub in consistent_subsets().values():
+            assert satisfies(sub, fds)
+        for upd in consistent_updates().values():
+            assert satisfies(upd, fds)
+
+    def test_empty_table_satisfies_everything(self):
+        table = Table(("A", "B", "C"), {})
+        assert satisfies(table, FDSet("A -> B; -> C"))
+
+    def test_single_tuple_satisfies_everything(self):
+        table = t([("a", 1, 0)])
+        assert satisfies(table, FDSet("A -> B; -> C; A B -> C"))
+
+
+class TestConflictGraph:
+    def test_nodes_carry_tuple_weights(self):
+        table = t([("a", 1, 0), ("a", 2, 0)], weights=[2.0, 3.0])
+        g = conflict_graph(table, FDSet("A -> B"))
+        assert g.weight(1) == 2.0 and g.weight(2) == 3.0
+
+    def test_edges_deduplicated_across_fds(self):
+        fds = FDSet("A -> B; A -> C")
+        table = t([("a", 1, 0), ("a", 2, 1)])
+        g = conflict_graph(table, fds)
+        assert g.num_edges() == 1
+
+    def test_independent_sets_are_consistent_subsets(self):
+        """The core equivalence behind Prop 3.3 and the exact baseline."""
+        import itertools
+        import random
+
+        rng = random.Random(5)
+        fds = FDSet("A -> B; B -> C")
+        for _ in range(20):
+            rows = [
+                tuple(rng.randrange(2) for _ in range(3)) for _ in range(6)
+            ]
+            table = t(rows)
+            g = conflict_graph(table, fds)
+            for r in range(len(table) + 1):
+                for kept in itertools.combinations(table.ids(), r):
+                    assert satisfies(table.subset(kept), fds) == g.is_independent_set(
+                        kept
+                    )
+
+    def test_conflicting_ids_deduplicated(self):
+        fds = FDSet("A -> B; A -> C")
+        table = t([("a", 1, 0), ("a", 2, 1)])
+        assert conflicting_ids(table, fds) == [(1, 2)]
