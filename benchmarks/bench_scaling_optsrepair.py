@@ -83,3 +83,41 @@ def test_production_scale_smoke(benchmark):
         ],
     )
     assert report.lower_bound <= optimum <= report.upper_bound
+
+
+def test_conflict_index_reuse(benchmark):
+    """The conflict substrate is built once per ``(table, Δ)`` and shared:
+    assessment, the 2-approximation, and any batched entry point all read
+    the same cached ConflictIndex.  Benchmarks the warm path and checks
+    cache identity plus cross-entry-point consistency."""
+    import time
+
+    from repro.core.approx import approx_s_repair
+    from repro.pipeline import assess as assess_fn
+
+    fds = FAMILIES["marriage"]
+    table = planted_violations_table(
+        ("A", "B", "C"), fds, 5_000, corruption=0.08, domain=20, seed=11
+    )
+
+    start = time.perf_counter()
+    index = table.conflict_index(fds)
+    cold = time.perf_counter() - start
+
+    assert table.conflict_index(fds) is index  # cached, not rebuilt
+
+    report = benchmark(assess_fn, table, fds)
+    approx = approx_s_repair(table, fds, index=index)
+    print_table(
+        "E6 — ConflictIndex reuse (5k tuples)",
+        ("cold build", "conflicts", "approx distance ≤ upper bound"),
+        [
+            (
+                f"{cold * 1e3:.1f} ms",
+                index.num_edges,
+                f"{approx.distance:g} ≤ {report.upper_bound:g}",
+            )
+        ],
+    )
+    assert report.conflict_count == index.num_edges
+    assert approx.distance <= report.upper_bound + 1e-9

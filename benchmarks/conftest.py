@@ -8,24 +8,19 @@ roughly what factor, where the crossovers fall).  Run with::
     pytest benchmarks/ --benchmark-only
 
 Add ``-s`` to see the paper-style result tables each experiment prints.
+
+``print_table`` (and the shared FD-set constants) live in
+:mod:`repro.testing`; they are re-exported here so the benchmarks'
+``from conftest import print_table`` keeps working under the benchmarks
+rootdir.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
-
-
-def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
-    """Render a small fixed-width results table (paper-style)."""
-    rows = [[str(c) for c in row] for row in rows]
-    headers = [str(h) for h in headers]
-    widths = [
-        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
-        for i in range(len(headers))
-    ]
-    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
-    print(f"\n== {title} ==")
-    print(line)
-    print("  ".join("-" * w for w in widths))
-    for r in rows:
-        print("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+from repro.testing import (  # noqa: F401 — re-exported for bench modules
+    DELTA_A_IFF_B_TO_C,
+    DELTA_SSN,
+    EXAMPLE_38,
+    print_table,
+    random_small_table,
+)

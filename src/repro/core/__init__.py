@@ -16,6 +16,7 @@ for full documentation:
 
 from .fd import FD, FDSet, attrset, parse_fd, parse_fd_set
 from .table import FreshValue, Table, fresh_value_factory, hamming_distance
+from .conflict_index import ConflictIndex
 from .violations import (
     conflict_graph,
     conflicting_ids,
@@ -48,6 +49,7 @@ from .exact import (
 from .approx import (
     approx_s_repair,
     approx_u_repair,
+    greedy_s_repair,
     consensus_majority_update,
     core_implicant_size,
     kl_ratio,
@@ -91,6 +93,8 @@ __all__ = [
     "FD", "FDSet", "attrset", "parse_fd", "parse_fd_set",
     # table
     "FreshValue", "Table", "fresh_value_factory", "hamming_distance",
+    # conflict index
+    "ConflictIndex",
     # violations
     "conflict_graph", "conflicting_ids", "satisfies",
     "violating_pairs", "violating_pairs_of_fd",
@@ -105,7 +109,8 @@ __all__ = [
     "ExactSearchLimit", "brute_force_s_repair", "exact_s_repair",
     "exact_u_repair", "exact_u_repair_exhaustive",
     # approx
-    "approx_s_repair", "approx_u_repair", "consensus_majority_update",
+    "approx_s_repair", "approx_u_repair", "greedy_s_repair",
+    "consensus_majority_update",
     "core_implicant_size", "kl_ratio", "mci", "mfs", "minimal_implicants", "minimal_implicants_brute",
     "our_ratio", "s_repair_from_u_repair", "u_repair_from_s_repair",
     # urepair

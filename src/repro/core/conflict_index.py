@@ -1,0 +1,351 @@
+"""Incrementally-maintained conflict substrate for FD repairs.
+
+Every repair path in this library reduces to repeated violation detection
+over a shrinking table: greedy vertex cover deletes one tuple at a time,
+``OptSRepair`` recurses over sub-tables, the 2-approximation and the
+assessment pipeline both need the full conflict graph.  The seed
+implementation rebuilt the lhs/rhs hash groupings from scratch on every
+call; this module materialises them once per ``(table, Δ)`` and keeps
+them **live** under tuple removal.
+
+A :class:`ConflictIndex` holds, per (nontrivial) FD ``X → Y``:
+
+* a two-level bucket index ``lhs-key → rhs-key → {tuple ids}`` — the
+  same hash grouping :func:`repro.core.violations.violating_pairs_of_fd`
+  streams over, made persistent;
+* the reverse map ``tuple id → (lhs-key, rhs-key)`` enabling O(1) bucket
+  eviction;
+
+plus the *materialised conflict graph* as an adjacency map with degree
+and weight bookkeeping.  :meth:`remove` evicts one tuple in
+O(degree + |Δ|) — the affected buckets only — instead of an O(|T|·|Δ|)
+rebuild, which is what makes index-driven greedy deletion loops linear
+instead of quadratic.
+
+The index quacks like :class:`repro.graphs.graph.Graph` for the read
+access :func:`~repro.graphs.vertex_cover.bar_yehuda_even` and
+:func:`~repro.graphs.vertex_cover.maximalize_independent_set` need
+(``nodes`` / ``edges`` / ``weight`` / ``neighbors``), so those two
+consume a live index directly.  The mutating algorithms
+(:func:`~repro.graphs.vertex_cover.exact_min_weight_vertex_cover`,
+:func:`~repro.graphs.vertex_cover.greedy_vertex_cover`) need a real
+``Graph`` — materialise one with :meth:`graph`.
+
+Instances cached on a table (via :meth:`repro.core.table.Table.conflict_index`)
+are pristine and shared; call :meth:`copy` before mutating.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from .fd import FD, FDSet
+from .table import Row, Table, TupleId
+
+__all__ = ["ConflictIndex"]
+
+
+class _FDBuckets:
+    """The live two-level hash grouping of one FD over the current tuples."""
+
+    __slots__ = ("fd", "groups", "keys")
+
+    def __init__(self, fd: FD) -> None:
+        self.fd = fd
+        # lhs-key → rhs-key → set of live tuple ids
+        self.groups: Dict[Row, Dict[Row, Set[TupleId]]] = {}
+        # tuple id → (lhs-key, rhs-key), for O(1) eviction
+        self.keys: Dict[TupleId, Tuple[Row, Row]] = {}
+
+    def add(self, tid: TupleId, lhs_key: Row, rhs_key: Row) -> None:
+        group = self.groups.get(lhs_key)
+        if group is None:
+            group = self.groups[lhs_key] = {}
+        bucket = group.get(rhs_key)
+        if bucket is None:
+            bucket = group[rhs_key] = set()
+        bucket.add(tid)
+        self.keys[tid] = (lhs_key, rhs_key)
+
+    def discard(self, tid: TupleId) -> None:
+        keys = self.keys.pop(tid, None)
+        if keys is None:
+            return
+        lhs_key, rhs_key = keys
+        group = self.groups[lhs_key]
+        bucket = group[rhs_key]
+        bucket.remove(tid)
+        if not bucket:
+            del group[rhs_key]
+            if not group:
+                del self.groups[lhs_key]
+
+    def copy(self) -> "_FDBuckets":
+        dup = _FDBuckets(self.fd)
+        dup.groups = {
+            lhs_key: {rhs_key: set(bucket) for rhs_key, bucket in group.items()}
+            for lhs_key, group in self.groups.items()
+        }
+        dup.keys = dict(self.keys)
+        return dup
+
+
+class ConflictIndex:
+    """Per-FD bucket indexes + the materialised conflict graph of a table.
+
+    Parameters
+    ----------
+    table:
+        The table to index.  The index snapshots the table's tuples at
+        construction; subsequent :meth:`remove` calls shrink the *index*
+        only (tables themselves are immutable).
+    fds:
+        The FD set Δ.  Trivial FDs are skipped (they cannot be violated).
+    """
+
+    __slots__ = (
+        "fds",
+        "_source",
+        "_buckets",
+        "_live",
+        "_position",
+        "_adj",
+        "_num_edges",
+        "_removed_weight",
+    )
+
+    def __init__(self, table: Table, fds: FDSet) -> None:
+        self.fds = fds
+        self._source: "weakref.ref[Table]" = weakref.ref(table)
+        self._live: Dict[TupleId, float] = dict(
+            (tid, table.weight(tid)) for tid in table.ids()
+        )
+        self._position: Dict[TupleId, int] = {
+            tid: i for i, tid in enumerate(self._live)
+        }
+        self._adj: Dict[TupleId, Set[TupleId]] = {tid: set() for tid in self._live}
+        self._num_edges = 0
+        self._removed_weight = 0.0
+        self._buckets: List[_FDBuckets] = []
+        for fd in fds:
+            if fd.is_trivial:
+                continue
+            self._buckets.append(self._build_fd_buckets(table, fd))
+
+    def _build_fd_buckets(self, table: Table, fd: FD) -> _FDBuckets:
+        """Bucket every tuple by (lhs, rhs) projection and materialise the
+        conflict edges this FD contributes."""
+        buckets = _FDBuckets(fd)
+        adj = self._adj
+        # Positions of the (canonically sorted) rhs attributes, resolved
+        # once: projecting via raw row indexing keeps the build O(|T|·k)
+        # with no per-tuple attribute lookups.
+        rhs_pos = [table._index[a] for a in sorted(fd.rhs)]
+        rows = table._rows
+        for lhs_key, ids in table.group_by(fd.lhs).items():
+            if len(ids) == 1:
+                tid = ids[0]
+                row = rows[tid]
+                buckets.add(tid, lhs_key, tuple(row[i] for i in rhs_pos))
+                continue
+            group: Dict[Row, List[TupleId]] = {}
+            for tid in ids:
+                row = rows[tid]
+                rhs_key = tuple(row[i] for i in rhs_pos)
+                buckets.add(tid, lhs_key, rhs_key)
+                group.setdefault(rhs_key, []).append(tid)
+            if len(group) < 2:
+                continue
+            parts = list(group.values())
+            for i in range(len(parts)):
+                for j in range(i + 1, len(parts)):
+                    for t1 in parts[i]:
+                        adj_t1 = adj[t1]
+                        for t2 in parts[j]:
+                            if t2 not in adj_t1:
+                                adj_t1.add(t2)
+                                adj[t2].add(t1)
+                                self._num_edges += 1
+        return buckets
+
+    def ensure_for(self, fds: FDSet, table: Optional[Table] = None) -> "ConflictIndex":
+        """Guard for entry points accepting a prebuilt index: raise if
+        this index was built for a different FD set, or — when *table*
+        is given — from a different table object (either mismatch means
+        a silently-wrong repair; both are easy to hit when batching
+        several Δ or tables).  FD-set comparison is order-insensitive;
+        the table check is by identity against the construction-time
+        source (held weakly), so equal-content copies are rejected too —
+        rebuild or re-fetch the index via ``table.conflict_index(fds)``
+        in that case.
+        """
+        if fds != self.fds:
+            raise ValueError(
+                f"ConflictIndex was built for {self.fds}, not {fds}"
+            )
+        if table is not None and self._source() is not table:
+            raise ValueError(
+                "ConflictIndex was built from a different table than the "
+                "one passed alongside it"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Read access (Graph-compatible where it matters)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, tid: TupleId) -> bool:
+        return tid in self._live
+
+    def ids(self) -> Tuple[TupleId, ...]:
+        """Live tuple identifiers, in table order."""
+        return tuple(self._live)
+
+    # Graph-compatible alias, so vertex-cover algorithms accept an index.
+    nodes = ids
+
+    def weight(self, tid: TupleId) -> float:
+        return self._live[tid]
+
+    def total_weight(self, ids=None) -> float:
+        """Total weight of the live tuples (or of the given subset)."""
+        if ids is None:
+            return sum(self._live.values())
+        live = self._live
+        return sum(live[tid] for tid in ids)
+
+    @property
+    def removed_weight(self) -> float:
+        """Total weight of the tuples removed so far."""
+        return self._removed_weight
+
+    def degree(self, tid: TupleId) -> int:
+        return len(self._adj[tid])
+
+    def neighbors(self, tid: TupleId) -> Set[TupleId]:
+        """The live conflict partners of *tid* (read-only view)."""
+        return self._adj[tid]
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    conflict_count = num_edges
+
+    def is_consistent(self) -> bool:
+        """True iff no violating pair survives among the live tuples."""
+        return self._num_edges == 0
+
+    def conflicting_tuples(self) -> List[TupleId]:
+        """Live tuples involved in at least one conflict, in table order."""
+        return [tid for tid, nbrs in self._adj.items() if nbrs]
+
+    def edges(self) -> List[Tuple[TupleId, TupleId]]:
+        """Each conflict pair exactly once, in canonical table-position
+        order (both across and within source tuples).
+
+        The canonical order makes every order-sensitive consumer (greedy
+        matching, the Bar-Yehuda–Even sweep) produce identical results on
+        a live index and on a from-scratch rebuild of the same survivors
+        — adjacency *sets* iterate differently depending on their
+        insertion/removal history.
+        """
+        position = self._position
+        out: List[Tuple[TupleId, TupleId]] = []
+        for tid, nbrs in self._adj.items():
+            p = position[tid]
+            forward = [other for other in nbrs if position[other] > p]
+            if forward:
+                forward.sort(key=position.__getitem__)
+                out.extend((tid, other) for other in forward)
+        return out
+
+    conflicting_ids = edges
+
+    def violating_pairs(self) -> Iterator[Tuple[TupleId, TupleId, FD]]:
+        """Yield ``(t1, t2, fd)`` per violated FD from the live buckets.
+
+        Like :func:`repro.core.violations.violating_pairs` but served from
+        the materialised buckets; a pair violating several FDs is yielded
+        once per FD.
+        """
+        for buckets in self._buckets:
+            for group in buckets.groups.values():
+                if len(group) < 2:
+                    continue
+                parts = list(group.values())
+                for i in range(len(parts)):
+                    for j in range(i + 1, len(parts)):
+                        for t1 in parts[i]:
+                            for t2 in parts[j]:
+                                yield t1, t2, buckets.fd
+
+    def graph(self) -> Graph:
+        """Materialise the live conflict graph as a mutable ``Graph``
+        (for consumers that destructively edit it, e.g. the exact
+        vertex-cover branch & bound)."""
+        g = Graph()
+        for tid, weight in self._live.items():
+            g.add_node(tid, weight=weight)
+        for t1, t2 in self.edges():
+            g.add_edge(t1, t2)
+        return g
+
+    def matching_lower_bound(self) -> float:
+        """Admissible deletion-cost bound: greedy tuple-disjoint matching
+        over the conflict edges, paying the lighter endpoint per pair.
+
+        Delegates to the shared matching-bound implementation in
+        :mod:`repro.graphs.vertex_cover`, which only needs the
+        ``edges()``/``weight()`` interface this index provides.
+        """
+        from ..graphs.vertex_cover import _matching_lower_bound
+
+        return _matching_lower_bound(self)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def remove(self, tid: TupleId) -> None:
+        """Evict *tid*, updating buckets and adjacency incrementally.
+
+        O(degree(tid) + |Δ|): only the buckets and edges touching *tid*
+        are visited — never the rest of the table.
+        """
+        weight = self._live.pop(tid, None)
+        if weight is None:
+            raise KeyError(f"unknown or already-removed identifier {tid!r}")
+        self._removed_weight += weight
+        nbrs = self._adj.pop(tid)
+        self._num_edges -= len(nbrs)
+        for other in nbrs:
+            self._adj[other].remove(tid)
+        for buckets in self._buckets:
+            buckets.discard(tid)
+
+    def remove_many(self, ids) -> None:
+        for tid in ids:
+            self.remove(tid)
+
+    def copy(self) -> "ConflictIndex":
+        """An independent, mutable duplicate of the current live state."""
+        dup = object.__new__(ConflictIndex)
+        dup.fds = self.fds
+        dup._source = self._source
+        dup._live = dict(self._live)
+        dup._position = self._position  # positions are immutable; share
+        dup._adj = {tid: set(nbrs) for tid, nbrs in self._adj.items()}
+        dup._num_edges = self._num_edges
+        dup._removed_weight = self._removed_weight
+        dup._buckets = [buckets.copy() for buckets in self._buckets]
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"ConflictIndex({len(self)} live tuples, "
+            f"{self._num_edges} conflicts, {len(self._buckets)} FDs)"
+        )

@@ -25,9 +25,10 @@ import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.vertex_cover import exact_min_weight_vertex_cover
+from .conflict_index import ConflictIndex
 from .fd import FDSet
 from .table import FreshValue, Table, TupleId, Value
-from .violations import conflict_graph, satisfies
+from .violations import satisfies
 
 __all__ = [
     "exact_s_repair",
@@ -42,14 +43,25 @@ class ExactSearchLimit(Exception):
     """Raised when an exact search would exceed its configured budget."""
 
 
-def exact_s_repair(table: Table, fds: FDSet, node_limit: int = 2000) -> Table:
+def exact_s_repair(
+    table: Table,
+    fds: FDSet,
+    node_limit: int = 2000,
+    index: Optional[ConflictIndex] = None,
+) -> Table:
     """Optimal S-repair via exact minimum-weight vertex cover.
 
     Works for every FD set; exponential in the conflict-graph size in the
     worst case but very effective on the sparse conflict graphs produced
-    by realistic dirtiness levels.
+    by realistic dirtiness levels.  The conflict graph is materialised
+    from the cached (or prebuilt) :class:`ConflictIndex`; the branch &
+    bound then mutates its private copy freely.
     """
-    graph = conflict_graph(table, fds)
+    if index is None:
+        index = table.conflict_index(fds)
+    else:
+        index.ensure_for(fds, table)
+    graph = index.graph()
     cover = exact_min_weight_vertex_cover(graph, node_limit=node_limit)
     keep = [tid for tid in table.ids() if tid not in cover]
     return table.subset(keep)

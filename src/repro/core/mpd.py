@@ -127,7 +127,7 @@ def most_probable_database(
             "big-M weighting failed to retain the certain tuples"
         )
     return MPDResult(
-        table.subset(kept),
+        table.subset(set(kept)),  # set ⇒ canonical table order
         subset_probability(table, kept),
         method=f"s-repair reduction ({result.method})",
     )

@@ -177,7 +177,7 @@ def _marriage_rep(
 
 
 def optimal_s_repair(
-    table: Table, fds: FDSet, method: str = "auto"
+    table: Table, fds: FDSet, method: str = "auto", index=None
 ) -> SRepairResult:
     """High-level optimal S-repair with an automatic method choice.
 
@@ -187,6 +187,10 @@ def optimal_s_repair(
       conflict graph (works for every Δ, exponential worst case).
     * ``method="auto"`` — dichotomy when ``OSRSucceeds(Δ)``, exact
       otherwise.
+
+    A prebuilt :class:`~repro.core.conflict_index.ConflictIndex` may be
+    passed to share violation detection across entry points (the exact
+    path consumes it; the dichotomy path never builds a conflict graph).
 
     The result is always a true optimal S-repair (``ratio_bound == 1``).
     """
@@ -199,7 +203,7 @@ def optimal_s_repair(
         repair = opt_s_repair(fds, table)
         used = "OptSRepair"
     else:
-        repair = exact_s_repair(table, fds)
+        repair = exact_s_repair(table, fds, index=index)
         used = "exact-vertex-cover"
     return SRepairResult(
         repair=repair,

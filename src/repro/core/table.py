@@ -106,9 +106,17 @@ class Table:
     Instances are immutable in spirit: all mutating operations return new
     tables.  Iteration order of identifiers is the insertion order of
     ``rows``, which keeps every algorithm in the library deterministic.
+
+    Immutability lets each table memoise derived structures in ``_cache``:
+    :meth:`group_by` buckets (reused across the OptSRepair recursion) and
+    per-FD-set :class:`~repro.core.conflict_index.ConflictIndex` instances
+    (shared by every repair entry point, see :meth:`conflict_index`).
     """
 
-    __slots__ = ("_schema", "_rows", "_weights", "name", "_index")
+    __slots__ = (
+        "_schema", "_rows", "_weights", "name", "_index", "_cache",
+        "__weakref__",  # ConflictIndex holds a weakref to its source table
+    )
 
     def __init__(
         self,
@@ -143,10 +151,39 @@ class Table:
         self._weights = w
         self.name = name
         self._index: Dict[Attribute, int] = {a: i for i, a in enumerate(self._schema)}
+        self._cache: Dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_trusted(
+        cls,
+        schema: Tuple[Attribute, ...],
+        rows: Dict[TupleId, Row],
+        weights: Dict[TupleId, float],
+        name: str,
+        index: Dict[Attribute, int],
+    ) -> "Table":
+        """Internal fast path: build a table from already-validated parts.
+
+        ``rows`` and ``weights`` are adopted without copying or
+        re-validation, and ``index`` is shared; callers must hand over
+        freshly-built dicts whose invariants (matching key sets, tuple
+        rows of schema arity, positive weights) already hold.  This is
+        what makes :meth:`subset` / :meth:`union` — the hot constructors
+        of the OptSRepair recursion — O(|rows|) instead of O(|rows|·k)
+        with per-row checks.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._rows = rows
+        table._weights = weights
+        table.name = name
+        table._index = index
+        table._cache = {}
+        return table
+
     @classmethod
     def from_rows(
         cls,
@@ -259,14 +296,36 @@ class Table:
     # Relational operations
     # ------------------------------------------------------------------
     def subset(self, ids: Iterable[TupleId]) -> "Table":
-        """The sub-table containing exactly the given identifiers."""
-        keep = set(ids)
-        missing = keep - set(self._rows)
-        if missing:
-            raise KeyError(f"unknown identifiers: {sorted(map(str, missing))}")
-        rows = {tid: row for tid, row in self._rows.items() if tid in keep}
-        weights = {tid: self._weights[tid] for tid in rows}
-        return Table(self._schema, rows, weights, name=self.name)
+        """The sub-table containing exactly the given identifiers.
+
+        Ordering contract: a *sequence* of ids sets the new table's
+        iteration order (construction is O(|ids|) — this is what keeps
+        the OptSRepair recursion linear, its :meth:`group_by` buckets
+        being table-ordered already); a *set* is filtered in table
+        order at O(|T|).  Callers holding an arbitrarily-ordered id
+        collection should pass a set to get the canonical order.
+        """
+        rows_src = self._rows
+        if isinstance(ids, (set, frozenset)):
+            missing = ids - rows_src.keys()
+            if missing:
+                raise KeyError(f"unknown identifiers: {sorted(map(str, missing))}")
+            rows = {tid: row for tid, row in rows_src.items() if tid in ids}
+        else:
+            if not isinstance(ids, (list, tuple)):
+                ids = list(ids)
+            try:
+                rows = {tid: rows_src[tid] for tid in ids}
+            except KeyError:
+                missing = set(ids) - rows_src.keys()
+                raise KeyError(
+                    f"unknown identifiers: {sorted(map(str, missing))}"
+                ) from None
+        weights_src = self._weights
+        weights = {tid: weights_src[tid] for tid in rows}
+        return Table._from_trusted(
+            self._schema, rows, weights, self.name, self._index
+        )
 
     def select_eq(self, assignment: Mapping[Attribute, Value]) -> "Table":
         """``σ_{A1=a1, …}T`` — tuples matching the given attribute values."""
@@ -277,7 +336,9 @@ class Table:
             if all(row[i] == v for i, v in items)
         }
         weights = {tid: self._weights[tid] for tid in rows}
-        return Table(self._schema, rows, weights, name=self.name)
+        return Table._from_trusted(
+            self._schema, rows, weights, self.name, self._index
+        )
 
     def group_by(self, attrs: Iterable[Attribute]) -> Dict[Row, List[TupleId]]:
         """Identifiers grouped by their projection onto *attrs*.
@@ -285,13 +346,65 @@ class Table:
         Attributes are sorted (see :meth:`project_row`), so the group keys
         are canonical value tuples.  Grouping by the empty attribute set
         puts every tuple in the single group keyed by ``()``.
+
+        The grouping is memoised per attribute set (tables are immutable);
+        treat the returned dict and its lists as read-only.
         """
         attrs = sorted(attrset(attrs) if not isinstance(attrs, (list, tuple, set, frozenset)) else attrs)
+        cache_key = ("group_by", tuple(attrs))
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        positions = [self._index[a] for a in attrs]
         groups: Dict[Row, List[TupleId]] = {}
+        setdefault = groups.setdefault
         for tid, row in self._rows.items():
-            key = tuple(row[self._index[a]] for a in attrs)
-            groups.setdefault(key, []).append(tid)
+            key = tuple(row[i] for i in positions)
+            setdefault(key, []).append(tid)
+        self._cache[cache_key] = groups
         return groups
+
+    def conflict_index(self, fds) -> "ConflictIndex":
+        """The cached :class:`~repro.core.conflict_index.ConflictIndex`
+        of this table under *fds*.
+
+        Built on first use and memoised per FD set, so the violation
+        buckets and the materialised conflict graph are shared by every
+        repair entry point (assessment, approximation, exact search, …)
+        — and by batched repair of many FD sets over one table.  The
+        returned index is the pristine cached instance: callers that
+        mutate it (incremental tuple removal) must work on a
+        :meth:`~repro.core.conflict_index.ConflictIndex.copy`.
+        """
+        from .conflict_index import ConflictIndex  # deferred: avoid cycle
+
+        cache_key = ("conflict_index", fds)
+        cached = self._cache.get(cache_key)
+        if cached is None:
+            cached = ConflictIndex(self, fds)
+            self._cache[cache_key] = cached
+        return cached
+
+    def cached_conflict_index(self, fds) -> "Optional[ConflictIndex]":
+        """The already-built index for *fds*, or ``None`` — never builds.
+
+        For callers that want the materialised fast path only when it is
+        free (e.g. :func:`repro.core.violations.satisfies`), without
+        committing to an O(|T|·|Δ|) build.
+        """
+        return self._cache.get(("conflict_index", fds))
+
+    def clear_derived_cache(self) -> None:
+        """Drop all memoised derived structures (group_by buckets,
+        conflict indexes).
+
+        The cache only ever grows — one entry per distinct attribute set
+        or FD set queried — which is right for the repair workloads but
+        can pin substantial memory on a long-lived table probed against
+        many candidate FD sets.  Clearing is always safe: entries are
+        pure functions of the (immutable) table and rebuild on demand.
+        """
+        self._cache.clear()
 
     def distinct_projection(self, attrs: Iterable[Attribute]) -> List[Row]:
         """``π_X T[*]`` — distinct projections, in first-seen order."""
@@ -319,7 +432,9 @@ class Table:
         rows.update(other._rows)
         weights = dict(self._weights)
         weights.update(other._weights)
-        return Table(self._schema, rows, weights, name=self.name)
+        return Table._from_trusted(
+            self._schema, rows, weights, self.name, self._index
+        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -332,16 +447,20 @@ class Table:
         Identifier set and weights are unchanged, as required of an update
         of T (Section 2.3).
         """
-        rows = {tid: list(row) for tid, row in self._rows.items()}
+        changed: Dict[TupleId, List[Value]] = {}
         for (tid, attr), value in updates.items():
-            if tid not in rows:
+            if tid not in self._rows:
                 raise KeyError(f"unknown identifier {tid!r}")
-            rows[tid][self._index[attr]] = value
-        return Table(
-            self._schema,
-            {tid: tuple(vals) for tid, vals in rows.items()},
-            self._weights,
-            name=self.name,
+            vals = changed.get(tid)
+            if vals is None:
+                vals = changed[tid] = list(self._rows[tid])
+            vals[self._index[attr]] = value
+        rows = {
+            tid: (tuple(changed[tid]) if tid in changed else row)
+            for tid, row in self._rows.items()
+        }
+        return Table._from_trusted(
+            self._schema, rows, dict(self._weights), self.name, self._index
         )
 
     def is_subset_of(self, other: "Table") -> bool:

@@ -258,6 +258,7 @@ def u_repair(
     fds: FDSet,
     allow_exact_search: bool = True,
     exact_budget: int = 50_000,
+    index=None,
 ) -> URepairResult:
     """Best-effort U-repair: optimal where the paper proves tractability
     (or exhaustive search fits the budget), bounded approximation
@@ -265,8 +266,29 @@ def u_repair(
 
     The returned :class:`URepairResult` states exactly which guarantee was
     achieved, per component.
+
+    A consistent table short-circuits to the zero-update result without
+    touching the per-component machinery — read off the prebuilt
+    :class:`~repro.core.conflict_index.ConflictIndex` when one is passed
+    (or cached on the table), detected by streaming otherwise, so the
+    reported guarantee never depends on whether an index was supplied.
+    The per-component S-repair subcalls share the table's per-FD-set
+    index cache either way.
     """
     normalised = fds.with_singleton_rhs().without_trivial()
+    if index is not None:
+        index.ensure_for(fds, table)
+        consistent = index.is_consistent()
+    else:
+        consistent = satisfies(table, fds)
+    if consistent:
+        return URepairResult(
+            update=table,
+            distance=0.0,
+            optimal=True,
+            ratio_bound=1.0,
+            method="already consistent",
+        )
     updates: Dict[Tuple[TupleId, str], object] = {}
     optimal = True
     ratio = 1.0
@@ -295,6 +317,7 @@ def optimal_u_repair(
     table: Table,
     fds: FDSet,
     exact_budget: int = 500_000,
+    index=None,
 ) -> URepairResult:
     """A provably optimal U-repair, or :class:`UnknownURepairComplexity`.
 
@@ -303,7 +326,9 @@ def optimal_u_repair(
     chain FD sets, Corollary 4.8), and ``{A→B, B→A}`` — and on any
     instance small enough for exhaustive search.
     """
-    result = u_repair(table, fds, allow_exact_search=True, exact_budget=exact_budget)
+    result = u_repair(
+        table, fds, allow_exact_search=True, exact_budget=exact_budget, index=index
+    )
     if not result.optimal:
         raise UnknownURepairComplexity(
             f"no optimality-preserving technique applies to {fds} and the "

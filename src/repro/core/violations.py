@@ -11,13 +11,26 @@ Violating pairs are enumerated with hash grouping: tuples are bucketed by
 their lhs projection, and within a bucket by their rhs projection; pairs
 across different rhs buckets of the same lhs bucket are exactly the
 violations of that FD.
+
+Two access paths coexist:
+
+* the *streaming* generators (:func:`violating_pairs_of_fd`,
+  :func:`violating_pairs`) — cheapest when the caller may stop early,
+  e.g. :func:`satisfies` on a dirty table;
+* the *materialised* :class:`~repro.core.conflict_index.ConflictIndex`
+  (cached per table via :meth:`Table.conflict_index`) — what
+  :func:`conflict_graph` and :func:`conflicting_ids` are served from, so
+  repeated calls over the same ``(table, Δ)`` pay the bucketing once.
+  All three entry points accept a prebuilt ``index`` for callers doing
+  their own index management (e.g. batched repair).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..graphs.graph import Graph
+from .conflict_index import ConflictIndex
 from .fd import FD, FDSet
 from .table import Row, Table, TupleId
 
@@ -69,43 +82,64 @@ def violating_pairs(
             yield t1, t2, fd
 
 
-def satisfies(table: Table, fds: FDSet) -> bool:
-    """``T ⊨ Δ`` — true iff the table has no violating pair."""
+def satisfies(
+    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+) -> bool:
+    """``T ⊨ Δ`` — true iff the table has no violating pair.
+
+    Streams with early exit by default; when a prebuilt *index* is
+    passed (or one is already cached on the table), the answer is read
+    off the materialised conflict count instead.
+    """
+    if index is not None:
+        return index.ensure_for(fds, table).is_consistent()
+    cached = table.cached_conflict_index(fds)
+    if cached is not None:
+        return cached.is_consistent()
     for _ in violating_pairs(table, fds):
         return False
     return True
 
 
-def conflicting_ids(table: Table, fds: FDSet) -> List[Tuple[TupleId, TupleId]]:
+def conflicting_ids(
+    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+) -> List[Tuple[TupleId, TupleId]]:
     """The deduplicated list of conflicting identifier pairs.
 
-    Pairs are deduplicated by table position (identifiers may be of
-    mixed, unorderable types), which avoids building a frozenset per
-    pair — the dominant cost on large dirty tables.
+    Served from a :class:`ConflictIndex`, whose adjacency sets
+    deduplicate pairs violating several FDs; pairs come out ordered by
+    table position, as the streaming implementation produced them.  An
+    index already cached on the table (or passed in) is reused; a one-off
+    call without either builds a *transient* index — caching is an
+    explicit opt-in via :meth:`Table.conflict_index`, so probing one
+    table against many candidate FD sets does not accumulate retained
+    indexes.
     """
-    position = {tid: i for i, tid in enumerate(table.ids())}
-    seen = set()
-    out: List[Tuple[TupleId, TupleId]] = []
-    for t1, t2, _fd in violating_pairs(table, fds):
-        p1, p2 = position[t1], position[t2]
-        key = (p1, p2) if p1 < p2 else (p2, p1)
-        if key not in seen:
-            seen.add(key)
-            out.append((t1, t2))
-    return out
+    if index is None:
+        index = table.cached_conflict_index(fds) or ConflictIndex(table, fds)
+    else:
+        index.ensure_for(fds, table)
+    return index.conflicting_ids()
 
 
-def conflict_graph(table: Table, fds: FDSet) -> Graph:
+def conflict_graph(
+    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+) -> Graph:
     """The conflict graph of T under Δ (Proposition 3.3).
 
     Nodes are tuple identifiers weighted by tuple weight; edges connect
     every pair of tuples that jointly violate some FD.  A subset of T is
     consistent iff its identifiers form an independent set, so the optimal
     S-repair is the complement of a minimum-weight vertex cover.
+
+    The graph is materialised from the table's cached
+    :class:`ConflictIndex` when one exists (or the one passed in); a
+    one-off call without either builds a transient index, leaving
+    caching an explicit opt-in (see :func:`conflicting_ids`).  The
+    returned ``Graph`` is a fresh mutable copy each time.
     """
-    g = Graph()
-    for tid, _row, weight in table.tuples():
-        g.add_node(tid, weight=weight)
-    for t1, t2 in conflicting_ids(table, fds):
-        g.add_edge(t1, t2)
-    return g
+    if index is None:
+        index = table.cached_conflict_index(fds) or ConflictIndex(table, fds)
+    else:
+        index.ensure_for(fds, table)
+    return index.graph()

@@ -22,16 +22,16 @@ dichotomy verdict for Δ.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from .core.approx import approx_s_repair
+from .core.conflict_index import ConflictIndex
 from .core.dichotomy import DichotomyResult, classify
 from .core.fd import FDSet
 from .core.srepair import SRepairResult, optimal_s_repair
-from .core.table import Table, TupleId
+from .core.table import Table
 from .core.urepair import URepairResult, u_repair
-from .core.violations import conflict_graph, conflicting_ids
 
 __all__ = ["DirtinessReport", "CleaningResult", "assess", "clean"]
 
@@ -101,40 +101,35 @@ class CleaningResult:
     method: str
 
 
-def assess(table: Table, fds: FDSet) -> DirtinessReport:
+def assess(
+    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+) -> DirtinessReport:
     """Detect conflicts and bracket the optimal repair cost (no repair).
 
     Polynomial regardless of Δ — the bracket comes from the matching
     lower bound and the Bar-Yehuda–Even upper bound, not from solving the
-    (possibly APX-complete) exact problem.  The conflict graph is built
-    once and shared by the statistics, the lower bound, and the upper
-    bound.
+    (possibly APX-complete) exact problem.  All three readings (conflict
+    statistics, lower bound, upper bound) are served by the table's
+    cached :class:`ConflictIndex` — or the prebuilt one passed in — so
+    assessment costs one bucketing pass, shared with any subsequent
+    repair call on the same table.
     """
-    graph = conflict_graph(table, fds)
-    pairs = graph.edges()
-    involved: Set[TupleId] = set()
-    for t1, t2 in pairs:
-        involved.add(t1)
-        involved.add(t2)
+    if index is None:
+        index = table.conflict_index(fds)
+    else:
+        index.ensure_for(fds, table)
 
     # Matching lower bound: tuple-disjoint conflicting pairs each force
     # one deletion of at least the lighter tuple.
-    used: Set[TupleId] = set()
-    lower = 0.0
-    for t1, t2 in pairs:
-        if t1 in used or t2 in used:
-            continue
-        used.add(t1)
-        used.add(t2)
-        lower += min(table.weight(t1), table.weight(t2))
+    lower = index.matching_lower_bound()
 
-    # Upper bound: Bar-Yehuda–Even cover on the same graph (Prop 3.3).
-    if pairs:
+    # Upper bound: Bar-Yehuda–Even cover on the same index (Prop 3.3).
+    if index.num_edges:
         from .graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
 
-        cover = bar_yehuda_even(graph)
+        cover = bar_yehuda_even(index)
         kept = {tid for tid in table.ids() if tid not in cover}
-        kept = maximalize_independent_set(graph, kept)
+        kept = maximalize_independent_set(index, kept)
         upper = table.total_weight() - table.total_weight(kept)
     else:
         upper = 0.0
@@ -143,8 +138,8 @@ def assess(table: Table, fds: FDSet) -> DirtinessReport:
     return DirtinessReport(
         total_tuples=len(table),
         total_weight=table.total_weight(),
-        conflict_count=len(pairs),
-        conflicting_tuples=len(involved),
+        conflict_count=index.num_edges,
+        conflicting_tuples=len(index.conflicting_tuples()),
         lower_bound=lower,
         upper_bound=upper,
         complexity=verdict.complexity,
@@ -157,6 +152,7 @@ def clean(
     fds: FDSet,
     strategy: str = "deletions",
     guarantee: str = "best",
+    index: Optional[ConflictIndex] = None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -170,20 +166,29 @@ def clean(
         * ``"optimal"`` — insist on a provably optimal repair (may be
           exponential on the hard side; raises on infeasible U cases);
         * ``"fast"`` — polynomial approximation regardless of Δ.
+    index:
+        Optional prebuilt :class:`ConflictIndex` for ``(table, fds)``,
+        e.g. when batch-repairing one table under several strategies.
+        Built (and cached on the table) otherwise; assessment and the
+        repair step share it either way.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if guarantee not in ("best", "optimal", "fast"):
         raise ValueError(f"unknown guarantee {guarantee!r}")
-    report = assess(table, fds)
+    if index is None:
+        index = table.conflict_index(fds)
+    else:
+        index.ensure_for(fds, table)
+    report = assess(table, fds, index=index)
 
     if strategy == "deletions":
         if guarantee == "fast" or (
             guarantee == "best" and not report.dichotomy.tractable and len(table) > 64
         ):
-            result = approx_s_repair(table, fds)
+            result = approx_s_repair(table, fds, index=index)
         else:
-            result = optimal_s_repair(table, fds)
+            result = optimal_s_repair(table, fds, index=index)
         return CleaningResult(
             cleaned=result.repair,
             report=report,
@@ -198,13 +203,13 @@ def clean(
     if guarantee == "fast":
         from .core.approx import approx_u_repair
 
-        u_result: URepairResult = approx_u_repair(table, fds)
+        u_result: URepairResult = approx_u_repair(table, fds, index=index)
     elif guarantee == "optimal":
         from .core.urepair import optimal_u_repair
 
-        u_result = optimal_u_repair(table, fds)
+        u_result = optimal_u_repair(table, fds, index=index)
     else:
-        u_result = u_repair(table, fds)
+        u_result = u_repair(table, fds, index=index)
     return CleaningResult(
         cleaned=u_result.update,
         report=report,

@@ -175,8 +175,8 @@ def subset_to_packing(subset: Table) -> List[Triangle]:
 
 
 def packing_to_subset(table: Table, packing: Sequence[Triangle]) -> Table:
-    """Keep exactly the tuples of a given packing."""
-    return table.subset(list(packing))
+    """Keep exactly the tuples of a given packing (in table order)."""
+    return table.subset(set(packing))
 
 
 def amini_gadget(

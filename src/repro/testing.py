@@ -1,0 +1,82 @@
+"""Shared test/benchmark substrate: paper FD sets and data helpers.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` re-export from
+this module, and test modules import it directly (``from repro.testing
+import random_small_table``).  Keeping the helpers inside the installable
+package — rather than in a conftest — avoids the classic rootdir trap
+where ``from conftest import …`` resolves to *whichever* conftest pytest
+put on ``sys.path`` first (the seed suite imported ``benchmarks/conftest``
+from inside ``tests/`` and failed collection).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .core.fd import FDSet
+from .core.table import Table
+
+__all__ = [
+    "DELTA_A_IFF_B_TO_C",
+    "DELTA_SSN",
+    "EXAMPLE_38",
+    "random_small_table",
+    "print_table",
+]
+
+
+# FD sets referenced repeatedly in the paper -------------------------------
+
+#: Example 3.1's ``Δ_{A↔B→C}``.
+DELTA_A_IFF_B_TO_C = FDSet("A -> B; B -> A; B -> C")
+
+#: Example 3.1's Δ1 over the ssn schema.
+DELTA_SSN = FDSet(
+    "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; "
+    "ssn office -> phone; ssn office -> fax"
+)
+
+#: Example 3.8's class representatives Δ1–Δ5.
+EXAMPLE_38 = {
+    1: FDSet("A -> B; C -> D"),
+    2: FDSet("A -> C D; B -> C E"),
+    3: FDSet("A -> B C; B -> D"),
+    4: FDSet("A B -> C; A C -> B; B C -> A"),
+    5: FDSet("A B -> C; C -> A D"),
+}
+
+
+def random_small_table(
+    rng: random.Random,
+    schema,
+    size: int,
+    domain: int = 3,
+    weighted: bool = False,
+) -> Table:
+    """A small uniform-random table for cross-checking solvers."""
+    rows = [
+        tuple(f"v{rng.randrange(domain)}" for _ in schema) for _ in range(size)
+    ]
+    weights = (
+        [float(rng.choice((1, 1, 2, 3))) for _ in range(size)]
+        if weighted
+        else None
+    )
+    return Table.from_rows(schema, rows, weights)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a small fixed-width results table (paper-style)."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))

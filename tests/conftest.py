@@ -1,4 +1,9 @@
-"""Shared fixtures: paper FD sets, the running example, and RNG helpers."""
+"""Shared fixtures: paper FD sets, the running example, and RNG helpers.
+
+The reusable constants and data helpers live in :mod:`repro.testing`
+(importable from anywhere); they are re-exported here so legacy
+``from conftest import …`` still works inside ``tests/``.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +14,12 @@ import pytest
 from repro.core.fd import FDSet
 from repro.core.table import Table
 from repro.datagen.office import office_fds, office_table
+from repro.testing import (  # noqa: F401 — re-exported for test modules
+    DELTA_A_IFF_B_TO_C,
+    DELTA_SSN,
+    EXAMPLE_38,
+    random_small_table,
+)
 
 
 @pytest.fixture
@@ -26,43 +37,3 @@ def office_delta() -> FDSet:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(20180618)  # PODS'18 conference date
-
-
-# FD sets referenced repeatedly in the paper -------------------------------
-
-#: Example 3.1's ``Δ_{A↔B→C}``.
-DELTA_A_IFF_B_TO_C = FDSet("A -> B; B -> A; B -> C")
-
-#: Example 3.1's Δ1 over the ssn schema.
-DELTA_SSN = FDSet(
-    "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; "
-    "ssn office -> phone; ssn office -> fax"
-)
-
-#: Example 3.8's class representatives Δ1–Δ5.
-EXAMPLE_38 = {
-    1: FDSet("A -> B; C -> D"),
-    2: FDSet("A -> C D; B -> C E"),
-    3: FDSet("A -> B C; B -> D"),
-    4: FDSet("A B -> C; A C -> B; B C -> A"),
-    5: FDSet("A B -> C; C -> A D"),
-}
-
-
-def random_small_table(
-    rng: random.Random,
-    schema,
-    size: int,
-    domain: int = 3,
-    weighted: bool = False,
-) -> Table:
-    """A small uniform-random table for cross-checking solvers."""
-    rows = [
-        tuple(f"v{rng.randrange(domain)}" for _ in schema) for _ in range(size)
-    ]
-    weights = (
-        [float(rng.choice((1, 1, 2, 3))) for _ in range(size)]
-        if weighted
-        else None
-    )
-    return Table.from_rows(schema, rows, weights)

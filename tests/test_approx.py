@@ -21,7 +21,7 @@ from repro.core.fd import FDSet
 from repro.core.table import FreshValue, Table
 from repro.core.violations import satisfies
 
-from conftest import random_small_table
+from repro.testing import random_small_table
 
 
 def delta_k(k: int) -> FDSet:

@@ -22,7 +22,7 @@ from repro.datagen.office import (
     office_table,
 )
 
-from conftest import random_small_table
+from repro.testing import random_small_table
 
 
 class TestSRepairChecking:

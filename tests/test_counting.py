@@ -16,7 +16,7 @@ from repro.datagen.office import consistent_subsets, office_fds, office_table
 from repro.graphs.graph import Graph
 from repro.graphs.mis import count_maximal_independent_sets, maximal_independent_sets
 
-from conftest import random_small_table
+from repro.testing import random_small_table
 
 CHAIN_SETS = [
     FDSet("A -> B"),

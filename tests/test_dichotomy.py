@@ -15,7 +15,7 @@ from repro.core.dichotomy import (
 )
 from repro.core.fd import FDSet
 
-from conftest import DELTA_A_IFF_B_TO_C, DELTA_SSN, EXAMPLE_38
+from repro.testing import DELTA_A_IFF_B_TO_C, DELTA_SSN, EXAMPLE_38
 
 
 class TestOSRSucceeds:

@@ -23,7 +23,7 @@ from repro.reductions.factwise import (
     reduction_for_witness,
 )
 
-from conftest import EXAMPLE_38
+from repro.testing import EXAMPLE_38
 
 STUCK_SETS = list(EXAMPLE_38.values()) + [
     FDSet("A -> B; B -> C"),

@@ -13,7 +13,7 @@ from repro.core.table import Table
 from repro.core.violations import satisfies
 from repro.datagen.probabilistic import random_probabilistic_table
 
-from conftest import DELTA_A_IFF_B_TO_C
+from repro.testing import DELTA_A_IFF_B_TO_C
 
 
 def prob_table(rows, weights, schema=("A", "B")):

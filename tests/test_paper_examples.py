@@ -22,7 +22,7 @@ from repro.datagen.office import (
     office_table,
 )
 
-from conftest import DELTA_A_IFF_B_TO_C, DELTA_SSN, EXAMPLE_38
+from repro.testing import DELTA_A_IFF_B_TO_C, DELTA_SSN, EXAMPLE_38
 
 
 class TestExample21And23:

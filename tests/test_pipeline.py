@@ -9,7 +9,7 @@ from repro.datagen.office import office_fds, office_table
 from repro.datagen.synthetic import planted_violations_table
 from repro.pipeline import CleaningResult, DirtinessReport, assess, clean
 
-from conftest import random_small_table
+from repro.testing import random_small_table
 
 
 class TestAssess:

@@ -10,12 +10,13 @@ against subset enumeration likewise.
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.approx import minimal_implicants, minimal_implicants_brute
 from repro.core.checking import is_u_repair
 from repro.core.exact import (
+    ExactSearchLimit,
     brute_force_s_repair,
     exact_s_repair,
     exact_u_repair,
@@ -48,8 +49,14 @@ def tiny_tables(max_size=4):
 @given(fdset_strategy, tiny_tables())
 def test_bb_matches_exhaustive_u_repair(fds, table):
     bb = exact_u_repair(table, fds)
-    reference = exact_u_repair_exhaustive(table, fds)
     assert satisfies(bb, fds)
+    try:
+        reference = exact_u_repair_exhaustive(table, fds)
+    except ExactSearchLimit:
+        # The enumeration reference blew its assignment budget (rare:
+        # consensus-heavy Δ forcing many changed cells); the cross-check
+        # is vacuous on such an example, not falsified.
+        assume(False)
     assert abs(table.dist_upd(bb) - table.dist_upd(reference)) < 1e-9
 
 

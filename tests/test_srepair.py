@@ -17,7 +17,7 @@ from repro.core.srepair import DichotomyFailure, opt_s_repair, optimal_s_repair
 from repro.core.table import Table
 from repro.core.violations import satisfies
 
-from conftest import DELTA_A_IFF_B_TO_C, DELTA_SSN, random_small_table
+from repro.testing import DELTA_A_IFF_B_TO_C, DELTA_SSN, random_small_table
 
 TRACTABLE_SETS = [
     FDSet("A -> B"),

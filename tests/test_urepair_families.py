@@ -21,7 +21,7 @@ from repro.reductions.urepair_families import (
     embed_dp1_into_dpk,
 )
 
-from conftest import random_small_table
+from repro.testing import random_small_table
 
 
 class TestFamilies:
