@@ -12,6 +12,8 @@ Three choices are ablated:
    while weight/degree greedy can exceed it on weighted stars.
 """
 
+import time
+
 import pytest
 
 from repro.core.exact import ExactSearchLimit, exact_u_repair
@@ -30,7 +32,7 @@ from repro.reductions.vc_upd import (
     graph_to_table,
 )
 
-from conftest import print_table
+from conftest import measure_median, print_table, record_bench
 
 
 def test_hungarian_beats_greedy_matching(benchmark):
@@ -48,8 +50,16 @@ def test_hungarian_beats_greedy_matching(benchmark):
         {1: 5.0, 2: 4.0, 3: 4.0},
     )
 
-    repair = benchmark(opt_s_repair, fds, table)
+    repair, median_s, runs_s = measure_median(lambda: opt_s_repair(fds, table))
+    benchmark.pedantic(opt_s_repair, args=(fds, table), rounds=1, iterations=1)
     kept = repair.total_weight()
+    record_bench(
+        "BENCH_ablation.json",
+        "marriage-hungarian-matching",
+        median_s,
+        runs_s=runs_s,
+        kept_weight=kept,
+    )
 
     # Greedy heaviest-edge matching baseline.
     blocks = {("a1", "b1"): 5.0, ("a1", "b2"): 4.0, ("a2", "b1"): 4.0}
@@ -83,6 +93,7 @@ def test_matching_lower_bound_prunes(benchmark):
     ub = table.dist_upd(cover_to_update(table, g, cover)) + 0.5
 
     stats_with = {}
+    start = time.perf_counter()
     result = benchmark.pedantic(
         exact_u_repair,
         args=(table, DELTA_A_IFF_B_TO_C),
@@ -90,6 +101,7 @@ def test_matching_lower_bound_prunes(benchmark):
         rounds=1,
         iterations=1,
     )
+    elapsed_with = time.perf_counter() - start
     nodes_with = stats_with["nodes"]
 
     stats_without = {}
@@ -112,6 +124,13 @@ def test_matching_lower_bound_prunes(benchmark):
         ("variant", "search nodes"),
         [("with matching LB", nodes_with), ("without", nodes_without)],
     )
+    record_bench(
+        "BENCH_ablation.json",
+        "exact-urepair-matching-lb",
+        elapsed_with,
+        nodes_with_lb=nodes_with,
+        nodes_without_lb=str(nodes_without),
+    )
     assert table.dist_upd(result) == 8.0
     if isinstance(nodes_without, int):
         assert nodes_without > nodes_with
@@ -129,9 +148,19 @@ def test_bye_vs_greedy_vertex_cover(benchmark):
         g.add_node(f"leaf{i}", weight=3.0)
         g.add_edge("hub", f"leaf{i}")
 
-    bye = benchmark(bar_yehuda_even, g)
+    bye, median_s, runs_s = measure_median(lambda: bar_yehuda_even(g))
+    benchmark.pedantic(bar_yehuda_even, args=(g,), rounds=1, iterations=1)
     greedy = greedy_vertex_cover(g)
     optimum = g.total_weight(exact_min_weight_vertex_cover(g))
+    record_bench(
+        "BENCH_ablation.json",
+        "vertex-cover-bye-vs-greedy",
+        median_s,
+        runs_s=runs_s,
+        bye_weight=g.total_weight(bye),
+        greedy_weight=g.total_weight(greedy),
+        optimum=optimum,
+    )
 
     print_table(
         "E17 — vertex cover ablation (weighted star)",
@@ -204,6 +233,14 @@ def test_incremental_index_vs_rebuild_per_deletion(benchmark):
             ("rebuild per deletion", f"{rebuild_time * 1e3:.1f} ms",
              f"{baseline_deleted:g}"),
         ],
+    )
+    record_bench(
+        "BENCH_ablation.json",
+        "greedy-incremental-vs-rebuild",
+        incremental_time,
+        rebuild_s=round(rebuild_time, 6),
+        incremental_deleted=incremental.distance,
+        rebuild_deleted=baseline_deleted,
     )
     # Same victim rule; maximalisation can only help the incremental side.
     assert incremental.distance <= baseline_deleted + 1e-9

@@ -13,9 +13,21 @@ Add ``-s`` to see the paper-style result tables each experiment prints.
 :mod:`repro.testing`; they are re-exported here so the benchmarks'
 ``from conftest import print_table`` keeps working under the benchmarks
 rootdir.
+
+Machine-readable results: benchmarks call :func:`record_bench` to append
+median wall times per configuration into ``BENCH_<name>.json`` (written
+to ``$BENCH_JSON_DIR``, default the working directory).  The CI
+bench-smoke job uploads these files as artifacts, so the perf trajectory
+of the repo is recorded run over run.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.testing import (  # noqa: F401 — re-exported for bench modules
     DELTA_A_IFF_B_TO_C,
@@ -24,3 +36,55 @@ from repro.testing import (  # noqa: F401 — re-exported for bench modules
     print_table,
     random_small_table,
 )
+
+__all__ = [
+    "DELTA_A_IFF_B_TO_C",
+    "DELTA_SSN",
+    "EXAMPLE_38",
+    "print_table",
+    "random_small_table",
+    "measure_median",
+    "record_bench",
+]
+
+
+def measure_median(fn: Callable, repeats: int = 3) -> Tuple[object, float, list]:
+    """Run *fn* *repeats* times; return (last result, median seconds,
+    all wall times)."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return result, statistics.median(times), times
+
+
+def record_bench(
+    json_name: str,
+    config: str,
+    median_s: float,
+    runs_s: Optional[Sequence[float]] = None,
+    **extra,
+) -> None:
+    """Merge one configuration's result into ``BENCH_<name>.json``.
+
+    Read-modify-write so every test contributes to one file per suite;
+    keys are configuration names, values hold ``median_s`` (the unit the
+    CI perf trajectory tracks) plus whatever context the benchmark adds.
+    """
+    path = os.path.join(os.environ.get("BENCH_JSON_DIR", "."), json_name)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        data = {}
+    results = data.setdefault("results", {})
+    entry = {"median_s": round(median_s, 6)}
+    if runs_s is not None:
+        entry["runs_s"] = [round(t, 6) for t in runs_s]
+    entry.update(extra)
+    results[config] = entry
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True, ensure_ascii=False)
+        handle.write("\n")

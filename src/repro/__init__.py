@@ -32,13 +32,17 @@ Quickstart::
 
 from .core import *  # noqa: F401,F403 — the curated core API
 from .core import __all__ as _core_all
+from .exec import decomposed_s_repair, decomposed_u_repair, map_components
 from .pipeline import CleaningResult, DirtinessReport, assess, clean
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = list(_core_all) + [
     "CleaningResult",
     "DirtinessReport",
     "assess",
     "clean",
+    "decomposed_s_repair",
+    "decomposed_u_repair",
+    "map_components",
 ]

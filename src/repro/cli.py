@@ -5,15 +5,24 @@ Commands
 ``classify``
     Dichotomy verdict and Example 3.5-style simplification trace for an
     FD set given as a string (``"A B -> C; C -> D"``).
+``assess``
+    Dirtiness assessment of a CSV table: conflict statistics, the
+    per-component bracket on the optimal deletion cost, and the
+    dichotomy verdict — no repair is committed.
 ``s-repair``
-    Optimal (or ``--approx`` 2-approximate) S-repair of a CSV table.
+    S-repair of a CSV table via the cleaning pipeline; ``--guarantee``
+    picks optimal / best-effort / fast-approximate.
 ``u-repair``
-    Best-effort U-repair of a CSV table, reporting the guarantee achieved.
+    U-repair of a CSV table via the cleaning pipeline, reporting the
+    guarantee achieved.
 ``mpd``
     Most probable database of a probabilistic CSV table (weights are the
     tuple probabilities).
 
-The CSV layout is ``id,<attributes...>,weight`` (see
+The repair commands run the conflict-decomposed engine: ``--parallel N``
+solves components on N worker processes, ``--portfolio`` prints the
+per-component method mix, and ``--global`` restores the undecomposed
+path.  The CSV layout is ``id,<attributes...>,weight`` (see
 :mod:`repro.io.tables`).
 """
 
@@ -23,15 +32,45 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.approx import approx_s_repair
 from .core.dichotomy import classify
 from .core.fd import FDSet, parse_fd_set
 from .core.mpd import most_probable_database
-from .core.srepair import optimal_s_repair
-from .core.urepair import u_repair
 from .io.tables import table_from_csv, table_to_csv
+from .pipeline import CleaningResult, assess, clean
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_repair_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--guarantee",
+        choices=("best", "optimal", "fast"),
+        default="best",
+        help=(
+            "repair guarantee: optimal where affordable (best, default), "
+            "provably optimal or fail (optimal), polynomial approximation "
+            "(fast)"
+        ),
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=None,
+        help="solve conflict components on N worker processes",
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="print the per-component solver portfolio mix",
+    )
+    parser.add_argument(
+        "--global",
+        dest="decomposed",
+        action="store_false",
+        help="disable conflict decomposition (one global solver call)",
+    )
+    parser.add_argument("--out", help="write the result CSV here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,20 +88,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_classify.add_argument("fds", help='FD set, e.g. "A -> B; B -> C"')
 
+    p_assess = sub.add_parser(
+        "assess", help="dirtiness report with a per-component cost bracket"
+    )
+    p_assess.add_argument("table", help="CSV file (id,<attrs...>,weight)")
+    p_assess.add_argument("fds", help="FD set string")
+    p_assess.add_argument(
+        "--global",
+        dest="decomposed",
+        action="store_false",
+        help="single global bracket instead of per-component sums",
+    )
+
     p_srepair = sub.add_parser("s-repair", help="compute an S-repair")
     p_srepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
     p_srepair.add_argument("fds", help="FD set string")
     p_srepair.add_argument(
         "--approx",
         action="store_true",
-        help="use the polynomial 2-approximation instead of an exact repair",
+        help="deprecated alias for --guarantee fast",
     )
-    p_srepair.add_argument("--out", help="write the repair CSV here")
+    _add_repair_options(p_srepair)
 
     p_urepair = sub.add_parser("u-repair", help="compute a U-repair")
     p_urepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
     p_urepair.add_argument("fds", help="FD set string")
-    p_urepair.add_argument("--out", help="write the update CSV here")
+    _add_repair_options(p_urepair)
 
     p_mpd = sub.add_parser("mpd", help="most probable database")
     p_mpd.add_argument("table", help="CSV file; weights are probabilities")
@@ -83,35 +134,70 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_s_repair(args: argparse.Namespace) -> int:
+def _cmd_assess(args: argparse.Namespace) -> int:
     table = table_from_csv(args.table)
     fds = parse_fd_set(args.fds)
-    if args.approx:
-        result = approx_s_repair(table, fds)
-        guarantee = f"2-approximation (ratio ≤ {result.ratio_bound:g})"
-    else:
-        result = optimal_s_repair(table, fds)
-        guarantee = "optimal"
-    print(f"method: {result.method} ({guarantee})")
+    report = assess(table, fds, decomposed=args.decomposed)
+    print(report.summary())
+    return 0
+
+
+def _guarantee_text(result: CleaningResult) -> str:
+    if result.optimal:
+        return "optimal"
+    if result.ratio_bound == 2.0:
+        return f"2-approximation (ratio ≤ {result.ratio_bound:g})"
+    return f"ratio ≤ {result.ratio_bound:g}"
+
+
+def _print_portfolio(result: CleaningResult) -> None:
+    if result.component_count is None:
+        print("conflict components: n/a (global path, no portfolio)")
+        return
+    print(f"conflict components: {result.component_count}")
+    for method, count in sorted((result.method_counts or {}).items()):
+        print(f"  {method}: {count} component{'s' if count != 1 else ''}")
+
+
+def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
+    table = table_from_csv(args.table)
+    fds = parse_fd_set(args.fds)
+    guarantee = args.guarantee
+    # The deprecated --approx alias must not override an explicit
+    # --guarantee choice; it only strengthens the default.
+    if getattr(args, "approx", False) and guarantee == "best":
+        guarantee = "fast"
+    return clean(
+        table,
+        fds,
+        strategy=strategy,
+        guarantee=guarantee,
+        decomposed=args.decomposed,
+        parallel=args.parallel,
+    )
+
+
+def _cmd_s_repair(args: argparse.Namespace) -> int:
+    result = _run_clean(args, "deletions")
+    print(f"method: {result.method} ({_guarantee_text(result)})")
+    if args.portfolio:
+        _print_portfolio(result)
     print(f"deleted weight: {result.distance:g}")
-    print(result.repair.to_string())
+    print(result.cleaned.to_string())
     if args.out:
-        table_to_csv(result.repair, args.out)
+        table_to_csv(result.cleaned, args.out)
     return 0
 
 
 def _cmd_u_repair(args: argparse.Namespace) -> int:
-    table = table_from_csv(args.table)
-    fds = parse_fd_set(args.fds)
-    result = u_repair(table, fds)
-    guarantee = (
-        "optimal" if result.optimal else f"ratio ≤ {result.ratio_bound:g}"
-    )
-    print(f"method: {result.method} ({guarantee})")
+    result = _run_clean(args, "updates")
+    print(f"method: {result.method} ({_guarantee_text(result)})")
+    if args.portfolio:
+        _print_portfolio(result)
     print(f"update distance: {result.distance:g}")
-    print(result.update.to_string())
+    print(result.cleaned.to_string())
     if args.out:
-        table_to_csv(result.update, args.out)
+        table_to_csv(result.cleaned, args.out)
     return 0
 
 
@@ -129,6 +215,7 @@ def _cmd_mpd(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "classify": _cmd_classify,
+    "assess": _cmd_assess,
     "s-repair": _cmd_s_repair,
     "u-repair": _cmd_u_repair,
     "mpd": _cmd_mpd,

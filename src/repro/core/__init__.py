@@ -24,6 +24,13 @@ from .violations import (
     violating_pairs,
     violating_pairs_of_fd,
 )
+from .decompose import (
+    EXACT_COMPONENT_THRESHOLD,
+    Component,
+    Decomposition,
+    decompose,
+    plan_s_method,
+)
 from .srepair import DichotomyFailure, SRepairResult, opt_s_repair, optimal_s_repair
 from .dichotomy import (
     DELTA_A_B_C,
@@ -95,6 +102,9 @@ __all__ = [
     "FreshValue", "Table", "fresh_value_factory", "hamming_distance",
     # conflict index
     "ConflictIndex",
+    # decompose
+    "EXACT_COMPONENT_THRESHOLD", "Component", "Decomposition",
+    "decompose", "plan_s_method",
     # violations
     "conflict_graph", "conflicting_ids", "satisfies",
     "violating_pairs", "violating_pairs_of_fd",

@@ -284,6 +284,85 @@ class ConflictIndex:
                             for t2 in parts[j]:
                                 yield t1, t2, buckets.fd
 
+    # ------------------------------------------------------------------
+    # Connected components (the decomposition substrate)
+    # ------------------------------------------------------------------
+    def components(self) -> List[List[TupleId]]:
+        """Connected components of the live conflict graph, restricted to
+        tuples with at least one conflict.
+
+        Deterministic: components are listed by the table position of
+        their earliest member, and members within a component are in
+        table order.  Conflict-free tuples never appear — they belong to
+        every repair verbatim (see :meth:`consistent_ids`).
+        """
+        position = self._position
+        adj = self._adj
+        seen: Set[TupleId] = set()
+        out: List[List[TupleId]] = []
+        for tid, nbrs in adj.items():
+            if not nbrs or tid in seen:
+                continue
+            stack = [tid]
+            seen.add(tid)
+            members: List[TupleId] = []
+            while stack:
+                current = stack.pop()
+                members.append(current)
+                for other in adj[current]:
+                    if other not in seen:
+                        seen.add(other)
+                        stack.append(other)
+            members.sort(key=position.__getitem__)
+            out.append(members)
+        return out
+
+    def consistent_ids(self) -> List[TupleId]:
+        """Live tuples with no conflict, in table order — the tuples every
+        S-repair keeps and every U-repair leaves untouched."""
+        return [tid for tid, nbrs in self._adj.items() if not nbrs]
+
+    def project(self, subtable: Table, ids: Set[TupleId]) -> "ConflictIndex":
+        """The restriction of this index to *ids*, re-anchored on
+        *subtable* (which must contain exactly those tuples).
+
+        Intended for connected components, where the projection is exact:
+        adjacency is closed under the component, and every surviving
+        bucket entry is simply filtered.  The projected index is seeded
+        into *subtable*'s derived cache, so per-component solvers calling
+        ``subtable.conflict_index(fds)`` reuse it instead of re-bucketing
+        — this is what makes decomposition O(conflicting tuples) on top
+        of the one shared parent build.
+        """
+        dup = object.__new__(ConflictIndex)
+        dup.fds = self.fds
+        dup._source = weakref.ref(subtable)
+        live = self._live
+        dup._live = {tid: live[tid] for tid in subtable.ids()}
+        # Relative table order is preserved by subsetting, so sharing the
+        # parent's position map keeps edges() canonical and cheap.
+        dup._position = self._position
+        num_edges = 0
+        adj: Dict[TupleId, Set[TupleId]] = {}
+        for tid in dup._live:
+            nbrs = self._adj[tid] & ids
+            adj[tid] = nbrs
+            num_edges += len(nbrs)
+        dup._adj = adj
+        dup._num_edges = num_edges // 2
+        dup._removed_weight = 0.0
+        buckets: List[_FDBuckets] = []
+        for source in self._buckets:
+            projected = _FDBuckets(source.fd)
+            for tid in dup._live:
+                keys = source.keys.get(tid)
+                if keys is not None:
+                    projected.add(tid, keys[0], keys[1])
+            buckets.append(projected)
+        dup._buckets = buckets
+        subtable._cache.setdefault(("conflict_index", self.fds), dup)
+        return dup
+
     def graph(self) -> Graph:
         """Materialise the live conflict graph as a mutable ``Graph``
         (for consumers that destructively edit it, e.g. the exact

@@ -1,0 +1,207 @@
+"""Conflict-graph decomposition: per-component sub-instances + portfolio.
+
+Conflict graphs of real dirty tables decompose into many small
+independent components (the per-component dispatch of Section 4 already
+exploits this for attribute-disjoint Δ; here we exploit it for *any* Δ,
+at the instance level).  Since consistency of a subset is exactly
+independence in the conflict graph, and FD violation is a pairwise
+property, the two repair problems decompose along connected components:
+
+* **S-repairs** — a minimum-weight vertex cover splits exactly into
+  per-component minimum covers, so the union of per-component optimal
+  S-repairs (plus every conflict-free tuple, kept verbatim) is a global
+  optimal S-repair, and per-component distances add up.
+* **U-repairs** — the restriction of a consistent update to a component
+  is a consistent update of the component's sub-table, so per-component
+  optimal distances sum to at most the global optimum; the merge is
+  re-checked globally because updates drawing on the active domain can,
+  in rare cases, collide across components (callers fall back to the
+  global path when that happens — see :func:`repro.exec.decomposed_u_repair`).
+
+:func:`decompose` extracts the components from a table's (cached or
+prebuilt) :class:`~repro.core.conflict_index.ConflictIndex` and projects
+per-component sub-tables (via the trusted fast-path
+:meth:`~repro.core.table.Table.subset` constructor) and sub-indexes (via
+:meth:`~repro.core.conflict_index.ConflictIndex.project` — no
+re-bucketing).  Conflict-free tuples never enter any solver; they are
+carried through verbatim by :meth:`Decomposition.merge_kept` /
+:meth:`Decomposition.merge_updates`.
+
+The **portfolio policy** (:func:`plan_s_method`) picks a per-component
+S-repair method: the ``OptSRepair`` dichotomy recursion when Δ permits,
+exact vertex cover when the component is small enough
+(:data:`EXACT_COMPONENT_THRESHOLD`), and the Bar-Yehuda–Even
+2-approximation otherwise.  The same threshold is the single source of
+truth for :func:`repro.pipeline.clean`'s exact-vs-approx decision and
+for the exact per-component brackets of :func:`repro.pipeline.assess`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .conflict_index import ConflictIndex
+from .fd import FDSet
+from .table import Table, TupleId
+
+__all__ = [
+    "EXACT_COMPONENT_THRESHOLD",
+    "Component",
+    "Decomposition",
+    "decompose",
+    "plan_s_method",
+]
+
+#: Component-size boundary between exact and approximate S-repair on the
+#: APX-hard side of the dichotomy.  At or below the threshold the exact
+#: vertex-cover branch & bound is run (empirically instantaneous on
+#: conflict components of this size — the matching lower bound prunes
+#: hard); above it the Bar-Yehuda–Even 2-approximation takes over.  The
+#: value carries over the pipeline's historical global ``len(table) > 64``
+#: heuristic, now applied per component: a 100k-tuple table whose
+#: conflicts form 50-tuple clusters is solved *exactly*, where the global
+#: heuristic would have settled for ratio 2.  Shared by the portfolio
+#: policy (:func:`plan_s_method`), :func:`repro.pipeline.clean`, and the
+#: exact per-component brackets of :func:`repro.pipeline.assess`.
+EXACT_COMPONENT_THRESHOLD = 64
+
+
+@dataclass
+class Component:
+    """One connected component of the conflict graph.
+
+    ``ids`` are the member tuple identifiers in table order; ``table`` is
+    the projected sub-table (trusted fast-path construction, shares row
+    storage with the parent); ``index`` is the projected sub-index,
+    seeded into ``table``'s derived cache so per-component solvers reuse
+    it for free.
+    """
+
+    ordinal: int
+    ids: Tuple[TupleId, ...]
+    table: Table
+    index: ConflictIndex
+
+    @property
+    def size(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        return self.index.num_edges
+
+
+@dataclass
+class Decomposition:
+    """A table split into conflict components plus its conflict-free rest.
+
+    ``components`` are ordered by the table position of their earliest
+    member; ``consistent_ids`` are the tuples in no conflict at all.
+    Every merge helper reassembles results in canonical table order, so
+    decomposed repairs are deterministic regardless of how (or where) the
+    per-component solves ran.
+    """
+
+    table: Table
+    fds: FDSet
+    index: ConflictIndex
+    components: List[Component]
+    consistent_ids: Tuple[TupleId, ...]
+
+    @property
+    def component_count(self) -> int:
+        return len(self.components)
+
+    @property
+    def largest_component(self) -> int:
+        return max((c.size for c in self.components), default=0)
+
+    def conflicting_tuple_count(self) -> int:
+        return sum(c.size for c in self.components)
+
+    def merge_kept(self, kept_per_component: Sequence[Iterable[TupleId]]) -> Table:
+        """Stitch per-component S-repairs back together.
+
+        *kept_per_component* holds, per component (in order), the
+        identifiers the component repair kept.  Conflict-free tuples are
+        added verbatim; the result is a sub-table in table order.
+        """
+        kept: Set[TupleId] = set(self.consistent_ids)
+        for ids in kept_per_component:
+            kept.update(ids)
+        return self.table.subset(kept)
+
+    def merge_updates(
+        self, updates_per_component: Sequence[Mapping[Tuple[TupleId, str], object]]
+    ) -> Table:
+        """Compose per-component cell updates into one update of the
+        parent table (conflict-free tuples stay untouched)."""
+        merged: Dict[Tuple[TupleId, str], object] = {}
+        for updates in updates_per_component:
+            merged.update(updates)
+        return self.table.with_updates(merged)
+
+
+def decompose(
+    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+) -> Decomposition:
+    """Split *table* into the connected components of its conflict graph.
+
+    Costs one shared :class:`ConflictIndex` build plus O(conflicting
+    tuples) for the projections; the sub-tables are views sharing row
+    storage with the parent.  A consistent table decomposes into zero
+    components.  The result is memoised on the table alongside the
+    index (tables are immutable), so assessment and repair of the same
+    ``(table, Δ)`` decompose once; like the cached index, the cached
+    components (and their sub-indexes) are pristine and shared — copy
+    before mutating.
+    """
+    if index is None:
+        index = table.conflict_index(fds)
+    else:
+        index.ensure_for(fds, table)
+    cache_key = ("decomposition", fds)
+    cached = table._cache.get(cache_key)
+    if cached is not None and cached.index is index:
+        return cached
+    components: List[Component] = []
+    for ordinal, ids in enumerate(index.components()):
+        subtable = table.subset(ids)
+        subindex = index.project(subtable, set(ids))
+        components.append(Component(ordinal, tuple(ids), subtable, subindex))
+    decomposition = Decomposition(
+        table=table,
+        fds=fds,
+        index=index,
+        components=components,
+        consistent_ids=tuple(index.consistent_ids()),
+    )
+    table._cache[cache_key] = decomposition
+    return decomposition
+
+
+def plan_s_method(
+    size: int,
+    tractable: bool,
+    guarantee: str = "best",
+    threshold: int = EXACT_COMPONENT_THRESHOLD,
+) -> str:
+    """The portfolio policy: pick an S-repair method for one component.
+
+    * ``"dichotomy"`` — the polynomial ``OptSRepair`` recursion, whenever
+      Δ is on the tractable side (optimal at any component size);
+    * ``"exact"`` — exact vertex-cover branch & bound, for hard Δ on
+      components at or below *threshold* (and at any size under the
+      ``"optimal"`` guarantee, where the caller insists);
+    * ``"approx"`` — Bar-Yehuda–Even, ratio 2, for everything else, and
+      for every component under the ``"fast"`` guarantee (which promises
+      polynomial time regardless of instance shape).
+    """
+    if guarantee == "fast":
+        return "approx"
+    if tractable:
+        return "dichotomy"
+    if guarantee == "optimal" or size <= threshold:
+        return "exact"
+    return "approx"

@@ -48,6 +48,8 @@ def exact_s_repair(
     fds: FDSet,
     node_limit: int = 2000,
     index: Optional[ConflictIndex] = None,
+    decomposed: bool = False,
+    parallel: Optional[int] = None,
 ) -> Table:
     """Optimal S-repair via exact minimum-weight vertex cover.
 
@@ -56,7 +58,24 @@ def exact_s_repair(
     by realistic dirtiness levels.  The conflict graph is materialised
     from the cached (or prebuilt) :class:`ConflictIndex`; the branch &
     bound then mutates its private copy freely.
+
+    ``decomposed=True`` (implied by ``parallel``) runs the branch & bound
+    per conflict component — ``node_limit`` then guards each *component*
+    rather than the whole table, so instances far beyond the global limit
+    are solved exactly as long as every component fits, optionally on
+    ``parallel`` worker processes.
     """
+    if decomposed or (parallel and parallel > 1):
+        from ..exec import decomposed_s_repair  # deferred: exec imports us
+
+        return decomposed_s_repair(
+            table,
+            fds,
+            method="exact",
+            parallel=parallel,
+            index=index,
+            node_limit=node_limit,
+        ).repair
     if index is None:
         index = table.conflict_index(fds)
     else:

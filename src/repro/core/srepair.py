@@ -26,7 +26,7 @@ duplicate tuples, and is polynomial even in combined complexity
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..graphs.bipartite import max_weight_bipartite_matching
 from .fd import FD, AttrSet, FDSet
@@ -62,6 +62,9 @@ class SRepairResult:
 
     ``ratio_bound`` is a proven upper bound on
     ``dist_sub(repair)/dist_sub(optimal)`` — 1.0 when the repair is optimal.
+    Decomposed computations additionally record the per-component method
+    mix (``method_counts``, portfolio method → number of components) and
+    the component count; both are ``None`` on global computations.
     """
 
     repair: Table
@@ -69,6 +72,8 @@ class SRepairResult:
     optimal: bool
     ratio_bound: float
     method: str
+    method_counts: Optional[Mapping[str, int]] = None
+    component_count: Optional[int] = None
 
 
 def opt_s_repair(fds: FDSet, table: Table) -> Table:
@@ -177,7 +182,12 @@ def _marriage_rep(
 
 
 def optimal_s_repair(
-    table: Table, fds: FDSet, method: str = "auto", index=None
+    table: Table,
+    fds: FDSet,
+    method: str = "auto",
+    index=None,
+    decomposed: Optional[bool] = None,
+    parallel: Optional[int] = None,
 ) -> SRepairResult:
     """High-level optimal S-repair with an automatic method choice.
 
@@ -192,6 +202,12 @@ def optimal_s_repair(
     passed to share violation detection across entry points (the exact
     path consumes it; the dichotomy path never builds a conflict graph).
 
+    ``decomposed=True`` solves per conflict component instead of
+    globally (the chosen method applied to each component; only the
+    conflicting tuples ever enter a solver), optionally across
+    ``parallel`` worker processes.  Requesting ``parallel`` implies
+    decomposition.  The repair distance is identical either way.
+
     The result is always a true optimal S-repair (``ratio_bound == 1``).
     """
     from .dichotomy import osr_succeeds  # local import to avoid a cycle
@@ -199,6 +215,20 @@ def optimal_s_repair(
 
     if method not in ("auto", "dichotomy", "exact"):
         raise ValueError(f"unknown method {method!r}")
+    if decomposed is None:
+        decomposed = bool(parallel and parallel > 1)
+    if decomposed:
+        from ..exec import decomposed_s_repair  # deferred: exec imports us
+
+        if method == "auto":
+            # The "optimal" portfolio: dichotomy where Δ permits, exact
+            # vertex cover otherwise — optimal at every component size.
+            return decomposed_s_repair(
+                table, fds, guarantee="optimal", parallel=parallel, index=index
+            )
+        return decomposed_s_repair(
+            table, fds, method=method, parallel=parallel, index=index
+        )
     if method == "dichotomy" or (method == "auto" and osr_succeeds(fds)):
         repair = opt_s_repair(fds, table)
         used = "OptSRepair"

@@ -394,6 +394,29 @@ class Table:
         """
         return self._cache.get(("conflict_index", fds))
 
+    # ------------------------------------------------------------------
+    # Pickling (process-pool execution of per-component repairs)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the table data, never the derived-structure cache.
+
+        The cache may hold :class:`ConflictIndex` instances, which carry a
+        weakref to this table and are therefore unpicklable — and sending
+        them across a process boundary would be wasteful anyway (workers
+        rebuild exactly the sub-index they need).  Everything else is
+        plain data.
+        """
+        return (self._schema, self._rows, self._weights, self.name)
+
+    def __setstate__(self, state) -> None:
+        schema, rows, weights, name = state
+        self._schema = schema
+        self._rows = rows
+        self._weights = weights
+        self.name = name
+        self._index = {a: i for i, a in enumerate(schema)}
+        self._cache = {}
+
     def clear_derived_cache(self) -> None:
         """Drop all memoised derived structures (group_by buckets,
         conflict indexes).

@@ -33,7 +33,7 @@ partial tractability landscape, including its APX-complete cases such as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from .dichotomy import osr_succeeds
 from .exact import ExactSearchLimit, exact_u_repair
@@ -57,7 +57,9 @@ class URepairResult:
 
     ``ratio_bound`` bounds ``dist_upd(update)/dist_upd(optimal)``; it is
     1.0 when ``optimal``.  ``method`` records the per-component techniques
-    applied.
+    applied.  Conflict-decomposed computations additionally record the
+    per-component method mix (``method_counts``) and the component count;
+    both are ``None`` on global computations.
     """
 
     update: Table
@@ -65,6 +67,8 @@ class URepairResult:
     optimal: bool
     ratio_bound: float
     method: str
+    method_counts: Optional[Mapping[str, int]] = None
+    component_count: Optional[int] = None
 
 
 # Alias used by repro.core.approx to avoid duplicating the dataclass.
@@ -259,6 +263,8 @@ def u_repair(
     allow_exact_search: bool = True,
     exact_budget: int = 50_000,
     index=None,
+    decomposed: Optional[bool] = None,
+    parallel: Optional[int] = None,
 ) -> URepairResult:
     """Best-effort U-repair: optimal where the paper proves tractability
     (or exhaustive search fits the budget), bounded approximation
@@ -266,6 +272,16 @@ def u_repair(
 
     The returned :class:`URepairResult` states exactly which guarantee was
     achieved, per component.
+
+    ``decomposed=True`` (implied by ``parallel``) dispatches per conflict
+    component of the instance — orthogonal to (and on top of) the
+    attribute-disjoint decomposition of Δ this dispatcher always applies.
+    Only conflicting tuples enter a solver, exhaustive search budgets
+    apply per component (so small hard pockets inside a large table are
+    still searched exactly), and components run on ``parallel`` worker
+    processes when requested.  The merge is globally re-validated with a
+    fall back to this global path, so decomposition never costs
+    soundness.
 
     A consistent table short-circuits to the zero-update result without
     touching the per-component machinery — read off the prebuilt
@@ -275,6 +291,19 @@ def u_repair(
     The per-component S-repair subcalls share the table's per-FD-set
     index cache either way.
     """
+    if decomposed is None:
+        decomposed = bool(parallel and parallel > 1)
+    if decomposed:
+        from ..exec import decomposed_u_repair  # deferred: exec imports us
+
+        return decomposed_u_repair(
+            table,
+            fds,
+            allow_exact_search=allow_exact_search,
+            exact_budget=exact_budget,
+            parallel=parallel,
+            index=index,
+        )
     normalised = fds.with_singleton_rhs().without_trivial()
     if index is not None:
         index.ensure_for(fds, table)
@@ -318,16 +347,27 @@ def optimal_u_repair(
     fds: FDSet,
     exact_budget: int = 500_000,
     index=None,
+    decomposed: Optional[bool] = None,
+    parallel: Optional[int] = None,
 ) -> URepairResult:
     """A provably optimal U-repair, or :class:`UnknownURepairComplexity`.
 
     Succeeds on the paper's tractable cases — attribute-disjoint unions of
     consensus FDs, common-lhs FD sets passing ``OSRSucceeds`` (hence all
     chain FD sets, Corollary 4.8), and ``{A→B, B→A}`` — and on any
-    instance small enough for exhaustive search.
+    instance small enough for exhaustive search.  The conflict-decomposed
+    path (``decomposed=True``, implied by ``parallel``) extends the last
+    case: the budget applies per component, so a large table whose hard
+    conflicts form small pockets is still solved optimally.
     """
     result = u_repair(
-        table, fds, allow_exact_search=True, exact_budget=exact_budget, index=index
+        table,
+        fds,
+        allow_exact_search=True,
+        exact_budget=exact_budget,
+        index=index,
+        decomposed=decomposed,
+        parallel=parallel,
     )
     if not result.optimal:
         raise UnknownURepairComplexity(

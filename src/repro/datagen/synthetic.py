@@ -20,6 +20,7 @@ __all__ = [
     "random_table",
     "consistent_table",
     "planted_violations_table",
+    "clustered_conflicts_table",
     "corrupt_cells",
 ]
 
@@ -136,3 +137,56 @@ def planted_violations_table(
         schema, fds, size, domain=domain, weighted=weighted, rng=rng
     )
     return corrupt_cells(clean, corruption, domain=domain, rng=rng)
+
+
+def clustered_conflicts_table(
+    schema: Sequence[str],
+    size: int,
+    clusters: int,
+    cluster_size: int,
+    filler_group_size: int = 40,
+    conflict_values: int = 3,
+    weighted: bool = False,
+    seed: Optional[int] = None,
+) -> Table:
+    """A table whose conflicts form *clusters* disjoint components.
+
+    The realistic dirtiness shape the decomposition layer exploits: most
+    tuples are consistent, and the violations that do exist cluster into
+    small independent groups (duplicate records of one entity, one
+    ingest batch gone wrong, …).
+
+    Layout, for a schema whose first two attributes play lhs/rhs roles
+    (e.g. ``(A, B, C)`` under ``A → B``-style FD sets): each conflict
+    cluster ``i`` holds *cluster_size* tuples sharing the unique lhs
+    value ``a<i>`` with *conflict_values* distinct rhs values
+    ``b<i>.0 … b<i>.k`` (cluster-unique, so no FD can link two clusters),
+    and the remaining tuples fill consistent groups of
+    *filler_group_size* exact-duplicate tuples (distinct identifiers,
+    identical values — consistent under every FD set).  Rows are
+    shuffled so components interleave in table order.
+    """
+    if cluster_size < 2 or conflict_values < 2:
+        raise ValueError("clusters need ≥2 tuples over ≥2 conflicting values")
+    if clusters * cluster_size > size:
+        raise ValueError("clusters do not fit in the requested size")
+    rng = random.Random(seed)
+    rows: List[Tuple[str, ...]] = []
+    for i in range(clusters):
+        for j in range(cluster_size):
+            rhs = f"b{i}.{j % conflict_values}"
+            rest = tuple(f"x{i}" for _ in schema[2:])
+            rows.append((f"a{i}", rhs) + rest)
+    group = 0
+    while len(rows) < size:
+        members = min(filler_group_size, size - len(rows))
+        row = (f"f{group}", f"g{group}") + tuple(
+            f"y{group}" for _ in schema[2:]
+        )
+        rows.extend([row] * members)
+        group += 1
+    rng.shuffle(rows)
+    weights = (
+        [float(rng.choice((1, 1, 2, 3))) for _ in rows] if weighted else None
+    )
+    return Table.from_rows(schema, rows, weights)

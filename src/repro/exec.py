@@ -1,0 +1,379 @@
+"""Execution layer: map repair solvers over conflict components.
+
+:mod:`repro.core.decompose` splits an instance into independent conflict
+components; this module runs a solver over them — serially, or on a
+process pool — and merges the results in deterministic table order.  The
+two are deliberately separate layers: decomposition is pure conflict
+math, execution is scheduling.
+
+Determinism contract
+--------------------
+Serial and parallel execution produce *identical* repairs: tasks are
+mapped order-preservingly (``ProcessPoolExecutor.map``), every solver is
+a pure function of its component, merge order is canonical table order,
+and the fresh labelled nulls a U-repair component may introduce are
+relabelled per component (``⊥c<ordinal>.<k>`` in changed-cell order), so
+even the serialised form is byte-identical however the components were
+scheduled.  A worker-side rebuild of a component's
+:class:`~repro.core.conflict_index.ConflictIndex` is equivalent to the
+parent's projected sub-index (pinned by the PR-1 index properties), so
+shipping plain sub-tables across the process boundary is safe.
+
+The process pool is a genuine pool of *processes* (the solvers are
+CPU-bound Python), forked lazily and only when the task count warrants
+it; environments without working subprocess support degrade to the
+serial path rather than failing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .core.decompose import (
+    EXACT_COMPONENT_THRESHOLD,
+    Decomposition,
+    decompose,
+    plan_s_method,
+)
+from .core.fd import FDSet
+from .core.table import FreshValue, Table, TupleId
+
+__all__ = [
+    "resolve_workers",
+    "map_components",
+    "solve_components",
+    "assemble_s_result",
+    "decomposed_s_repair",
+    "decomposed_u_repair",
+]
+
+#: Display name and proven ratio bound per portfolio method.
+S_METHOD_NAMES = {
+    "dichotomy": "OptSRepair",
+    "exact": "exact-vertex-cover",
+    "approx": "bar-yehuda-even",
+    "greedy": "greedy-degree",
+}
+S_METHOD_RATIOS = {
+    "dichotomy": 1.0,
+    "exact": 1.0,
+    "approx": 2.0,
+    "greedy": float("inf"),
+}
+
+
+def resolve_workers(parallel: Optional[int], task_count: int) -> int:
+    """Effective worker count: 1 (serial) unless parallelism is requested
+    *and* there is more than one task; never more workers than tasks.
+
+    An explicit request for more workers than cores is honoured — the OS
+    schedules the oversubscription, results are identical regardless, and
+    capping silently at ``cpu_count`` would make ``--parallel`` a no-op
+    on single-core containers.
+    """
+    if not parallel or parallel <= 1 or task_count <= 1:
+        return 1
+    return min(parallel, task_count)
+
+
+def map_components(worker, tasks: Sequence, parallel: Optional[int] = None) -> List:
+    """Order-preserving map of *worker* over picklable *tasks*.
+
+    Serial for ``parallel`` in (None, 0, 1) or a single task; otherwise a
+    process pool of :func:`resolve_workers` workers.  Results come back
+    in task order either way — parallelism never changes the merge.  If
+    the platform cannot spawn workers (sandboxes, missing semaphores),
+    the pool degrades to the serial path: the workers are pure, so a
+    retry is always safe.
+    """
+    workers = resolve_workers(parallel, len(tasks))
+    if workers <= 1:
+        return [worker(task) for task in tasks]
+    chunksize = max(1, len(tasks) // (workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, tasks, chunksize=chunksize))
+    except (OSError, PermissionError, BrokenProcessPool):
+        return [worker(task) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# S-repairs
+# ---------------------------------------------------------------------------
+
+def _solve_s_kept(
+    table: Table,
+    fds: FDSet,
+    method: str,
+    node_limit: int = 2000,
+    index=None,
+) -> Tuple[TupleId, ...]:
+    """Solve one component with the given portfolio method; return the
+    kept identifiers in table order."""
+    if method == "dichotomy":
+        from .core.srepair import opt_s_repair
+
+        return opt_s_repair(fds, table).ids()
+    if method == "exact":
+        from .core.exact import exact_s_repair
+
+        return exact_s_repair(table, fds, node_limit=node_limit, index=index).ids()
+    if method == "approx":
+        from .core.approx import approx_s_repair
+
+        return approx_s_repair(table, fds, index=index).repair.ids()
+    if method == "greedy":
+        from .core.approx import greedy_s_repair
+
+        return greedy_s_repair(table, fds, index=index).repair.ids()
+    raise ValueError(f"unknown portfolio method {method!r}")
+
+
+def _s_worker(task) -> Tuple[TupleId, ...]:
+    table, fds, method, node_limit = task
+    return _solve_s_kept(table, fds, method, node_limit)
+
+
+def solve_components(
+    decomp: Decomposition,
+    methods: Sequence[str],
+    parallel: Optional[int] = None,
+    node_limit: int = 2000,
+) -> List[Tuple[TupleId, ...]]:
+    """Solve each component with its assigned portfolio method; returns
+    the kept identifiers per component, in component order.
+
+    The scheduling seam shared by :func:`decomposed_s_repair` and
+    :func:`repro.pipeline.clean` (which derives its dirtiness report from
+    the same solve instead of bracketing components twice).  Serial
+    execution reuses the projected sub-indexes; parallel workers rebuild
+    them from the shipped sub-tables (equivalent by the index-rebuild
+    property).
+    """
+    workers = resolve_workers(parallel, len(methods))
+    if workers > 1:
+        tasks = [
+            (c.table, decomp.fds, m, node_limit)
+            for c, m in zip(decomp.components, methods)
+        ]
+        return map_components(_s_worker, tasks, parallel)
+    return [
+        _solve_s_kept(c.table, decomp.fds, m, node_limit, index=c.index)
+        for c, m in zip(decomp.components, methods)
+    ]
+
+
+def _method_mix(methods: Sequence[str]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for m in methods:
+        counts[m] = counts.get(m, 0) + 1
+    return counts
+
+
+def _mix_label(counts: Mapping[str, int]) -> str:
+    return ", ".join(
+        f"{S_METHOD_NAMES[m]}×{counts[m]}" for m in sorted(counts)
+    )
+
+
+def decomposed_s_repair(
+    table: Table,
+    fds: FDSet,
+    guarantee: str = "best",
+    method: Optional[str] = None,
+    parallel: Optional[int] = None,
+    index=None,
+    node_limit: int = 2000,
+    threshold: int = EXACT_COMPONENT_THRESHOLD,
+):
+    """S-repair via per-component solving with a portfolio of methods.
+
+    With ``method=None`` each component gets the method the portfolio
+    policy picks for it (:func:`~repro.core.decompose.plan_s_method`
+    under *guarantee*); passing an explicit ``method`` forces it on every
+    component (this is how the single-method entry points —
+    ``exact_s_repair(..., decomposed=True)`` and friends — reuse this
+    engine).  The result's ``ratio_bound`` is instance-specific: 1.0
+    whenever every component was solved exactly, even for an FD set that
+    is APX-complete in general.
+    """
+    from .core.dichotomy import osr_succeeds
+
+    decomp = decompose(table, fds, index)
+    if method is None:
+        tractable = osr_succeeds(fds)
+        methods = [
+            plan_s_method(c.size, tractable, guarantee, threshold)
+            for c in decomp.components
+        ]
+    else:
+        methods = [method] * len(decomp.components)
+    kept_lists = solve_components(decomp, methods, parallel, node_limit)
+    return assemble_s_result(decomp, methods, kept_lists, parallel)
+
+
+def assemble_s_result(
+    decomp: Decomposition,
+    methods: Sequence[str],
+    kept_lists: Sequence[Tuple[TupleId, ...]],
+    parallel: Optional[int] = None,
+):
+    """Merge per-component kept sets into one :class:`SRepairResult`."""
+    from .core.srepair import SRepairResult
+
+    repair = decomp.merge_kept(kept_lists)
+    counts = _method_mix(methods)
+    optimal = all(m in ("dichotomy", "exact") for m in methods)
+    ratio = max((S_METHOD_RATIOS[m] for m in methods), default=1.0)
+    workers = resolve_workers(parallel, len(methods))
+    label = (
+        f"decomposed[{decomp.component_count} components"
+        + (f", parallel={workers}" if workers > 1 else "")
+        + (f": {_mix_label(counts)}" if counts else "")
+        + "]"
+    )
+    return SRepairResult(
+        repair=repair,
+        distance=decomp.table.dist_sub(repair),
+        optimal=optimal,
+        ratio_bound=1.0 if optimal else ratio,
+        method=label,
+        method_counts=counts,
+        component_count=decomp.component_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# U-repairs
+# ---------------------------------------------------------------------------
+
+def _solve_u_component(
+    ordinal: int,
+    table: Table,
+    fds: FDSet,
+    allow_exact_search: bool,
+    exact_budget: int,
+    index=None,
+):
+    """Run the Section 4 dispatcher on one component sub-table.
+
+    Returns ``(cells, optimal, ratio_bound, method)`` where *cells* maps
+    ``(tid, attribute) → value``.  Fresh labelled nulls are relabelled
+    ``⊥c<ordinal>.<k>`` in changed-cell order: deterministic across
+    serial/parallel execution and collision-free across components, so
+    merged updates serialise identically however they were computed.
+    """
+    from .core.urepair import u_repair
+
+    result = u_repair(
+        table,
+        fds,
+        allow_exact_search=allow_exact_search,
+        exact_budget=exact_budget,
+        index=index,
+    )
+    cells: Dict[Tuple[TupleId, str], object] = {}
+    relabelled: Dict[FreshValue, FreshValue] = {}
+    for tid, attr in result.update.changed_cells(table):
+        value = result.update.value(tid, attr)
+        if isinstance(value, FreshValue):
+            fresh = relabelled.get(value)
+            if fresh is None:
+                fresh = FreshValue(f"⊥c{ordinal}.{len(relabelled)}")
+                relabelled[value] = fresh
+            value = fresh
+        cells[(tid, attr)] = value
+    return cells, result.optimal, result.ratio_bound, result.method
+
+
+def _u_worker(task):
+    ordinal, table, fds, allow_exact_search, exact_budget = task
+    return _solve_u_component(ordinal, table, fds, allow_exact_search, exact_budget)
+
+
+def decomposed_u_repair(
+    table: Table,
+    fds: FDSet,
+    allow_exact_search: bool = True,
+    exact_budget: int = 50_000,
+    parallel: Optional[int] = None,
+    index=None,
+):
+    """U-repair via per-component dispatch of :func:`repro.core.urepair.u_repair`.
+
+    Per-component optimal distances sum to at most the global optimum
+    (the restriction of any consistent update to a component is a
+    consistent update of its sub-table), so when every component reports
+    ``optimal`` the merged update is optimal.  Updates that draw
+    replacement values from the active domain can — rarely — collide
+    across components (a changed cell coming to agree with a tuple of
+    another component); the merge is therefore re-checked globally and
+    falls back to the global dispatcher when a collision is detected,
+    keeping the decomposed path unconditionally sound.
+    """
+    from .core.urepair import URepairResult, u_repair
+    from .core.violations import satisfies
+
+    normalised = fds.with_singleton_rhs().without_trivial()
+    decomp = decompose(table, fds, index)
+    if not decomp.components:
+        return URepairResult(
+            update=table,
+            distance=0.0,
+            optimal=True,
+            ratio_bound=1.0,
+            method="already consistent",
+            component_count=0,
+        )
+    workers = resolve_workers(parallel, decomp.component_count)
+    if workers > 1:
+        tasks = [
+            (c.ordinal, c.table, fds, allow_exact_search, exact_budget)
+            for c in decomp.components
+        ]
+        outcomes = map_components(_u_worker, tasks, parallel)
+    else:
+        outcomes = [
+            _solve_u_component(
+                c.ordinal, c.table, fds, allow_exact_search, exact_budget,
+                index=c.index,
+            )
+            for c in decomp.components
+        ]
+    update = decomp.merge_updates([cells for cells, _opt, _ratio, _m in outcomes])
+    if not satisfies(update, normalised):
+        fallback = u_repair(
+            table,
+            fds,
+            allow_exact_search=allow_exact_search,
+            exact_budget=exact_budget,
+            index=decomp.index,
+        )
+        return URepairResult(
+            update=fallback.update,
+            distance=fallback.distance,
+            optimal=fallback.optimal,
+            ratio_bound=fallback.ratio_bound,
+            method=f"global fallback (cross-component collision): {fallback.method}",
+            component_count=decomp.component_count,
+        )
+    optimal = all(opt for _c, opt, _r, _m in outcomes)
+    ratio = max((r for _c, _opt, r, _m in outcomes), default=1.0)
+    counts = _method_mix([m for _c, _opt, _r, m in outcomes])
+    label = (
+        f"decomposed[{decomp.component_count} components"
+        + (f", parallel={workers}" if workers > 1 else "")
+        + "]: "
+        + "; ".join(f"{m} ×{n}" if n > 1 else m for m, n in sorted(counts.items()))
+    )
+    return URepairResult(
+        update=update,
+        distance=table.dist_upd(update),
+        optimal=optimal,
+        ratio_bound=1.0 if optimal else ratio,
+        method=label,
+        method_counts=counts,
+        component_count=decomp.component_count,
+    )

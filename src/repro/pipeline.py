@@ -23,10 +23,11 @@ dichotomy verdict for Δ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from .core.approx import approx_s_repair
 from .core.conflict_index import ConflictIndex
+from .core.decompose import EXACT_COMPONENT_THRESHOLD, decompose
 from .core.dichotomy import DichotomyResult, classify
 from .core.fd import FDSet
 from .core.srepair import SRepairResult, optimal_s_repair
@@ -43,6 +44,16 @@ class DirtinessReport:
     ``lower_bound ≤ optimal S-repair distance ≤ upper_bound`` always
     holds, and ``upper_bound ≤ 2 × optimum`` (Proposition 3.3).  A table
     is consistent iff ``conflict_count == 0`` iff the bracket is [0, 0].
+
+    On the (default) decomposed assessment the bracket is the *sum of
+    per-component brackets*: components at or below
+    :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD` tuples
+    contribute their exact optimal deletion cost (lower = upper), larger
+    ones their matching/Bar-Yehuda–Even bracket.  Per-component matching
+    and BYE sums coincide with the global bounds (both computations are
+    component-local), so the decomposed bracket is never looser and is
+    strictly tighter whenever any component was solved exactly —
+    ``exact_components`` counts those.
     """
 
     total_tuples: int
@@ -53,6 +64,9 @@ class DirtinessReport:
     upper_bound: float
     complexity: str
     dichotomy: DichotomyResult
+    component_count: int = 0
+    largest_component: int = 0
+    exact_components: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -79,8 +93,16 @@ class DirtinessReport:
             f"tuples: {self.total_tuples} (total weight {self.total_weight:g})",
             f"conflicting pairs: {self.conflict_count} "
             f"across {self.conflicting_tuples} tuples",
+            f"conflict components: {self.component_count}"
+            + (
+                f" (largest {self.largest_component} tuples, "
+                f"{self.exact_components} bracketed exactly)"
+                if self.component_count
+                else ""
+            ),
             f"optimal deletion cost bracket: "
-            f"[{self.lower_bound:g}, {self.upper_bound:g}]",
+            f"[{self.lower_bound:g}, {self.upper_bound:g}]"
+            + (" (tight)" if self.bracket_is_tight and self.conflict_count else ""),
             f"estimated dirtiness: ≤ {100 * self.dirtiness_fraction:.1f}% "
             "of total weight",
             f"optimal S-repair complexity for Δ: {self.complexity}",
@@ -90,7 +112,16 @@ class DirtinessReport:
 
 @dataclass(frozen=True)
 class CleaningResult:
-    """Outcome of :func:`clean`: the repaired table plus provenance."""
+    """Outcome of :func:`clean`: the repaired table plus provenance.
+
+    ``ratio_bound`` is *instance-specific* on the decomposed path: 1.0
+    whenever every component was solved exactly — even for an FD set
+    that is APX-complete in general — and the proven per-component
+    maximum otherwise.  ``method_counts`` records the portfolio mix
+    (method → number of components it handled) and ``component_count``
+    how many conflict components the instance decomposed into (``None``
+    on the global path).
+    """
 
     cleaned: Table
     report: DirtinessReport
@@ -99,17 +130,47 @@ class CleaningResult:
     optimal: bool
     ratio_bound: float
     method: str
+    method_counts: Optional[Mapping[str, int]] = None
+    component_count: Optional[int] = None
+
+
+def _bracket_component(index, table: Table) -> tuple:
+    """Polynomial [matching, Bar-Yehuda–Even] bracket of one (sub-)index."""
+    from .graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
+
+    lower = index.matching_lower_bound()
+    if index.num_edges:
+        cover = bar_yehuda_even(index)
+        kept = {tid for tid in table.ids() if tid not in cover}
+        kept = maximalize_independent_set(index, kept)
+        upper = table.total_weight() - table.total_weight(kept)
+    else:
+        upper = 0.0
+    return lower, upper
 
 
 def assess(
-    table: Table, fds: FDSet, index: Optional[ConflictIndex] = None
+    table: Table,
+    fds: FDSet,
+    index: Optional[ConflictIndex] = None,
+    decomposed: bool = True,
+    exact_threshold: Optional[int] = None,
 ) -> DirtinessReport:
     """Detect conflicts and bracket the optimal repair cost (no repair).
 
-    Polynomial regardless of Δ — the bracket comes from the matching
-    lower bound and the Bar-Yehuda–Even upper bound, not from solving the
-    (possibly APX-complete) exact problem.  All three readings (conflict
-    statistics, lower bound, upper bound) are served by the table's
+    The bracket is the sum of per-component brackets over the conflict
+    graph's connected components: a component of at most
+    *exact_threshold* tuples (default
+    :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`) contributes
+    its **exact** optimal deletion cost — the vertex-cover branch & bound
+    is empirically instantaneous at that size — and a larger component
+    its matching lower bound and Bar-Yehuda–Even upper bound
+    (Proposition 3.3).  The result is never looser than the global
+    bracket (matching and BYE are component-local computations) and is
+    strictly tighter whenever any component is bracketed exactly.  With
+    ``decomposed=False`` the historical single global bracket is
+    computed, which is also the fallback guaranteeing polynomial time on
+    adversarial components.  All readings are served by the table's
     cached :class:`ConflictIndex` — or the prebuilt one passed in — so
     assessment costs one bucketing pass, shared with any subsequent
     repair call on the same table.
@@ -119,22 +180,43 @@ def assess(
     else:
         index.ensure_for(fds, table)
 
-    # Matching lower bound: tuple-disjoint conflicting pairs each force
-    # one deletion of at least the lighter tuple.
-    lower = index.matching_lower_bound()
-
-    # Upper bound: Bar-Yehuda–Even cover on the same index (Prop 3.3).
-    if index.num_edges:
-        from .graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
-
-        cover = bar_yehuda_even(index)
-        kept = {tid for tid in table.ids() if tid not in cover}
-        kept = maximalize_independent_set(index, kept)
-        upper = table.total_weight() - table.total_weight(kept)
-    else:
-        upper = 0.0
-
     verdict = classify(fds)
+    threshold = (
+        EXACT_COMPONENT_THRESHOLD if exact_threshold is None else exact_threshold
+    )
+
+    component_count = 0
+    largest = 0
+    exact_components = 0
+    if decomposed and index.num_edges:
+        from .graphs.vertex_cover import exact_min_weight_vertex_cover
+
+        decomp = decompose(table, fds, index)
+        component_count = decomp.component_count
+        largest = decomp.largest_component
+        lower = upper = 0.0
+        for component in decomp.components:
+            # The cheap polynomial bracket first: when it is already
+            # tight the component optimum is certified and the branch &
+            # bound has nothing to add.
+            c_lower, c_upper = _bracket_component(component.index, component.table)
+            if c_lower == c_upper:
+                exact_components += 1
+            elif component.size <= threshold:
+                cover = exact_min_weight_vertex_cover(
+                    component.index.graph(), node_limit=threshold
+                )
+                c_lower = c_upper = component.table.total_weight(cover)
+                exact_components += 1
+            lower += c_lower
+            upper += c_upper
+    else:
+        lower, upper = _bracket_component(index, table)
+        if index.num_edges:
+            components = index.components()
+            component_count = len(components)
+            largest = max(len(c) for c in components)
+
     return DirtinessReport(
         total_tuples=len(table),
         total_weight=table.total_weight(),
@@ -144,6 +226,71 @@ def assess(
         upper_bound=upper,
         complexity=verdict.complexity,
         dichotomy=verdict,
+        component_count=component_count,
+        largest_component=largest,
+        exact_components=exact_components,
+    )
+
+
+def _clean_deletions_decomposed(
+    table: Table,
+    fds: FDSet,
+    guarantee: str,
+    index: ConflictIndex,
+    parallel: Optional[int],
+) -> CleaningResult:
+    """The decomposed S-repair pipeline: decompose once, solve each
+    component by the portfolio policy, and derive the dirtiness report
+    from the same per-component solutions."""
+    from .core.decompose import plan_s_method
+    from .exec import assemble_s_result, solve_components
+
+    verdict = classify(fds)
+    decomp = decompose(table, fds, index)
+    methods = [
+        plan_s_method(c.size, verdict.tractable, guarantee)
+        for c in decomp.components
+    ]
+    kept_lists = solve_components(decomp, methods, parallel)
+
+    lower = upper = 0.0
+    exact_components = 0
+    for component, method, kept in zip(decomp.components, methods, kept_lists):
+        deleted = component.table.total_weight() - component.table.total_weight(kept)
+        if method in ("dichotomy", "exact"):
+            lower += deleted
+            upper += deleted
+            exact_components += 1
+        else:
+            # The solver already ran BYE + maximalisation for this
+            # component: its deleted weight *is* the Proposition 3.3
+            # upper bound; only the matching lower bound is left.
+            lower += component.index.matching_lower_bound()
+            upper += deleted
+    report = DirtinessReport(
+        total_tuples=len(table),
+        total_weight=table.total_weight(),
+        conflict_count=index.num_edges,
+        conflicting_tuples=decomp.conflicting_tuple_count(),
+        lower_bound=lower,
+        upper_bound=upper,
+        complexity=verdict.complexity,
+        dichotomy=verdict,
+        component_count=decomp.component_count,
+        largest_component=decomp.largest_component,
+        exact_components=exact_components,
+    )
+    result = assemble_s_result(decomp, methods, kept_lists, parallel)
+    return CleaningResult(
+        cleaned=result.repair,
+        report=report,
+        strategy="deletions",
+        distance=result.distance,
+        optimal=result.optimal,
+        ratio_bound=result.ratio_bound,
+        method=result.method,
+        method_counts=result.method_counts,
+        component_count=result.component_count,
     )
 
 
@@ -153,6 +300,8 @@ def clean(
     strategy: str = "deletions",
     guarantee: str = "best",
     index: Optional[ConflictIndex] = None,
+    decomposed: bool = True,
+    parallel: Optional[int] = None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -161,8 +310,8 @@ def clean(
     strategy:
         ``"deletions"`` (S-repair) or ``"updates"`` (U-repair).
     guarantee:
-        * ``"best"`` — optimal when the dichotomy (or instance size)
-          permits, bounded approximation otherwise;
+        * ``"best"`` — optimal when the dichotomy (or the component
+          size) permits, bounded approximation otherwise;
         * ``"optimal"`` — insist on a provably optimal repair (may be
           exponential on the hard side; raises on infeasible U cases);
         * ``"fast"`` — polynomial approximation regardless of Δ.
@@ -171,6 +320,20 @@ def clean(
         e.g. when batch-repairing one table under several strategies.
         Built (and cached on the table) otherwise; assessment and the
         repair step share it either way.
+    decomposed:
+        Default ``True``: solve per conflict component, each component
+        dispatched by the portfolio policy — ``OptSRepair`` where Δ is
+        tractable, exact vertex cover on hard-Δ components of at most
+        :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD` tuples,
+        Bar-Yehuda–Even beyond — so ``guarantee="best"`` is exact
+        wherever exactness is affordable *component-wise*, not merely
+        table-wise, and ``ratio_bound`` is 1.0 whenever every component
+        was solved exactly.  ``False`` restores the historical global
+        path (one solver for the whole instance, exact-vs-approx decided
+        by total table size).
+    parallel:
+        Number of worker processes for per-component solving (implies
+        nothing when ≤ 1; the merge is deterministic regardless).
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -180,11 +343,23 @@ def clean(
         index = table.conflict_index(fds)
     else:
         index.ensure_for(fds, table)
-    report = assess(table, fds, index=index)
+
+    if strategy == "deletions" and decomposed:
+        # One decomposition drives both the report and the repair: the
+        # components each portfolio method solved *exactly* contribute
+        # their solved cost to the bracket (lower = upper), only the
+        # approximated ones are bracketed by matching/BYE — so the
+        # report comes out at least as tight as standalone assessment,
+        # without solving any component twice.
+        return _clean_deletions_decomposed(table, fds, guarantee, index, parallel)
+
+    report = assess(table, fds, index=index, decomposed=decomposed)
 
     if strategy == "deletions":
         if guarantee == "fast" or (
-            guarantee == "best" and not report.dichotomy.tractable and len(table) > 64
+            guarantee == "best"
+            and not report.dichotomy.tractable
+            and len(table) > EXACT_COMPONENT_THRESHOLD
         ):
             result = approx_s_repair(table, fds, index=index)
         else:
@@ -197,10 +372,30 @@ def clean(
             optimal=result.optimal,
             ratio_bound=result.ratio_bound,
             method=result.method,
+            method_counts=result.method_counts,
+            component_count=result.component_count,
         )
 
     # strategy == "updates"
-    if guarantee == "fast":
+    if decomposed:
+        from .core.urepair import optimal_u_repair
+        from .exec import decomposed_u_repair
+
+        if guarantee == "optimal":
+            u_result = optimal_u_repair(
+                table, fds, index=index, decomposed=True, parallel=parallel
+            )
+        else:
+            # "fast" disables per-component exhaustive search, keeping
+            # the whole path polynomial; "best" allows it within budget.
+            u_result = decomposed_u_repair(
+                table,
+                fds,
+                allow_exact_search=guarantee == "best",
+                parallel=parallel,
+                index=index,
+            )
+    elif guarantee == "fast":
         from .core.approx import approx_u_repair
 
         u_result: URepairResult = approx_u_repair(table, fds, index=index)
@@ -218,4 +413,6 @@ def clean(
         optimal=u_result.optimal,
         ratio_bound=u_result.ratio_bound,
         method=u_result.method,
+        method_counts=u_result.method_counts,
+        component_count=u_result.component_count,
     )

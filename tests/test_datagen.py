@@ -16,6 +16,7 @@ from repro.datagen.office import (
 )
 from repro.datagen.probabilistic import random_probabilistic_table
 from repro.datagen.synthetic import (
+    clustered_conflicts_table,
     consistent_table,
     corrupt_cells,
     planted_violations_table,
@@ -137,6 +138,39 @@ class TestCnfGenerator:
         f = random_non_mixed_formula(6, 20, 2, seed=4)
         for clause in f.clauses:
             assert isinstance(clause.positive, bool)
+
+
+class TestClusteredConflicts:
+    FAMILIES = (
+        FDSet("A -> B"),
+        FDSet("A -> B; B -> C"),
+        FDSet("A -> B; A B -> C"),
+        FDSet("A -> B; B -> A; B -> C"),
+    )
+
+    def test_components_are_exactly_the_clusters(self):
+        from repro.core.decompose import decompose
+
+        table = clustered_conflicts_table(
+            ("A", "B", "C"), 500, clusters=10, cluster_size=12, seed=1
+        )
+        for fds in self.FAMILIES:
+            decomp = decompose(table, fds)
+            assert decomp.component_count == 10
+            assert {c.size for c in decomp.components} == {12}
+
+    def test_filler_is_consistent_under_every_family(self):
+        table = clustered_conflicts_table(
+            ("A", "B", "C"), 300, clusters=0, cluster_size=5, seed=2
+        )
+        for fds in self.FAMILIES:
+            assert satisfies(table, fds)
+
+    def test_size_guards(self):
+        with pytest.raises(ValueError):
+            clustered_conflicts_table(("A", "B"), 10, clusters=3, cluster_size=5)
+        with pytest.raises(ValueError):
+            clustered_conflicts_table(("A", "B"), 10, clusters=2, cluster_size=1)
 
 
 class TestProbabilisticGenerator:

@@ -1,0 +1,246 @@
+"""Tests for the conflict-graph decomposition and execution layers.
+
+The load-bearing invariant: repairing per connected component of the
+conflict graph — any method, any guarantee, serial or parallel — is
+indistinguishable (in distance, and for deterministic methods in the
+repair itself) from repairing the whole table at once, while conflict-free
+tuples are carried through verbatim without entering any solver.
+"""
+
+import random
+
+import pytest
+
+from repro.core.decompose import (
+    EXACT_COMPONENT_THRESHOLD,
+    decompose,
+    plan_s_method,
+)
+from repro.core.approx import approx_s_repair, greedy_s_repair
+from repro.core.exact import exact_s_repair
+from repro.core.fd import FDSet
+from repro.core.srepair import optimal_s_repair
+from repro.core.table import Table
+from repro.core.urepair import u_repair
+from repro.core.violations import satisfies
+from repro.datagen.synthetic import clustered_conflicts_table
+from repro.exec import map_components, resolve_workers
+from repro.io.tables import table_to_csv
+from repro.testing import random_small_table
+
+HARD = FDSet("A -> B; B -> C")
+TRACTABLE = FDSet("A -> B; A B -> C")
+MARRIAGE = FDSet("A -> B; B -> A; B -> C")
+
+
+def clustered(n=120, clusters=6, cluster_size=8, seed=0, **kwargs):
+    return clustered_conflicts_table(
+        ("A", "B", "C"), n, clusters=clusters, cluster_size=cluster_size,
+        seed=seed, **kwargs
+    )
+
+
+class TestDecompose:
+    def test_components_partition_conflicting_tuples(self):
+        table = clustered()
+        decomp = decompose(table, HARD)
+        assert decomp.component_count == 6
+        assert decomp.largest_component == 8
+        seen = set(decomp.consistent_ids)
+        for component in decomp.components:
+            assert not seen & set(component.ids)
+            seen.update(component.ids)
+        assert seen == set(table.ids())
+
+    def test_components_are_conflict_closed(self):
+        table = clustered(seed=3)
+        decomp = decompose(table, HARD)
+        for component in decomp.components:
+            members = set(component.ids)
+            for tid in component.ids:
+                assert decomp.index.neighbors(tid) <= members
+
+    def test_consistent_tuples_have_no_conflicts(self):
+        table = clustered(seed=1)
+        decomp = decompose(table, HARD)
+        for tid in decomp.consistent_ids:
+            assert not decomp.index.neighbors(tid)
+
+    def test_consistent_table_decomposes_to_nothing(self):
+        table = Table.from_rows(("A", "B"), [("a", "b"), ("c", "d")])
+        decomp = decompose(table, FDSet("A -> B"))
+        assert decomp.component_count == 0
+        assert decomp.consistent_ids == table.ids()
+
+    def test_projected_subindex_equals_rebuild(self):
+        table = clustered(seed=5)
+        decomp = decompose(table, HARD)
+        for component in decomp.components:
+            fresh = component.table.subset(list(component.table.ids()))
+            rebuilt = fresh.conflict_index(HARD)
+            assert component.index.num_edges == rebuilt.num_edges
+            assert component.index.edges() == rebuilt.edges()
+            assert component.index.ids() == rebuilt.ids()
+
+    def test_subindex_seeded_into_subtable_cache(self):
+        table = clustered(seed=5)
+        decomp = decompose(table, HARD)
+        component = decomp.components[0]
+        assert component.table.conflict_index(HARD) is component.index
+
+    def test_merge_kept_preserves_table_order(self):
+        table = clustered(seed=2)
+        decomp = decompose(table, HARD)
+        merged = decomp.merge_kept([c.ids for c in decomp.components])
+        assert merged.ids() == table.ids()
+
+
+class TestPortfolioPolicy:
+    def test_tractable_always_dichotomy(self):
+        assert plan_s_method(10, True, "best") == "dichotomy"
+        assert plan_s_method(10_000, True, "best") == "dichotomy"
+
+    def test_hard_small_exact_large_approx(self):
+        assert plan_s_method(EXACT_COMPONENT_THRESHOLD, False, "best") == "exact"
+        assert plan_s_method(EXACT_COMPONENT_THRESHOLD + 1, False, "best") == "approx"
+
+    def test_optimal_forces_exact(self):
+        assert plan_s_method(10_000, False, "optimal") == "exact"
+
+    def test_fast_forces_approx(self):
+        assert plan_s_method(2, True, "fast") == "approx"
+
+
+class TestDecomposedSRepairEquivalence:
+    @pytest.mark.parametrize("fds", (HARD, TRACTABLE, MARRIAGE))
+    def test_exact_distance_matches_global(self, fds):
+        table = clustered(seed=4)
+        global_repair = exact_s_repair(table, fds, node_limit=5000)
+        decomposed = exact_s_repair(table, fds, decomposed=True)
+        assert table.dist_sub(decomposed) == table.dist_sub(global_repair)
+        assert satisfies(decomposed, fds)
+
+    @pytest.mark.parametrize("fds", (HARD, TRACTABLE))
+    def test_approx_repair_identical_to_global(self, fds):
+        # BYE payments and maximalisation are component-local, so the
+        # decomposed approximation is not merely as good — it is the
+        # *same* repair.
+        table = clustered(seed=6)
+        assert (
+            approx_s_repair(table, fds, decomposed=True).repair
+            == approx_s_repair(table, fds).repair
+        )
+
+    def test_greedy_repair_identical_to_global(self):
+        table = clustered(seed=7)
+        assert (
+            greedy_s_repair(table, HARD, decomposed=True).repair
+            == greedy_s_repair(table, HARD).repair
+        )
+
+    def test_random_tables_all_guarantees(self, rng):
+        from repro.pipeline import clean
+
+        for trial in range(8):
+            table = random_small_table(
+                rng, ("A", "B", "C"), 14, domain=2, weighted=True
+            )
+            for fds in (HARD, TRACTABLE):
+                optimum = table.dist_sub(exact_s_repair(table, fds))
+                for guarantee in ("best", "optimal", "fast"):
+                    dec = clean(table, fds, guarantee=guarantee)
+                    glob = clean(table, fds, guarantee=guarantee, decomposed=False)
+                    assert satisfies(dec.cleaned, fds)
+                    if guarantee in ("best", "optimal"):
+                        # Small components ⇒ the portfolio solves
+                        # everything exactly, matching the global optimum.
+                        assert dec.distance == optimum
+                        assert dec.optimal and dec.ratio_bound == 1.0
+                    assert dec.distance <= glob.distance + 1e-9
+                    assert dec.distance <= dec.ratio_bound * optimum + 1e-9
+
+    def test_random_tables_updates(self, rng):
+        for trial in range(6):
+            table = random_small_table(rng, ("A", "B", "C"), 10, domain=2)
+            for fds in (TRACTABLE, FDSet("A -> B")):
+                dec = u_repair(table, fds, decomposed=True)
+                glob = u_repair(table, fds)
+                assert satisfies(dec.update, fds)
+                assert dec.update.is_update_of(table)
+                assert dec.distance == glob.distance
+                assert dec.optimal == glob.optimal
+
+    def test_instance_specific_ratio_on_hard_fds(self):
+        """An APX-complete Δ whose conflicts form small components is
+        solved exactly — the decomposed path certifies ratio 1.0 where
+        the global heuristic settled for the 2-approximation."""
+        from repro.pipeline import clean
+
+        table = clustered(n=200, clusters=5, cluster_size=10, seed=9)
+        result = clean(table, HARD, guarantee="best")
+        assert result.optimal and result.ratio_bound == 1.0
+        assert result.method_counts == {"exact": 5}
+        legacy = clean(table, HARD, guarantee="best", decomposed=False)
+        assert not legacy.optimal and legacy.ratio_bound == 2.0
+        assert result.distance <= legacy.distance
+
+
+class TestSerialParallelIdentical:
+    def test_s_repair_byte_identical(self):
+        table = clustered(seed=8)
+        serial = optimal_s_repair(table, HARD, decomposed=True)
+        parallel = optimal_s_repair(table, HARD, parallel=4)
+        assert serial.repair == parallel.repair
+        assert table_to_csv(serial.repair) == table_to_csv(parallel.repair)
+        assert serial.distance == parallel.distance
+
+    def test_u_repair_byte_identical_serialisation(self):
+        # Fresh labelled nulls are relabelled per component in
+        # deterministic changed-cell order, so even the serialised form
+        # is identical however the components were scheduled.
+        table = clustered(seed=10)
+        serial = u_repair(table, HARD, decomposed=True)
+        parallel = u_repair(table, HARD, parallel=4)
+        assert serial.distance == parallel.distance
+        assert table_to_csv(serial.update) == table_to_csv(parallel.update)
+
+    def test_clean_parallel_matches_serial(self):
+        from repro.pipeline import clean
+
+        table = clustered(seed=11)
+        for strategy in ("deletions", "updates"):
+            serial = clean(table, HARD, strategy=strategy)
+            parallel = clean(table, HARD, strategy=strategy, parallel=4)
+            assert serial.distance == parallel.distance
+            assert table_to_csv(serial.cleaned) == table_to_csv(parallel.cleaned)
+
+
+class TestExecLayer:
+    def test_resolve_workers(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(4, 1) == 1
+        assert resolve_workers(4, 2) == 2
+        assert resolve_workers(2, 10) == 2
+        assert resolve_workers(8, 3) == 3
+
+    def test_map_components_preserves_order(self):
+        tasks = list(range(20))
+        assert map_components(_square, tasks, parallel=4) == [
+            x * x for x in tasks
+        ]
+        assert map_components(_square, tasks) == [x * x for x in tasks]
+
+    def test_table_pickle_drops_cache(self):
+        import pickle
+
+        table = clustered(n=30, clusters=2, cluster_size=5, seed=12)
+        table.conflict_index(HARD)  # unpicklable cache entry
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert clone.ids() == table.ids()
+        assert clone.conflict_index(HARD).num_edges == table.conflict_index(HARD).num_edges
+
+
+def _square(x):
+    return x * x

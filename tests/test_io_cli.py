@@ -111,6 +111,51 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_assess(self, office_csv, capsys):
+        assert main(["assess", office_csv, OFFICE_FDS]) == 0
+        out = capsys.readouterr().out
+        assert "conflicting pairs: 2" in out
+        assert "conflict components: 1" in out
+        assert "bracket" in out
+        assert "PTIME" in out
+
+    def test_assess_global(self, office_csv, capsys):
+        assert main(["assess", office_csv, OFFICE_FDS, "--global"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicting pairs: 2" in out
+
+    def test_s_repair_guarantee_fast(self, office_csv, capsys):
+        assert main(["s-repair", office_csv, OFFICE_FDS, "--guarantee", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "2-approximation" in out
+
+    def test_s_repair_portfolio_parallel(self, office_csv, capsys, tmp_path):
+        out_path = tmp_path / "repair.csv"
+        assert (
+            main(
+                [
+                    "s-repair", office_csv, OFFICE_FDS,
+                    "--portfolio", "--parallel", "2", "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "conflict components: 1" in out
+        assert "deleted weight: 2" in out
+        assert len(table_from_csv(out_path)) == 2
+
+    def test_s_repair_global_path(self, office_csv, capsys):
+        assert main(["s-repair", office_csv, OFFICE_FDS, "--global"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted weight: 2" in out
+
+    def test_u_repair_guarantee_optimal(self, office_csv, capsys):
+        assert main(["u-repair", office_csv, OFFICE_FDS, "--guarantee", "optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "update distance: 2" in out
+        assert "optimal" in out
+
 
 class TestSerialisationSemantics:
     def test_fresh_values_serialise_as_labels(self):

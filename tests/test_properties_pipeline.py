@@ -60,6 +60,36 @@ def test_clean_outputs_are_consistent(fds, table):
 
 @settings(max_examples=30, deadline=None)
 @given(fdset_strategy, tables())
+def test_decomposed_bracket_nested_in_global(fds, table):
+    """The per-component bracket refines the global one: never looser,
+    and still a valid bracket around the optimum."""
+    decomposed = assess(table, fds)
+    global_report = assess(table, fds, decomposed=False)
+    assert decomposed.lower_bound >= global_report.lower_bound - 1e-9
+    assert decomposed.upper_bound <= global_report.upper_bound + 1e-9
+    optimum = table.dist_sub(exact_s_repair(table, fds))
+    assert decomposed.lower_bound <= optimum + 1e-9 <= decomposed.upper_bound + 2e-9
+    # Small tables decompose into small components, all solved exactly.
+    if not decomposed.consistent and len(table) <= 8:
+        assert decomposed.bracket_is_tight
+        assert abs(decomposed.lower_bound - optimum) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(fdset_strategy, tables(max_size=6))
+def test_decomposed_clean_matches_global_distance(fds, table):
+    """On instances small enough that the portfolio is all-exact, the
+    decomposed pipeline reproduces the global optimal distance for both
+    strategies."""
+    for strategy in ("deletions", "updates"):
+        dec = clean(table, fds, strategy=strategy)
+        glob = clean(table, fds, strategy=strategy, decomposed=False)
+        assert satisfies(dec.cleaned, fds)
+        assert abs(dec.distance - glob.distance) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(fdset_strategy, tables())
 def test_consistency_iff_zero_bracket(fds, table):
     report = assess(table, fds)
     assert report.consistent == satisfies(table, fds)
