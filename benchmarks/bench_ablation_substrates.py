@@ -247,3 +247,75 @@ def test_incremental_index_vs_rebuild_per_deletion(benchmark):
     # Generous headroom: single-shot wall-clock timings on a shared CI
     # runner can wobble, but the rebuild loop is asymptotically worse.
     assert incremental_time <= rebuild_time * 2
+
+
+def test_projection_and_copy_fast_paths(benchmark):
+    """E17 addendum (PR-3) — ConflictIndex.project()/copy() micro-audit.
+
+    The streaming session re-decomposes per delta, so projection cost is
+    on the per-append hot path.  Since PR-3, ``project()`` defers its
+    per-FD bucket rebuild until something actually reads or mutates the
+    buckets — the vertex-cover solvers and cache-hit components are
+    adjacency-only, so in the common case the buckets the session fast
+    path already holds (on the parent index) are never re-derived.  The
+    regression gate: projecting *every* component must stay well under
+    one from-scratch index build, and must leave every projection's
+    buckets unmaterialised.
+    """
+    from repro.core.conflict_index import ConflictIndex
+    from repro.datagen.synthetic import clustered_conflicts_table
+
+    fds = FDSet("A -> B; B -> C")
+    table = clustered_conflicts_table(
+        ("A", "B", "C"), 10_000, clusters=100, cluster_size=25,
+        filler_group_size=80, seed=3,
+    )
+
+    build, build_s, _ = measure_median(lambda: ConflictIndex(table, fds))
+    index = table.conflict_index(fds)
+    components = index.components()
+
+    def project_all():
+        out = []
+        for ids in components:
+            subtable = table.subset(ids)
+            subtable._cache.clear()  # a fresh projection every run
+            out.append(index.project(subtable, set(ids)))
+        return out
+
+    projected, project_s, runs_s = measure_median(project_all)
+    benchmark.pedantic(project_all, rounds=1, iterations=1)
+    assert all(sub._buckets is None for sub in projected), (
+        "projection must not re-derive buckets eagerly"
+    )
+    # Reading violating pairs still works (materialise-on-demand) and
+    # matches a from-scratch sub-index.
+    sample = projected[0]
+    rebuilt = ConflictIndex(table.subset(components[0]), fds)
+    assert sorted(map(str, sample.violating_pairs())) == sorted(
+        map(str, rebuilt.violating_pairs())
+    )
+
+    copy_, copy_s, _ = measure_median(index.copy)
+    print_table(
+        "E17 — index substrate fast paths (10k tuples, 100 components)",
+        ("operation", "median"),
+        [
+            ("from-scratch build", f"{build_s * 1e3:.1f} ms"),
+            ("project all components (lazy)", f"{project_s * 1e3:.1f} ms"),
+            ("copy live index", f"{copy_s * 1e3:.1f} ms"),
+        ],
+    )
+    record_bench(
+        "BENCH_ablation.json",
+        "index-project-copy-fast-paths",
+        project_s,
+        runs_s=runs_s,
+        build_s=round(build_s, 6),
+        copy_s=round(copy_s, 6),
+        components=len(components),
+    )
+    # Regression gates: the session fast path depends on projection (all
+    # components together) and copy staying decisively under a rebuild.
+    assert project_s <= build_s / 2
+    assert copy_s <= build_s

@@ -32,14 +32,23 @@ Quickstart::
 
 from .core import *  # noqa: F401,F403 — the curated core API
 from .core import __all__ as _core_all
-from .exec import decomposed_s_repair, decomposed_u_repair, map_components
+from .exec import (
+    PersistentWorkerPool,
+    decomposed_s_repair,
+    decomposed_u_repair,
+    map_components,
+)
 from .pipeline import CleaningResult, DirtinessReport, assess, clean
+from .session import RepairSession, SessionStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = list(_core_all) + [
     "CleaningResult",
     "DirtinessReport",
+    "PersistentWorkerPool",
+    "RepairSession",
+    "SessionStats",
     "assess",
     "clean",
     "decomposed_s_repair",

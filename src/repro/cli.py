@@ -18,18 +18,25 @@ Commands
 ``mpd``
     Most probable database of a probabilistic CSV table (weights are the
     tuple probabilities).
+``stream``
+    A streaming repair session: consume JSONL tuple batches (appends and
+    deletes), re-repairing incrementally after each — only the conflict
+    components a batch touches are re-solved.
 
 The repair commands run the conflict-decomposed engine: ``--parallel N``
-solves components on N worker processes, ``--portfolio`` prints the
-per-component method mix, and ``--global`` restores the undecomposed
-path.  The CSV layout is ``id,<attributes...>,weight`` (see
-:mod:`repro.io.tables`).
+solves components on N worker processes (``stream`` keeps them warm
+across batches), ``--exact-threshold`` moves the exact-vs-approximate
+component-size boundary, ``--portfolio`` prints the per-component method
+mix, and ``--global`` restores the undecomposed path.  The CSV layout is
+``id,<attributes...>,weight`` (see :mod:`repro.io.tables`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from .core.dichotomy import classify
@@ -58,6 +65,17 @@ def _add_repair_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         default=None,
         help="solve conflict components on N worker processes",
+    )
+    parser.add_argument(
+        "--exact-threshold",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "component-size boundary between exact and approximate "
+            "solving on hard FD sets (default 64); raise for tighter "
+            "repairs, lower to bound latency"
+        ),
     )
     parser.add_argument(
         "--portfolio",
@@ -99,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="single global bracket instead of per-component sums",
     )
+    p_assess.add_argument(
+        "--exact-threshold",
+        type=int,
+        metavar="N",
+        default=None,
+        help="bracket components of at most N tuples exactly (default 64)",
+    )
 
     p_srepair = sub.add_parser("s-repair", help="compute an S-repair")
     p_srepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
@@ -119,6 +144,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_mpd.add_argument("table", help="CSV file; weights are probabilities")
     p_mpd.add_argument("fds", help="FD set string")
     p_mpd.add_argument("--out", help="write the database CSV here")
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="incremental repair session over JSONL tuple batches",
+        description=(
+            "Run a streaming repair session: start from an initial CSV "
+            "table (or an empty table over --schema), then apply one "
+            "JSONL operation per line and re-repair incrementally.  "
+            'Operations: {"op": "append", "rows": [...]} with rows as '
+            "value lists or attribute-keyed objects (optional weights/"
+            'ids arrays), and {"op": "delete", "ids": [...]}.  Only the '
+            "conflict components an operation touches are re-solved; "
+            "everything else is served from the session's component "
+            "cache."
+        ),
+    )
+    p_stream.add_argument("fds", help="FD set string")
+    p_stream.add_argument(
+        "batches",
+        nargs="?",
+        default="-",
+        help="JSONL operations file (default: stdin)",
+    )
+    p_stream.add_argument("--table", help="initial CSV table (id,<attrs...>,weight)")
+    p_stream.add_argument(
+        "--schema",
+        help='comma-separated attributes for an empty initial table, e.g. "A,B,C"',
+    )
+    p_stream.add_argument(
+        "--guarantee",
+        choices=("best", "optimal", "fast"),
+        default="best",
+        help="repair guarantee per re-repair (default: best)",
+    )
+    p_stream.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=None,
+        help="keep N warm worker processes for cache-miss components",
+    )
+    p_stream.add_argument(
+        "--exact-threshold",
+        type=int,
+        metavar="N",
+        default=None,
+        help="exact-vs-approximate component-size boundary (default 64)",
+    )
+    p_stream.add_argument("--out", help="write the final repaired CSV here")
+    p_stream.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-batch progress lines",
+    )
     return parser
 
 
@@ -137,7 +216,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_assess(args: argparse.Namespace) -> int:
     table = table_from_csv(args.table)
     fds = parse_fd_set(args.fds)
-    report = assess(table, fds, decomposed=args.decomposed)
+    report = assess(
+        table,
+        fds,
+        decomposed=args.decomposed,
+        exact_threshold=args.exact_threshold,
+    )
     print(report.summary())
     return 0
 
@@ -174,6 +258,7 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
         guarantee=guarantee,
         decomposed=args.decomposed,
         parallel=args.parallel,
+        exact_threshold=args.exact_threshold,
     )
 
 
@@ -213,12 +298,126 @@ def _cmd_mpd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_lines(source: str):
+    if source == "-":
+        yield from sys.stdin
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from handle
+
+
+def _open_stream(source: str):
+    """Validate the batches source up front so a missing file diagnoses
+    like every other bad input instead of tracebacking mid-stream."""
+    if source != "-":
+        try:
+            open(source, "r", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot read batches file: {exc}", file=sys.stderr)
+            return None
+    return _stream_lines(source)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.table import Table
+    from .session import RepairSession
+
+    fds = parse_fd_set(args.fds)
+    if args.table:
+        table = table_from_csv(args.table)
+    elif args.schema:
+        schema = [a.strip() for a in args.schema.split(",") if a.strip()]
+        if not schema:
+            print("error: --schema is empty", file=sys.stderr)
+            return 2
+        table = Table(schema, {})
+    else:
+        print("error: stream needs --table or --schema", file=sys.stderr)
+        return 2
+    lines = _open_stream(args.batches)
+    if lines is None:
+        return 2
+
+    with RepairSession(
+        table,
+        fds,
+        guarantee=args.guarantee,
+        parallel=args.parallel,
+        exact_threshold=args.exact_threshold,
+    ) as session:
+        result = session.repair()
+        if not args.quiet:
+            print(
+                f"session open: {len(session)} tuples, "
+                f"{result.report.conflict_count} conflicts, "
+                f"distance {result.distance:g}"
+            )
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                op = json.loads(line)
+            except ValueError as exc:
+                print(f"batch {number}: bad JSON ({exc})", file=sys.stderr)
+                return 1
+            kind = op.get("op")
+            start = time.perf_counter()
+            try:
+                if kind == "append":
+                    result = session.append(
+                        op.get("rows", []),
+                        weights=op.get("weights"),
+                        ids=op.get("ids"),
+                    )
+                    what = f"append ×{len(op.get('rows', []))}"
+                elif kind == "delete":
+                    result = session.delete(op.get("ids", []))
+                    what = f"delete ×{len(op.get('ids', []))}"
+                elif kind == "repair":
+                    result = session.repair()
+                    what = "repair"
+                else:
+                    print(
+                        f"batch {number}: unknown op {kind!r}", file=sys.stderr
+                    )
+                    return 1
+            except (KeyError, TypeError, ValueError) as exc:
+                # TypeError covers structurally malformed payloads (e.g.
+                # "rows" not a list) — diagnose, don't traceback.
+                print(f"batch {number}: {exc}", file=sys.stderr)
+                return 1
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            if not args.quiet:
+                stats = session.stats
+                print(
+                    f"batch {number}: {what} → |T|={len(session)}, "
+                    f"distance {result.distance:g}, "
+                    f"components {result.component_count}, "
+                    f"cache {stats.cache_hits}h/{stats.cache_misses}m, "
+                    f"{elapsed_ms:.1f} ms"
+                )
+        print(f"method: {result.method} ({_guarantee_text(result)})")
+        print(f"deleted weight: {result.distance:g}")
+        stats = session.stats
+        print(
+            f"session totals: {stats.appends} appends, {stats.deletes} "
+            f"deletes, {stats.repairs} repairs, cache hit rate "
+            f"{100 * stats.hit_rate():.0f}%"
+            + (f", {stats.pool_solves} pool solves" if stats.pool_solves else "")
+        )
+        if args.out:
+            table_to_csv(result.cleaned, args.out)
+    return 0
+
+
 _COMMANDS = {
     "classify": _cmd_classify,
     "assess": _cmd_assess,
     "s-repair": _cmd_s_repair,
     "u-repair": _cmd_u_repair,
     "mpd": _cmd_mpd,
+    "stream": _cmd_stream,
 }
 
 

@@ -20,7 +20,11 @@ plus the *materialised conflict graph* as an adjacency map with degree
 and weight bookkeeping.  :meth:`remove` evicts one tuple in
 O(degree + |Δ|) — the affected buckets only — instead of an O(|T|·|Δ|)
 rebuild, which is what makes index-driven greedy deletion loops linear
-instead of quadratic.
+instead of quadratic.  :meth:`insert` is the symmetric counterpart: a
+new tuple joins its lhs buckets and gains exactly the conflict edges
+its rhs disagreement implies, in O(lhs-group size + |Δ|) — the substrate
+of the streaming :class:`repro.session.RepairSession`, which re-repairs
+only the components a tuple delta touches.
 
 The index quacks like :class:`repro.graphs.graph.Graph` for the read
 access :func:`~repro.graphs.vertex_cover.bar_yehuda_even` and
@@ -114,6 +118,12 @@ class ConflictIndex:
         "_adj",
         "_num_edges",
         "_removed_weight",
+        "_fd_specs",
+        "_arity",
+        "_next_position",
+        "_position_shared",
+        "_lazy_bucket_table",
+        "_conflicting",
     )
 
     def __init__(self, table: Table, fds: FDSet) -> None:
@@ -125,24 +135,51 @@ class ConflictIndex:
         self._position: Dict[TupleId, int] = {
             tid: i for i, tid in enumerate(self._live)
         }
+        self._next_position = len(self._live)
+        self._position_shared = False
         self._adj: Dict[TupleId, Set[TupleId]] = {tid: set() for tid in self._live}
         self._num_edges = 0
         self._removed_weight = 0.0
-        self._buckets: List[_FDBuckets] = []
-        for fd in fds:
-            if fd.is_trivial:
-                continue
-            self._buckets.append(self._build_fd_buckets(table, fd))
+        self._arity = len(table.schema)
+        # Per nontrivial FD: (fd, sorted-lhs positions, sorted-rhs
+        # positions).  Immutable and shared by copies/projections; the
+        # position lists are what :meth:`insert` and the lazy projection
+        # rebuild key rows with, without needing the source table's
+        # attribute map.
+        self._fd_specs: List[Tuple[FD, List[int], List[int]]] = [
+            (
+                fd,
+                [table._index[a] for a in sorted(fd.lhs)],
+                [table._index[a] for a in sorted(fd.rhs)],
+            )
+            for fd in fds
+            if not fd.is_trivial
+        ]
+        self._lazy_bucket_table: Optional[Table] = None
+        self._buckets: Optional[List[_FDBuckets]] = []
+        for fd, _lhs_pos, rhs_pos in self._fd_specs:
+            self._buckets.append(self._build_fd_buckets(table, fd, rhs_pos))
+        # Live tuples with at least one conflict, maintained under
+        # insert/remove so components() costs O(conflicting) instead of
+        # O(|T|) — on realistic dirtiness (a few % of tuples conflicting)
+        # that is the difference between re-decomposing per streaming
+        # delta and scanning the whole table each time.
+        self._conflicting: Set[TupleId] = {
+            tid for tid, nbrs in self._adj.items() if nbrs
+        }
 
-    def _build_fd_buckets(self, table: Table, fd: FD) -> _FDBuckets:
+    def _build_fd_buckets(
+        self, table: Table, fd: FD, rhs_pos: List[int]
+    ) -> _FDBuckets:
         """Bucket every tuple by (lhs, rhs) projection and materialise the
-        conflict edges this FD contributes."""
+        conflict edges this FD contributes.
+
+        *rhs_pos* holds the positions of the (canonically sorted) rhs
+        attributes, resolved once per FD: projecting via raw row indexing
+        keeps the build O(|T|·k) with no per-tuple attribute lookups.
+        """
         buckets = _FDBuckets(fd)
         adj = self._adj
-        # Positions of the (canonically sorted) rhs attributes, resolved
-        # once: projecting via raw row indexing keeps the build O(|T|·k)
-        # with no per-tuple attribute lookups.
-        rhs_pos = [table._index[a] for a in sorted(fd.rhs)]
         rows = table._rows
         for lhs_key, ids in table.group_by(fd.lhs).items():
             if len(ids) == 1:
@@ -242,7 +279,7 @@ class ConflictIndex:
 
     def conflicting_tuples(self) -> List[TupleId]:
         """Live tuples involved in at least one conflict, in table order."""
-        return [tid for tid, nbrs in self._adj.items() if nbrs]
+        return sorted(self._conflicting, key=self._position.__getitem__)
 
     def edges(self) -> List[Tuple[TupleId, TupleId]]:
         """Each conflict pair exactly once, in canonical table-position
@@ -266,6 +303,37 @@ class ConflictIndex:
 
     conflicting_ids = edges
 
+    def _ensure_buckets(self) -> List[_FDBuckets]:
+        """Materialise the per-FD buckets of a lazily-projected index.
+
+        :meth:`project` defers bucket construction: component indexes
+        produced during decomposition are consumed adjacency-only by the
+        vertex-cover solvers (and, in a streaming session, cache-hit
+        components are never solved at all), so re-deriving their buckets
+        eagerly would be pure waste.  The keys are pure row projections,
+        so rebuilding them here from the strongly-held sub-table and the
+        shared per-FD position lists is exact — removals that happened
+        while lazy need no replay, because only live tuples are bucketed.
+        """
+        buckets_list = self._buckets
+        if buckets_list is None:
+            table = self._lazy_bucket_table
+            rows = table._rows
+            buckets_list = []
+            for fd, lhs_pos, rhs_pos in self._fd_specs:
+                buckets = _FDBuckets(fd)
+                for tid in self._live:
+                    row = rows[tid]
+                    buckets.add(
+                        tid,
+                        tuple(row[i] for i in lhs_pos),
+                        tuple(row[i] for i in rhs_pos),
+                    )
+                buckets_list.append(buckets)
+            self._buckets = buckets_list
+            self._lazy_bucket_table = None
+        return buckets_list
+
     def violating_pairs(self) -> Iterator[Tuple[TupleId, TupleId, FD]]:
         """Yield ``(t1, t2, fd)`` per violated FD from the live buckets.
 
@@ -273,7 +341,7 @@ class ConflictIndex:
         the materialised buckets; a pair violating several FDs is yielded
         once per FD.
         """
-        for buckets in self._buckets:
+        for buckets in self._ensure_buckets():
             for group in buckets.groups.values():
                 if len(group) < 2:
                     continue
@@ -300,8 +368,11 @@ class ConflictIndex:
         adj = self._adj
         seen: Set[TupleId] = set()
         out: List[List[TupleId]] = []
-        for tid, nbrs in adj.items():
-            if not nbrs or tid in seen:
+        # Roots visited in table (position) order yield components listed
+        # by earliest member, identically to a full-table scan — but the
+        # sweep only ever touches conflicting tuples.
+        for tid in sorted(self._conflicting, key=position.__getitem__):
+            if tid in seen:
                 continue
             stack = [tid]
             seen.add(tid)
@@ -333,6 +404,14 @@ class ConflictIndex:
         ``subtable.conflict_index(fds)`` reuse it instead of re-bucketing
         — this is what makes decomposition O(conflicting tuples) on top
         of the one shared parent build.
+
+        Bucket projection is **lazy**: the vertex-cover solvers consume a
+        component index adjacency-only, and a streaming session's
+        cache-hit components are never solved at all, so the per-FD
+        buckets are rebuilt from the (strongly held) sub-table's rows
+        only if something actually reads or mutates them
+        (:meth:`_ensure_buckets`).  Projection therefore costs the
+        adjacency filter alone.
         """
         dup = object.__new__(ConflictIndex)
         dup.fds = self.fds
@@ -342,24 +421,26 @@ class ConflictIndex:
         # Relative table order is preserved by subsetting, so sharing the
         # parent's position map keeps edges() canonical and cheap.
         dup._position = self._position
+        dup._position_shared = True
+        self._position_shared = True
+        dup._next_position = self._next_position
         num_edges = 0
         adj: Dict[TupleId, Set[TupleId]] = {}
+        conflicting: Set[TupleId] = set()
         for tid in dup._live:
             nbrs = self._adj[tid] & ids
             adj[tid] = nbrs
+            if nbrs:
+                conflicting.add(tid)
             num_edges += len(nbrs)
         dup._adj = adj
         dup._num_edges = num_edges // 2
+        dup._conflicting = conflicting
         dup._removed_weight = 0.0
-        buckets: List[_FDBuckets] = []
-        for source in self._buckets:
-            projected = _FDBuckets(source.fd)
-            for tid in dup._live:
-                keys = source.keys.get(tid)
-                if keys is not None:
-                    projected.add(tid, keys[0], keys[1])
-            buckets.append(projected)
-        dup._buckets = buckets
+        dup._arity = self._arity
+        dup._fd_specs = self._fd_specs
+        dup._buckets = None
+        dup._lazy_bucket_table = subtable
         subtable._cache.setdefault(("conflict_index", self.fds), dup)
         return dup
 
@@ -401,14 +482,107 @@ class ConflictIndex:
         self._removed_weight += weight
         nbrs = self._adj.pop(tid)
         self._num_edges -= len(nbrs)
+        self._conflicting.discard(tid)
+        adj = self._adj
         for other in nbrs:
-            self._adj[other].remove(tid)
-        for buckets in self._buckets:
-            buckets.discard(tid)
+            other_nbrs = adj[other]
+            other_nbrs.remove(tid)
+            if not other_nbrs:
+                self._conflicting.discard(other)
+        if self._buckets is not None:
+            for buckets in self._buckets:
+                buckets.discard(tid)
+        # While the buckets are still lazy there is nothing to maintain:
+        # materialisation only ever buckets the tuples live at that time.
 
     def remove_many(self, ids) -> None:
         for tid in ids:
             self.remove(tid)
+
+    def insert(self, tid: TupleId, row, weight: float = 1.0) -> int:
+        """Add a tuple, updating buckets and adjacency incrementally —
+        the symmetric counterpart of :meth:`remove`.
+
+        The new tuple joins, per FD, the bucket of its lhs/rhs projection
+        and gains a conflict edge to every live tuple sharing its lhs key
+        under a different rhs key (deduplicated across FDs, exactly as
+        the from-scratch build does).  Cost: O(lhs-group size + |Δ|).
+
+        The tuple is positioned *after* every tuple ever seen, matching a
+        table that appends new rows at the end — so after any interleaving
+        of inserts and removals the canonical :meth:`edges` order (and
+        hence every order-sensitive consumer) agrees with a from-scratch
+        rebuild on the corresponding table.  Returns the number of
+        conflict edges the insertion created.
+        """
+        if tid in self._live:
+            raise ValueError(f"identifier {tid!r} is already live")
+        row = tuple(row)
+        if len(row) != self._arity:
+            raise ValueError(
+                f"tuple {tid!r} has arity {len(row)}, index expects {self._arity}"
+            )
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError(f"tuple {tid!r} has non-positive weight {weight}")
+        buckets_list = self._ensure_buckets()
+        if self._position_shared and tid in self._position:
+            # Copy-on-write: the position map may be shared with the
+            # pristine cached index, a projection's parent, or sibling
+            # copies.  Appending an entry for a brand-new identifier is
+            # safe (sharers only ever look up their own live tuples), but
+            # *re-positioning* an identifier another holder may still
+            # have live would corrupt its canonical edge order — so that
+            # is the case that forces a private map.
+            self._position = dict(self._position)
+            self._position_shared = False
+        self._live[tid] = weight
+        self._position[tid] = self._next_position
+        self._next_position += 1
+        nbrs: Set[TupleId] = set()
+        self._adj[tid] = nbrs
+        adj = self._adj
+        new_edges = 0
+        for buckets, (_fd, lhs_pos, rhs_pos) in zip(buckets_list, self._fd_specs):
+            lhs_key = tuple(row[i] for i in lhs_pos)
+            rhs_key = tuple(row[i] for i in rhs_pos)
+            group = buckets.groups.get(lhs_key)
+            if group:
+                for other_rhs, bucket in group.items():
+                    if other_rhs != rhs_key:
+                        for other in bucket:
+                            if other not in nbrs:
+                                nbrs.add(other)
+                                adj[other].add(tid)
+                                new_edges += 1
+            buckets.add(tid, lhs_key, rhs_key)
+        self._num_edges += new_edges
+        if new_edges:
+            self._conflicting.add(tid)
+            self._conflicting.update(nbrs)
+        return new_edges
+
+    def insert_many(self, tuples) -> int:
+        """Insert ``(tid, row, weight)`` triples; returns new edge count."""
+        return sum(self.insert(tid, row, weight) for tid, row, weight in tuples)
+
+    def reanchor(self, table: Table) -> "ConflictIndex":
+        """Re-point this index at an equal-content *table* snapshot.
+
+        The streaming session fast path: the session mutates one
+        long-lived index via :meth:`insert`/:meth:`remove` while its
+        table is re-snapshotted per delta (tables are immutable), so the
+        construction-time source the :meth:`ensure_for` identity check
+        pins is stale by design.  Re-anchoring is only sound when the
+        snapshot holds exactly the live tuples — verified here in O(n)
+        (C-level key-set comparison) before the weakref moves.
+        """
+        if table._rows.keys() != self._live.keys():
+            raise ValueError(
+                "reanchor target does not hold exactly the live tuples"
+            )
+        self._source = weakref.ref(table)
+        return self
 
     def copy(self) -> "ConflictIndex":
         """An independent, mutable duplicate of the current live state."""
@@ -416,15 +590,28 @@ class ConflictIndex:
         dup.fds = self.fds
         dup._source = self._source
         dup._live = dict(self._live)
-        dup._position = self._position  # positions are immutable; share
+        # Positions only ever grow; share until an insert re-positions
+        # (copy-on-write, see :meth:`insert`).
+        dup._position = self._position
+        dup._position_shared = True
+        self._position_shared = True
+        dup._next_position = self._next_position
         dup._adj = {tid: set(nbrs) for tid, nbrs in self._adj.items()}
         dup._num_edges = self._num_edges
         dup._removed_weight = self._removed_weight
-        dup._buckets = [buckets.copy() for buckets in self._buckets]
+        dup._conflicting = set(self._conflicting)
+        dup._arity = self._arity
+        dup._fd_specs = self._fd_specs
+        dup._lazy_bucket_table = self._lazy_bucket_table
+        dup._buckets = (
+            [buckets.copy() for buckets in self._buckets]
+            if self._buckets is not None
+            else None
+        )
         return dup
 
     def __repr__(self) -> str:
         return (
             f"ConflictIndex({len(self)} live tuples, "
-            f"{self._num_edges} conflicts, {len(self._buckets)} FDs)"
+            f"{self._num_edges} conflicts, {len(self._fd_specs)} FDs)"
         )

@@ -120,6 +120,26 @@ class Decomposition:
     def conflicting_tuple_count(self) -> int:
         return sum(c.size for c in self.components)
 
+    def plan_methods(
+        self,
+        tractable: bool,
+        guarantee: str = "best",
+        threshold: int = EXACT_COMPONENT_THRESHOLD,
+    ) -> List[str]:
+        """The portfolio plan: one :func:`plan_s_method` verdict per
+        component, in component order.
+
+        Shared by :func:`repro.pipeline.clean` and the streaming
+        :class:`repro.session.RepairSession`, so both pick byte-identical
+        method mixes for the same instance (the session's cache keys
+        include the planned method, making cached and fresh solves
+        interchangeable).
+        """
+        return [
+            plan_s_method(c.size, tractable, guarantee, threshold)
+            for c in self.components
+        ]
+
     def merge_kept(self, kept_per_component: Sequence[Iterable[TupleId]]) -> Table:
         """Stitch per-component S-repairs back together.
 

@@ -47,6 +47,7 @@ __all__ = [
     "assemble_s_result",
     "decomposed_s_repair",
     "decomposed_u_repair",
+    "PersistentWorkerPool",
 ]
 
 #: Display name and proven ratio bound per portfolio method.
@@ -97,6 +98,193 @@ def map_components(worker, tasks: Sequence, parallel: Optional[int] = None) -> L
             return list(pool.map(worker, tasks, chunksize=chunksize))
     except (OSError, PermissionError, BrokenProcessPool):
         return [worker(task) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool (streaming sessions)
+# ---------------------------------------------------------------------------
+
+def _session_worker_main(inq, outq, schema, fds, node_limit) -> None:
+    """Worker loop of a :class:`PersistentWorkerPool`.
+
+    Each worker mirrors the session's table as plain ``rows``/``weights``
+    dicts, kept in sync by broadcast delta messages, and solves components
+    shipped as **id lists only** — the payload a fork-per-call pool would
+    re-pickle per task (the whole sub-table) crosses the process boundary
+    exactly once, as deltas.  Dict insertion order mirrors the session's
+    (appends at the end, deletions in place), so the sub-table a worker
+    builds for an id list is identical to the session-side projection and
+    the solves are byte-identical wherever they run.
+    """
+    rows: Dict = {}
+    weights: Dict = {}
+    while True:
+        message = inq.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "reset":
+            rows = dict(message[1])
+            weights = dict(message[2])
+        elif kind == "append":
+            rows.update(message[1])
+            weights.update(message[2])
+        elif kind == "delete":
+            for tid in message[1]:
+                rows.pop(tid, None)
+                weights.pop(tid, None)
+        elif kind == "solve":
+            seq, ids, method = message[1], message[2], message[3]
+            try:
+                subtable = Table(
+                    schema,
+                    {tid: rows[tid] for tid in ids},
+                    {tid: weights[tid] for tid in ids},
+                )
+                kept = _solve_s_kept(subtable, fds, method, node_limit)
+            except BaseException as exc:  # ship the failure, don't die
+                outq.put((seq, None, repr(exc)))
+            else:
+                outq.put((seq, tuple(kept), None))
+
+
+class PersistentWorkerPool:
+    """Long-lived worker processes for streaming repair sessions.
+
+    :func:`map_components` forks a fresh process pool per call and ships
+    whole sub-tables — right for one-shot batch repairs, pure overhead
+    for a session issuing many small re-repairs.  This pool keeps warm
+    workers across calls: each worker holds a mirror of the session's
+    table (synchronised by broadcasting the same deltas the session
+    applies locally), so a solve request is just ``(component ids,
+    method)``.
+
+    The pool is an *optimisation*, never a dependency: construction and
+    every operation degrade gracefully (``start`` returns ``False``, the
+    session falls back to in-process solving) on platforms without
+    working subprocess support, and any mid-flight failure marks the
+    pool broken so the caller can re-solve serially — the workers are
+    pure, so a retry is always safe.
+    """
+
+    def __init__(self, workers: int, schema, fds: FDSet, node_limit: int = 2000):
+        self._worker_count = max(1, int(workers))
+        self._schema = tuple(schema)
+        self._fds = fds
+        self._node_limit = node_limit
+        self._procs: List = []
+        self._inqs: List = []
+        self._outq = None
+        self._started = False
+        self._broken = False
+
+    @property
+    def alive(self) -> bool:
+        return self._started and not self._broken
+
+    def start(self) -> bool:
+        """Spawn the workers; True on success (idempotent)."""
+        if self._started:
+            return not self._broken
+        self._started = True
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context()
+            self._outq = ctx.Queue()
+            for _ in range(self._worker_count):
+                inq = ctx.Queue()
+                proc = ctx.Process(
+                    target=_session_worker_main,
+                    args=(inq, self._outq, self._schema, self._fds,
+                          self._node_limit),
+                    daemon=True,
+                )
+                proc.start()
+                self._inqs.append(inq)
+                self._procs.append(proc)
+        except (OSError, PermissionError, ValueError, ImportError):
+            self._broken = True
+            self._shutdown(force=True)
+        return not self._broken
+
+    def broadcast(self, op) -> bool:
+        """Send one mirror-maintenance op — ``("reset", rows, weights)``,
+        ``("append", rows, weights)`` or ``("delete", ids)`` — to every
+        worker.  False (pool broken) instead of raising."""
+        if not self.alive:
+            return False
+        try:
+            for inq in self._inqs:
+                inq.put(op)
+        except (OSError, ValueError):
+            self._broken = True
+            return False
+        return True
+
+    def solve(self, tasks: Sequence[Tuple[Tuple[TupleId, ...], str]],
+              timeout: float = 120.0) -> List[Tuple[TupleId, ...]]:
+        """Solve ``(component ids, method)`` tasks on the warm workers.
+
+        Round-robin dispatch; results are reassembled in task order.
+        Raises ``RuntimeError`` (and marks the pool broken) on any
+        failure — callers fall back to the serial path.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not running")
+        results: List = [None] * len(tasks)
+        try:
+            for seq, (ids, method) in enumerate(tasks):
+                self._inqs[seq % len(self._inqs)].put(
+                    ("solve", seq, tuple(ids), method)
+                )
+            for _ in range(len(tasks)):
+                seq, kept, error = self._outq.get(timeout=timeout)
+                if error is not None:
+                    raise RuntimeError(f"worker solve failed: {error}")
+                results[seq] = kept
+        except Exception as exc:
+            self._broken = True
+            if isinstance(exc, RuntimeError):
+                raise
+            raise RuntimeError(f"worker pool failed: {exc!r}") from exc
+        return results
+
+    def _shutdown(self, force: bool = False) -> None:
+        for inq in self._inqs:
+            try:
+                inq.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            try:
+                proc.join(timeout=0.1 if force else 5)
+                if proc.is_alive():
+                    proc.terminate()
+            except (OSError, ValueError):
+                pass
+        self._procs = []
+        self._inqs = []
+        self._outq = None
+
+    def close(self) -> None:
+        """Stop the workers; safe to call repeatedly."""
+        if self._started:
+            self._shutdown()
+            self._broken = True
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 # ---------------------------------------------------------------------------

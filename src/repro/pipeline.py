@@ -232,30 +232,35 @@ def assess(
     )
 
 
-def _clean_deletions_decomposed(
-    table: Table,
-    fds: FDSet,
-    guarantee: str,
-    index: ConflictIndex,
+def _decomposed_outcome(
+    decomp,
+    verdict: DichotomyResult,
+    methods,
+    kept_lists,
     parallel: Optional[int],
+    lower_bounds=None,
 ) -> CleaningResult:
-    """The decomposed S-repair pipeline: decompose once, solve each
-    component by the portfolio policy, and derive the dirtiness report
-    from the same per-component solutions."""
-    from .core.decompose import plan_s_method
-    from .exec import assemble_s_result, solve_components
+    """Assemble the :class:`CleaningResult` (report included) of a
+    decomposed S-repair from its per-component kept sets.
 
-    verdict = classify(fds)
-    decomp = decompose(table, fds, index)
-    methods = [
-        plan_s_method(c.size, verdict.tractable, guarantee)
-        for c in decomp.components
-    ]
-    kept_lists = solve_components(decomp, methods, parallel)
+    Shared by :func:`_clean_deletions_decomposed` and the streaming
+    :class:`repro.session.RepairSession`: both feed per-component solves
+    — freshly computed or cache-served — through the same assembly, so a
+    session result is byte-identical to a from-scratch ``clean``.
 
+    *lower_bounds*, when given, supplies a precomputed matching lower
+    bound per component (``None`` entries fall back to recomputing from
+    the component index); the bound is a pure function of the component,
+    so cached and recomputed values coincide exactly.
+    """
+    from .exec import assemble_s_result
+
+    table = decomp.table
     lower = upper = 0.0
     exact_components = 0
-    for component, method, kept in zip(decomp.components, methods, kept_lists):
+    for i, (component, method, kept) in enumerate(
+        zip(decomp.components, methods, kept_lists)
+    ):
         deleted = component.table.total_weight() - component.table.total_weight(kept)
         if method in ("dichotomy", "exact"):
             lower += deleted
@@ -265,12 +270,15 @@ def _clean_deletions_decomposed(
             # The solver already ran BYE + maximalisation for this
             # component: its deleted weight *is* the Proposition 3.3
             # upper bound; only the matching lower bound is left.
-            lower += component.index.matching_lower_bound()
+            bound = lower_bounds[i] if lower_bounds is not None else None
+            if bound is None:
+                bound = component.index.matching_lower_bound()
+            lower += bound
             upper += deleted
     report = DirtinessReport(
         total_tuples=len(table),
         total_weight=table.total_weight(),
-        conflict_count=index.num_edges,
+        conflict_count=decomp.index.num_edges,
         conflicting_tuples=decomp.conflicting_tuple_count(),
         lower_bound=lower,
         upper_bound=upper,
@@ -294,6 +302,26 @@ def _clean_deletions_decomposed(
     )
 
 
+def _clean_deletions_decomposed(
+    table: Table,
+    fds: FDSet,
+    guarantee: str,
+    index: ConflictIndex,
+    parallel: Optional[int],
+    exact_threshold: int = EXACT_COMPONENT_THRESHOLD,
+) -> CleaningResult:
+    """The decomposed S-repair pipeline: decompose once, solve each
+    component by the portfolio policy, and derive the dirtiness report
+    from the same per-component solutions."""
+    from .exec import solve_components
+
+    verdict = classify(fds)
+    decomp = decompose(table, fds, index)
+    methods = decomp.plan_methods(verdict.tractable, guarantee, exact_threshold)
+    kept_lists = solve_components(decomp, methods, parallel)
+    return _decomposed_outcome(decomp, verdict, methods, kept_lists, parallel)
+
+
 def clean(
     table: Table,
     fds: FDSet,
@@ -302,6 +330,7 @@ def clean(
     index: Optional[ConflictIndex] = None,
     decomposed: bool = True,
     parallel: Optional[int] = None,
+    exact_threshold: Optional[int] = None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -334,11 +363,21 @@ def clean(
     parallel:
         Number of worker processes for per-component solving (implies
         nothing when ≤ 1; the merge is deterministic regardless).
+    exact_threshold:
+        Component-size boundary between exact and approximate solving on
+        the APX-hard side of the dichotomy (default
+        :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`).  Raise
+        it to buy tighter repairs with branch & bound time, lower it to
+        bound worst-case latency; on the global path it bounds the whole
+        table size instead.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if guarantee not in ("best", "optimal", "fast"):
         raise ValueError(f"unknown guarantee {guarantee!r}")
+    threshold = (
+        EXACT_COMPONENT_THRESHOLD if exact_threshold is None else exact_threshold
+    )
     if index is None:
         index = table.conflict_index(fds)
     else:
@@ -351,15 +390,20 @@ def clean(
         # approximated ones are bracketed by matching/BYE — so the
         # report comes out at least as tight as standalone assessment,
         # without solving any component twice.
-        return _clean_deletions_decomposed(table, fds, guarantee, index, parallel)
+        return _clean_deletions_decomposed(
+            table, fds, guarantee, index, parallel, threshold
+        )
 
-    report = assess(table, fds, index=index, decomposed=decomposed)
+    report = assess(
+        table, fds, index=index, decomposed=decomposed,
+        exact_threshold=threshold,
+    )
 
     if strategy == "deletions":
         if guarantee == "fast" or (
             guarantee == "best"
             and not report.dichotomy.tractable
-            and len(table) > EXACT_COMPONENT_THRESHOLD
+            and len(table) > threshold
         ):
             result = approx_s_repair(table, fds, index=index)
         else:

@@ -1,0 +1,545 @@
+"""Streaming repair sessions: incremental re-repair under tuple deltas.
+
+Every entry point below this module is batch: ``pipeline.clean`` builds a
+conflict index, decomposes, and solves every component — correct, but
+wasteful for a long-lived service where a tuple append usually touches
+one conflict component (often none).  The component decomposition is
+exactly what makes re-repair localisable: a delta can only change the
+repair of components whose conflict structure it touches, and components
+are content-addressable (their member rows + weights under a fixed Δ
+determine their optimal repair).
+
+A :class:`RepairSession` therefore holds, for one ``(table, Δ)`` stream:
+
+* the current table (re-snapshotted per delta; tables stay immutable),
+* one **live** :class:`~repro.core.conflict_index.ConflictIndex`,
+  maintained by :meth:`~repro.core.conflict_index.ConflictIndex.insert` /
+  :meth:`~repro.core.conflict_index.ConflictIndex.remove` in
+  O(delta · (lhs-group + |Δ|)) instead of a per-call O(|T|·|Δ|) rebuild,
+* a **content-addressed per-component repair cache** keyed on
+  ``(method, frozen member rows + weights)`` — components untouched by
+  the delta hit the cache and are never re-solved,
+* optionally a :class:`~repro.exec.PersistentWorkerPool` of warm worker
+  processes that mirror the table via the same deltas and solve cache
+  misses shipped as component ids only.
+
+The load-bearing contract, pinned by ``tests/test_session.py`` property
+tests: after **any** sequence of appends and deletes,
+:meth:`RepairSession.repair` returns a :class:`~repro.pipeline.CleaningResult`
+byte-identical to a from-scratch ``pipeline.clean`` of the current table
+— same repaired table, distance, report bracket, and portfolio label.
+This holds because every ingredient is shared with the batch path: the
+live index equals a rebuild (the PR-1/PR-3 index algebra properties),
+decomposition and the portfolio plan are the same code, and the cached
+per-component solves are pure functions of content the cache key freezes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .core.conflict_index import ConflictIndex
+from .core.decompose import (
+    EXACT_COMPONENT_THRESHOLD,
+    Component,
+    Decomposition,
+)
+from .core.dichotomy import classify
+from .core.fd import FDSet
+from .core.table import Row, Table, TupleId
+from .pipeline import CleaningResult, _decomposed_outcome
+
+__all__ = ["RepairSession", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Running counters of one session's incremental work."""
+
+    appends: int = 0
+    deletes: int = 0
+    repairs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pool_solves: int = 0
+    serial_solves: int = 0
+    pool_fallbacks: int = 0
+    tuples_appended: int = 0
+    tuples_deleted: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class _CachedSolve:
+    """One component's solved repair: the kept ids plus — for approximate
+    methods — the matching lower bound its report bracket needs (both are
+    pure functions of the component, so serving them from cache is
+    indistinguishable from recomputing)."""
+
+    kept: Tuple[TupleId, ...]
+    lower_bound: Optional[float] = None
+
+
+class RepairSession:
+    """An incremental repair service over one table and FD set.
+
+    Parameters
+    ----------
+    table:
+        The initial table (may be empty).  The session snapshots it; the
+        caller's object is never mutated.
+    fds:
+        The FD set Δ, fixed for the session's lifetime.
+    guarantee:
+        Portfolio guarantee, as in :func:`repro.pipeline.clean`
+        (``"best"`` / ``"optimal"`` / ``"fast"``).
+    exact_threshold:
+        Component-size boundary for exact solving on hard Δ (default
+        :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`).
+    parallel:
+        Worker count for solving cache misses.  With ``> 1`` the session
+        keeps a :class:`~repro.exec.PersistentWorkerPool` of warm
+        processes mirroring the table via deltas; platforms without
+        subprocess support degrade to in-process solving silently (the
+        results are identical either way).
+    node_limit:
+        Branch & bound node budget per exact component solve.
+    max_cache_entries:
+        Cap on the per-component cache (default 10 000 entries) —
+        superseded entries are not invalidated eagerly, so an unbounded
+        cache would grow for as long as the stream runs.  Least-recently
+        -used entries are evicted; correctness is unaffected (evicted
+        components simply re-solve).  ``None`` disables the bound.
+    pool_timeout:
+        Seconds to wait for the warm workers to finish one batch of
+        solves (default 600).  On expiry the pool is dropped and the
+        batch re-solves in process — raise it for ``guarantee="optimal"``
+        sessions whose exact components may legitimately run long.
+
+    Only the ``"deletions"`` strategy is supported: update repairs mint
+    fresh labelled nulls whose identity-based equality makes
+    "byte-identical to a from-scratch run" unobservable, so an
+    incremental U-repair cache could not be pinned by the session's
+    core property.  Use :func:`repro.pipeline.clean` for batch U-repairs.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        fds: FDSet,
+        *,
+        guarantee: str = "best",
+        exact_threshold: Optional[int] = None,
+        parallel: Optional[int] = None,
+        node_limit: int = 2000,
+        max_cache_entries: Optional[int] = 10_000,
+        pool_timeout: float = 600.0,
+    ) -> None:
+        if guarantee not in ("best", "optimal", "fast"):
+            raise ValueError(f"unknown guarantee {guarantee!r}")
+        self._fds = fds
+        self._guarantee = guarantee
+        self._threshold = (
+            EXACT_COMPONENT_THRESHOLD if exact_threshold is None
+            else exact_threshold
+        )
+        self._parallel = parallel
+        self._node_limit = node_limit
+        self._max_cache_entries = max_cache_entries
+        self._pool_timeout = pool_timeout
+        self._verdict = classify(fds)
+        self._schema = table.schema
+        self._attr_index: Dict[str, int] = {
+            a: i for i, a in enumerate(self._schema)
+        }
+        self._name = table.name
+        self._rows: Dict[TupleId, Row] = table.rows()
+        self._weights: Dict[TupleId, float] = table.weights()
+        self._used_ids = set(self._rows)
+        self._next_auto_id = 1 + max(
+            (tid for tid in self._rows if isinstance(tid, int)), default=0
+        )
+        self._table = self._snapshot()
+        self._index = ConflictIndex(self._table, fds)
+        # Component reuse across deltas: member-id tuple → (Component,
+        # content key).  A tuple's row and weight never change while it
+        # lives (sessions have no update op), so identical member ids
+        # mean identical content — the sub-table, projected sub-index,
+        # and cache key of an untouched component carry over verbatim
+        # instead of being re-derived per delta.
+        self._component_reuse: Dict[Tuple[TupleId, ...], Tuple[Component, Tuple]] = {}
+        self._solutions: Dict[Tuple, _CachedSolve] = {}
+        self._pool = None
+        self._pool_disabled = False
+        self.stats = SessionStats()
+        self.last_result: Optional[CleaningResult] = None
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        """The current table snapshot."""
+        return self._table
+
+    @property
+    def fds(self) -> FDSet:
+        return self._fds
+
+    @property
+    def index(self) -> ConflictIndex:
+        """The live conflict index (treat as read-only)."""
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def cache_size(self) -> int:
+        return len(self._solutions)
+
+    def clear_cache(self) -> None:
+        """Drop all cached component repairs (they rebuild on demand)."""
+        self._solutions.clear()
+
+    # ------------------------------------------------------------------
+    # Deltas
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Table:
+        """A fresh immutable table over the current rows/weights.
+
+        Trusted construction: the session validated every row on entry
+        (arity via the index's insert, weights positive), so re-checking
+        per snapshot would make each delta O(|T|·k) for no information.
+        """
+        return Table._from_trusted(
+            self._schema,
+            dict(self._rows),
+            dict(self._weights),
+            self._name,
+            self._attr_index,
+        )
+
+    def _normalise_row(self, row) -> Row:
+        if isinstance(row, Mapping):
+            try:
+                return tuple(row[a] for a in self._schema)
+            except KeyError as exc:
+                raise ValueError(
+                    f"record is missing attribute {exc.args[0]!r}"
+                ) from None
+        return tuple(row)
+
+    def _allocate_id(self) -> TupleId:
+        while self._next_auto_id in self._used_ids:
+            self._next_auto_id += 1
+        tid = self._next_auto_id
+        self._next_auto_id += 1
+        return tid
+
+    def append(
+        self,
+        rows: Iterable,
+        weights: Optional[Sequence[float]] = None,
+        ids: Optional[Sequence[TupleId]] = None,
+        repair: bool = True,
+    ) -> Optional[CleaningResult]:
+        """Append tuples and (by default) return the re-repaired result.
+
+        *rows* may be value sequences or attribute-keyed mappings.
+        Identifiers are auto-assigned (fresh integers) unless *ids* is
+        given; weights default to 1.0.  With ``repair=False`` the delta
+        is applied (index, pool mirrors) but no repair is computed —
+        useful for ingesting a burst before asking for one result.
+        """
+        rows = [self._normalise_row(r) for r in rows]
+        if weights is not None and len(weights) != len(rows):
+            raise ValueError("weights and rows have different lengths")
+        if ids is not None:
+            if len(ids) != len(rows):
+                raise ValueError("ids and rows have different lengths")
+            clashes = [tid for tid in ids if tid in self._rows]
+            if clashes:
+                raise ValueError(
+                    f"identifiers already live: {sorted(map(str, clashes))}"
+                )
+            if len(set(ids)) != len(ids):
+                raise ValueError("duplicate identifiers in append")
+        # Validate everything *before* the first mutation, so a bad row
+        # mid-batch cannot leave the index and the row store divergent.
+        arity = len(self._schema)
+        for row in rows:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row has arity {len(row)}, schema has {arity}"
+                )
+        new_weights = [
+            float(w) for w in (weights if weights is not None else [1.0] * len(rows))
+        ]
+        for weight in new_weights:
+            if weight <= 0:
+                raise ValueError(f"non-positive weight {weight}")
+        new_ids = list(ids) if ids is not None else [
+            self._allocate_id() for _ in rows
+        ]
+        # A re-appended identifier may carry different content than it
+        # did in a past life; drop any reusable component that remembers
+        # it (the content-addressed solution cache needs no such care).
+        recycled = [tid for tid in new_ids if tid in self._used_ids]
+        if recycled:
+            self._invalidate_components(recycled)
+        for tid, row, weight in zip(new_ids, rows, new_weights):
+            self._index.insert(tid, row, weight)
+            self._rows[tid] = row
+            self._weights[tid] = weight
+            self._used_ids.add(tid)
+        self._table = self._snapshot()
+        self._index.reanchor(self._table)
+        self.stats.appends += 1
+        self.stats.tuples_appended += len(rows)
+        if self._pool is not None and self._pool.alive and rows:
+            delta_rows = {tid: row for tid, row in zip(new_ids, rows)}
+            delta_weights = dict(zip(new_ids, new_weights))
+            if not self._pool.broadcast(("append", delta_rows, delta_weights)):
+                self._drop_pool()
+        return self.repair() if repair else None
+
+    def delete(
+        self, ids: Iterable[TupleId], repair: bool = True
+    ) -> Optional[CleaningResult]:
+        """Delete tuples by identifier; see :meth:`append` for *repair*."""
+        ids = list(ids)
+        missing = [tid for tid in ids if tid not in self._rows]
+        if missing:
+            raise KeyError(
+                f"unknown identifiers: {sorted(map(str, missing))}"
+            )
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate identifiers in delete")
+        self._invalidate_components(ids)
+        for tid in ids:
+            self._index.remove(tid)
+            del self._rows[tid]
+            del self._weights[tid]
+        self._table = self._snapshot()
+        self._index.reanchor(self._table)
+        self.stats.deletes += 1
+        self.stats.tuples_deleted += len(ids)
+        if self._pool is not None and self._pool.alive and ids:
+            if not self._pool.broadcast(("delete", tuple(ids))):
+                self._drop_pool()
+        return self.repair() if repair else None
+
+    def _invalidate_components(self, ids: Iterable[TupleId]) -> None:
+        """Drop reusable components that remember any of *ids*.
+
+        The reuse map assumes a member's row and weight are fixed for as
+        long as its id appears in a component key.  A deleted id — which
+        may later be re-appended with different content — breaks that
+        assumption, so every component holding one is forgotten before
+        the delta applies.  O(conflicting tuples) scan, only run when a
+        delta actually touches a previously-seen id.
+        """
+        touched = set(ids)
+        stale = [
+            key
+            for key in self._component_reuse
+            if not touched.isdisjoint(key)
+        ]
+        for key in stale:
+            del self._component_reuse[key]
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def _decompose(self) -> Decomposition:
+        """The current decomposition, reusing untouched components.
+
+        Components whose member-id tuple already exists in the reuse map
+        keep their sub-table, (lazily-bucketed) sub-index, and content
+        key; only components the delta actually changed are re-projected.
+        The assembled :class:`Decomposition` is content-identical to
+        :func:`repro.core.decompose.decompose` on the current snapshot —
+        component order, member order, and sub-instances all match, so
+        everything downstream stays byte-identical to the batch path.
+        """
+        rows = self._rows
+        weights = self._weights
+        components: List[Component] = []
+        reuse: Dict[Tuple[TupleId, ...], Tuple[Component, Tuple]] = {}
+        for ordinal, ids in enumerate(self._index.components()):
+            key = tuple(ids)
+            cached = self._component_reuse.get(key)
+            if cached is None:
+                subtable = self._table.subset(ids)
+                subindex = self._index.project(subtable, set(ids))
+                component = Component(ordinal, key, subtable, subindex)
+                content = tuple((tid, rows[tid], weights[tid]) for tid in key)
+                cached = (component, content)
+            else:
+                cached[0].ordinal = ordinal
+            reuse[key] = cached
+            components.append(cached[0])
+        self._component_reuse = reuse
+        return Decomposition(
+            table=self._table,
+            fds=self._fds,
+            index=self._index,
+            components=components,
+            consistent_ids=tuple(self._index.consistent_ids()),
+        )
+
+    def _component_key(self, method: str, member_ids: Tuple[TupleId, ...]) -> Tuple:
+        cached = self._component_reuse.get(tuple(member_ids))
+        if cached is not None:
+            return (method, cached[1])
+        rows = self._rows
+        weights = self._weights
+        return (
+            method,
+            tuple((tid, rows[tid], weights[tid]) for tid in member_ids),
+        )
+
+    def _cache_store(self, key: Tuple, entry: _CachedSolve) -> None:
+        self._solutions[key] = entry
+        cap = self._max_cache_entries
+        if cap is not None:
+            while len(self._solutions) > cap:
+                self._solutions.pop(next(iter(self._solutions)))
+
+    def _ensure_pool(self):
+        from .exec import PersistentWorkerPool
+
+        if self._pool is None and not self._pool_disabled:
+            pool = PersistentWorkerPool(
+                self._parallel, self._schema, self._fds, self._node_limit
+            )
+            if pool.start() and pool.broadcast(
+                ("reset", dict(self._rows), dict(self._weights))
+            ):
+                self._pool = pool
+            else:
+                pool.close()
+                self._pool_disabled = True
+                self.stats.pool_fallbacks += 1
+        return self._pool
+
+    def _drop_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._pool_disabled = True
+        self.stats.pool_fallbacks += 1
+
+    def _solve_misses(self, misses: List[Tuple[int, object, str]]) -> Dict[int, Tuple]:
+        """Solve the cache-missed components; returns ordinal → kept ids.
+
+        On the warm pool when available (ids-only payloads), in-process
+        otherwise; any pool failure falls back serially — the solvers are
+        pure, so the retry is safe and byte-identical.
+        """
+        from .exec import _solve_s_kept
+
+        solved: Dict[int, Tuple] = {}
+        if misses and self._parallel and self._parallel > 1 and len(misses) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    kept_lists = pool.solve(
+                        [(c.ids, method) for _i, c, method in misses],
+                        timeout=self._pool_timeout,
+                    )
+                except RuntimeError:
+                    self._drop_pool()
+                else:
+                    for (i, _c, _m), kept in zip(misses, kept_lists):
+                        solved[i] = kept
+                    self.stats.pool_solves += len(misses)
+                    return solved
+        for i, component, method in misses:
+            solved[i] = tuple(
+                _solve_s_kept(
+                    component.table,
+                    self._fds,
+                    method,
+                    self._node_limit,
+                    index=component.index,
+                )
+            )
+            self.stats.serial_solves += 1
+        return solved
+
+    def repair(self) -> CleaningResult:
+        """Re-repair the current table, re-solving only the components
+        the deltas since the last call actually changed.
+
+        The result is byte-identical to
+        ``pipeline.clean(session.table, fds, guarantee=..., parallel=...,
+        exact_threshold=...)`` — same cleaned table, distance, dirtiness
+        report, and portfolio label.
+        """
+        decomp = self._decompose()
+        methods = decomp.plan_methods(
+            self._verdict.tractable, self._guarantee, self._threshold
+        )
+        kept_lists: List[Optional[Tuple[TupleId, ...]]] = [None] * len(methods)
+        lower_bounds: List[Optional[float]] = [None] * len(methods)
+        misses: List[Tuple[int, object, str]] = []
+        keys: Dict[int, Tuple] = {}
+        for i, (component, method) in enumerate(zip(decomp.components, methods)):
+            key = self._component_key(method, component.ids)
+            keys[i] = key
+            entry = self._solutions.get(key)
+            if entry is None:
+                misses.append((i, component, method))
+            else:
+                # Refresh recency for the LRU eviction order.
+                self._solutions[key] = self._solutions.pop(key)
+                kept_lists[i] = entry.kept
+                lower_bounds[i] = entry.lower_bound
+                self.stats.cache_hits += 1
+        solved = self._solve_misses(misses)
+        for i, component, method in misses:
+            kept = solved[i]
+            kept_lists[i] = kept
+            bound = (
+                component.index.matching_lower_bound()
+                if method == "approx"
+                else None
+            )
+            lower_bounds[i] = bound
+            self._cache_store(keys[i], _CachedSolve(kept, bound))
+            self.stats.cache_misses += 1
+        result = _decomposed_outcome(
+            decomp, self._verdict, methods, kept_lists, self._parallel,
+            lower_bounds,
+        )
+        self.stats.repairs += 1
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (the session stays usable serially)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._pool_disabled = True
+
+    def __enter__(self) -> "RepairSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairSession({len(self)} tuples, {self._fds}, "
+            f"{self._index.num_edges} conflicts, "
+            f"cache={len(self._solutions)})"
+        )

@@ -178,6 +178,173 @@ def test_copy_isolates_mutation():
 
 
 # ---------------------------------------------------------------------------
+# Insert: the symmetric counterpart (the streaming-session substrate)
+# ---------------------------------------------------------------------------
+
+def _observable_state(index):
+    """Everything a consumer can see: live ids, canonical edges, degrees,
+    weights, bucket-served violating pairs, matching bound."""
+    return (
+        index.ids(),
+        index.edges(),
+        {tid: index.degree(tid) for tid in index.ids()},
+        {tid: index.weight(tid) for tid in index.ids()},
+        sorted(
+            (tuple(sorted(map(str, (t1, t2)))), str(fd))
+            for t1, t2, fd in index.violating_pairs()
+        ),
+        index.matching_lower_bound(),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=_tables(), data=st.data())
+def test_insert_then_remove_is_identity(table, data):
+    """Inserting a fresh tuple and removing it again leaves no observable
+    trace — the mutation algebra's unit law."""
+    fds = data.draw(st.sampled_from(FD_SETS))
+    index = ConflictIndex(table, fds)
+    before = _observable_state(index)
+    row = data.draw(st.tuples(*[st.integers(0, 2)] * 3))
+    weight = data.draw(st.sampled_from((1.0, 2.0)))
+    index.insert("fresh", row, weight)
+    index.remove("fresh")
+    assert _observable_state(index) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_interleaved_inserts_deletes_match_rebuild(data):
+    """Any interleaving of inserts and deletes yields an index observably
+    equal to a from-scratch build on the corresponding table (deleted
+    tuples gone, inserted tuples appended at the end)."""
+    fds = data.draw(st.sampled_from(FD_SETS))
+    value = st.integers(min_value=0, max_value=2)
+    row_st = st.tuples(value, value, value)
+    start_rows = data.draw(st.lists(row_st, min_size=0, max_size=6))
+    table = Table.from_rows(SCHEMA, start_rows)
+    live = ConflictIndex(table, fds)
+    # The shadow model: (tid, row, weight) in current table order.
+    shadow = [(tid, table[tid], table.weight(tid)) for tid in table.ids()]
+    next_id = len(shadow) + 1
+    for _step in range(data.draw(st.integers(min_value=1, max_value=8))):
+        if shadow and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from([tid for tid, _r, _w in shadow]))
+            live.remove(victim)
+            shadow = [entry for entry in shadow if entry[0] != victim]
+        else:
+            row = data.draw(row_st)
+            weight = data.draw(st.sampled_from((1.0, 3.0)))
+            live.insert(next_id, row, weight)
+            shadow.append((next_id, row, weight))
+            next_id += 1
+        rebuilt = ConflictIndex(
+            Table(
+                SCHEMA,
+                {tid: row for tid, row, _w in shadow},
+                {tid: w for tid, _r, w in shadow},
+            ),
+            fds,
+        )
+        assert _observable_state(live) == _observable_state(rebuilt)
+        assert live.num_edges == rebuilt.num_edges
+        assert live.components() == rebuilt.components()
+        assert live.consistent_ids() == rebuilt.consistent_ids()
+        assert live.conflicting_tuples() == rebuilt.conflicting_tuples()
+
+
+def test_insert_validation():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1)])
+    index = ConflictIndex(table, FDSet("A -> B"))
+    with pytest.raises(ValueError, match="already live"):
+        index.insert(1, (2, 2, 2))
+    with pytest.raises(ValueError, match="arity"):
+        index.insert(2, (1, 2))
+    with pytest.raises(ValueError, match="non-positive"):
+        index.insert(2, (1, 2, 3), 0.0)
+    # Failed inserts leave no trace.
+    assert index.ids() == (1,)
+    assert index.insert(2, (1, 2, 3), 2.0) == 1
+    assert index.num_edges == 1
+
+
+def test_insert_into_copy_does_not_leak_positions():
+    """Copies share the position map copy-on-write: re-inserting an id
+    the original still positions must not disturb the original's
+    canonical edge order."""
+    table = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2), (2, 2, 2)])
+    fds = FDSet("A -> B")
+    original = ConflictIndex(table, fds)
+    edges_before = original.edges()
+    working = original.copy()
+    working.remove(1)
+    working.insert(1, (2, 9, 9), 1.0)  # re-positioned at the end
+    assert original.edges() == edges_before
+    rebuilt = ConflictIndex(
+        Table(SCHEMA, {2: (1, 2, 2), 3: (2, 2, 2), 1: (2, 9, 9)}), fds
+    )
+    assert working.edges() == rebuilt.edges()
+
+
+def test_projection_buckets_are_lazy():
+    """project() defers bucket construction; adjacency-only consumers
+    never pay for it, and bucket readers see exact state on demand."""
+    rng = random.Random(11)
+    table = random_small_table(rng, SCHEMA, 40, domain=2)
+    fds = FDSet("A -> B; B -> C")
+    index = table.conflict_index(fds)
+    components = index.components()
+    assert components
+    ids = components[0]
+    subtable = table.subset(ids)
+    projected = index.project(subtable, set(ids))
+    assert projected._buckets is None  # still lazy
+    assert projected.num_edges > 0    # adjacency fully live
+    rebuilt = ConflictIndex(subtable, fds)
+    assert _edge_set(projected) == _edge_set(rebuilt)
+    # First bucket read materialises; content equals a fresh build.
+    live_pairs = sorted(
+        (tuple(sorted(map(str, (t1, t2)))), str(fd))
+        for t1, t2, fd in projected.violating_pairs()
+    )
+    rebuilt_pairs = sorted(
+        (tuple(sorted(map(str, (t1, t2)))), str(fd))
+        for t1, t2, fd in rebuilt.violating_pairs()
+    )
+    assert live_pairs == rebuilt_pairs
+    assert projected._buckets is not None
+
+
+def test_lazy_projection_tracks_removals_before_materialisation():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2), (1, 3, 3)])
+    fds = FDSet("A -> B")
+    index = table.conflict_index(fds)
+    ids = index.components()[0]
+    projected = index.project(table.subset(ids), set(ids))
+    projected.remove(ids[0])
+    # Buckets materialise from the post-removal live set.
+    assert sorted(
+        {t1, t2} == {ids[1], ids[2]}
+        for t1, t2, _fd in projected.violating_pairs()
+    )
+    survivors = [tid for tid in ids if tid != ids[0]]
+    rebuilt = ConflictIndex(table.subset(survivors), fds)
+    assert _edge_set(projected) == _edge_set(rebuilt)
+
+
+def test_reanchor_validates_live_set():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2)])
+    fds = FDSet("A -> B")
+    index = ConflictIndex(table, fds)
+    other = Table.from_rows(SCHEMA, [(1, 1, 1)])
+    with pytest.raises(ValueError, match="live tuples"):
+        index.reanchor(other)
+    snapshot = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2)])
+    index.reanchor(snapshot)
+    index.ensure_for(fds, snapshot)  # identity check now passes
+
+
+# ---------------------------------------------------------------------------
 # Equivalence: prebuilt index never changes any repair result
 # ---------------------------------------------------------------------------
 

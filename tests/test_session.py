@@ -1,0 +1,452 @@
+"""Streaming repair sessions: incremental ≡ from-scratch, always.
+
+The session's load-bearing contract: after ANY sequence of appends and
+deletes, :meth:`RepairSession.repair` returns a result byte-identical to
+``pipeline.clean`` run from scratch on an equivalent fresh table — same
+cleaned tuples, distance, dirtiness report, and portfolio label.
+Property tests drive random delta sequences through both paths and
+compare, including the serialised CSV form.
+
+The supporting machinery is pinned alongside: the content-addressed
+component cache (hits on untouched components, correct re-solves after
+eviction), the warm worker pool (results identical to serial, graceful
+degradation), and the CLI ``stream`` subcommand.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.core.violations import satisfies
+from repro.exec import PersistentWorkerPool
+from repro.io.tables import table_to_csv
+from repro.pipeline import clean
+from repro.session import RepairSession
+from repro.testing import random_small_table
+
+SCHEMA = ("A", "B", "C")
+
+FD_SETS = [
+    FDSet("A -> B"),                 # tractable (common lhs)
+    FDSet("A -> B; B -> C"),         # APX-complete
+    FDSet("A -> B; B -> A; B -> C"),  # tractable (marriage)
+    FDSet("A B -> C"),               # tractable
+]
+
+
+def _fresh_equivalent(session):
+    """A brand-new Table holding the session's current content — its own
+    object identity and empty caches, so ``clean`` runs fully from
+    scratch."""
+    return Table(SCHEMA, session.table.rows(), session.table.weights())
+
+
+def _assert_identical(result, expected):
+    assert result.cleaned == expected.cleaned
+    assert result.distance == expected.distance
+    assert result.method == expected.method
+    assert result.method_counts == expected.method_counts
+    assert result.component_count == expected.component_count
+    assert result.optimal == expected.optimal
+    assert result.ratio_bound == expected.ratio_bound
+    assert result.report == expected.report
+    assert table_to_csv(result.cleaned) == table_to_csv(expected.cleaned)
+
+
+# ---------------------------------------------------------------------------
+# The tentpole property: session ≡ from-scratch clean under any deltas
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_session_matches_clean_after_any_delta_sequence(data):
+    fds = data.draw(st.sampled_from(FD_SETS))
+    guarantee = data.draw(st.sampled_from(("best", "fast")))
+    value = st.integers(min_value=0, max_value=2)
+    row_st = st.tuples(value, value, value)
+    start = data.draw(st.lists(st.tuples(row_st, st.sampled_from((1.0, 2.0))),
+                               min_size=0, max_size=8))
+    table = Table.from_rows(SCHEMA, [r for r, _w in start],
+                            [w for _r, w in start])
+    session = RepairSession(table, fds, guarantee=guarantee)
+    _assert_identical(
+        session.repair(),
+        clean(_fresh_equivalent(session), fds, guarantee=guarantee),
+    )
+    for _step in range(data.draw(st.integers(min_value=1, max_value=5))):
+        live = list(session.table.ids())
+        if live and data.draw(st.booleans()):
+            victims = data.draw(
+                st.lists(st.sampled_from(live), min_size=1,
+                         max_size=min(3, len(live)), unique=True)
+            )
+            result = session.delete(victims)
+        else:
+            rows = data.draw(st.lists(row_st, min_size=1, max_size=3))
+            weights = data.draw(
+                st.lists(st.sampled_from((1.0, 2.0, 3.0)),
+                         min_size=len(rows), max_size=len(rows))
+            )
+            result = session.append(rows, weights=weights)
+        _assert_identical(
+            result, clean(_fresh_equivalent(session), fds, guarantee=guarantee)
+        )
+        assert satisfies(result.cleaned, fds)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_session_matches_clean_with_custom_threshold(data):
+    """exact_threshold reroutes the portfolio identically on both paths."""
+    fds = FDSet("A -> B; B -> C")  # APX-complete: threshold matters
+    threshold = data.draw(st.sampled_from((0, 2, 5)))
+    rng = random.Random(data.draw(st.integers(0, 1000)))
+    table = random_small_table(rng, SCHEMA, 20, domain=2, weighted=True)
+    session = RepairSession(table, fds, exact_threshold=threshold)
+    session.append([(0, 1, 2), (0, 2, 1)])
+    result = session.repair()
+    expected = clean(_fresh_equivalent(session), fds, exact_threshold=threshold)
+    _assert_identical(result, expected)
+
+
+# ---------------------------------------------------------------------------
+# The component cache
+# ---------------------------------------------------------------------------
+
+def test_untouched_components_hit_the_cache():
+    # Two independent conflict clusters plus consistent filler.
+    rows = [
+        ("a1", "x", "p"), ("a1", "y", "p"),   # cluster 1
+        ("a2", "x", "q"), ("a2", "y", "q"),   # cluster 2
+        ("f", "f", "f"),
+    ]
+    table = Table.from_rows(SCHEMA, rows)
+    fds = FDSet("A -> B")
+    session = RepairSession(table, fds)
+    session.repair()
+    assert session.stats.cache_misses == 2
+    # A consistent append touches no cluster: all hits, no solves.
+    session.append([("zzz", "zzz", "zzz")])
+    assert session.stats.cache_misses == 2
+    assert session.stats.cache_hits == 2
+    # An append into cluster 1 re-solves exactly that component.
+    session.append([("a1", "z", "p")])
+    assert session.stats.cache_misses == 3
+    assert session.stats.cache_hits == 3
+
+
+def test_cache_is_bounded_by_default():
+    """Long-lived streams must not grow the cache without bound: the
+    default cap evicts LRU entries (superseded content is never
+    invalidated eagerly, so unbounded retention would be O(stream))."""
+    session = RepairSession(Table(SCHEMA, {}), FDSet("A -> B"))
+    assert session._max_cache_entries == 10_000
+    small = RepairSession(Table(SCHEMA, {}), FDSet("A -> B"),
+                          max_cache_entries=2)
+    for i in range(6):
+        small.append([("a", f"x{i}", "p")])
+    assert small.cache_size() <= 2
+
+
+def test_cache_eviction_keeps_results_correct():
+    rng = random.Random(5)
+    table = random_small_table(rng, SCHEMA, 30, domain=2, weighted=True)
+    fds = FDSet("A -> B; B -> C")
+    session = RepairSession(table, fds, max_cache_entries=1)
+    for rounds in range(3):
+        result = session.append([(rounds, rounds + 1, rounds + 2)])
+        _assert_identical(result, clean(_fresh_equivalent(session), fds))
+    assert session.cache_size() <= 1
+
+
+def test_clear_cache_forces_resolve():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2)])
+    session = RepairSession(table, FDSet("A -> B"))
+    first = session.repair()
+    session.clear_cache()
+    assert session.cache_size() == 0
+    again = session.repair()
+    _assert_identical(again, first)
+    assert session.stats.cache_misses == 2  # both repairs solved
+
+
+def test_delete_then_reappend_row_reuses_content_addressing():
+    """The cache is content-addressed: restoring a component's exact
+    content (same ids, rows, weights) serves the old solution."""
+    rows = {1: ("a", "x", "p"), 2: ("a", "y", "p")}
+    table = Table(SCHEMA, rows)
+    fds = FDSet("A -> B")
+    session = RepairSession(table, fds)
+    session.repair()
+    misses = session.stats.cache_misses
+    session.delete([2])
+    session.append([("a", "y", "p")], ids=[2])
+    assert session.stats.cache_misses == misses  # same component content
+    _assert_identical(session.repair(), clean(_fresh_equivalent(session), fds))
+
+
+# ---------------------------------------------------------------------------
+# Session API edges
+# ---------------------------------------------------------------------------
+
+def test_append_validation_leaves_state_untouched():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1)])
+    session = RepairSession(table, FDSet("A -> B"))
+    with pytest.raises(ValueError, match="already live"):
+        session.append([(2, 2, 2)], ids=[1])
+    with pytest.raises(ValueError, match="different lengths"):
+        session.append([(2, 2, 2)], weights=[1.0, 2.0])
+    with pytest.raises(ValueError, match="missing attribute"):
+        session.append([{"A": 1, "B": 2}])
+    assert len(session) == 1
+
+
+def test_append_is_atomic_on_mid_batch_failure():
+    """A bad row after valid ones must leave no trace: validation runs
+    for the whole batch before the first mutation, so the session stays
+    usable and consistent with from-scratch cleaning."""
+    table = Table.from_rows(SCHEMA, [(1, 1, 1), (1, 2, 2)])
+    fds = FDSet("A -> B")
+    session = RepairSession(table, fds)
+    with pytest.raises(ValueError, match="arity"):
+        session.append([(5, 5, 5), (9, 9)])          # second row bad
+    with pytest.raises(ValueError, match="non-positive"):
+        session.append([(5, 5, 5), (6, 6, 6)], weights=[1.0, 0.0])
+    assert len(session) == 2
+    assert len(session.index) == 2
+    _assert_identical(session.repair(), clean(_fresh_equivalent(session), fds))
+
+
+def test_reappended_id_with_new_content_invalidates_reuse():
+    """Deleting an id and re-appending it with *different* content must
+    not serve the stale component — even when the ids-tuple of the
+    component comes out identical (regression: the reuse map was keyed
+    on member ids only)."""
+    fds = FDSet("A -> B")
+    table = Table(SCHEMA, {1: ("a", "x", "p"), 2: ("a", "y", "p")})
+    session = RepairSession(table, fds)
+    session.repair()
+    session.delete([2], repair=False)
+    session.append([("a", "z", "q")], ids=[2], weights=[5.0], repair=False)
+    result = session.repair()
+    _assert_identical(result, clean(_fresh_equivalent(session), fds))
+    assert result.distance == 1.0  # the light tuple goes, not the heavy one
+
+
+def test_delete_validation():
+    table = Table.from_rows(SCHEMA, [(1, 1, 1)])
+    session = RepairSession(table, FDSet("A -> B"))
+    with pytest.raises(KeyError, match="unknown"):
+        session.delete([99])
+    with pytest.raises(ValueError, match="duplicate"):
+        session.delete([1, 1])
+    assert len(session) == 1
+
+
+def test_append_mappings_and_auto_ids():
+    session = RepairSession(Table(SCHEMA, {}), FDSet("A -> B"))
+    result = session.append(
+        [{"A": "a", "B": "x", "C": "p"}, {"A": "a", "B": "y", "C": "p"}]
+    )
+    assert sorted(session.table.ids()) == [1, 2]
+    assert result.distance == 1.0
+    # Auto ids never collide with explicit ones.
+    session.append([("q", "q", "q")], ids=[3])
+    session.append([("r", "r", "r")])
+    assert sorted(session.table.ids()) == [1, 2, 3, 4]
+
+
+def test_append_without_repair_defers_solving():
+    session = RepairSession(Table(SCHEMA, {}), FDSet("A -> B"))
+    assert session.append([("a", "x", "p")], repair=False) is None
+    assert session.append([("a", "y", "p")], repair=False) is None
+    assert session.stats.repairs == 0
+    result = session.repair()
+    assert result.distance == 1.0
+    _assert_identical(result, clean(_fresh_equivalent(session), FDSet("A -> B")))
+
+
+def test_updates_strategy_is_rejected():
+    with pytest.raises(ValueError, match="guarantee"):
+        RepairSession(Table(SCHEMA, {}), FDSet("A -> B"), guarantee="nope")
+
+
+def test_session_repr_and_context_manager():
+    with RepairSession(Table.from_rows(SCHEMA, [(1, 1, 1)]), FDSet("A -> B")) as s:
+        assert "RepairSession" in repr(s)
+        assert len(s) == 1
+
+
+# ---------------------------------------------------------------------------
+# The persistent worker pool
+# ---------------------------------------------------------------------------
+
+def _pool_available():
+    pool = PersistentWorkerPool(1, SCHEMA, FDSet("A -> B"))
+    try:
+        return pool.start()
+    finally:
+        pool.close()
+
+
+def test_pool_solves_match_serial():
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    rng = random.Random(77)
+    table = random_small_table(rng, SCHEMA, 60, domain=3, weighted=True)
+    fds = FDSet("A -> B; B -> C")
+    serial = RepairSession(table, fds)
+    pooled = RepairSession(table, fds, parallel=2)
+
+    def same_repair(a, b):
+        # The portfolio label records the requested parallelism, so only
+        # the content must coincide across serial and pooled sessions.
+        assert a.cleaned == b.cleaned
+        assert a.distance == b.distance
+        assert a.report == b.report
+        assert a.method_counts == b.method_counts
+
+    try:
+        same_repair(pooled.repair(), serial.repair())
+        for row in [(0, 1, 2), (1, 1, 1), (2, 0, 1)]:
+            same_repair(pooled.append([row]), serial.append([row]))
+        same_repair(pooled.delete([1]), serial.delete([1]))
+        # Against the batch path with the same parallel flag the result
+        # is byte-identical, label included.
+        _assert_identical(
+            pooled.repair(),
+            clean(_fresh_equivalent(pooled), fds, parallel=2),
+        )
+    finally:
+        pooled.close()
+
+
+def test_pool_failure_falls_back_to_serial():
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    rng = random.Random(3)
+    table = random_small_table(rng, SCHEMA, 40, domain=2, weighted=True)
+    fds = FDSet("A -> B; B -> C")
+    session = RepairSession(table, fds, parallel=2)
+    try:
+        session.repair()
+        # Kill the pool behind the session's back; the next repair must
+        # fall back to in-process solving with identical results.
+        if session._pool is not None:
+            session._pool.close()
+        session.append([(9, 9, 9), (9, 8, 8)])
+        result = session.repair()
+        _assert_identical(
+            result, clean(_fresh_equivalent(session), fds, parallel=2)
+        )
+    finally:
+        session.close()
+
+
+def test_pool_broadcast_and_solve_roundtrip():
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    fds = FDSet("A -> B")
+    with PersistentWorkerPool(2, SCHEMA, fds) as pool:
+        rows = {1: ("a", "x", "p"), 2: ("a", "y", "p"), 3: ("b", "z", "q")}
+        weights = {1: 1.0, 2: 2.0, 3: 1.0}
+        assert pool.broadcast(("reset", rows, weights))
+        [kept] = pool.solve([((1, 2), "exact")])
+        assert kept == (2,)  # heavier tuple wins
+        assert pool.broadcast(("delete", (2,)))
+        assert pool.broadcast(("append", {4: ("a", "w", "p")}, {4: 5.0}))
+        [kept] = pool.solve([((1, 4), "exact")])
+        assert kept == (4,)
+    assert not pool.alive
+
+
+# ---------------------------------------------------------------------------
+# CLI: fdrepair stream
+# ---------------------------------------------------------------------------
+
+def test_cli_stream_roundtrip(tmp_path, capsys):
+    batches = tmp_path / "ops.jsonl"
+    batches.write_text(
+        "\n".join(
+            [
+                json.dumps({"op": "append",
+                            "rows": [["a", "x", "p"], ["a", "y", "p"]],
+                            "weights": [2, 1]}),
+                json.dumps({"op": "append",
+                            "rows": [{"A": "b", "B": "z", "C": "q"}]}),
+                json.dumps({"op": "delete", "ids": [3]}),
+                json.dumps({"op": "repair"}),
+            ]
+        ),
+        encoding="utf-8",
+    )
+    out = tmp_path / "repaired.csv"
+    code = cli_main([
+        "stream", "A -> B", str(batches),
+        "--schema", "A,B,C", "--out", str(out),
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "batch 4: repair" in text
+    assert "cache" in text
+    assert out.read_text(encoding="utf-8").startswith("id,A,B,C,weight")
+
+
+def test_cli_stream_initial_table(tmp_path, capsys):
+    csv_path = tmp_path / "start.csv"
+    csv_path.write_text(
+        "id,A,B,C,weight\n1,a,x,p,2.0\n2,a,y,p,1.0\n", encoding="utf-8"
+    )
+    batches = tmp_path / "ops.jsonl"
+    batches.write_text(
+        json.dumps({"op": "append", "rows": [["a", "z", "p"]]}) + "\n",
+        encoding="utf-8",
+    )
+    code = cli_main([
+        "stream", "A -> B", str(batches),
+        "--table", str(csv_path), "--exact-threshold", "10",
+    ])
+    assert code == 0
+    assert "deleted weight: 2" in capsys.readouterr().out
+
+
+def test_cli_stream_rejects_bad_input(tmp_path, capsys):
+    batches = tmp_path / "ops.jsonl"
+    batches.write_text('{"op": "mystery"}\n', encoding="utf-8")
+    code = cli_main(["stream", "A -> B", str(batches), "--schema", "A,B,C"])
+    assert code == 1
+    assert "unknown op" in capsys.readouterr().err
+    assert cli_main(["stream", "A -> B", str(batches)]) == 2
+    # Structurally malformed payloads diagnose instead of tracebacking.
+    batches.write_text('{"op": "append", "rows": 5}\n', encoding="utf-8")
+    code = cli_main(["stream", "A -> B", str(batches), "--schema", "A,B,C"])
+    assert code == 1
+    assert "batch 1" in capsys.readouterr().err
+    # A missing batches file diagnoses up front instead of tracebacking.
+    code = cli_main([
+        "stream", "A -> B", str(tmp_path / "nope.jsonl"), "--schema", "A,B,C",
+    ])
+    assert code == 2
+    assert "cannot read batches file" in capsys.readouterr().err
+
+
+def test_cli_exact_threshold_repair(tmp_path, capsys):
+    csv_path = tmp_path / "t.csv"
+    csv_path.write_text(
+        "id,A,B,C,weight\n1,a,x,p,1.0\n2,a,y,p,1.0\n3,b,y,q,1.0\n",
+        encoding="utf-8",
+    )
+    code = cli_main([
+        "s-repair", str(csv_path), "A -> B; B -> C",
+        "--exact-threshold", "0", "--portfolio",
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    # Threshold 0 pushes every hard-Δ component to the approximation.
+    assert "bar-yehuda-even" in text or "approx" in text
