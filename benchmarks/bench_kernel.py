@@ -1,0 +1,190 @@
+"""ISSUE-4 gates — the interned columnar kernel vs the dict reference.
+
+Two acceptance gates, both measured best-of-5 after a warm-up run
+(:func:`conftest.measure_best`), with the dict reference paths forced
+via ``kernel.disabled()`` as the comparison arm (the CLI's
+``--no-kernel``):
+
+* **Exact component solves** (clustered-marriage-10k component mix):
+  the memoised single-word bitmask branch & bound must be ≥ 3× faster
+  than the graph-copying reference over the full component mix, and
+  return the identical covers.
+* **Index build + assess** (clustered-chain-30k): the columnar
+  conflict-index build plus the decomposed assessment must be ≥ 2×
+  faster end-to-end than the dict build + assessment, and produce the
+  identical report.
+
+Results land in ``BENCH_kernel.json`` next to the other bench suites;
+the committed baselines double as the CI regression reference (the
+workflow fails on a > 30% drop of any gated ``speedup``).  For context,
+the committed ``BENCH_scaling.json`` medians for the same workloads
+(which *include* per-component solving on the then-dict paths) are the
+PR-2/PR-3 baselines these numbers improve on.
+"""
+
+import pytest
+
+from repro.core import kernel
+from repro.core.decompose import decompose
+from repro.core.exact import exact_cover_of_index
+from repro.core.fd import FDSet
+from repro.datagen.synthetic import clustered_conflicts_table
+from repro.graphs.vertex_cover import exact_min_weight_vertex_cover
+from repro.pipeline import assess
+
+from conftest import measure_best, print_table, record_bench
+
+CHAIN = FDSet("A -> B; A B -> C")
+MARRIAGE = FDSet("A -> B; B -> A; B -> C")
+
+
+def _chain_30k():
+    return clustered_conflicts_table(
+        ("A", "B", "C"), 30_000, clusters=200, cluster_size=25,
+        filler_group_size=40, seed=7,
+    )
+
+
+def _marriage_10k():
+    return clustered_conflicts_table(
+        ("A", "B", "C"), 10_000, clusters=120, cluster_size=25,
+        filler_group_size=100, seed=7,
+    )
+
+
+def test_bitmask_exact_3x_on_marriage_component_mix(benchmark):
+    """Gate 1: ≥ 3× on the exact solves of the clustered-marriage-10k
+    component mix, identical covers."""
+    table = _marriage_10k()
+    components = decompose(table, MARRIAGE).components
+    assert len(components) == 120
+
+    def solve_kernel():
+        return [exact_cover_of_index(c.index) for c in components]
+
+    def solve_reference():
+        out = []
+        for c in components:
+            cover = exact_min_weight_vertex_cover(c.index.graph())
+            out.append([tid for tid in c.index.ids() if tid in cover])
+        return out
+
+    kernel_covers, kernel_s, kernel_runs = measure_best(solve_kernel)
+    reference_covers, reference_s, _ = measure_best(solve_reference)
+    benchmark.pedantic(solve_kernel, rounds=1, iterations=1)
+
+    speedup = reference_s / kernel_s
+    print_table(
+        "ISSUE-4 — exact component solves, bitmask kernel vs Graph B&B "
+        "(marriage-10k mix)",
+        ("path", "best of 5", "components", "identical covers"),
+        [
+            ("bitmask kernel", f"{kernel_s * 1e3:.1f} ms", len(components),
+             kernel_covers == reference_covers),
+            ("Graph branch & bound", f"{reference_s * 1e3:.1f} ms",
+             len(components), ""),
+            ("speedup", f"{speedup:.1f}×", "", ""),
+        ],
+    )
+    record_bench(
+        "BENCH_kernel.json",
+        "exact-components-marriage-10k",
+        kernel_s,
+        runs_s=kernel_runs,
+        reference_best_s=round(reference_s, 6),
+        speedup=round(speedup, 2),
+        components=len(components),
+    )
+    assert kernel_covers == reference_covers
+    assert speedup >= 3.0
+
+
+def test_kernel_build_and_assess_2x_on_chain_30k(benchmark):
+    """Gate 2: ≥ 2× on cold index build + decomposed assess, chain-30k,
+    identical report.
+
+    Each timed run starts from a fresh table (cold caches): the measured
+    quantity is exactly what a first-contact ``fdrepair assess`` pays.
+    Tables are pre-built outside the timers.
+    """
+    runs = 6  # 1 warm-up + 5 timed, per arm
+
+    def arm(use_kernel):
+        tables = iter([_chain_30k() for _ in range(runs)])
+
+        def run():
+            table = next(tables)
+            if use_kernel:
+                return assess(table, CHAIN)
+            with kernel.disabled():
+                return assess(table, CHAIN)
+
+        return run
+
+    kernel_report, kernel_s, kernel_runs = measure_best(arm(True))
+    dict_report, dict_s, _ = measure_best(arm(False))
+    benchmark.pedantic(arm(True), rounds=1, iterations=1)
+
+    speedup = dict_s / kernel_s
+    print_table(
+        "ISSUE-4 — cold index build + assess, kernel vs dict (chain-30k)",
+        ("path", "best of 5", "bracket", "identical report"),
+        [
+            ("columnar kernel", f"{kernel_s * 1e3:.0f} ms",
+             f"[{kernel_report.lower_bound:g}, {kernel_report.upper_bound:g}]",
+             kernel_report == dict_report),
+            ("dict reference", f"{dict_s * 1e3:.0f} ms",
+             f"[{dict_report.lower_bound:g}, {dict_report.upper_bound:g}]", ""),
+            ("speedup", f"{speedup:.1f}×", "", ""),
+        ],
+    )
+    record_bench(
+        "BENCH_kernel.json",
+        "build-assess-chain-30k",
+        kernel_s,
+        runs_s=kernel_runs,
+        reference_best_s=round(dict_s, 6),
+        speedup=round(speedup, 2),
+        components=kernel_report.component_count,
+    )
+    assert kernel_report == dict_report
+    assert speedup >= 2.0
+
+
+def test_bye_and_components_fast_paths_identical(benchmark):
+    """The array fast paths (CSR components, CSR/bitmask BYE) answer
+    exactly like the dict reference on the full 30k index."""
+    from repro.graphs.vertex_cover import bar_yehuda_even
+
+    table = _chain_30k()
+    index = table.conflict_index(CHAIN)
+    assert index._kernel is not None
+
+    fast_components, fast_s, _ = measure_best(index.components, repeats=3)
+    fast_cover = bar_yehuda_even(index)
+
+    from repro.core.conflict_index import ConflictIndex
+
+    dict_index = ConflictIndex(_chain_30k(), CHAIN, use_kernel=False)
+    slow_components, slow_s, _ = measure_best(dict_index.components, repeats=3)
+    slow_cover = bar_yehuda_even(dict_index)
+
+    benchmark.pedantic(index.components, rounds=1, iterations=1)
+    print_table(
+        "ISSUE-4 — components()/BYE array fast paths (chain-30k)",
+        ("path", "components best-of-3", "components", "BYE cover size"),
+        [
+            ("CSR arrays", f"{fast_s * 1e3:.1f} ms", len(fast_components),
+             len(fast_cover)),
+            ("dict sweep", f"{slow_s * 1e3:.1f} ms", len(slow_components),
+             len(slow_cover)),
+        ],
+    )
+    record_bench(
+        "BENCH_kernel.json",
+        "components-csr-chain-30k",
+        fast_s,
+        dict_s=round(slow_s, 6),
+    )
+    assert fast_components == slow_components
+    assert fast_cover == slow_cover

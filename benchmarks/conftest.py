@@ -44,6 +44,7 @@ __all__ = [
     "print_table",
     "random_small_table",
     "measure_median",
+    "measure_best",
     "record_bench",
 ]
 
@@ -60,6 +61,30 @@ def measure_median(fn: Callable, repeats: int = 3) -> Tuple[object, float, list]
     return result, statistics.median(times), times
 
 
+def measure_best(
+    fn: Callable, repeats: int = 5, warmup: int = 1
+) -> Tuple[object, float, list]:
+    """Run *fn* *warmup* untimed times then *repeats* timed times; return
+    (last result, best seconds, all timed wall times).
+
+    The measurement the CI speedup gates use: a 3-run *median* still
+    moves ~60% between runs on a loaded CI box (two slow runs out of
+    three shift it wholesale), while the *minimum* of five warm runs
+    estimates the code's intrinsic cost — noise only ever adds time, so
+    the fastest observation is the most repeatable one.  Gates compare
+    best-vs-best of their two arms.
+    """
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return result, min(times), times
+
+
 def record_bench(
     json_name: str,
     config: str,
@@ -70,8 +95,11 @@ def record_bench(
     """Merge one configuration's result into ``BENCH_<name>.json``.
 
     Read-modify-write so every test contributes to one file per suite;
-    keys are configuration names, values hold ``median_s`` (the unit the
-    CI perf trajectory tracks) plus whatever context the benchmark adds.
+    keys are configuration names, values hold ``median_s`` — the
+    suite's headline seconds for that configuration (historically a
+    median, best-of-5 for the gated benches since the measure_best
+    switch; the field name stays put so the CI perf trajectory remains
+    one series) — plus whatever context the benchmark adds.
     """
     path = os.path.join(os.environ.get("BENCH_JSON_DIR", "."), json_name)
     try:

@@ -88,7 +88,30 @@ def _add_repair_options(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="disable conflict decomposition (one global solver call)",
     )
+    _add_kernel_option(parser)
     parser.add_argument("--out", help="write the result CSV here")
+
+
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-kernel",
+        dest="use_kernel",
+        action="store_false",
+        default=True,
+        help=(
+            "force the dict reference paths instead of the interned "
+            "columnar kernel (debugging aid; results are identical "
+            "either way, the kernel is just faster)"
+        ),
+    )
+
+
+def _apply_kernel_choice(args: argparse.Namespace) -> None:
+    """Honour ``--no-kernel`` before any conflict structure is built."""
+    from .core import kernel
+
+    if not getattr(args, "use_kernel", True):
+        kernel.set_enabled(False)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bracket components of at most N tuples exactly (default 64)",
     )
+    _add_kernel_option(p_assess)
 
     p_srepair = sub.add_parser("s-repair", help="compute an S-repair")
     p_srepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
@@ -192,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exact-vs-approximate component-size boundary (default 64)",
     )
+    _add_kernel_option(p_stream)
     p_stream.add_argument("--out", help="write the final repaired CSV here")
     p_stream.add_argument(
         "--quiet",
@@ -214,6 +239,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_assess(args: argparse.Namespace) -> int:
+    _apply_kernel_choice(args)
     table = table_from_csv(args.table)
     fds = parse_fd_set(args.fds)
     report = assess(
@@ -244,6 +270,7 @@ def _print_portfolio(result: CleaningResult) -> None:
 
 
 def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
+    _apply_kernel_choice(args)
     table = table_from_csv(args.table)
     fds = parse_fd_set(args.fds)
     guarantee = args.guarantee
@@ -322,6 +349,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from .core.table import Table
     from .session import RepairSession
 
+    _apply_kernel_choice(args)
     fds = parse_fd_set(args.fds)
     if args.table:
         table = table_from_csv(args.table)

@@ -42,11 +42,12 @@ are pristine and shared; call :meth:`copy` before mutating.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graphs.graph import Graph
+from . import kernel as _kernel
 from .fd import FD, FDSet
-from .table import Row, Table, TupleId
+from .table import Row, Table, TupleId, Value
 
 __all__ = ["ConflictIndex"]
 
@@ -124,20 +125,23 @@ class ConflictIndex:
         "_position_shared",
         "_lazy_bucket_table",
         "_conflicting",
+        "_use_kernel",
+        "_codec",
+        "_kernel",
+        "_mask_cache",
     )
 
-    def __init__(self, table: Table, fds: FDSet) -> None:
+    def __init__(
+        self, table: Table, fds: FDSet, use_kernel: Optional[bool] = None
+    ) -> None:
         self.fds = fds
         self._source: "weakref.ref[Table]" = weakref.ref(table)
-        self._live: Dict[TupleId, float] = dict(
-            (tid, table.weight(tid)) for tid in table.ids()
-        )
+        self._live: Dict[TupleId, float] = dict(table._weights)
         self._position: Dict[TupleId, int] = {
             tid: i for i, tid in enumerate(self._live)
         }
         self._next_position = len(self._live)
         self._position_shared = False
-        self._adj: Dict[TupleId, Set[TupleId]] = {tid: set() for tid in self._live}
         self._num_edges = 0
         self._removed_weight = 0.0
         self._arity = len(table.schema)
@@ -155,18 +159,68 @@ class ConflictIndex:
             for fd in fds
             if not fd.is_trivial
         ]
-        self._lazy_bucket_table: Optional[Table] = None
-        self._buckets: Optional[List[_FDBuckets]] = []
-        for fd, _lhs_pos, rhs_pos in self._fd_specs:
-            self._buckets.append(self._build_fd_buckets(table, fd, rhs_pos))
-        # Live tuples with at least one conflict, maintained under
-        # insert/remove so components() costs O(conflicting) instead of
-        # O(|T|) — on realistic dirtiness (a few % of tuples conflicting)
-        # that is the difference between re-decomposing per streaming
-        # delta and scanning the whole table each time.
-        self._conflicting: Set[TupleId] = {
-            tid for tid, nbrs in self._adj.items() if nbrs
-        }
+        if use_kernel is None:
+            use_kernel = _kernel.enabled()
+        self._use_kernel: bool = bool(use_kernel)
+        self._codec: Optional[_kernel.TableCodec] = None
+        self._kernel: Optional[_kernel.ConflictKernel] = None
+        self._mask_cache: Optional[Tuple[List[TupleId], List[float], List[int]]] = None
+        # _conflicting: live tuples with at least one conflict,
+        # maintained under insert/remove so components() costs
+        # O(conflicting) instead of O(|T|) — on realistic dirtiness (a
+        # few % of tuples conflicting) that is the difference between
+        # re-decomposing per streaming delta and scanning the whole
+        # table each time.  Each build branch derives it from what it
+        # already has in hand.
+        if self._use_kernel:
+            self._build_with_kernel(table)
+        else:
+            self._adj: Dict[TupleId, Set[TupleId]] = {
+                tid: set() for tid in self._live
+            }
+            self._lazy_bucket_table: Optional[Table] = None
+            self._buckets: Optional[List[_FDBuckets]] = []
+            for fd, _lhs_pos, rhs_pos in self._fd_specs:
+                self._buckets.append(self._build_fd_buckets(table, fd, rhs_pos))
+            self._conflicting: Set[TupleId] = {
+                tid for tid, nbrs in self._adj.items() if nbrs
+            }
+
+    def _build_with_kernel(self, table: Table) -> None:
+        """The columnar build: intern columns once, group by combined
+        integer keys, and materialise the conflict graph from the flat
+        edge arrays.
+
+        Produces the same live/adjacency/edge-count state as the dict
+        build (the kernel grouping is grouping by value equality, which
+        is all the dict build observes); the per-FD buckets are left
+        lazy — most consumers (the vertex-cover solvers, decomposition)
+        never read them, and :meth:`_ensure_buckets` reconstructs them
+        exactly when :meth:`insert` or :meth:`violating_pairs` does.
+        """
+        codec = _kernel.TableCodec.encode(table)
+        kern = _kernel.ConflictKernel(
+            codec, _kernel.build_conflict_edges(codec, self._fd_specs)
+        )
+        ids = codec.ids
+        adj: Dict[TupleId, Set[TupleId]] = {tid: set() for tid in self._live}
+        for u, v in zip(kern.edges_u, kern.edges_v):
+            tu = ids[u]
+            tv = ids[v]
+            adj[tu].add(tv)
+            adj[tv].add(tu)
+        self._adj = adj
+        self._num_edges = kern.num_edges
+        self._conflicting = {ids[i] for i in kern.conflicting_rows}
+        self._codec = codec
+        self._kernel = kern
+        # Lazy buckets, rebuilt on first use from the *codec* (which
+        # holds every value) — deliberately NOT a strong table ref: the
+        # index lives in table._cache, so holding the table here would
+        # cycle table → cache → index → table and defeat the module's
+        # weakref design.
+        self._buckets = None
+        self._lazy_bucket_table = None
 
     def _build_fd_buckets(
         self, table: Table, fd: FD, rhs_pos: List[int]
@@ -248,7 +302,7 @@ class ConflictIndex:
     def weight(self, tid: TupleId) -> float:
         return self._live[tid]
 
-    def total_weight(self, ids=None) -> float:
+    def total_weight(self, ids: Optional[Iterable[TupleId]] = None) -> float:
         """Total weight of the live tuples (or of the given subset)."""
         if ids is None:
             return sum(self._live.values())
@@ -317,8 +371,7 @@ class ConflictIndex:
         """
         buckets_list = self._buckets
         if buckets_list is None:
-            table = self._lazy_bucket_table
-            rows = table._rows
+            rows = self._lazy_bucket_rows()
             buckets_list = []
             for fd, lhs_pos, rhs_pos in self._fd_specs:
                 buckets = _FDBuckets(fd)
@@ -333,6 +386,32 @@ class ConflictIndex:
             self._buckets = buckets_list
             self._lazy_bucket_table = None
         return buckets_list
+
+    def _lazy_bucket_rows(self) -> Dict[TupleId, Row]:
+        """The live rows a deferred bucket rebuild reads from.
+
+        Projections hold their sub-table strongly
+        (``_lazy_bucket_table``); a kernel-built full index decodes from
+        its codec instead (same value objects, no table → index → table
+        cycle); last resort is the construction-time weakref — alive in
+        every supported flow, since whoever triggers a rebuild (insert,
+        violating_pairs) reached the index through the table.
+        """
+        table = self._lazy_bucket_table
+        if table is not None:
+            return table._rows
+        codec = self._codec
+        if codec is not None:
+            row_index = codec.row_index
+            decode = codec.decode_row
+            return {tid: decode(row_index[tid]) for tid in self._live}
+        table = self._source()
+        if table is None:
+            raise RuntimeError(
+                "deferred bucket rebuild needs the source table, which "
+                "has been garbage-collected"
+            )
+        return table._rows
 
     def violating_pairs(self) -> Iterator[Tuple[TupleId, TupleId, FD]]:
         """Yield ``(t1, t2, fd)`` per violated FD from the live buckets.
@@ -363,14 +442,29 @@ class ConflictIndex:
         their earliest member, and members within a component are in
         table order.  Conflict-free tuples never appear — they belong to
         every repair verbatim (see :meth:`consistent_ids`).
+
+        A pristine kernel-built index answers from the CSR arrays (row
+        index *is* table position there, so ascending row order is table
+        order and the listing is identical); mutation drops the arrays
+        and the sweep below takes over.
         """
+        kern = self._kernel
+        if kern is not None:
+            ids = kern.codec.ids
+            return [
+                [ids[i] for i in members]
+                for members in _kernel.components_csr(kern)
+            ]
         position = self._position
         adj = self._adj
         seen: Set[TupleId] = set()
         out: List[List[TupleId]] = []
         # Roots visited in table (position) order yield components listed
         # by earliest member, identically to a full-table scan — but the
-        # sweep only ever touches conflicting tuples.
+        # sweep only ever touches conflicting tuples.  The frontier step
+        # is C-level set arithmetic (adj[v] - seen) rather than a
+        # per-neighbour membership loop; traversal order becomes
+        # arbitrary, which the final member sort erases.
         for tid in sorted(self._conflicting, key=position.__getitem__):
             if tid in seen:
                 continue
@@ -380,10 +474,10 @@ class ConflictIndex:
             while stack:
                 current = stack.pop()
                 members.append(current)
-                for other in adj[current]:
-                    if other not in seen:
-                        seen.add(other)
-                        stack.append(other)
+                fresh = adj[current] - seen
+                if fresh:
+                    seen |= fresh
+                    stack.extend(fresh)
             members.sort(key=position.__getitem__)
             out.append(members)
         return out
@@ -439,6 +533,15 @@ class ConflictIndex:
         dup._removed_weight = 0.0
         dup._arity = self._arity
         dup._fd_specs = self._fd_specs
+        # Kernel view: the fast-path flag carries over (components run
+        # the bitmask BYE/exact paths); the parent's CSR arrays and
+        # codec are row-indexed against the *parent* snapshot and are
+        # not projected — the mask view rebuilds from the filtered
+        # adjacency in O(component) when a fast path asks for it.
+        dup._use_kernel = self._use_kernel
+        dup._codec = None
+        dup._kernel = None
+        dup._mask_cache = None
         dup._buckets = None
         dup._lazy_bucket_table = subtable
         subtable._cache.setdefault(("conflict_index", self.fds), dup)
@@ -455,14 +558,79 @@ class ConflictIndex:
             g.add_edge(t1, t2)
         return g
 
+    def _mask_view(self) -> Optional[Tuple[List[TupleId], List[float], List[int]]]:
+        """Members, weights, and neighbour bitmasks of a small live index.
+
+        The bitmask view the kernel fast paths share: bit *i* is the
+        *i*-th live tuple.  Live order is always ascending table
+        position (removals preserve order, inserts append), so bit order
+        matches the canonical ``edges()`` order.  ``None`` when the
+        kernel is off for this index or the index is too large for a
+        single-word mask to pay off.
+        """
+        if not self._use_kernel or len(self._live) > _kernel.MAX_BITMASK_VERTICES:
+            return None
+        cached = self._mask_cache
+        if cached is not None:
+            return cached
+        members = list(self._live)
+        position = {tid: i for i, tid in enumerate(members)}
+        adjacency = self._adj
+        masks = [0] * len(members)
+        for i, tid in enumerate(members):
+            mask = 0
+            for other in adjacency[tid]:
+                mask |= 1 << position[other]
+            masks[i] = mask
+        weights = [self._live[tid] for tid in members]
+        view = (members, weights, masks)
+        # Cached until the next mutation: assessment + exact solving of
+        # one component would otherwise rebuild the same view three
+        # times (BYE, matching bound, branch & bound).
+        self._mask_cache = view
+        return view
+
+    def kernel_bye_cover(self) -> Optional[Set[TupleId]]:
+        """Array fast path for :func:`~repro.graphs.vertex_cover.bar_yehuda_even`.
+
+        A pristine kernel-built index runs the local-ratio sweep over
+        its flat CSR edge arrays; a small (≤ 64 tuple) live index — the
+        per-component case — over neighbour bitmasks.  Both visit the
+        edges in the same canonical order as the dict reference, so the
+        cover is identical.  ``None`` means "no fast path; run the
+        reference loop".
+        """
+        kern = self._kernel
+        if kern is not None:
+            ids = kern.codec.ids
+            return {ids[i] for i in _kernel.bye_cover_csr(kern)}
+        view = self._mask_view()
+        if view is None:
+            return None
+        members, weights, masks = view
+        cover = _kernel.bye_cover_masks(weights, masks)
+        out: Set[TupleId] = set()
+        while cover:
+            low = cover & -cover
+            out.add(members[low.bit_length() - 1])
+            cover ^= low
+        return out
+
     def matching_lower_bound(self) -> float:
         """Admissible deletion-cost bound: greedy tuple-disjoint matching
         over the conflict edges, paying the lighter endpoint per pair.
 
         Delegates to the shared matching-bound implementation in
         :mod:`repro.graphs.vertex_cover`, which only needs the
-        ``edges()``/``weight()`` interface this index provides.
+        ``edges()``/``weight()`` interface this index provides; small
+        kernel-backed indexes answer over neighbour bitmasks (same edge
+        order, same arithmetic, same bound).
         """
+        view = self._mask_view()
+        if view is not None:
+            _members, weights, masks = view
+            full = (1 << len(weights)) - 1
+            return _kernel._matching_lower_bound_masks(full, weights, masks)
         from ..graphs.vertex_cover import _matching_lower_bound
 
         return _matching_lower_bound(self)
@@ -479,6 +647,12 @@ class ConflictIndex:
         weight = self._live.pop(tid, None)
         if weight is None:
             raise KeyError(f"unknown or already-removed identifier {tid!r}")
+        # The CSR snapshot indexes rows by construction-time position;
+        # any mutation invalidates it (the codec itself stays live — a
+        # removed tuple's slot is simply never read again).  Same for
+        # the cached mask view.
+        self._kernel = None
+        self._mask_cache = None
         self._removed_weight += weight
         nbrs = self._adj.pop(tid)
         self._num_edges -= len(nbrs)
@@ -495,11 +669,13 @@ class ConflictIndex:
         # While the buckets are still lazy there is nothing to maintain:
         # materialisation only ever buckets the tuples live at that time.
 
-    def remove_many(self, ids) -> None:
+    def remove_many(self, ids: Iterable[TupleId]) -> None:
         for tid in ids:
             self.remove(tid)
 
-    def insert(self, tid: TupleId, row, weight: float = 1.0) -> int:
+    def insert(
+        self, tid: TupleId, row: Sequence[Value], weight: float = 1.0
+    ) -> int:
         """Add a tuple, updating buckets and adjacency incrementally —
         the symmetric counterpart of :meth:`remove`.
 
@@ -526,6 +702,12 @@ class ConflictIndex:
         if weight <= 0:
             raise ValueError(f"tuple {tid!r} has non-positive weight {weight}")
         buckets_list = self._ensure_buckets()
+        self._kernel = None  # CSR snapshot is per-build; see remove()
+        self._mask_cache = None
+        if self._codec is not None:
+            # Keep the codes live: the appended tuple interns its values
+            # so coded shipping (worker pools) keeps working mid-stream.
+            self._codec.append_row(tid, row, weight)
         if self._position_shared and tid in self._position:
             # Copy-on-write: the position map may be shared with the
             # pristine cached index, a projection's parent, or sibling
@@ -562,7 +744,9 @@ class ConflictIndex:
             self._conflicting.update(nbrs)
         return new_edges
 
-    def insert_many(self, tuples) -> int:
+    def insert_many(
+        self, tuples: Iterable[Tuple[TupleId, Sequence[Value], float]]
+    ) -> int:
         """Insert ``(tid, row, weight)`` triples; returns new edge count."""
         return sum(self.insert(tid, row, weight) for tid, row, weight in tuples)
 
@@ -602,6 +786,13 @@ class ConflictIndex:
         dup._conflicting = set(self._conflicting)
         dup._arity = self._arity
         dup._fd_specs = self._fd_specs
+        dup._use_kernel = self._use_kernel
+        # Neither the codec (mutable, extended by insert) nor the CSR
+        # snapshot is shared with a mutable duplicate: a copy exists to
+        # be mutated, and the mask view rebuilds from adjacency anyway.
+        dup._codec = None
+        dup._kernel = None
+        dup._mask_cache = None
         dup._lazy_bucket_table = self._lazy_bucket_table
         dup._buckets = (
             [buckets.copy() for buckets in self._buckets]

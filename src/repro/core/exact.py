@@ -25,6 +25,7 @@ import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.vertex_cover import exact_min_weight_vertex_cover
+from . import kernel as _kernel
 from .conflict_index import ConflictIndex
 from .fd import FDSet
 from .table import FreshValue, Table, TupleId, Value
@@ -32,6 +33,7 @@ from .violations import satisfies
 
 __all__ = [
     "exact_s_repair",
+    "exact_cover_of_index",
     "brute_force_s_repair",
     "exact_u_repair",
     "exact_u_repair_exhaustive",
@@ -41,6 +43,28 @@ __all__ = [
 
 class ExactSearchLimit(Exception):
     """Raised when an exact search would exceed its configured budget."""
+
+
+def exact_cover_of_index(index: ConflictIndex, node_limit: int = 2000) -> List[TupleId]:
+    """Exact minimum-weight vertex cover of a live index, in table order.
+
+    The dispatch point of the exact portfolio method: a kernel-backed
+    index of at most :data:`~repro.core.kernel.MAX_BITMASK_VERTICES`
+    tuples is solved by the memoised single-word bitmask branch & bound
+    (no ``Graph`` materialisation, no per-branch graph copies); anything
+    else runs the graph-based reference.  The bitmask solver mirrors the
+    reference decision for decision, so the two return the *identical*
+    cover — returned as a table-ordered list either way, keeping every
+    downstream float summation order-canonical.
+    """
+    if (
+        index._use_kernel
+        and len(index) <= node_limit
+        and len(index) <= _kernel.MAX_BITMASK_VERTICES
+    ):
+        return _kernel.exact_cover_ids(index)
+    cover = exact_min_weight_vertex_cover(index.graph(), node_limit=node_limit)
+    return [tid for tid in index.ids() if tid in cover]
 
 
 def exact_s_repair(
@@ -55,9 +79,10 @@ def exact_s_repair(
 
     Works for every FD set; exponential in the conflict-graph size in the
     worst case but very effective on the sparse conflict graphs produced
-    by realistic dirtiness levels.  The conflict graph is materialised
-    from the cached (or prebuilt) :class:`ConflictIndex`; the branch &
-    bound then mutates its private copy freely.
+    by realistic dirtiness levels.  The cover comes from
+    :func:`exact_cover_of_index` over the cached (or prebuilt)
+    :class:`ConflictIndex`: the bitmask kernel on small kernel-backed
+    instances, the graph-based branch & bound beyond.
 
     ``decomposed=True`` (implied by ``parallel``) runs the branch & bound
     per conflict component — ``node_limit`` then guards each *component*
@@ -80,8 +105,7 @@ def exact_s_repair(
         index = table.conflict_index(fds)
     else:
         index.ensure_for(fds, table)
-    graph = index.graph()
-    cover = exact_min_weight_vertex_cover(graph, node_limit=node_limit)
+    cover = set(exact_cover_of_index(index, node_limit=node_limit))
     keep = [tid for tid in table.ids() if tid not in cover]
     return table.subset(keep)
 

@@ -1,0 +1,633 @@
+"""Interned columnar kernel: integer-coded rows, CSR adjacency, bitmasks.
+
+Every hot path of the library — ``Table.group_by``, the
+:class:`~repro.core.conflict_index.ConflictIndex` build, component
+extraction, and exact vertex cover — reduces to hash grouping and
+conflict-graph traversal over dict-of-sets structures keyed by
+arbitrary-hashable value tuples.  Those structures are semantically
+right (FD satisfaction only observes the *equality pattern* of values)
+but pay repeated tuple allocation, tuple hashing, and per-element set
+overhead in the inner loops.
+
+This module is the representation-level answer:
+
+* :class:`TableCodec` interns each column's values to dense integer
+  codes (``code 0`` is the column's first-seen value, in table order)
+  and each tuple identifier to a dense row index.  Because codes are
+  assigned in first-seen order, every order-sensitive consumer
+  downstream — ``group_by`` insertion order, ``distinct_projection``,
+  the dichotomy recursion's block order — behaves identically on coded
+  rows and on the original values: the coded table is FD-equivalent
+  *and* iteration-equivalent.
+* :func:`build_conflict_edges` re-runs the per-FD hash grouping of the
+  conflict-index build on the coded columns: grouping keys are single
+  machine ints (mixed-radix combinations of column codes), so the
+  grouping loop allocates no tuples and hashes no strings.
+* :class:`ConflictKernel` holds the resulting conflict graph as
+  CSR-style flat adjacency arrays (``indptr`` / ``indices``) with
+  parallel weight and degree arrays — the substrate of the
+  ``components()`` and Bar-Yehuda–Even array fast paths.
+* :func:`bitmask_vertex_cover` is a memoised single-word branch & bound
+  for components of at most :data:`MAX_BITMASK_VERTICES` vertices:
+  component vertices map to bits of one Python int, neighbour masks are
+  precomputed, and a subset-memo on the remaining-vertices mask prunes
+  re-entered states.  It is a *faithful mirror* of
+  :func:`repro.graphs.vertex_cover.exact_min_weight_vertex_cover` —
+  same simplifications, same branch order, same tie-breaks, same
+  floating-point summation order — so it returns the **identical
+  cover**, not merely one of equal weight (pinned by the property tests
+  in ``tests/test_kernel.py``).
+
+The dict paths everywhere remain the semantic reference: the kernel is
+an acceleration layer, switchable off globally (:func:`set_enabled`,
+the CLI's ``--no-kernel``) or per block (:func:`disabled`), and every
+result is byte-identical either way.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .table import Row, Table, TupleId, Value
+
+__all__ = [
+    "MAX_BITMASK_VERTICES",
+    "TableCodec",
+    "ConflictKernel",
+    "enabled",
+    "set_enabled",
+    "disabled",
+    "build_conflict_edges",
+    "bitmask_vertex_cover",
+    "bye_cover_csr",
+    "bye_cover_masks",
+    "components_csr",
+]
+
+#: Largest component the single-word bitmask branch & bound accepts: one
+#: Python int carries one bit per component vertex, and staying at or
+#: below the machine-word width keeps every mask operation a single-digit
+#: int op.  Deliberately equal to the portfolio's
+#: ``EXACT_COMPONENT_THRESHOLD`` — the decomposed exact solves are
+#: exactly the workload the bitmask kernel exists for.
+MAX_BITMASK_VERTICES = 64
+
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """True iff the columnar kernel is globally enabled (the default)."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Switch the kernel on/off globally (the CLI's ``--no-kernel``).
+
+    Only affects structures built *after* the switch: a
+    :class:`~repro.core.conflict_index.ConflictIndex` snapshots the flag
+    at construction, so one index is consistently kernel-backed or
+    consistently dict-backed for its whole life.
+    """
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the dict reference paths (tests, benchmarks)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Column interning
+# ---------------------------------------------------------------------------
+
+class TableCodec:
+    """Dense integer coding of a table: row indices and column codes.
+
+    ``ids[i]`` is the tuple identifier of row ``i`` (rows in table
+    order), ``columns[j][i]`` the integer code of row ``i``'s value in
+    column ``j``, ``decoders[j][code]`` the original value, and
+    ``weights[i]`` the tuple weight.  Codes are assigned in first-seen
+    table order, so equal values share a code (``FreshValue`` cells
+    intern by identity, exactly matching their equality semantics) and
+    code order is first-seen order.
+
+    The codec stays **live** under index mutation:
+    :meth:`append_row` interns a new tuple's values (extending the
+    per-column intern maps), and removals simply leave their row slots
+    behind — the owning index's live-tuple set governs which rows
+    matter, so a stale slot is never read.
+    """
+
+    __slots__ = (
+        "schema", "ids", "row_index", "columns", "decoders", "weights",
+        "_interns",
+    )
+
+    def __init__(
+        self,
+        schema: Tuple[str, ...],
+        ids: List[TupleId],
+        row_index: Dict[TupleId, int],
+        columns: List[List[int]],
+        decoders: List[List[Value]],
+        weights: List[float],
+        interns: List[Dict[Value, int]],
+    ) -> None:
+        self.schema = schema
+        self.ids = ids
+        self.row_index = row_index
+        self.columns = columns
+        self.decoders = decoders
+        self.weights = weights
+        self._interns = interns
+
+    @classmethod
+    def encode(cls, table: Table) -> "TableCodec":
+        """Intern *table* into dense row indices and column codes.
+
+        Near-C-speed per column: ``dict.fromkeys`` dedups the column in
+        first-seen order (the code assignment the order-sensitivity
+        contract requires), and ``map(intern.__getitem__, …)`` codes the
+        whole column without a Python-level inner loop.
+        """
+        schema = table.schema
+        rows = table._rows
+        ids: List[TupleId] = list(rows)
+        # Keyed lookup, not .values(): _from_trusted only promises
+        # matching key *sets*, and a weight mis-assignment here would be
+        # silent.
+        weights: List[float] = list(map(table._weights.__getitem__, ids))
+        interns: List[Dict[Value, int]] = []
+        decoders: List[List[Value]] = []
+        columns: List[List[int]] = []
+        for column_values in zip(*rows.values()):
+            intern = {v: i for i, v in enumerate(dict.fromkeys(column_values))}
+            interns.append(intern)
+            decoders.append(list(intern))
+            columns.append(list(map(intern.__getitem__, column_values)))
+        if not rows:  # zip(*()) yields nothing: still shape the columns
+            interns = [{} for _ in schema]
+            decoders = [[] for _ in schema]
+            columns = [[] for _ in schema]
+        row_index = {tid: i for i, tid in enumerate(ids)}
+        return cls(schema, ids, row_index, columns, decoders, weights, interns)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def append_row(self, tid: TupleId, row: Sequence[Value], weight: float) -> int:
+        """Intern one appended tuple; returns its new row index."""
+        index = len(self.ids)
+        self.ids.append(tid)
+        self.row_index[tid] = index
+        self.weights.append(float(weight))
+        for j, value in enumerate(row):
+            intern = self._interns[j]
+            code = intern.get(value)
+            if code is None:
+                code = intern[value] = len(intern)
+                self.decoders[j].append(value)
+            self.columns[j].append(code)
+        return index
+
+    def coded_row(self, tid: TupleId) -> Row:
+        """The integer-coded row of *tid* (a tuple of column codes)."""
+        i = self.row_index[tid]
+        return tuple(column[i] for column in self.columns)
+
+    def decode_row(self, i: int) -> Row:
+        """Original values of row *i*."""
+        return tuple(
+            self.decoders[j][column[i]] for j, column in enumerate(self.columns)
+        )
+
+    def decode_table(self, name: str = "R") -> Table:
+        """Reconstruct the encoded table (the round-trip the property
+        tests pin: ``decode_table(encode(t)) == t``)."""
+        rows = {tid: self.decode_row(i) for i, tid in enumerate(self.ids)}
+        weights = {tid: self.weights[i] for i, tid in enumerate(self.ids)}
+        return Table(self.schema, rows, weights, name=name)
+
+    def combined_codes(self, positions: Sequence[int]) -> List[int]:
+        """One machine-int grouping key per row for the given columns.
+
+        Mixed-radix combination: with ``positions = [p1, …, pk]`` and
+        column alphabet sizes ``n1, …, nk`` the key of row *i* is the
+        rank of ``(c1, …, ck)`` in row-major order — a bijection, so
+        grouping by the combined int is exactly grouping by the value
+        tuple, with no tuple allocation and single-int hashing.
+        """
+        if not positions:
+            return [0] * len(self.ids)
+        first = self.columns[positions[0]]
+        if len(positions) == 1:
+            return first  # shared read-only: callers never mutate keys
+        keys = list(first)
+        for p in positions[1:]:
+            column = self.columns[p]
+            base = len(self.decoders[p])
+            keys = [k * base + c for k, c in zip(keys, column)]
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# Conflict-graph construction on coded columns
+# ---------------------------------------------------------------------------
+
+def build_conflict_edges(
+    codec: TableCodec,
+    fd_specs: Sequence[Tuple[object, Sequence[int], Sequence[int]]],
+) -> List[int]:
+    """All conflict edges implied by *fd_specs*, as sorted packed ints.
+
+    Mirrors the per-FD hash grouping of the dict build: rows sharing an
+    FD's lhs key but disagreeing on its rhs key conflict.  Edges are
+    deduplicated across FDs and returned as ``u * n + v`` with
+    ``u < v`` row indices — sorted, which is exactly canonical
+    ``(position(u), position(v))`` order.
+    """
+    from collections import defaultdict
+
+    n = len(codec.ids)
+    edge_set: Set[int] = set()
+    add_edge = edge_set.add
+    for _fd, lhs_pos, rhs_pos in fd_specs:
+        keys = codec.combined_codes(lhs_pos)
+        groups: Dict[int, List[int]] = defaultdict(list)
+        for i, key in enumerate(keys):
+            groups[key].append(i)
+        rhs: Optional[List[int]] = None
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            if rhs is None:
+                rhs = codec.combined_codes(rhs_pos)
+            parts: Dict[int, List[int]] = defaultdict(list)
+            for i in members:
+                parts[rhs[i]].append(i)
+            if len(parts) < 2:
+                continue
+            part_list = list(parts.values())
+            for a in range(len(part_list) - 1):
+                part_a = part_list[a]
+                for b in range(a + 1, len(part_list)):
+                    for u in part_a:
+                        for v in part_list[b]:
+                            add_edge(u * n + v if u < v else v * n + u)
+    return sorted(edge_set)
+
+
+class ConflictKernel:
+    """Flat-array snapshot of a table's conflict graph.
+
+    ``edges_u`` / ``edges_v`` hold each conflict pair once in canonical
+    ascending ``(u, v)`` row order; ``indptr`` / ``indices`` are the
+    CSR adjacency (both directions); ``degree`` and ``weights`` are the
+    parallel per-row arrays.  Row index *is* table position, so the
+    arrays are valid only for the construction-time snapshot — the
+    owning :class:`ConflictIndex` stops consulting them once a mutation
+    (``insert`` / ``remove``) changes the live set, while the codec
+    itself stays live.
+    """
+
+    __slots__ = (
+        "codec", "edges_u", "edges_v", "indptr", "indices", "degree",
+        "conflicting_rows",
+    )
+
+    def __init__(self, codec: TableCodec, packed_edges: List[int]) -> None:
+        self.codec = codec
+        n = len(codec.ids)
+        m = len(packed_edges)
+        edges_u = [0] * m
+        edges_v = [0] * m
+        degree = [0] * n
+        for e, code in enumerate(packed_edges):
+            u, v = divmod(code, n)
+            edges_u[e] = u
+            edges_v[e] = v
+            degree[u] += 1
+            degree[v] += 1
+        indptr = [0] * (n + 1)
+        for i in range(n):
+            indptr[i + 1] = indptr[i] + degree[i]
+        fill = list(indptr)
+        indices = [0] * (2 * m)
+        for u, v in zip(edges_u, edges_v):
+            indices[fill[u]] = v
+            fill[u] += 1
+            indices[fill[v]] = u
+            fill[v] += 1
+        self.edges_u = edges_u
+        self.edges_v = edges_v
+        self.indptr = indptr
+        self.indices = indices
+        self.degree = degree
+        # Rows with at least one conflict, ascending — the only roots a
+        # component sweep needs to visit (typically a few % of |T|).
+        self.conflicting_rows = [i for i, d in enumerate(degree) if d]
+
+    @property
+    def weights(self) -> List[float]:
+        return self.codec.weights
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges_u)
+
+
+def components_csr(kernel: ConflictKernel) -> List[List[int]]:
+    """Connected components over the CSR arrays, canonically ordered.
+
+    Matches :meth:`ConflictIndex.components` exactly: components listed
+    by their earliest row, members ascending — row index is table
+    position, so ascending ints *is* table order.  Only rows with at
+    least one edge appear.
+    """
+    indptr = kernel.indptr
+    indices = kernel.indices
+    seen = bytearray(len(kernel.degree))
+    out: List[List[int]] = []
+    for root in kernel.conflicting_rows:
+        if seen[root]:
+            continue
+        seen[root] = 1
+        stack = [root]
+        members: List[int] = []
+        append = members.append
+        while stack:
+            current = stack.pop()
+            append(current)
+            # Slice, not per-index loops: the slice materialises at C
+            # speed and its iteration beats repeated indptr indexing.
+            for other in indices[indptr[current]:indptr[current + 1]]:
+                if not seen[other]:
+                    seen[other] = 1
+                    stack.append(other)
+        members.sort()
+        out.append(members)
+    return out
+
+
+def bye_cover_csr(kernel: ConflictKernel) -> Set[int]:
+    """Bar-Yehuda–Even over the flat edge arrays; returns covered rows.
+
+    Identical arithmetic to
+    :func:`repro.graphs.vertex_cover.bar_yehuda_even` reading
+    ``ConflictIndex.edges()``: the flat arrays hold the edges in the
+    same canonical order, so every local-ratio payment happens in the
+    same sequence on the same floats.
+    """
+    residual = list(kernel.weights)
+    cover: Set[int] = set()
+    for u, v in zip(kernel.edges_u, kernel.edges_v):
+        if u in cover or v in cover:
+            continue
+        ru = residual[u]
+        rv = residual[v]
+        pay = ru if ru < rv else rv
+        residual[u] = ru - pay
+        residual[v] = rv - pay
+        if residual[u] <= 0:
+            cover.add(u)
+        if residual[v] <= 0:
+            cover.add(v)
+    return cover
+
+
+# ---------------------------------------------------------------------------
+# Bitmask branch & bound (components ≤ 64 vertices)
+# ---------------------------------------------------------------------------
+
+def _bits_ascending(mask: int) -> List[int]:
+    """Set-bit positions of *mask*, ascending."""
+    out: List[int] = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def bye_cover_masks(weights: Sequence[float], masks: Sequence[int]) -> int:
+    """Bar-Yehuda–Even on neighbour bitmasks; returns the cover mask.
+
+    Edges are visited in ascending ``(u, v)`` order — the same canonical
+    sequence as the reference — so the result set is identical.
+    """
+    residual = list(weights)
+    cover = 0
+    for u in range(len(weights)):
+        if (cover >> u) & 1:
+            # A covered u can't change any residual; skipping its edges
+            # mirrors the reference's per-edge membership test.
+            continue
+        forward = masks[u] >> (u + 1)
+        v = u + 1
+        while forward:
+            if forward & 1 and not (cover >> v) & 1:
+                ru = residual[u]
+                rv = residual[v]
+                pay = ru if ru < rv else rv
+                residual[u] = ru - pay
+                residual[v] = rv - pay
+                if residual[v] <= 0:
+                    cover |= 1 << v
+                if residual[u] <= 0:
+                    cover |= 1 << u
+                    break  # u covered: its remaining edges are skipped
+            forward >>= 1
+            v += 1
+    return cover
+
+
+def _matching_lower_bound_masks(
+    remaining: int, weights: Sequence[float], masks: Sequence[int]
+) -> float:
+    """Greedy maximal-matching bound over the remaining subgraph.
+
+    Mirrors ``_matching_lower_bound``: edges in ascending order, each
+    matched edge paying the lighter endpoint.
+    """
+    matched = 0
+    bound = 0.0
+    todo = remaining
+    while todo:
+        low = todo & -todo
+        u = low.bit_length() - 1
+        todo ^= low
+        if (matched >> u) & 1:
+            continue
+        candidates = masks[u] & ((remaining >> (u + 1)) << (u + 1))
+        while candidates:
+            low_v = candidates & -candidates
+            v = low_v.bit_length() - 1
+            candidates ^= low_v
+            if (matched >> v) & 1:
+                continue
+            matched |= (1 << u) | (1 << v)
+            wu = weights[u]
+            wv = weights[v]
+            bound += wu if wu < wv else wv
+            break
+    return bound
+
+
+def bitmask_vertex_cover(
+    weights: Sequence[float],
+    masks: Sequence[int],
+    labels: Sequence[str],
+) -> int:
+    """Exact minimum-weight vertex cover as a single-word bitmask search.
+
+    A faithful mirror of
+    :func:`repro.graphs.vertex_cover.exact_min_weight_vertex_cover` on a
+    component of ``n ≤ 64`` vertices: vertex *i* of the (table-ordered)
+    component maps to bit *i*; ``masks[i]`` is its neighbour set;
+    ``labels[i] = str(id_i)`` reproduces the reference's branch-vertex
+    tie-break.  The mirror preserves the simplification order (isolated
+    vertices, then the weighted pendant rule with restart), the
+    matching-lower-bound prune, the branch order ("take v" before "take
+    N(v)") and every floating-point summation order — so the returned
+    cover mask decodes to the *identical* vertex set.
+
+    On top of the mirror, a subset-memo on the remaining-vertices mask
+    prunes re-entered states: a state revisited at an entry cost no
+    lower than a previous visit cannot improve the incumbent (entry
+    costs only shift completions upward, and incumbent updates are
+    strict), so the memo prune is result-invisible — it removes work,
+    never answers.
+    """
+    n = len(weights)
+    if n > MAX_BITMASK_VERTICES:
+        raise ValueError(
+            f"bitmask vertex cover limited to {MAX_BITMASK_VERTICES} "
+            f"vertices, got {n}"
+        )
+    full = (1 << n) - 1
+
+    best_cover = bye_cover_masks(weights, masks)
+    best_cost = 0.0
+    for v in _bits_ascending(best_cover):
+        best_cost += weights[v]
+
+    memo: Dict[int, float] = {}
+
+    def solve(remaining: int, chosen: int, cost: float) -> None:
+        nonlocal best_cover, best_cost
+        # Simplifications, exactly as the reference: scan a snapshot of
+        # the vertices in position order; drop isolated vertices in
+        # place, and on a (weighted) pendant take restart the scan.
+        # (Bit loops iterate a snapshot int ascending — the mirror of
+        # iterating list(g.nodes()) while mutating g.)
+        while True:
+            changed = False
+            snapshot = remaining
+            while snapshot:
+                low = snapshot & -snapshot
+                snapshot ^= low
+                v = low.bit_length() - 1
+                nbrs = masks[v] & remaining
+                if not nbrs:
+                    remaining ^= low
+                    changed = True
+                elif not (nbrs & (nbrs - 1)):  # exactly one neighbour
+                    u = nbrs.bit_length() - 1
+                    if weights[u] <= weights[v]:
+                        chosen |= nbrs
+                        cost += weights[u]
+                        remaining ^= nbrs
+                        changed = True
+                        break
+            if not changed:
+                break
+        if cost >= best_cost:
+            return
+        # Any edge left?
+        has_edge = False
+        snapshot = remaining
+        while snapshot:
+            low = snapshot & -snapshot
+            snapshot ^= low
+            if masks[low.bit_length() - 1] & remaining:
+                has_edge = True
+                break
+        if not has_edge:
+            if cost < best_cost:
+                best_cover = chosen
+                best_cost = cost
+            return
+        if cost + _matching_lower_bound_masks(remaining, weights, masks) >= best_cost:
+            return
+        previous = memo.get(remaining)
+        if previous is not None and cost >= previous:
+            return
+        memo[remaining] = cost if previous is None or cost < previous else previous
+        # Branch vertex: maximum (induced degree, label), first wins —
+        # the reference's max() over nodes in insertion order.
+        branch_v = -1
+        best_degree = -1
+        best_label = ""
+        snapshot = remaining
+        while snapshot:
+            low = snapshot & -snapshot
+            snapshot ^= low
+            v = low.bit_length() - 1
+            degree = (masks[v] & remaining).bit_count()
+            if degree > best_degree or (
+                degree == best_degree and labels[v] > best_label
+            ):
+                best_degree = degree
+                best_label = labels[v]
+                branch_v = v
+        v_bit = 1 << branch_v
+        nbrs = masks[branch_v] & remaining
+        # Branch 1: v in the cover.
+        solve(remaining & ~v_bit, chosen | v_bit, cost + weights[branch_v])
+        # Branch 2: v out → all neighbours in (weights summed ascending,
+        # matching the reference's node-ordered accumulation).
+        add_cost = 0.0
+        snapshot = nbrs
+        while snapshot:
+            low = snapshot & -snapshot
+            snapshot ^= low
+            add_cost += weights[low.bit_length() - 1]
+        solve(remaining & ~(nbrs | v_bit), chosen | nbrs, cost + add_cost)
+
+    solve(full, 0, 0.0)
+    return best_cover
+
+
+def exact_cover_ids(index) -> List[TupleId]:
+    """Exact minimum-weight vertex cover of a live :class:`ConflictIndex`
+    with at most :data:`MAX_BITMASK_VERTICES` tuples, via the bitmask
+    branch & bound.  Returns the covered tuple ids (table order).
+
+    Reads the index's (cached) mask view — built straight from the live
+    adjacency, no ``Graph`` materialisation, no per-branch graph copies.
+    Live order is always ascending table position (removals preserve
+    order, inserts append), so bit order matches the node order the
+    reference solver sees.
+    """
+    members, weights, masks = index._mask_view()
+    labels = [str(tid) for tid in members]
+    cover = bitmask_vertex_cover(weights, masks, labels)
+    return [members[i] for i in _bits_ascending(cover)]

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .core import kernel as _kernel
 from .core.decompose import (
     EXACT_COMPONENT_THRESHOLD,
     Decomposition,
@@ -104,7 +105,8 @@ def map_components(worker, tasks: Sequence, parallel: Optional[int] = None) -> L
 # Persistent worker pool (streaming sessions)
 # ---------------------------------------------------------------------------
 
-def _session_worker_main(inq, outq, schema, fds, node_limit) -> None:
+def _session_worker_main(inq, outq, schema, fds, node_limit,
+                         use_kernel=True) -> None:
     """Worker loop of a :class:`PersistentWorkerPool`.
 
     Each worker mirrors the session's table as plain ``rows``/``weights``
@@ -116,6 +118,10 @@ def _session_worker_main(inq, outq, schema, fds, node_limit) -> None:
     builds for an id list is identical to the session-side projection and
     the solves are byte-identical wherever they run.
     """
+    # The parent's kernel on/off choice must survive spawn/forkserver
+    # start methods, where workers re-import the module with the flag at
+    # its default — so it travels as an argument, not as ambient state.
+    _kernel.set_enabled(use_kernel)
     rows: Dict = {}
     weights: Dict = {}
     while True:
@@ -167,11 +173,13 @@ class PersistentWorkerPool:
     pure, so a retry is always safe.
     """
 
-    def __init__(self, workers: int, schema, fds: FDSet, node_limit: int = 2000):
+    def __init__(self, workers: int, schema, fds: FDSet, node_limit: int = 2000,
+                 use_kernel: Optional[bool] = None):
         self._worker_count = max(1, int(workers))
         self._schema = tuple(schema)
         self._fds = fds
         self._node_limit = node_limit
+        self._use_kernel = _kernel.enabled() if use_kernel is None else bool(use_kernel)
         self._procs: List = []
         self._inqs: List = []
         self._outq = None
@@ -197,7 +205,7 @@ class PersistentWorkerPool:
                 proc = ctx.Process(
                     target=_session_worker_main,
                     args=(inq, self._outq, self._schema, self._fds,
-                          self._node_limit),
+                          self._node_limit, self._use_kernel),
                     daemon=True,
                 )
                 proc.start()
@@ -320,7 +328,40 @@ def _solve_s_kept(
 
 
 def _s_worker(task) -> Tuple[TupleId, ...]:
-    table, fds, method, node_limit = task
+    table, fds, method, node_limit, use_kernel = task
+    _kernel.set_enabled(use_kernel)
+    return _solve_s_kept(table, fds, method, node_limit)
+
+
+def coded_component_table(
+    schema: Tuple[str, ...],
+    ids: Tuple[TupleId, ...],
+    columns: Tuple,
+    weights: Tuple[float, ...],
+) -> Table:
+    """Rebuild a worker-side sub-table from shipped column-code arrays.
+
+    The values are the integer codes themselves: FD satisfaction — and
+    every order-sensitive choice the S-repair solvers make — observes
+    only the value equality pattern and the row order, both of which the
+    codes preserve (codes are assigned in first-seen table order).  The
+    kept identifiers are therefore byte-identical to solving the real
+    sub-table, and identifiers are all that ever crosses back.
+    """
+    rows = dict(zip(ids, zip(*columns))) if columns else {tid: () for tid in ids}
+    return Table._from_trusted(
+        schema,
+        rows,
+        dict(zip(ids, weights)),
+        "R",
+        {a: i for i, a in enumerate(schema)},
+    )
+
+
+def _s_worker_coded(task) -> Tuple[TupleId, ...]:
+    schema, ids, columns, weights, fds, method, node_limit, use_kernel = task
+    _kernel.set_enabled(use_kernel)
+    table = coded_component_table(schema, ids, columns, weights)
     return _solve_s_kept(table, fds, method, node_limit)
 
 
@@ -338,12 +379,27 @@ def solve_components(
     the same solve instead of bracketing components twice).  Serial
     execution reuses the projected sub-indexes; parallel workers rebuild
     them from the shipped sub-tables (equivalent by the index-rebuild
-    property).
+    property).  When the parent index is kernel-backed, components ship
+    as column-code arrays instead of sub-``Table`` dicts (see
+    :func:`coded_component_table`) — same kept ids, smaller payloads.
     """
     workers = resolve_workers(parallel, len(methods))
     if workers > 1:
+        # The global kernel flag travels inside each task: workers under
+        # spawn/forkserver re-import this module and would otherwise run
+        # the kernel paths even under --no-kernel.
+        use_kernel = _kernel.enabled()
+        codec = getattr(decomp.index, "_codec", None)
+        if codec is not None:
+            schema = decomp.table.schema
+            tasks = [
+                (schema, *c.code_payload(codec), decomp.fds, m, node_limit,
+                 use_kernel)
+                for c, m in zip(decomp.components, methods)
+            ]
+            return map_components(_s_worker_coded, tasks, parallel)
         tasks = [
-            (c.table, decomp.fds, m, node_limit)
+            (c.table, decomp.fds, m, node_limit, use_kernel)
             for c, m in zip(decomp.components, methods)
         ]
         return map_components(_s_worker, tasks, parallel)
@@ -477,7 +533,8 @@ def _solve_u_component(
 
 
 def _u_worker(task):
-    ordinal, table, fds, allow_exact_search, exact_budget = task
+    ordinal, table, fds, allow_exact_search, exact_budget, use_kernel = task
+    _kernel.set_enabled(use_kernel)
     return _solve_u_component(ordinal, table, fds, allow_exact_search, exact_budget)
 
 
@@ -518,7 +575,8 @@ def decomposed_u_repair(
     workers = resolve_workers(parallel, decomp.component_count)
     if workers > 1:
         tasks = [
-            (c.ordinal, c.table, fds, allow_exact_search, exact_budget)
+            (c.ordinal, c.table, fds, allow_exact_search, exact_budget,
+             _kernel.enabled())
             for c in decomp.components
         ]
         outcomes = map_components(_u_worker, tasks, parallel)

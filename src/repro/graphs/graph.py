@@ -7,6 +7,15 @@ helpers to/from networkx live in the test suite.
 
 Nodes are arbitrary hashable objects carrying a positive weight
 (default 1.0); edges are unweighted and self-loops are rejected.
+
+Adjacency is stored as insertion-ordered dicts (keys are the
+neighbours): neighbour iteration order is then a pure function of the
+edge insertion sequence, never of value hashes.  That determinism is
+what lets the bitmask kernel (:mod:`repro.core.kernel`) mirror the
+graph-based exact vertex cover bit for bit — graphs built from a
+:meth:`repro.core.conflict_index.ConflictIndex.edges` sweep list every
+node's higher-position neighbours in ascending position order, exactly
+the order a flat-array edge iteration produces.
 """
 
 from __future__ import annotations
@@ -26,7 +35,9 @@ class Graph:
 
     def __init__(self) -> None:
         self._weights: Dict[Node, float] = {}
-        self._adj: Dict[Node, Set[Node]] = {}
+        # node → {neighbour: None}: an insertion-ordered set (see the
+        # module docstring for why order determinism matters).
+        self._adj: Dict[Node, Dict[Node, None]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -52,7 +63,7 @@ class Graph:
         if weight <= 0:
             raise ValueError(f"node weight must be positive, got {weight}")
         self._weights[node] = float(weight)
-        self._adj.setdefault(node, set())
+        self._adj.setdefault(node, {})
 
     def add_edge(self, u: Node, v: Node) -> None:
         if u == v:
@@ -60,18 +71,18 @@ class Graph:
         for node in (u, v):
             if node not in self._weights:
                 self.add_node(node)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        self._adj[u][v] = None
+        self._adj[v][u] = None
 
     def remove_node(self, node: Node) -> None:
         for nbr in self._adj.pop(node):
-            self._adj[nbr].discard(node)
+            self._adj[nbr].pop(node, None)
         del self._weights[node]
 
     def copy(self) -> "Graph":
         g = Graph()
         g._weights = dict(self._weights)
-        g._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        g._adj = {node: dict(nbrs) for node, nbrs in self._adj.items()}
         return g
 
     # ------------------------------------------------------------------
@@ -95,7 +106,7 @@ class Graph:
         return sum(self._weights[n] for n in nodes)
 
     def neighbors(self, node: Node) -> Set[Node]:
-        return set(self._adj[node])
+        return set(self._adj[node])  # a real set: callers do set algebra
 
     def degree(self, node: Node) -> int:
         return len(self._adj[node])
@@ -127,7 +138,7 @@ class Graph:
 
     def is_independent_set(self, nodes: Iterable[Node]) -> bool:
         nodes = set(nodes)
-        return not any(self._adj[u] & nodes for u in nodes)
+        return not any(self._adj[u].keys() & nodes for u in nodes)
 
     def is_vertex_cover(self, nodes: Iterable[Node]) -> bool:
         cover = set(nodes)

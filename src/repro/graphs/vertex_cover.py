@@ -35,7 +35,17 @@ def bar_yehuda_even(graph: Graph) -> Set[Node]:
     Walk the edges once; on each edge, pay the smaller residual weight of
     its endpoints on both endpoints.  Vertices whose residual hits zero
     enter the cover.  The cover weight is at most twice the optimum.
+
+    A kernel-backed :class:`~repro.core.conflict_index.ConflictIndex`
+    answers from its flat-array fast path (identical edge order and
+    arithmetic, hence an identical cover); everything else runs the
+    dict reference loop below.
     """
+    kernel_bye = getattr(graph, "kernel_bye_cover", None)
+    if kernel_bye is not None:
+        cover = kernel_bye()
+        if cover is not None:
+            return cover
     residual: Dict[Node, float] = {v: graph.weight(v) for v in graph.nodes()}
     cover: Set[Node] = set()
     for u, v in graph.edges():
@@ -116,7 +126,12 @@ def exact_min_weight_vertex_cover(
         )
 
     best_cover: Set[Node] = set(bar_yehuda_even(graph))
-    best_cost = graph.total_weight(best_cover)
+    # Summations below happen in node (insertion) order, never in set
+    # iteration order: float addition is order-sensitive in the last
+    # ulp, and a hash-ordered sum could not be mirrored by the bitmask
+    # kernel (repro.core.kernel), whose identical-cover property the
+    # test suite pins.
+    best_cost = graph.total_weight([v for v in graph.nodes() if v in best_cover])
 
     def branch(g: Graph, chosen: Set[Node], cost: float) -> None:
         nonlocal best_cover, best_cost
@@ -158,10 +173,11 @@ def exact_min_weight_vertex_cover(
         g1 = g.copy()
         g1.remove_node(v)
         branch(g1, chosen | {v}, cost + g.weight(v))
-        # Branch 2: v not in the cover → all its neighbours are.
+        # Branch 2: v not in the cover → all its neighbours are
+        # (visited in node order; see the summation note above).
         g2 = g.copy()
         add_cost = 0.0
-        for u in neighbours:
+        for u in [n for n in g.nodes() if n in neighbours]:
             add_cost += g2.weight(u)
             g2.remove_node(u)
         g2.remove_node(v)

@@ -189,7 +189,7 @@ def assess(
     largest = 0
     exact_components = 0
     if decomposed and index.num_edges:
-        from .graphs.vertex_cover import exact_min_weight_vertex_cover
+        from .core.exact import exact_cover_of_index
 
         decomp = decompose(table, fds, index)
         component_count = decomp.component_count
@@ -203,8 +203,8 @@ def assess(
             if c_lower == c_upper:
                 exact_components += 1
             elif component.size <= threshold:
-                cover = exact_min_weight_vertex_cover(
-                    component.index.graph(), node_limit=threshold
+                cover = exact_cover_of_index(
+                    component.index, node_limit=threshold
                 )
                 c_lower = c_upper = component.table.total_weight(cover)
                 exact_components += 1

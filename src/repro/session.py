@@ -174,6 +174,13 @@ class RepairSession:
         self._component_reuse: Dict[Tuple[TupleId, ...], Tuple[Component, Tuple]] = {}
         self._solutions: Dict[Tuple, _CachedSolve] = {}
         self._pool = None
+        # When the index is kernel-backed, worker mirrors are kept in
+        # *coded* rows (the codec stays live under session deltas): the
+        # kept-id results are identical — solvers only observe the value
+        # equality pattern — and the broadcast payloads shrink to small
+        # ints.  Decided once, here, so reset and delta broadcasts agree
+        # for the pool's whole life.
+        self._pool_coded = self._index._codec is not None
         self._pool_disabled = False
         self.stats = SessionStats()
         self.last_result: Optional[CleaningResult] = None
@@ -301,7 +308,7 @@ class RepairSession:
         self.stats.appends += 1
         self.stats.tuples_appended += len(rows)
         if self._pool is not None and self._pool.alive and rows:
-            delta_rows = {tid: row for tid, row in zip(new_ids, rows)}
+            delta_rows = self._mirror_rows(new_ids)
             delta_weights = dict(zip(new_ids, new_weights))
             if not self._pool.broadcast(("append", delta_rows, delta_weights)):
                 self._drop_pool()
@@ -410,6 +417,15 @@ class RepairSession:
             while len(self._solutions) > cap:
                 self._solutions.pop(next(iter(self._solutions)))
 
+    def _mirror_rows(self, ids: Iterable[TupleId]) -> Dict[TupleId, Row]:
+        """The rows a worker mirror stores for *ids*: coded when the
+        session's index carries a live codec, verbatim otherwise."""
+        if self._pool_coded:
+            coded_row = self._index._codec.coded_row
+            return {tid: coded_row(tid) for tid in ids}
+        rows = self._rows
+        return {tid: rows[tid] for tid in ids}
+
     def _ensure_pool(self):
         from .exec import PersistentWorkerPool
 
@@ -418,7 +434,7 @@ class RepairSession:
                 self._parallel, self._schema, self._fds, self._node_limit
             )
             if pool.start() and pool.broadcast(
-                ("reset", dict(self._rows), dict(self._weights))
+                ("reset", self._mirror_rows(self._rows), dict(self._weights))
             ):
                 self._pool = pool
             else:

@@ -1,0 +1,352 @@
+"""The interned columnar kernel (:mod:`repro.core.kernel`).
+
+Three contracts are pinned here:
+
+1. **Codec round-trip** — ``TableCodec.encode`` followed by
+   ``decode_table`` reproduces any table exactly, including duplicate
+   rows, weights, and identity-equal ``FreshValue`` cells.
+2. **Bitmask mirror** — the single-word branch & bound returns the
+   *identical* cover (not merely one of equal weight) as the graph-based
+   reference ``exact_min_weight_vertex_cover`` on arbitrary graphs of at
+   most 64 vertices.
+3. **Byte-identity of the kernel paths** — a kernel-backed pipeline run
+   (index build, decomposition, portfolio solves, report) equals the
+   dict reference run (``kernel.disabled()`` / ``--no-kernel``) across
+   guarantee modes and both repair strategies, on random tables.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernel
+from repro.core.conflict_index import ConflictIndex
+from repro.core.exact import exact_cover_of_index
+from repro.core.fd import FDSet
+from repro.core.table import FreshValue, Table
+from repro.graphs.graph import Graph
+from repro.graphs.vertex_cover import bar_yehuda_even, exact_min_weight_vertex_cover
+from repro.pipeline import assess, clean
+
+FD_SETS = (
+    FDSet("A -> B"),
+    FDSet("A -> B; A B -> C"),
+    FDSet("A -> B; B -> A; B -> C"),
+    FDSet("A -> B; B -> C"),
+    FDSet("A B -> C; C -> A"),
+)
+
+SCHEMA = ("A", "B", "C")
+
+
+def _random_table(rng: random.Random, size: int, with_fresh: bool = True) -> Table:
+    """A random table with duplicate rows, mixed weights, and (optionally)
+    shared FreshValue cells — the encoder's worst case."""
+    fresh_pool = [FreshValue(f"f{i}") for i in range(3)] if with_fresh else []
+    values = ["v0", "v1", "v2", 7, ("t", 1), *fresh_pool]
+    rows = {}
+    weights = {}
+    for i in range(size):
+        if i and rng.random() < 0.2:
+            # Exact duplicate of an earlier row, under a fresh id.
+            rows[f"t{i}"] = rows[f"t{rng.randrange(i)}"]
+        else:
+            rows[f"t{i}"] = tuple(rng.choice(values) for _ in SCHEMA)
+        weights[f"t{i}"] = rng.choice([1.0, 0.5, 2.25, 3.0])
+    return Table(SCHEMA, rows, weights)
+
+
+# ---------------------------------------------------------------------------
+# 1. Codec round-trip
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_codec_round_trip(data):
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    size = data.draw(st.integers(min_value=0, max_value=25))
+    table = _random_table(rng, size)
+    codec = kernel.TableCodec.encode(table)
+    decoded = codec.decode_table(name=table.name)
+    assert decoded == table
+    # Identity, not just equality, for every cell: FreshValue equality is
+    # identity, so the decoder must return the original objects.
+    for i, tid in enumerate(codec.ids):
+        assert all(a is b for a, b in zip(codec.decode_row(i), table[tid]))
+    # Codes are dense and first-seen ordered per column.
+    for j, decoder in enumerate(codec.decoders):
+        seen = []
+        for row in table.rows().values():
+            if row[j] not in seen:
+                seen.append(row[j])
+        assert decoder == seen
+
+
+def test_codec_stays_live_under_append():
+    table = Table(SCHEMA, {1: ("a", "b", "c")})
+    codec = kernel.TableCodec.encode(table)
+    codec.append_row(2, ("a", "new", "c"), 2.0)
+    assert codec.coded_row(2) == (0, 1, 0)
+    assert codec.decode_row(1) == ("a", "new", "c")
+    assert codec.weights[1] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# 2. Bitmask branch & bound mirrors the graph reference
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_bitmask_cover_identical_to_reference(data):
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    n = data.draw(st.integers(min_value=0, max_value=24))
+    p = data.draw(st.sampled_from((0.05, 0.2, 0.45, 0.8)))
+    nodes = [f"n{i}" for i in range(n)]
+    weights = {v: rng.choice([1.0, 0.5, 2.0, 3.25]) for v in nodes}
+    edges = [
+        (nodes[i], nodes[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    graph = Graph.from_edges(edges, nodes=nodes, weights=weights)
+    reference = exact_min_weight_vertex_cover(graph)
+
+    position = {v: i for i, v in enumerate(nodes)}
+    masks = [0] * n
+    for u, v in edges:
+        masks[position[u]] |= 1 << position[v]
+        masks[position[v]] |= 1 << position[u]
+    cover_mask = kernel.bitmask_vertex_cover(
+        [weights[v] for v in nodes], masks, [str(v) for v in nodes]
+    )
+    cover = {nodes[i] for i in kernel._bits_ascending(cover_mask)}
+    # Identical cover — the strong form; equal weight follows.
+    assert cover == reference
+    assert graph.is_vertex_cover(cover)
+
+
+def test_bitmask_rejects_oversized_components():
+    with pytest.raises(ValueError, match="65"):
+        kernel.bitmask_vertex_cover([1.0] * 65, [0] * 65, ["x"] * 65)
+
+
+def test_bitmask_at_the_64_vertex_boundary():
+    """A 32-edge perfect matching on exactly 64 vertices: optimum takes
+    the lighter endpoint of every edge."""
+    n = 64
+    weights = [1.0 if i % 2 else 3.0 for i in range(n)]
+    masks = [0] * n
+    for i in range(0, n, 2):
+        masks[i] |= 1 << (i + 1)
+        masks[i + 1] |= 1 << i
+    cover_mask = kernel.bitmask_vertex_cover(
+        weights, masks, [str(i) for i in range(n)]
+    )
+    assert sum(weights[i] for i in kernel._bits_ascending(cover_mask)) == 32.0
+
+
+# ---------------------------------------------------------------------------
+# 3. Kernel-built index ≡ dict-built index
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_kernel_index_equals_dict_index(data):
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    fds = data.draw(st.sampled_from(FD_SETS))
+    table = _random_table(rng, data.draw(st.integers(0, 25)), with_fresh=False)
+    kernel_index = ConflictIndex(table, fds, use_kernel=True)
+    dict_index = ConflictIndex(table, fds, use_kernel=False)
+    assert kernel_index.num_edges == dict_index.num_edges
+    assert kernel_index.edges() == dict_index.edges()
+    assert kernel_index.components() == dict_index.components()
+    assert kernel_index.consistent_ids() == dict_index.consistent_ids()
+    assert kernel_index.conflicting_tuples() == dict_index.conflicting_tuples()
+    assert sorted(map(repr, kernel_index.violating_pairs())) == sorted(
+        map(repr, dict_index.violating_pairs())
+    )
+    assert list(kernel_index.violating_pairs()) == list(dict_index.violating_pairs())
+    assert kernel_index.matching_lower_bound() == dict_index.matching_lower_bound()
+    assert bar_yehuda_even(kernel_index) == bar_yehuda_even(dict_index)
+    assert exact_cover_of_index(kernel_index) == exact_cover_of_index(dict_index)
+
+
+def test_csr_arrays_shape_and_degree():
+    table = Table(
+        ("A", "B"),
+        {1: ("x", "1"), 2: ("x", "2"), 3: ("x", "3"), 4: ("y", "1")},
+    )
+    index = ConflictIndex(table, FDSet("A -> B"), use_kernel=True)
+    kern = index._kernel
+    assert kern is not None
+    assert kern.num_edges == 3  # triangle among rows 0, 1, 2
+    assert kern.degree == [2, 2, 2, 0]
+    assert kern.indptr == [0, 2, 4, 6, 6]
+    assert len(kern.indices) == 6
+    assert kern.weights[:4] == [1.0, 1.0, 1.0, 1.0]
+
+
+def test_mutation_drops_csr_but_keeps_codec():
+    table = Table(("A", "B"), {1: ("x", "1"), 2: ("x", "2")})
+    index = ConflictIndex(table, FDSet("A -> B"), use_kernel=True)
+    assert index._kernel is not None
+    index.insert(3, ("x", "3"))
+    assert index._kernel is None  # CSR snapshot is per-build
+    assert index._codec is not None  # codes stay live
+    assert index._codec.coded_row(3) == (0, 2)
+    index.remove(1)
+    # Dict paths still serve everything correctly after mutation.
+    assert index.components() == [[2, 3]]
+
+
+# ---------------------------------------------------------------------------
+# 4. Byte-identity of kernel vs dict pipeline runs
+# ---------------------------------------------------------------------------
+
+def _canonical_cells(result, original):
+    """Changed cells with FreshValues canonicalised by first occurrence.
+
+    Fresh nulls are identity-equal and their *labels* may come from a
+    process-global counter (the U-repair global-fallback path), so two
+    equal repairs computed in sequence carry different labels.  What is
+    observable — and what byte-identity can mean for fresh values — is
+    the equality *pattern*: rank each distinct null by first occurrence
+    in (deterministic) changed-cell order and compare the ranks.
+    """
+    out = {}
+    ranks = {}
+    for cell in result.cleaned.changed_cells(original):
+        value = result.cleaned.value(*cell)
+        if isinstance(value, FreshValue):
+            value = f"⊥#{ranks.setdefault(value, len(ranks))}"
+        out[cell] = value
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_clean_byte_identical_with_and_without_kernel(data):
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    fds = data.draw(st.sampled_from(FD_SETS))
+    strategy = data.draw(st.sampled_from(("deletions", "updates")))
+    # "optimal" U-repairs may legitimately raise (and are worst-case
+    # exponential) on the hard side of the dichotomy — identically so on
+    # both arms, but there is nothing kernel-specific to compare there.
+    guarantees = (
+        ("best", "optimal", "fast") if strategy == "deletions"
+        else ("best", "fast")
+    )
+    guarantee = data.draw(st.sampled_from(guarantees))
+    size = data.draw(st.integers(0, 18))
+    rows = {
+        i: tuple(f"v{rng.randrange(3)}" for _ in SCHEMA) for i in range(size)
+    }
+    weights = {i: rng.choice([1.0, 2.0, 0.5]) for i in rows}
+
+    with_kernel = clean(
+        Table(SCHEMA, rows, weights), fds, strategy=strategy, guarantee=guarantee
+    )
+    with kernel.disabled():
+        without = clean(
+            Table(SCHEMA, rows, weights), fds, strategy=strategy,
+            guarantee=guarantee,
+        )
+
+    original = Table(SCHEMA, rows, weights)
+    assert with_kernel.distance == without.distance
+    assert with_kernel.report == without.report
+    assert with_kernel.method == without.method
+    assert with_kernel.method_counts == without.method_counts
+    if strategy == "deletions":
+        assert with_kernel.cleaned == without.cleaned
+    else:
+        assert _canonical_cells(with_kernel, original) == _canonical_cells(
+            without, original
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_assess_byte_identical_with_and_without_kernel(data):
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    fds = data.draw(st.sampled_from(FD_SETS))
+    decomposed = data.draw(st.booleans())
+    size = data.draw(st.integers(0, 20))
+    rows = {
+        i: tuple(f"v{rng.randrange(3)}" for _ in SCHEMA) for i in range(size)
+    }
+    weights = {i: rng.choice([1.0, 2.0, 0.5]) for i in rows}
+    with_kernel = assess(Table(SCHEMA, rows, weights), fds, decomposed=decomposed)
+    with kernel.disabled():
+        without = assess(Table(SCHEMA, rows, weights), fds, decomposed=decomposed)
+    assert with_kernel == without
+
+
+def test_parallel_coded_shipping_byte_identical():
+    """The process pool receives column-code arrays; kept ids (and hence
+    the merged repair and its report) match the serial solve."""
+    rng = random.Random(5)
+    rows = {}
+    for cluster in range(6):
+        for k in range(8):
+            rows[cluster * 8 + k] = (f"a{cluster}", f"b{rng.randrange(3)}", f"c{cluster}")
+    table = Table(SCHEMA, rows)
+    table2 = Table(SCHEMA, dict(rows))
+    fds = FDSet("A -> B")
+    serial = clean(table, fds)
+    parallel = clean(table2, fds, parallel=2)
+    assert serial.cleaned == parallel.cleaned
+    assert serial.distance == parallel.distance
+    assert serial.report == parallel.report
+
+
+def test_coded_component_table_round_trip():
+    from repro.core.decompose import Component
+    from repro.exec import coded_component_table
+
+    table = Table(SCHEMA, {7: ("x", "y", "z"), 9: ("x", "q", "z")},
+                  {7: 2.0, 9: 1.5})
+    codec = kernel.TableCodec.encode(table)
+    component = Component(0, (7, 9), table, ConflictIndex(table, FDSet("A -> B")))
+    ids, columns, weights = component.code_payload(codec)
+    rebuilt = coded_component_table(SCHEMA, ids, columns, weights)
+    assert rebuilt.ids() == (7, 9)
+    assert rebuilt[7] == (0, 0, 0)
+    assert rebuilt[9] == (0, 1, 0)
+    assert rebuilt.weight(7) == 2.0 and rebuilt.weight(9) == 1.5
+
+
+# ---------------------------------------------------------------------------
+# 5. The global switch and the CLI flag
+# ---------------------------------------------------------------------------
+
+def test_disabled_context_restores_flag():
+    assert kernel.enabled()
+    with kernel.disabled():
+        assert not kernel.enabled()
+        with kernel.disabled():
+            assert not kernel.enabled()
+        assert not kernel.enabled()
+    assert kernel.enabled()
+
+
+def test_cli_no_kernel_flag(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+    from repro.io.tables import table_to_csv
+
+    table = Table(SCHEMA, {1: ("a", "b", "c"), 2: ("a", "x", "c")})
+    csv_path = tmp_path / "t.csv"
+    table_to_csv(table, str(csv_path))
+
+    assert main(["assess", str(csv_path), "A -> B"]) == 0
+    with_kernel = capsys.readouterr().out
+    # The flag must actually flip the global switch before any build.
+    monkeypatch.setattr(kernel, "_ENABLED", True)
+    assert main(["assess", str(csv_path), "A -> B", "--no-kernel"]) == 0
+    without = capsys.readouterr().out
+    assert not kernel.enabled()
+    monkeypatch.setattr(kernel, "_ENABLED", True)
+    assert with_kernel == without
