@@ -1,18 +1,25 @@
-"""ISSUE-4 gates — the interned columnar kernel vs the dict reference.
+"""ISSUE-4/ISSUE-5 gates — the columnar kernel vs the dict reference.
 
-Two acceptance gates, both measured best-of-5 after a warm-up run
+Acceptance gates, all measured best-of-5 after a warm-up run
 (:func:`conftest.measure_best`), with the dict reference paths forced
-via ``kernel.disabled()`` as the comparison arm (the CLI's
-``--no-kernel``):
+via ``kernel.disabled()`` / ``use_kernel=False`` as the comparison arm
+(the CLI's ``--no-kernel``):
 
-* **Exact component solves** (clustered-marriage-10k component mix):
-  the memoised single-word bitmask branch & bound must be ≥ 3× faster
-  than the graph-copying reference over the full component mix, and
-  return the identical covers.
+* **Exact component solves ≤ 64** (clustered-marriage-10k component
+  mix): the memoised bitset branch & bound must be ≥ 3× faster than the
+  graph-copying reference over the full component mix, and return the
+  identical covers (ISSUE-4).
+* **Exact component solves 65–128** (caterpillar mix): the multi-word
+  :class:`~repro.core.kernel.BitsetVC` must be ≥ 3× faster than the
+  graph reference on components past the machine-word boundary, with
+  identical covers (ISSUE-5).
+* **Array-native approximation tier** (clustered-marriage-10k): the
+  BYE + maximalisation and greedy lazy-heap loops on flat arrays must
+  be ≥ 2× faster than the dict loops, byte-identical repairs (ISSUE-5).
 * **Index build + assess** (clustered-chain-30k): the columnar
   conflict-index build plus the decomposed assessment must be ≥ 2×
   faster end-to-end than the dict build + assessment, and produce the
-  identical report.
+  identical report (ISSUE-4).
 
 Results land in ``BENCH_kernel.json`` next to the other bench suites;
 the committed baselines double as the CI regression reference (the
@@ -22,12 +29,17 @@ the committed ``BENCH_scaling.json`` medians for the same workloads
 PR-2/PR-3 baselines these numbers improve on.
 """
 
+import random
+
 import pytest
 
 from repro.core import kernel
+from repro.core.approx import approx_s_repair, greedy_s_repair
+from repro.core.conflict_index import ConflictIndex
 from repro.core.decompose import decompose
 from repro.core.exact import exact_cover_of_index
 from repro.core.fd import FDSet
+from repro.core.table import Table
 from repro.datagen.synthetic import clustered_conflicts_table
 from repro.graphs.vertex_cover import exact_min_weight_vertex_cover
 from repro.pipeline import assess
@@ -45,11 +57,27 @@ def _chain_30k():
     )
 
 
-def _marriage_10k():
+def _marriage_10k(weighted=False):
     return clustered_conflicts_table(
         ("A", "B", "C"), 10_000, clusters=120, cluster_size=25,
-        filler_group_size=100, seed=7,
+        filler_group_size=100, seed=7, weighted=weighted,
     )
+
+
+def _caterpillar_65_128(clusters=24, seed=3):
+    """*clusters* connected conflict components of 65–128 tuples each —
+    chained 3-cliques under the marriage Δ, the multi-word workload the
+    ISSUE-5 exact gate runs on."""
+    rng = random.Random(seed)
+    rows = {}
+    tid = 0
+    for c in range(clusters):
+        n = 65 + (c * 9) % 64
+        for j in range(n):
+            rows[tid] = (f"a{c}.{j // 3}", f"b{c}.{(j + 1) // 3}", f"x{c}")
+            tid += 1
+    weights = {i: rng.choice([1.0, 2.0, 0.5, 3.0]) for i in rows}
+    return Table(("A", "B", "C"), rows, weights)
 
 
 def test_bitmask_exact_3x_on_marriage_component_mix(benchmark):
@@ -97,6 +125,106 @@ def test_bitmask_exact_3x_on_marriage_component_mix(benchmark):
     )
     assert kernel_covers == reference_covers
     assert speedup >= 3.0
+
+
+def test_multiword_exact_3x_on_65_128_mix(benchmark):
+    """ISSUE-5 gate (a): ≥ 3× on exact solves of 65–128-vertex
+    components — multi-word bitset territory — identical covers."""
+    table = _caterpillar_65_128()
+    components = decompose(table, MARRIAGE).components
+    sizes = sorted(c.size for c in components)
+    assert sizes[0] >= 65 and sizes[-1] <= 128 and len(components) == 24
+
+    def solve_kernel():
+        return [exact_cover_of_index(c.index) for c in components]
+
+    def solve_reference():
+        out = []
+        for c in components:
+            cover = exact_min_weight_vertex_cover(c.index.graph())
+            out.append([tid for tid in c.index.ids() if tid in cover])
+        return out
+
+    kernel_covers, kernel_s, kernel_runs = measure_best(solve_kernel)
+    reference_covers, reference_s, _ = measure_best(solve_reference)
+    benchmark.pedantic(solve_kernel, rounds=1, iterations=1)
+
+    speedup = reference_s / kernel_s
+    print_table(
+        "ISSUE-5 — exact solves past 64 vertices, BitsetVC vs Graph B&B "
+        "(65–128-tuple caterpillar mix)",
+        ("path", "best of 5", "components", "identical covers"),
+        [
+            ("multi-word BitsetVC", f"{kernel_s * 1e3:.1f} ms",
+             len(components), kernel_covers == reference_covers),
+            ("Graph branch & bound", f"{reference_s * 1e3:.1f} ms",
+             len(components), ""),
+            ("speedup", f"{speedup:.1f}×", "", ""),
+        ],
+    )
+    record_bench(
+        "BENCH_kernel.json",
+        "exact-components-65-128",
+        kernel_s,
+        runs_s=kernel_runs,
+        reference_best_s=round(reference_s, 6),
+        speedup=round(speedup, 2),
+        components=len(components),
+        largest=sizes[-1],
+    )
+    assert kernel_covers == reference_covers
+    assert speedup >= 3.0
+
+
+def test_array_approx_loops_2x_on_marriage_10k(benchmark):
+    """ISSUE-5 gate (b): ≥ 2× on the approximation tier — BYE +
+    maximalisation and the greedy lazy-heap loop — byte-identical
+    repairs on the array paths and the dict reference."""
+    table = _marriage_10k(weighted=True)
+    kernel_index = table.conflict_index(MARRIAGE)
+    assert kernel_index._kernel is not None
+    dict_table = Table(table.schema, table.rows(), table.weights())
+    dict_index = ConflictIndex(dict_table, MARRIAGE, use_kernel=False)
+
+    def arm(tab, index):
+        def run():
+            return (
+                approx_s_repair(tab, MARRIAGE, index=index),
+                greedy_s_repair(tab, MARRIAGE, index=index),
+            )
+        return run
+
+    kernel_res, kernel_s, kernel_runs = measure_best(arm(table, kernel_index))
+    dict_res, dict_s, _ = measure_best(arm(dict_table, dict_index))
+    benchmark.pedantic(arm(table, kernel_index), rounds=1, iterations=1)
+
+    identical = (
+        kernel_res[0].repair == dict_res[0].repair
+        and kernel_res[1].repair == dict_res[1].repair
+        and kernel_res[0].distance == dict_res[0].distance
+        and kernel_res[1].distance == dict_res[1].distance
+    )
+    speedup = dict_s / kernel_s
+    print_table(
+        "ISSUE-5 — approximation tier (BYE+MIS, greedy heap), arrays vs "
+        "dicts (marriage-10k)",
+        ("path", "best of 5", "identical repairs"),
+        [
+            ("flat arrays", f"{kernel_s * 1e3:.1f} ms", identical),
+            ("dict reference", f"{dict_s * 1e3:.1f} ms", ""),
+            ("speedup", f"{speedup:.1f}×", ""),
+        ],
+    )
+    record_bench(
+        "BENCH_kernel.json",
+        "approx-greedy-marriage-10k",
+        kernel_s,
+        runs_s=kernel_runs,
+        reference_best_s=round(dict_s, 6),
+        speedup=round(speedup, 2),
+    )
+    assert identical
+    assert speedup >= 2.0
 
 
 def test_kernel_build_and_assess_2x_on_chain_30k(benchmark):

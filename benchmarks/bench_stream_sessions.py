@@ -10,7 +10,10 @@ component it lands in.
 Acceptance gate (ISSUE 3): on the clustered 10k workload, incremental
 re-repair after single-tuple appends must be **≥ 5×** faster than
 running ``pipeline.clean`` from scratch per append, with byte-identical
-results.  Medians land in ``BENCH_stream.json``.
+results.  ISSUE 5 adds the incremental-CSR gate: patching the kernel
+view per delta must beat invalidating and rebuilding it per delta (the
+other way to keep the array fast paths live mid-stream).  Results land
+in ``BENCH_stream.json``.
 """
 
 import time
@@ -157,6 +160,72 @@ def test_stream_consistent_appends_solve_nothing(benchmark):
         elapsed / 10,
         appends=10,
     )
+
+
+def test_stream_incremental_csr_vs_rebuild(benchmark):
+    """ISSUE-5 gate: keeping the kernel view live by *patching* it per
+    delta (tombstones + overflow adjacency) must beat the alternative
+    way of keeping the array fast paths — invalidating the snapshot and
+    rebuilding the CSR arrays per delta — with identical results, and
+    the session must never fall back to a dropped view."""
+    incremental = RepairSession(_workload(), MARRIAGE)
+    incremental.repair()
+    rebuild = RepairSession(_workload(), MARRIAGE)
+    rebuild.repair()
+    import gc
+
+    gc.collect()
+
+    incremental_s = 0.0
+    rebuild_s = 0.0
+    for i in range(APPENDS):
+        row = _append_row(i)
+
+        start = time.perf_counter()
+        result_inc = incremental.append([row])
+        incremental_s += time.perf_counter() - start
+        kern = incremental.index._kernel
+        assert kern is not None  # patched or compacted, never dropped
+        assert kern.live_count == len(incremental.index)
+
+        start = time.perf_counter()
+        rebuild.append([row], repair=False)
+        rebuild.index._kernel = None          # snapshot-invalidate…
+        rebuild.index.refresh_kernel()        # …then rebuild to keep arrays
+        result_reb = rebuild.repair()
+        rebuild_s += time.perf_counter() - start
+
+        assert result_inc.cleaned == result_reb.cleaned
+        assert result_inc.report == result_reb.report
+
+    benchmark.pedantic(
+        incremental.append, args=([("a1", "b1.bench", "x1")],),
+        rounds=1, iterations=1,
+    )
+    speedup = rebuild_s / incremental_s
+    print_table(
+        "ISSUE-5 — incremental CSR (patch per delta) vs snapshot rebuild "
+        "(clustered 10k, marriage Δ)",
+        ("path", "per append", "total"),
+        [
+            ("patch (tombstones+overflow)",
+             f"{incremental_s / APPENDS * 1e3:.1f} ms",
+             f"{incremental_s * 1e3:.0f} ms"),
+            ("invalidate + rebuild CSR",
+             f"{rebuild_s / APPENDS * 1e3:.1f} ms",
+             f"{rebuild_s * 1e3:.0f} ms"),
+            ("speedup", f"{speedup:.1f}×", ""),
+        ],
+    )
+    record_bench(
+        "BENCH_stream.json",
+        "stream-incremental-csr-10k",
+        incremental_s / APPENDS,
+        rebuild_per_append_s=round(rebuild_s / APPENDS, 6),
+        speedup=round(speedup, 2),
+        appends=APPENDS,
+    )
+    assert speedup >= 1.4
 
 
 def test_stream_deletes_match_scratch(benchmark):

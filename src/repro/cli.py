@@ -73,10 +73,11 @@ def _add_repair_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=(
             "component-size boundary between exact and approximate "
-            "solving on hard FD sets (default 64); raise for tighter "
+            "solving on hard FD sets (default 128); raise for tighter "
             "repairs, lower to bound latency"
         ),
     )
+    _add_exact_budget_option(parser)
     parser.add_argument(
         "--portfolio",
         action="store_true",
@@ -90,6 +91,23 @@ def _add_repair_options(parser: argparse.ArgumentParser) -> None:
     )
     _add_kernel_option(parser)
     parser.add_argument("--out", help="write the result CSV here")
+
+
+def _add_exact_budget_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--exact-budget",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "wall-clock escape hatch per exact vertex-cover solve: a "
+            "component whose branch & bound runs longer falls back to "
+            "the 2-approximation (default: unlimited); pair with a "
+            "raised --exact-threshold.  Bounds deletion repairs and "
+            "assessment brackets; u-repair's update search has its own "
+            "node budget"
+        ),
+    )
 
 
 def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
@@ -145,8 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         default=None,
-        help="bracket components of at most N tuples exactly (default 64)",
+        help="bracket components of at most N tuples exactly (default 128)",
     )
+    _add_exact_budget_option(p_assess)
     _add_kernel_option(p_assess)
 
     p_srepair = sub.add_parser("s-repair", help="compute an S-repair")
@@ -214,8 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         default=None,
-        help="exact-vs-approximate component-size boundary (default 64)",
+        help="exact-vs-approximate component-size boundary (default 128)",
     )
+    _add_exact_budget_option(p_stream)
     _add_kernel_option(p_stream)
     p_stream.add_argument("--out", help="write the final repaired CSV here")
     p_stream.add_argument(
@@ -247,6 +267,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         fds,
         decomposed=args.decomposed,
         exact_threshold=args.exact_threshold,
+        exact_budget_s=args.exact_budget,
     )
     print(report.summary())
     return 0
@@ -286,6 +307,7 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
         decomposed=args.decomposed,
         parallel=args.parallel,
         exact_threshold=args.exact_threshold,
+        exact_budget_s=args.exact_budget,
     )
 
 
@@ -372,6 +394,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         guarantee=args.guarantee,
         parallel=args.parallel,
         exact_threshold=args.exact_threshold,
+        exact_budget_s=args.exact_budget,
     ) as session:
         result = session.repair()
         if not args.quiet:

@@ -115,12 +115,16 @@ def greedy_s_repair(
 ) -> SRepairResult:
     """A fast heuristic S-repair by greedy conflict-driven deletion.
 
-    Repeatedly deletes the live tuple minimising weight/degree from a
-    working copy of the :class:`ConflictIndex` until no conflict remains,
-    then grows the survivors to a maximal independent set of the original
-    index.  Each deletion is an *incremental* index update
-    (O(degree + |Δ|)) and victims come off a lazy min-heap, so the loop
-    is O((|T| + conflicts)·log |T|) — the seed equivalent rebuilt the
+    Repeatedly deletes the live tuple minimising weight/degree until no
+    conflict remains, then grows the survivors to a maximal independent
+    set of the original index.  A kernel-backed index runs the loop
+    array-native — flat weight/degree arrays and ``alive`` flags over
+    the CSR view (or neighbour bitmasks on a small live index), see
+    :func:`repro.core.kernel.greedy_cover_csr` — with the identical
+    victim sequence; the reference works on a mutable index copy, each
+    deletion an *incremental* update (O(degree + |Δ|)).  Victims come
+    off a lazy min-heap either way, so the loop is
+    O((|T| + conflicts)·log |T|) — the seed equivalent rebuilt the
     conflict structure per deletion.
 
     No approximation guarantee (classic weight/degree greedy can be off
@@ -142,32 +146,36 @@ def greedy_s_repair(
         index = table.conflict_index(fds)
     else:
         index.ensure_for(fds, table)
-    live = index.copy()
-    # Lazy heap: removal only ever *lowers* neighbours' degrees, i.e.
-    # raises their weight/degree key, so a popped entry whose stored key
-    # is stale (too small) is re-pushed at its current key; the first
-    # up-to-date pop is the true minimum.  Ties break by str(tid), then
-    # table position — ids themselves may be of mixed, unorderable
-    # types, so they must never reach the tuple comparison.
-    heap = [
-        (live.weight(tid) / degree, str(tid), position, tid)
-        for position, tid in enumerate(live.ids())
-        if (degree := live.degree(tid)) > 0
-    ]
-    heapq.heapify(heap)
-    while not live.is_consistent():
-        key, label, position, tid = heapq.heappop(heap)
-        if tid not in live:
-            continue
-        degree = live.degree(tid)
-        if degree == 0:
-            continue  # conflict-free now; degrees never rise again
-        current = live.weight(tid) / degree
-        if current > key:
-            heapq.heappush(heap, (current, label, position, tid))
-            continue
-        live.remove(tid)
-    independent = maximalize_independent_set(index, set(live.ids()))
+    survivors = index.kernel_greedy_survivors()
+    if survivors is None:
+        live = index.copy()
+        # Lazy heap: removal only ever *lowers* neighbours' degrees, i.e.
+        # raises their weight/degree key, so a popped entry whose stored
+        # key is stale (too small) is re-pushed at its current key; the
+        # first up-to-date pop is the true minimum.  Ties break by
+        # str(tid), then table position — ids themselves may be of mixed,
+        # unorderable types, so they must never reach the tuple
+        # comparison.
+        heap = [
+            (live.weight(tid) / degree, str(tid), position, tid)
+            for position, tid in enumerate(live.ids())
+            if (degree := live.degree(tid)) > 0
+        ]
+        heapq.heapify(heap)
+        while not live.is_consistent():
+            key, label, position, tid = heapq.heappop(heap)
+            if tid not in live:
+                continue
+            degree = live.degree(tid)
+            if degree == 0:
+                continue  # conflict-free now; degrees never rise again
+            current = live.weight(tid) / degree
+            if current > key:
+                heapq.heappush(heap, (current, label, position, tid))
+                continue
+            live.remove(tid)
+        survivors = set(live.ids())
+    independent = maximalize_independent_set(index, survivors)
     repair = table.subset([tid for tid in table.ids() if tid in independent])
     return SRepairResult(
         repair=repair,

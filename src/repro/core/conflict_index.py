@@ -434,6 +434,25 @@ class ConflictIndex:
     # ------------------------------------------------------------------
     # Connected components (the decomposition substrate)
     # ------------------------------------------------------------------
+    def _kernel_view(self) -> Optional[_kernel.ConflictKernel]:
+        """The live kernel view, sync-checked — or ``None`` (dict paths).
+
+        The O(1) guard against the stale-snapshot hazard: every
+        :meth:`insert`/:meth:`remove` patches the view's live-row count
+        in lockstep with ``_live``, so a mutation that bypassed the
+        patch hooks (the bug class this defends against — it would
+        silently serve pre-mutation adjacency) trips the comparison and
+        fails loudly instead.
+        """
+        kern = self._kernel
+        if kern is not None and kern.live_count != len(self._live):
+            raise RuntimeError(
+                f"ConflictKernel view out of sync with the live index "
+                f"({kern.live_count} kernel rows vs {len(self._live)} live "
+                f"tuples): a mutation bypassed insert()/remove()"
+            )
+        return kern
+
     def components(self) -> List[List[TupleId]]:
         """Connected components of the live conflict graph, restricted to
         tuples with at least one conflict.
@@ -444,12 +463,18 @@ class ConflictIndex:
         every repair verbatim (see :meth:`consistent_ids`).
 
         A pristine kernel-built index answers from the CSR arrays (row
-        index *is* table position there, so ascending row order is table
-        order and the listing is identical); mutation drops the arrays
-        and the sweep below takes over.
+        index *is* table position, so ascending row order is table order
+        and the listing is identical).  Once the view is patched the
+        sweep below takes over: an alive-filtered array walk would be
+        Python-level work per neighbour, while the sweep's
+        set-difference frontier runs at C speed — the arrays keep
+        serving the paths where they do win (BYE, greedy,
+        maximalisation, edge iteration), and
+        :func:`~repro.core.kernel.components_csr` refuses patched views
+        outright so a stale array sweep cannot be reached by accident.
         """
-        kern = self._kernel
-        if kern is not None:
+        kern = self._kernel_view()
+        if kern is not None and not kern.patched:
             ids = kern.codec.ids
             return [
                 [ids[i] for i in members]
@@ -564,9 +589,12 @@ class ConflictIndex:
         The bitmask view the kernel fast paths share: bit *i* is the
         *i*-th live tuple.  Live order is always ascending table
         position (removals preserve order, inserts append), so bit order
-        matches the canonical ``edges()`` order.  ``None`` when the
-        kernel is off for this index or the index is too large for a
-        single-word mask to pay off.
+        matches the canonical ``edges()`` order.  Masks past 64 tuples
+        are multi-word Python ints — still C-level word arrays — so the
+        view serves every component up to
+        :data:`~repro.core.kernel.MAX_BITMASK_VERTICES` tuples.  ``None``
+        when the kernel is off for this index or the index is too large
+        for masks to pay off.
         """
         if not self._use_kernel or len(self._live) > _kernel.MAX_BITMASK_VERTICES:
             return None
@@ -593,14 +621,15 @@ class ConflictIndex:
     def kernel_bye_cover(self) -> Optional[Set[TupleId]]:
         """Array fast path for :func:`~repro.graphs.vertex_cover.bar_yehuda_even`.
 
-        A pristine kernel-built index runs the local-ratio sweep over
-        its flat CSR edge arrays; a small (≤ 64 tuple) live index — the
-        per-component case — over neighbour bitmasks.  Both visit the
-        edges in the same canonical order as the dict reference, so the
-        cover is identical.  ``None`` means "no fast path; run the
+        A kernel-built index — pristine *or* incrementally patched —
+        runs the local-ratio sweep over its flat CSR edge arrays (merged
+        with the overflow adjacency after mutations); a small live index
+        — the per-component case — over neighbour bitmasks.  All visit
+        the edges in the same canonical order as the dict reference, so
+        the cover is identical.  ``None`` means "no fast path; run the
         reference loop".
         """
-        kern = self._kernel
+        kern = self._kernel_view()
         if kern is not None:
             ids = kern.codec.ids
             return {ids[i] for i in _kernel.bye_cover_csr(kern)}
@@ -615,6 +644,53 @@ class ConflictIndex:
             out.add(members[low.bit_length() - 1])
             cover ^= low
         return out
+
+    def kernel_greedy_survivors(self) -> Optional[Set[TupleId]]:
+        """Array fast path for the greedy deletion loop of
+        :func:`repro.core.approx.greedy_s_repair`: run the lazy-heap
+        weight/degree loop over the kernel view (or the mask view of a
+        small live index) and return the surviving tuple ids.  ``None``
+        means "no fast path; run the reference loop on an index copy".
+        """
+        kern = self._kernel_view()
+        if kern is not None:
+            ids = kern.codec.ids
+            removed = _kernel.greedy_cover_csr(kern)
+            # One C-level copy minus the (few) removed ids — never a
+            # per-live-tuple membership loop.
+            return set(self._live).difference(ids[r] for r in removed)
+        view = self._mask_view()
+        if view is None:
+            return None
+        members, weights, masks = view
+        removed_mask = _kernel.greedy_cover_masks(
+            weights, masks, [str(tid) for tid in members]
+        )
+        return {
+            tid for i, tid in enumerate(members) if not (removed_mask >> i) & 1
+        }
+
+    def kernel_maximalize(self, independent: Set[TupleId]) -> Optional[Set[TupleId]]:
+        """Array fast path for
+        :func:`~repro.graphs.vertex_cover.maximalize_independent_set`
+        (same candidate order and blocking test, hence the identical
+        maximal set).  ``None`` means "no fast path; run the reference".
+        """
+        kern = self._kernel_view()
+        if kern is not None:
+            return _kernel.mis_maximalize_csr(kern, independent)
+        view = self._mask_view()
+        if view is None:
+            return None
+        members, weights, masks = view
+        position = {tid: i for i, tid in enumerate(members)}
+        mask = 0
+        for tid in independent:
+            mask |= 1 << position[tid]
+        grown = _kernel.mis_maximalize_masks(
+            weights, masks, [str(tid) for tid in members], mask
+        )
+        return {members[i] for i in _kernel._bits_ascending(grown)}
 
     def matching_lower_bound(self) -> float:
         """Admissible deletion-cost bound: greedy tuple-disjoint matching
@@ -642,16 +718,18 @@ class ConflictIndex:
         """Evict *tid*, updating buckets and adjacency incrementally.
 
         O(degree(tid) + |Δ|): only the buckets and edges touching *tid*
-        are visited — never the rest of the table.
+        are visited — never the rest of the table.  A kernel view is
+        patched in place (tombstone + live degree bookkeeping, see
+        :meth:`~repro.core.kernel.ConflictKernel.apply_remove`) so the
+        array fast paths survive the mutation; the cached mask view is
+        per-state and rebuilds on demand.
         """
         weight = self._live.pop(tid, None)
         if weight is None:
             raise KeyError(f"unknown or already-removed identifier {tid!r}")
-        # The CSR snapshot indexes rows by construction-time position;
-        # any mutation invalidates it (the codec itself stays live — a
-        # removed tuple's slot is simply never read again).  Same for
-        # the cached mask view.
-        self._kernel = None
+        kern = self._kernel
+        if kern is not None:
+            kern.apply_remove(self._codec.row_index[tid])
         self._mask_cache = None
         self._removed_weight += weight
         nbrs = self._adj.pop(tid)
@@ -668,6 +746,8 @@ class ConflictIndex:
                 buckets.discard(tid)
         # While the buckets are still lazy there is nothing to maintain:
         # materialisation only ever buckets the tuples live at that time.
+        if kern is not None and kern.should_compact():
+            self.refresh_kernel()
 
     def remove_many(self, ids: Iterable[TupleId]) -> None:
         for tid in ids:
@@ -702,7 +782,6 @@ class ConflictIndex:
         if weight <= 0:
             raise ValueError(f"tuple {tid!r} has non-positive weight {weight}")
         buckets_list = self._ensure_buckets()
-        self._kernel = None  # CSR snapshot is per-build; see remove()
         self._mask_cache = None
         if self._codec is not None:
             # Keep the codes live: the appended tuple interns its values
@@ -742,6 +821,17 @@ class ConflictIndex:
         if new_edges:
             self._conflicting.add(tid)
             self._conflicting.update(nbrs)
+        kern = self._kernel
+        if kern is not None:
+            # Patch the kernel view: the appended row grafts onto the
+            # overflow adjacency with exactly the edges the bucket probe
+            # above discovered (ascending row order = table order).
+            row_index = self._codec.row_index
+            kern.apply_insert(
+                row_index[tid], sorted(row_index[other] for other in nbrs)
+            )
+            if kern.should_compact():
+                self.refresh_kernel()
         return new_edges
 
     def insert_many(
@@ -767,6 +857,38 @@ class ConflictIndex:
             )
         self._source = weakref.ref(table)
         return self
+
+    def refresh_kernel(self) -> bool:
+        """Rebuild the CSR view from the live adjacency (compaction).
+
+        Folds accumulated tombstones and overflow adjacency back into
+        plain flat arrays — O(live tuples + live edges).  Called
+        automatically once churn passes
+        :meth:`~repro.core.kernel.ConflictKernel.should_compact`; public
+        because the streaming benchmarks use it as the
+        snapshot-invalidate comparison arm (rebuild per delta instead of
+        patch per delta).  Returns ``False`` when this index has no
+        kernel to refresh (kernel off, or a projection).
+        """
+        codec = self._codec
+        if codec is None or not self._use_kernel:
+            return False
+        n = len(codec.ids)
+        row_index = codec.row_index
+        packed: List[int] = []
+        append = packed.append
+        for tid, nbrs in self._adj.items():
+            u = row_index[tid]
+            base = u * n
+            for other in nbrs:
+                v = row_index[other]
+                if u < v:
+                    append(base + v)
+        packed.sort()
+        self._kernel = _kernel.ConflictKernel(
+            codec, packed, alive_rows=[row_index[tid] for tid in self._live]
+        )
+        return True
 
     def copy(self) -> "ConflictIndex":
         """An independent, mutable duplicate of the current live state."""

@@ -58,13 +58,19 @@ __all__ = [
 #: vertex-cover branch & bound is run (empirically instantaneous on
 #: conflict components of this size — the matching lower bound prunes
 #: hard); above it the Bar-Yehuda–Even 2-approximation takes over.  The
-#: value carries over the pipeline's historical global ``len(table) > 64``
-#: heuristic, now applied per component: a 100k-tuple table whose
-#: conflicts form 50-tuple clusters is solved *exactly*, where the global
-#: heuristic would have settled for ratio 2.  Shared by the portfolio
-#: policy (:func:`plan_s_method`), :func:`repro.pipeline.clean`, and the
-#: exact per-component brackets of :func:`repro.pipeline.assess`.
-EXACT_COMPONENT_THRESHOLD = 64
+#: historical value, 64, was the single-word bitmask kernel's width; the
+#: multi-word :class:`~repro.core.kernel.BitsetVC` solves well past it
+#: with the same decision-for-decision mirror, so the default boundary
+#: now sits at 128 — a 100k-tuple table whose conflicts form 100-tuple
+#: clusters is solved *exactly*, where the old boundary settled for
+#: ratio 2.  Raise it further (``exact_threshold=`` /
+#: ``--exact-threshold``) up to
+#: :data:`~repro.core.kernel.MAX_BITMASK_VERTICES` when paired with an
+#: ``exact_budget_s`` escape hatch for pathological dense components.
+#: Shared by the portfolio policy (:func:`plan_s_method`),
+#: :func:`repro.pipeline.clean`, and the exact per-component brackets of
+#: :func:`repro.pipeline.assess`.
+EXACT_COMPONENT_THRESHOLD = 128
 
 
 @dataclass

@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..graphs.vertex_cover import exact_min_weight_vertex_cover
+from ..graphs.vertex_cover import ExactBudgetExceeded, exact_min_weight_vertex_cover
 from . import kernel as _kernel
 from .conflict_index import ConflictIndex
 from .fd import FDSet
@@ -37,6 +37,7 @@ __all__ = [
     "brute_force_s_repair",
     "exact_u_repair",
     "exact_u_repair_exhaustive",
+    "ExactBudgetExceeded",
     "ExactSearchLimit",
 ]
 
@@ -45,25 +46,37 @@ class ExactSearchLimit(Exception):
     """Raised when an exact search would exceed its configured budget."""
 
 
-def exact_cover_of_index(index: ConflictIndex, node_limit: int = 2000) -> List[TupleId]:
+def exact_cover_of_index(
+    index: ConflictIndex,
+    node_limit: int = 2000,
+    budget_s: Optional[float] = None,
+) -> List[TupleId]:
     """Exact minimum-weight vertex cover of a live index, in table order.
 
     The dispatch point of the exact portfolio method: a kernel-backed
     index of at most :data:`~repro.core.kernel.MAX_BITMASK_VERTICES`
-    tuples is solved by the memoised single-word bitmask branch & bound
-    (no ``Graph`` materialisation, no per-branch graph copies); anything
-    else runs the graph-based reference.  The bitmask solver mirrors the
-    reference decision for decision, so the two return the *identical*
-    cover — returned as a table-ordered list either way, keeping every
-    downstream float summation order-canonical.
+    tuples is solved by the memoised multi-word bitset branch & bound
+    (:class:`~repro.core.kernel.BitsetVC` — no ``Graph``
+    materialisation, no per-branch graph copies, components well past 64
+    vertices included); anything else runs the graph-based reference.
+    The bitset solver mirrors the reference decision for decision, so
+    the two return the *identical* cover — returned as a table-ordered
+    list either way, keeping every downstream float summation
+    order-canonical.
+
+    *budget_s* bounds the wall-clock of either solver; on expiry
+    :class:`~repro.graphs.vertex_cover.ExactBudgetExceeded` propagates
+    so callers can fall back to the polynomial bounds.
     """
     if (
         index._use_kernel
         and len(index) <= node_limit
         and len(index) <= _kernel.MAX_BITMASK_VERTICES
     ):
-        return _kernel.exact_cover_ids(index)
-    cover = exact_min_weight_vertex_cover(index.graph(), node_limit=node_limit)
+        return _kernel.exact_cover_ids(index, budget_s=budget_s)
+    cover = exact_min_weight_vertex_cover(
+        index.graph(), node_limit=node_limit, budget_s=budget_s
+    )
     return [tid for tid in index.ids() if tid in cover]
 
 
@@ -74,6 +87,7 @@ def exact_s_repair(
     index: Optional[ConflictIndex] = None,
     decomposed: bool = False,
     parallel: Optional[int] = None,
+    exact_budget_s: Optional[float] = None,
 ) -> Table:
     """Optimal S-repair via exact minimum-weight vertex cover.
 
@@ -100,12 +114,15 @@ def exact_s_repair(
             parallel=parallel,
             index=index,
             node_limit=node_limit,
+            budget_s=exact_budget_s,
         ).repair
     if index is None:
         index = table.conflict_index(fds)
     else:
         index.ensure_for(fds, table)
-    cover = set(exact_cover_of_index(index, node_limit=node_limit))
+    cover = set(
+        exact_cover_of_index(index, node_limit=node_limit, budget_s=exact_budget_s)
+    )
     keep = [tid for tid in table.ids() if tid not in cover]
     return table.subset(keep)
 

@@ -27,16 +27,36 @@ This module is the representation-level answer:
   CSR-style flat adjacency arrays (``indptr`` / ``indices``) with
   parallel weight and degree arrays — the substrate of the
   ``components()`` and Bar-Yehuda–Even array fast paths.
-* :func:`bitmask_vertex_cover` is a memoised single-word branch & bound
-  for components of at most :data:`MAX_BITMASK_VERTICES` vertices:
-  component vertices map to bits of one Python int, neighbour masks are
+* :class:`BitsetVC` is a memoised multi-word bitset branch & bound for
+  components of at most :data:`MAX_BITMASK_VERTICES` vertices: component
+  vertices map to bits of one Python int, neighbour masks are
   precomputed, and a subset-memo on the remaining-vertices mask prunes
-  re-entered states.  It is a *faithful mirror* of
-  :func:`repro.graphs.vertex_cover.exact_min_weight_vertex_cover` —
+  re-entered states.  Python ints *are* the multi-word bitset: CPython
+  stores them as little-endian arrays of 30-bit digits, so ``&``, ``|``,
+  shifts and ``bit_count`` over a 512-vertex mask are C loops over ~18
+  machine words — the "fixed-width tuple of words" representation
+  without a Python-level word loop.  The solver is a *faithful mirror*
+  of :func:`repro.graphs.vertex_cover.exact_min_weight_vertex_cover` —
   same simplifications, same branch order, same tie-breaks, same
   floating-point summation order — so it returns the **identical
   cover**, not merely one of equal weight (pinned by the property tests
-  in ``tests/test_kernel.py``).
+  in ``tests/test_kernel.py``), at any width.  A wall-clock ``budget_s``
+  raises :class:`~repro.graphs.vertex_cover.ExactBudgetExceeded` so
+  pathological dense components fall back to the polynomial bounds.
+* The approximation tier runs array-native too:
+  :func:`greedy_cover_csr` / :func:`greedy_cover_masks` mirror the lazy
+  min-heap deletion loop of :func:`repro.core.approx.greedy_s_repair`
+  on flat weight/degree arrays, and :func:`mis_maximalize_csr` /
+  :func:`mis_maximalize_masks` mirror
+  :func:`repro.graphs.vertex_cover.maximalize_independent_set`.
+* A :class:`ConflictKernel` stays **live** under index mutation:
+  :meth:`~ConflictKernel.apply_remove` tombstones a row (``alive``
+  byte-flags, live degree/edge bookkeeping) and
+  :meth:`~ConflictKernel.apply_insert` grafts an appended row's edges
+  onto an overflow adjacency, so streaming sessions keep every array
+  fast path across delta batches; the owning index compacts the view
+  (full CSR rebuild over the live rows) once churn passes
+  :meth:`~ConflictKernel.should_compact`.
 
 The dict paths everywhere remain the semantic reference: the kernel is
 an acceleration layer, switchable off globally (:func:`set_enabled`,
@@ -46,9 +66,12 @@ result is byte-identical either way.
 
 from __future__ import annotations
 
+import heapq
+import time
 from contextlib import contextmanager
 from typing import (
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -57,12 +80,15 @@ from typing import (
     Tuple,
 )
 
+from ..graphs.vertex_cover import ExactBudgetExceeded
 from .table import Row, Table, TupleId, Value
 
 __all__ = [
     "MAX_BITMASK_VERTICES",
     "TableCodec",
     "ConflictKernel",
+    "BitsetVC",
+    "ExactBudgetExceeded",
     "enabled",
     "set_enabled",
     "disabled",
@@ -71,15 +97,26 @@ __all__ = [
     "bye_cover_csr",
     "bye_cover_masks",
     "components_csr",
+    "greedy_cover_csr",
+    "greedy_cover_masks",
+    "mis_maximalize_csr",
+    "mis_maximalize_masks",
 ]
 
-#: Largest component the single-word bitmask branch & bound accepts: one
-#: Python int carries one bit per component vertex, and staying at or
-#: below the machine-word width keeps every mask operation a single-digit
-#: int op.  Deliberately equal to the portfolio's
-#: ``EXACT_COMPONENT_THRESHOLD`` — the decomposed exact solves are
-#: exactly the workload the bitmask kernel exists for.
-MAX_BITMASK_VERTICES = 64
+#: Largest component the bitset branch & bound accepts.  One Python int
+#: carries one bit per component vertex; past 64 vertices the masks spill
+#: into multiple 30-bit digits, whose boolean ops CPython still runs as C
+#: word loops — profiled break-even against the graph-copying reference
+#: sits far beyond this cap, which exists to bound the *memo's* per-entry
+#: key size and the O(n²) neighbour-mask build, not the mask arithmetic.
+#: The portfolio's ``EXACT_COMPONENT_THRESHOLD`` (the default exact cut)
+#: is deliberately far below; the headroom up to 512 serves raised
+#: ``exact_threshold=`` runs and the mask-view approximation fast paths.
+MAX_BITMASK_VERTICES = 512
+
+#: Search-tree entries between deadline reads of a budgeted solve —
+#: mirrors ``repro.graphs.vertex_cover._BUDGET_CHECK_INTERVAL``.
+_BUDGET_CHECK_INTERVAL = 256
 
 _ENABLED = True
 
@@ -295,24 +332,45 @@ def build_conflict_edges(
 
 
 class ConflictKernel:
-    """Flat-array snapshot of a table's conflict graph.
+    """Flat-array view of a table's conflict graph, patchable in place.
 
-    ``edges_u`` / ``edges_v`` hold each conflict pair once in canonical
-    ascending ``(u, v)`` row order; ``indptr`` / ``indices`` are the
-    CSR adjacency (both directions); ``degree`` and ``weights`` are the
-    parallel per-row arrays.  Row index *is* table position, so the
-    arrays are valid only for the construction-time snapshot — the
-    owning :class:`ConflictIndex` stops consulting them once a mutation
-    (``insert`` / ``remove``) changes the live set, while the codec
-    itself stays live.
+    ``edges_u`` / ``edges_v`` hold each construction-time conflict pair
+    once in canonical ascending ``(u, v)`` row order; ``indptr`` /
+    ``indices`` are the CSR adjacency (both directions); ``degree`` and
+    ``weights`` are the parallel per-row arrays.  Row index *is* table
+    position (removals preserve order, inserts append), so ascending row
+    order is table order everywhere.
+
+    The view stays **live** under index mutation instead of being
+    invalidated: :meth:`apply_remove` tombstones a row in the ``alive``
+    byte-flags and keeps ``degree`` / ``live_edges`` current, and
+    :meth:`apply_insert` records an appended row's edges in the overflow
+    adjacency ``extra_adj`` (CSR arrays are append-hostile; the overflow
+    lists stay position-sorted by construction, so canonical edge order
+    is a cheap merge).  ``patched`` flips on the first mutation; readers
+    take the original zero-overhead loops while it is unset and the
+    tombstone/overflow-aware loops after.  ``live_count`` is the sync
+    guard the owning index asserts against its own live-tuple count —
+    a mutation that bypassed the patch hooks fails loudly instead of
+    serving stale adjacency.  Once churn passes :meth:`should_compact`
+    the index rebuilds the view over the live rows (tombstones and
+    overflow fold back into plain CSR, ``alive_rows`` marks the live
+    subset of the codec's row space).
     """
 
     __slots__ = (
         "codec", "edges_u", "edges_v", "indptr", "indices", "degree",
-        "conflicting_rows",
+        "conflicting_rows", "alive", "csr_rows", "extra_adj", "patched",
+        "live_count", "live_edges", "dead_count", "appended_count",
+        "removed_count",
     )
 
-    def __init__(self, codec: TableCodec, packed_edges: List[int]) -> None:
+    def __init__(
+        self,
+        codec: TableCodec,
+        packed_edges: List[int],
+        alive_rows: Optional[Iterable[int]] = None,
+    ) -> None:
         self.codec = codec
         n = len(codec.ids)
         m = len(packed_edges)
@@ -342,7 +400,32 @@ class ConflictKernel:
         self.degree = degree
         # Rows with at least one conflict, ascending — the only roots a
         # component sweep needs to visit (typically a few % of |T|).
+        # Valid while unpatched; afterwards the owning index supplies
+        # live roots from its conflicting-tuple set.
         self.conflicting_rows = [i for i, d in enumerate(degree) if d]
+        self.csr_rows = n
+        self.extra_adj: Dict[int, List[int]] = {}
+        self.patched = False
+        self.dead_count = 0
+        # Churn *since this build* — what should_compact measures.  A
+        # compaction rebuild carries the codec's dead slots over (the
+        # codec never reclaims rows), so dead_count alone would re-trip
+        # the bound forever after the first rebuild.
+        self.removed_count = 0
+        self.appended_count = 0
+        self.live_edges = m
+        if alive_rows is None:
+            self.alive = bytearray(b"\x01") * n
+            self.live_count = n
+        else:
+            alive = bytearray(n)
+            count = 0
+            for r in alive_rows:
+                alive[r] = 1
+                count += 1
+            self.alive = alive
+            self.live_count = count
+            self.dead_count = n - count
 
     @property
     def weights(self) -> List[float]:
@@ -352,6 +435,102 @@ class ConflictKernel:
     def num_edges(self) -> int:
         return len(self.edges_u)
 
+    # ------------------------------------------------------------------
+    # Incremental patching (tombstones + overflow adjacency)
+    # ------------------------------------------------------------------
+    def row_neighbors(self, row: int) -> Iterator[int]:
+        """All recorded neighbours of *row* (dead ones included — filter
+        with ``alive`` at the read site)."""
+        if row < self.csr_rows:
+            yield from self.indices[self.indptr[row]:self.indptr[row + 1]]
+        extra = self.extra_adj.get(row)
+        if extra is not None:
+            yield from extra
+
+    def forward_live_neighbors(self, row: int) -> Iterator[int]:
+        """Live neighbours of *row* with a higher row index, ascending.
+
+        CSR slices list backward then forward neighbours, each ascending
+        (a consequence of the packed-edge build order); overflow lists
+        hold appended rows in append order, which is ascending too — so
+        the concatenation below is already in canonical position order.
+        """
+        alive = self.alive
+        if row < self.csr_rows:
+            for v in self.indices[self.indptr[row]:self.indptr[row + 1]]:
+                if v > row and alive[v]:
+                    yield v
+        extra = self.extra_adj.get(row)
+        if extra is not None:
+            for v in extra:
+                if v > row and alive[v]:
+                    yield v
+
+    def iter_live_edges(self) -> Iterator[Tuple[int, int]]:
+        """Every live conflict pair once, in canonical ascending row
+        order — the patched-view equivalent of ``zip(edges_u, edges_v)``.
+        """
+        alive = self.alive
+        for u in range(len(alive)):
+            if alive[u] and self.degree[u]:
+                for v in self.forward_live_neighbors(u):
+                    yield u, v
+
+    def apply_remove(self, row: int) -> None:
+        """Tombstone *row*: O(recorded degree) flag-and-decrement."""
+        alive = self.alive
+        if not alive[row]:
+            raise ValueError(f"row {row} is already dead in the kernel view")
+        alive[row] = 0
+        self.patched = True
+        self.live_count -= 1
+        self.dead_count += 1
+        self.removed_count += 1
+        degree = self.degree
+        dropped = 0
+        for v in self.row_neighbors(row):
+            if alive[v]:
+                degree[v] -= 1
+                dropped += 1
+        self.live_edges -= dropped
+        degree[row] = 0
+
+    def apply_insert(self, row: int, neighbor_rows: Sequence[int]) -> None:
+        """Graft an appended row (codec row index *row*) and its conflict
+        edges onto the view.  *neighbor_rows* must be the live conflict
+        partners, ascending — exactly what the index's bucket probe
+        produced."""
+        if row != len(self.alive):
+            raise ValueError(
+                f"appended row {row} does not extend the kernel view "
+                f"({len(self.alive)} rows)"
+            )
+        self.alive.append(1)
+        self.degree.append(len(neighbor_rows))
+        self.patched = True
+        self.live_count += 1
+        self.appended_count += 1
+        self.live_edges += len(neighbor_rows)
+        if neighbor_rows:
+            self.extra_adj[row] = list(neighbor_rows)
+            degree = self.degree
+            extra = self.extra_adj
+            for v in neighbor_rows:
+                degree[v] += 1
+                bucket = extra.get(v)
+                if bucket is None:
+                    extra[v] = [row]
+                else:
+                    bucket.append(row)
+
+    def should_compact(self) -> bool:
+        """True once the mutations absorbed *since this build* outweigh
+        the CSR arrays' usefulness — the owning index then rebuilds the
+        view (periodic compaction keeps patch cost amortised O(1) per
+        delta, and the rebuild resets the churn counters)."""
+        churn = self.removed_count + self.appended_count
+        return churn > 64 and 2 * churn > self.live_count
+
 
 def components_csr(kernel: ConflictKernel) -> List[List[int]]:
     """Connected components over the CSR arrays, canonically ordered.
@@ -360,10 +539,27 @@ def components_csr(kernel: ConflictKernel) -> List[List[int]]:
     by their earliest row, members ascending — row index is table
     position, so ascending ints *is* table order.  Only rows with at
     least one edge appear.
+
+    Accepts **unpatched** views only, and raises otherwise — the
+    construction-time ``conflicting_rows`` roots and the
+    tombstone-check-free slice loop are stale the moment a mutation
+    lands.  This is the "raise" arm of the stale-view contract: the
+    other direct readers (:func:`bye_cover_csr`, :func:`greedy_cover_csr`,
+    :func:`mis_maximalize_csr`) patch transparently because the arrays
+    win there; for the component sweep the owning index's C-level
+    set-difference traversal over the live adjacency is the faster
+    patched path, so a patched view has no array sweep to offer.
     """
+    if kernel.patched:
+        raise RuntimeError(
+            "components_csr reads a patched kernel view: its "
+            "construction-time roots are stale — use "
+            "ConflictIndex.components(), whose live sweep takes over "
+            "after mutations"
+        )
     indptr = kernel.indptr
     indices = kernel.indices
-    seen = bytearray(len(kernel.degree))
+    seen = bytearray(len(kernel.alive))
     out: List[List[int]] = []
     for root in kernel.conflicting_rows:
         if seen[root]:
@@ -391,13 +587,19 @@ def bye_cover_csr(kernel: ConflictKernel) -> Set[int]:
 
     Identical arithmetic to
     :func:`repro.graphs.vertex_cover.bar_yehuda_even` reading
-    ``ConflictIndex.edges()``: the flat arrays hold the edges in the
-    same canonical order, so every local-ratio payment happens in the
-    same sequence on the same floats.
+    ``ConflictIndex.edges()``: the flat arrays (merged with the overflow
+    adjacency on a patched view) hold the live edges in the same
+    canonical order, so every local-ratio payment happens in the same
+    sequence on the same floats.
     """
     residual = list(kernel.weights)
     cover: Set[int] = set()
-    for u, v in zip(kernel.edges_u, kernel.edges_v):
+    edges = (
+        zip(kernel.edges_u, kernel.edges_v)
+        if not kernel.patched
+        else kernel.iter_live_edges()
+    )
+    for u, v in edges:
         if u in cover or v in cover:
             continue
         ru = residual[u]
@@ -431,7 +633,10 @@ def bye_cover_masks(weights: Sequence[float], masks: Sequence[int]) -> int:
     """Bar-Yehuda–Even on neighbour bitmasks; returns the cover mask.
 
     Edges are visited in ascending ``(u, v)`` order — the same canonical
-    sequence as the reference — so the result set is identical.
+    sequence as the reference — so the result set is identical.  Forward
+    neighbours come off the mask by lowest-set-bit extraction (one int op
+    per *edge*, not per bit position), which is what keeps the loop fast
+    on multi-word masks of components past 64 vertices.
     """
     residual = list(weights)
     cover = 0
@@ -440,22 +645,23 @@ def bye_cover_masks(weights: Sequence[float], masks: Sequence[int]) -> int:
             # A covered u can't change any residual; skipping its edges
             # mirrors the reference's per-edge membership test.
             continue
-        forward = masks[u] >> (u + 1)
-        v = u + 1
+        forward = (masks[u] >> (u + 1)) << (u + 1)
         while forward:
-            if forward & 1 and not (cover >> v) & 1:
-                ru = residual[u]
-                rv = residual[v]
-                pay = ru if ru < rv else rv
-                residual[u] = ru - pay
-                residual[v] = rv - pay
-                if residual[v] <= 0:
-                    cover |= 1 << v
-                if residual[u] <= 0:
-                    cover |= 1 << u
-                    break  # u covered: its remaining edges are skipped
-            forward >>= 1
-            v += 1
+            low = forward & -forward
+            forward ^= low
+            v = low.bit_length() - 1
+            if (cover >> v) & 1:
+                continue
+            ru = residual[u]
+            rv = residual[v]
+            pay = ru if ru < rv else rv
+            residual[u] = ru - pay
+            residual[v] = rv - pay
+            if residual[v] <= 0:
+                cover |= low
+            if residual[u] <= 0:
+                cover |= 1 << u
+                break  # u covered: its remaining edges are skipped
     return cover
 
 
@@ -491,23 +697,22 @@ def _matching_lower_bound_masks(
     return bound
 
 
-def bitmask_vertex_cover(
-    weights: Sequence[float],
-    masks: Sequence[int],
-    labels: Sequence[str],
-) -> int:
-    """Exact minimum-weight vertex cover as a single-word bitmask search.
+class BitsetVC:
+    """Exact minimum-weight vertex cover as a multi-word bitset search.
 
     A faithful mirror of
     :func:`repro.graphs.vertex_cover.exact_min_weight_vertex_cover` on a
-    component of ``n ≤ 64`` vertices: vertex *i* of the (table-ordered)
-    component maps to bit *i*; ``masks[i]`` is its neighbour set;
-    ``labels[i] = str(id_i)`` reproduces the reference's branch-vertex
-    tie-break.  The mirror preserves the simplification order (isolated
-    vertices, then the weighted pendant rule with restart), the
-    matching-lower-bound prune, the branch order ("take v" before "take
-    N(v)") and every floating-point summation order — so the returned
-    cover mask decodes to the *identical* vertex set.
+    component of at most :data:`MAX_BITMASK_VERTICES` vertices: vertex
+    *i* of the (table-ordered) component maps to bit *i*; ``masks[i]``
+    is its neighbour set; ``labels[i] = str(id_i)`` reproduces the
+    reference's branch-vertex tie-break.  The mirror preserves the
+    simplification order (isolated vertices, then the weighted pendant
+    rule with restart), the matching-lower-bound prune, the branch order
+    ("take v" before "take N(v)") and every floating-point summation
+    order — so the returned cover mask decodes to the *identical* vertex
+    set.  Masks past 64 bits are multi-digit Python ints, i.e. C-level
+    word arrays — the search is representation-identical either side of
+    the machine-word boundary.
 
     On top of the mirror, a subset-memo on the remaining-vertices mask
     prunes re-entered states: a state revisited at an entry cost no
@@ -515,119 +720,351 @@ def bitmask_vertex_cover(
     costs only shift completions upward, and incumbent updates are
     strict), so the memo prune is result-invisible — it removes work,
     never answers.
+
+    :meth:`solve` accepts a wall-clock ``budget_s``; on expiry the
+    search raises :class:`~repro.graphs.vertex_cover.ExactBudgetExceeded`
+    (checked every :data:`_BUDGET_CHECK_INTERVAL` search nodes), the
+    portfolio's escape hatch for pathological dense components.
     """
-    n = len(weights)
-    if n > MAX_BITMASK_VERTICES:
-        raise ValueError(
-            f"bitmask vertex cover limited to {MAX_BITMASK_VERTICES} "
-            f"vertices, got {n}"
-        )
-    full = (1 << n) - 1
 
-    best_cover = bye_cover_masks(weights, masks)
-    best_cost = 0.0
-    for v in _bits_ascending(best_cover):
-        best_cost += weights[v]
+    __slots__ = ("weights", "masks", "labels")
 
-    memo: Dict[int, float] = {}
+    def __init__(
+        self,
+        weights: Sequence[float],
+        masks: Sequence[int],
+        labels: Sequence[str],
+    ) -> None:
+        n = len(weights)
+        if n > MAX_BITMASK_VERTICES:
+            raise ValueError(
+                f"bitset vertex cover limited to {MAX_BITMASK_VERTICES} "
+                f"vertices, got {n}"
+            )
+        self.weights = weights
+        self.masks = masks
+        self.labels = labels
 
-    def solve(remaining: int, chosen: int, cost: float) -> None:
-        nonlocal best_cover, best_cost
-        # Simplifications, exactly as the reference: scan a snapshot of
-        # the vertices in position order; drop isolated vertices in
-        # place, and on a (weighted) pendant take restart the scan.
-        # (Bit loops iterate a snapshot int ascending — the mirror of
-        # iterating list(g.nodes()) while mutating g.)
-        while True:
-            changed = False
+    def solve(self, budget_s: Optional[float] = None) -> int:
+        weights = self.weights
+        masks = self.masks
+        labels = self.labels
+        n = len(weights)
+        full = (1 << n) - 1
+        deadline = None if budget_s is None else time.monotonic() + budget_s
+        ticks = _BUDGET_CHECK_INTERVAL
+
+        best_cover = bye_cover_masks(weights, masks)
+        best_cost = 0.0
+        for v in _bits_ascending(best_cover):
+            best_cost += weights[v]
+
+        memo: Dict[int, float] = {}
+
+        def solve(remaining: int, chosen: int, cost: float) -> None:
+            nonlocal best_cover, best_cost, ticks
+            if deadline is not None:
+                ticks -= 1
+                if ticks <= 0:
+                    ticks = _BUDGET_CHECK_INTERVAL
+                    if time.monotonic() > deadline:
+                        raise ExactBudgetExceeded(
+                            f"bitset vertex cover exceeded its "
+                            f"{budget_s:g}s budget"
+                        )
+            # Simplifications, exactly as the reference: scan a snapshot
+            # of the vertices in position order; drop isolated vertices
+            # in place, and on a (weighted) pendant take restart the
+            # scan.  (Bit loops iterate a snapshot int ascending — the
+            # mirror of iterating list(g.nodes()) while mutating g.)
+            while True:
+                changed = False
+                snapshot = remaining
+                while snapshot:
+                    low = snapshot & -snapshot
+                    snapshot ^= low
+                    v = low.bit_length() - 1
+                    nbrs = masks[v] & remaining
+                    if not nbrs:
+                        remaining ^= low
+                        changed = True
+                    elif not (nbrs & (nbrs - 1)):  # exactly one neighbour
+                        u = nbrs.bit_length() - 1
+                        if weights[u] <= weights[v]:
+                            chosen |= nbrs
+                            cost += weights[u]
+                            remaining ^= nbrs
+                            changed = True
+                            break
+                if not changed:
+                    break
+            if cost >= best_cost:
+                return
+            # Any edge left?
+            has_edge = False
+            snapshot = remaining
+            while snapshot:
+                low = snapshot & -snapshot
+                snapshot ^= low
+                if masks[low.bit_length() - 1] & remaining:
+                    has_edge = True
+                    break
+            if not has_edge:
+                if cost < best_cost:
+                    best_cover = chosen
+                    best_cost = cost
+                return
+            if cost + _matching_lower_bound_masks(remaining, weights, masks) >= best_cost:
+                return
+            previous = memo.get(remaining)
+            if previous is not None and cost >= previous:
+                return
+            memo[remaining] = cost if previous is None or cost < previous else previous
+            # Branch vertex: maximum (induced degree, label), first wins —
+            # the reference's max() over nodes in insertion order.
+            branch_v = -1
+            best_degree = -1
+            best_label = ""
             snapshot = remaining
             while snapshot:
                 low = snapshot & -snapshot
                 snapshot ^= low
                 v = low.bit_length() - 1
-                nbrs = masks[v] & remaining
-                if not nbrs:
-                    remaining ^= low
-                    changed = True
-                elif not (nbrs & (nbrs - 1)):  # exactly one neighbour
-                    u = nbrs.bit_length() - 1
-                    if weights[u] <= weights[v]:
-                        chosen |= nbrs
-                        cost += weights[u]
-                        remaining ^= nbrs
-                        changed = True
-                        break
-            if not changed:
-                break
-        if cost >= best_cost:
-            return
-        # Any edge left?
-        has_edge = False
-        snapshot = remaining
-        while snapshot:
-            low = snapshot & -snapshot
-            snapshot ^= low
-            if masks[low.bit_length() - 1] & remaining:
-                has_edge = True
-                break
-        if not has_edge:
-            if cost < best_cost:
-                best_cover = chosen
-                best_cost = cost
-            return
-        if cost + _matching_lower_bound_masks(remaining, weights, masks) >= best_cost:
-            return
-        previous = memo.get(remaining)
-        if previous is not None and cost >= previous:
-            return
-        memo[remaining] = cost if previous is None or cost < previous else previous
-        # Branch vertex: maximum (induced degree, label), first wins —
-        # the reference's max() over nodes in insertion order.
-        branch_v = -1
-        best_degree = -1
-        best_label = ""
-        snapshot = remaining
-        while snapshot:
-            low = snapshot & -snapshot
-            snapshot ^= low
-            v = low.bit_length() - 1
-            degree = (masks[v] & remaining).bit_count()
-            if degree > best_degree or (
-                degree == best_degree and labels[v] > best_label
-            ):
-                best_degree = degree
-                best_label = labels[v]
-                branch_v = v
-        v_bit = 1 << branch_v
-        nbrs = masks[branch_v] & remaining
-        # Branch 1: v in the cover.
-        solve(remaining & ~v_bit, chosen | v_bit, cost + weights[branch_v])
-        # Branch 2: v out → all neighbours in (weights summed ascending,
-        # matching the reference's node-ordered accumulation).
-        add_cost = 0.0
-        snapshot = nbrs
-        while snapshot:
-            low = snapshot & -snapshot
-            snapshot ^= low
-            add_cost += weights[low.bit_length() - 1]
-        solve(remaining & ~(nbrs | v_bit), chosen | nbrs, cost + add_cost)
+                degree = (masks[v] & remaining).bit_count()
+                if degree > best_degree or (
+                    degree == best_degree and labels[v] > best_label
+                ):
+                    best_degree = degree
+                    best_label = labels[v]
+                    branch_v = v
+            v_bit = 1 << branch_v
+            nbrs = masks[branch_v] & remaining
+            # Branch 1: v in the cover.
+            solve(remaining & ~v_bit, chosen | v_bit, cost + weights[branch_v])
+            # Branch 2: v out → all neighbours in (weights summed ascending,
+            # matching the reference's node-ordered accumulation).
+            add_cost = 0.0
+            snapshot = nbrs
+            while snapshot:
+                low = snapshot & -snapshot
+                snapshot ^= low
+                add_cost += weights[low.bit_length() - 1]
+            solve(remaining & ~(nbrs | v_bit), chosen | nbrs, cost + add_cost)
 
-    solve(full, 0, 0.0)
-    return best_cover
+        # Recursion depth is bounded by the component size (each branch
+        # strictly shrinks ``remaining``); past 64 vertices that can
+        # brush CPython's default 1000-frame limit under a deep caller
+        # stack, so give the search headroom for its duration — and
+        # restore the caller's limit on the way out, success or raise:
+        # a library call must not leave a process-global widened.
+        if n > MAX_BITMASK_VERTICES // 4:
+            import sys
+
+            previous_limit = sys.getrecursionlimit()
+            sys.setrecursionlimit(max(previous_limit, 4096))
+            try:
+                solve(full, 0, 0.0)
+            finally:
+                sys.setrecursionlimit(previous_limit)
+        else:
+            solve(full, 0, 0.0)
+        return best_cover
 
 
-def exact_cover_ids(index) -> List[TupleId]:
+def bitmask_vertex_cover(
+    weights: Sequence[float],
+    masks: Sequence[int],
+    labels: Sequence[str],
+    budget_s: Optional[float] = None,
+) -> int:
+    """Functional entry point for :class:`BitsetVC` (see there)."""
+    return BitsetVC(weights, masks, labels).solve(budget_s=budget_s)
+
+
+def exact_cover_ids(index, budget_s: Optional[float] = None) -> List[TupleId]:
     """Exact minimum-weight vertex cover of a live :class:`ConflictIndex`
-    with at most :data:`MAX_BITMASK_VERTICES` tuples, via the bitmask
+    with at most :data:`MAX_BITMASK_VERTICES` tuples, via the bitset
     branch & bound.  Returns the covered tuple ids (table order).
 
     Reads the index's (cached) mask view — built straight from the live
     adjacency, no ``Graph`` materialisation, no per-branch graph copies.
     Live order is always ascending table position (removals preserve
     order, inserts append), so bit order matches the node order the
-    reference solver sees.
+    reference solver sees.  *budget_s* propagates to
+    :meth:`BitsetVC.solve`.
     """
     members, weights, masks = index._mask_view()
     labels = [str(tid) for tid in members]
-    cover = bitmask_vertex_cover(weights, masks, labels)
+    cover = BitsetVC(weights, masks, labels).solve(budget_s=budget_s)
     return [members[i] for i in _bits_ascending(cover)]
+
+
+# ---------------------------------------------------------------------------
+# Array-native approximation loops (greedy deletion, MIS maximalisation)
+# ---------------------------------------------------------------------------
+
+def greedy_cover_csr(kern: ConflictKernel) -> Set[int]:
+    """The greedy weight/degree deletion loop over the kernel arrays.
+
+    Mirrors :func:`repro.core.approx.greedy_s_repair`'s lazy-heap loop
+    decision for decision — same ``(weight/degree, str(id), live rank)``
+    keys, same stale-entry re-push rule — on a flat degree array and
+    ``alive`` byte-flags instead of a mutable :class:`ConflictIndex`
+    copy.  Works on pristine and patched views alike (live degrees are
+    maintained by the patch hooks).  Returns the *removed* rows.
+    """
+    ids = kern.codec.ids
+    weights = kern.codec.weights
+    alive = bytearray(kern.alive)
+    degree = list(kern.degree)
+    edges = kern.live_edges
+    # The reference's tie-break triple is (weight/degree, str(id), live
+    # rank); the row index is strictly monotone in live rank, so using
+    # it as the third key yields the identical relative order — and an
+    # unpatched view can seed the heap from its conflicting-rows list
+    # alone (dead rows always carry degree 0, so the degree test is the
+    # only liveness check the patched scan needs).
+    rows = (
+        kern.conflicting_rows if not kern.patched else range(len(degree))
+    )
+    heap: List[Tuple[float, str, int]] = [
+        (weights[r] / d, str(ids[r]), r)
+        for r in rows
+        if (d := degree[r]) > 0
+    ]
+    heapq.heapify(heap)
+    removed: Set[int] = set()
+    # Adjacency inlined (CSR slice + overflow list) rather than routed
+    # through the row_neighbors generator: the deletion loop touches
+    # every edge a few times and generator resumption would dominate it.
+    indptr = kern.indptr
+    indices = kern.indices
+    csr_rows = kern.csr_rows
+    extra = kern.extra_adj
+    while edges > 0:
+        key, label, r = heapq.heappop(heap)
+        if not alive[r]:
+            continue
+        d = degree[r]
+        if d == 0:
+            continue  # conflict-free now; degrees never rise again
+        current = weights[r] / d
+        if current > key:
+            heapq.heappush(heap, (current, label, r))
+            continue
+        alive[r] = 0
+        removed.add(r)
+        if r < csr_rows:
+            for v in indices[indptr[r]:indptr[r + 1]]:
+                if alive[v]:
+                    degree[v] -= 1
+        overflow = extra.get(r)
+        if overflow is not None:
+            for v in overflow:
+                if alive[v]:
+                    degree[v] -= 1
+        degree[r] = 0
+        edges -= d
+    return removed
+
+
+def greedy_cover_masks(
+    weights: Sequence[float], masks: Sequence[int], labels: Sequence[str]
+) -> int:
+    """Mask-view twin of :func:`greedy_cover_csr` for small live indexes
+    (per-component solves).  Bit *i* is live tuple *i*; returns the
+    removed-vertices mask."""
+    n = len(weights)
+    alive = (1 << n) - 1
+    degree = [masks[i].bit_count() for i in range(n)]
+    edges = sum(degree) // 2
+    heap: List[Tuple[float, str, int, int]] = [
+        (weights[i] / d, labels[i], i, i)
+        for i in range(n)
+        if (d := degree[i])
+    ]
+    heapq.heapify(heap)
+    removed = 0
+    while edges > 0:
+        key, label, rank, r = heapq.heappop(heap)
+        bit = 1 << r
+        if not alive & bit:
+            continue
+        d = degree[r]
+        if d == 0:
+            continue
+        current = weights[r] / d
+        if current > key:
+            heapq.heappush(heap, (current, label, rank, r))
+            continue
+        alive ^= bit
+        removed |= bit
+        nbrs = masks[r] & alive
+        while nbrs:
+            low = nbrs & -nbrs
+            nbrs ^= low
+            degree[low.bit_length() - 1] -= 1
+        degree[r] = 0
+        edges -= d
+    return removed
+
+
+def mis_maximalize_csr(
+    kern: ConflictKernel, independent: Set[TupleId]
+) -> Set[TupleId]:
+    """Grow an independent tuple set to a maximal one over the kernel view.
+
+    Mirrors :func:`repro.graphs.vertex_cover.maximalize_independent_set`:
+    candidates are the live tuples outside the set, in live (= row)
+    order, stably sorted by ``(-weight, str(id))``; each joins unless a
+    live neighbour is already in.  Takes and returns tuple-id sets so
+    the (typically large) independent side is one C-level set copy —
+    only the (typically few) candidates pay per-row work.
+    """
+    ids = kern.codec.ids
+    weights = kern.codec.weights
+    alive = kern.alive
+    result = set(independent)
+    candidates = [
+        r for r, tid in enumerate(ids) if alive[r] and tid not in result
+    ]
+    candidates.sort(key=lambda r: (-weights[r], str(ids[r])))
+    indptr = kern.indptr
+    indices = kern.indices
+    csr_rows = kern.csr_rows
+    extra = kern.extra_adj
+    for r in candidates:
+        blocked = False
+        if r < csr_rows:
+            for v in indices[indptr[r]:indptr[r + 1]]:
+                if alive[v] and ids[v] in result:
+                    blocked = True
+                    break
+        if not blocked:
+            overflow = extra.get(r)
+            if overflow is not None:
+                for v in overflow:
+                    if alive[v] and ids[v] in result:
+                        blocked = True
+                        break
+        if not blocked:
+            result.add(ids[r])
+    return result
+
+
+def mis_maximalize_masks(
+    weights: Sequence[float],
+    masks: Sequence[int],
+    labels: Sequence[str],
+    independent: int,
+) -> int:
+    """Mask-view twin of :func:`mis_maximalize_csr`; *independent* and
+    the result are vertex masks over the live order."""
+    n = len(weights)
+    result = independent
+    candidates = [i for i in range(n) if not (independent >> i) & 1]
+    candidates.sort(key=lambda i: (-weights[i], labels[i]))
+    for i in candidates:
+        if not masks[i] & result:
+            result |= 1 << i
+    return result

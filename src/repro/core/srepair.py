@@ -188,6 +188,7 @@ def optimal_s_repair(
     index=None,
     decomposed: Optional[bool] = None,
     parallel: Optional[int] = None,
+    exact_budget_s: Optional[float] = None,
 ) -> SRepairResult:
     """High-level optimal S-repair with an automatic method choice.
 
@@ -208,7 +209,14 @@ def optimal_s_repair(
     ``parallel`` worker processes.  Requesting ``parallel`` implies
     decomposition.  The repair distance is identical either way.
 
-    The result is always a true optimal S-repair (``ratio_bound == 1``).
+    The result is always a true optimal S-repair (``ratio_bound == 1``)
+    — unless *exact_budget_s* is set and an exact vertex-cover solve
+    outruns it: the decomposed path then re-solves that component with
+    the 2-approximation (reported in the method mix), while the global
+    exact path lets
+    :class:`~repro.graphs.vertex_cover.ExactBudgetExceeded` propagate
+    (there is no per-component fallback to offer).  The dichotomy path
+    is polynomial and ignores the budget.
     """
     from .dichotomy import osr_succeeds  # local import to avoid a cycle
     from .exact import exact_s_repair
@@ -224,16 +232,19 @@ def optimal_s_repair(
             # The "optimal" portfolio: dichotomy where Δ permits, exact
             # vertex cover otherwise — optimal at every component size.
             return decomposed_s_repair(
-                table, fds, guarantee="optimal", parallel=parallel, index=index
+                table, fds, guarantee="optimal", parallel=parallel,
+                index=index, budget_s=exact_budget_s,
             )
         return decomposed_s_repair(
-            table, fds, method=method, parallel=parallel, index=index
+            table, fds, method=method, parallel=parallel, index=index,
+            budget_s=exact_budget_s,
         )
     if method == "dichotomy" or (method == "auto" and osr_succeeds(fds)):
         repair = opt_s_repair(fds, table)
         used = "OptSRepair"
     else:
-        repair = exact_s_repair(table, fds, index=index)
+        repair = exact_s_repair(table, fds, index=index,
+                                exact_budget_s=exact_budget_s)
         used = "exact-vertex-cover"
     return SRepairResult(
         repair=repair,

@@ -106,7 +106,7 @@ def map_components(worker, tasks: Sequence, parallel: Optional[int] = None) -> L
 # ---------------------------------------------------------------------------
 
 def _session_worker_main(inq, outq, schema, fds, node_limit,
-                         use_kernel=True) -> None:
+                         use_kernel=True, budget_s=None) -> None:
     """Worker loop of a :class:`PersistentWorkerPool`.
 
     Each worker mirrors the session's table as plain ``rows``/``weights``
@@ -147,11 +147,13 @@ def _session_worker_main(inq, outq, schema, fds, node_limit,
                     {tid: rows[tid] for tid in ids},
                     {tid: weights[tid] for tid in ids},
                 )
-                kept = _solve_s_kept(subtable, fds, method, node_limit)
+                kept, effective = _solve_s_kept(
+                    subtable, fds, method, node_limit, budget_s=budget_s
+                )
             except BaseException as exc:  # ship the failure, don't die
-                outq.put((seq, None, repr(exc)))
+                outq.put((seq, None, None, repr(exc)))
             else:
-                outq.put((seq, tuple(kept), None))
+                outq.put((seq, tuple(kept), effective, None))
 
 
 class PersistentWorkerPool:
@@ -174,11 +176,13 @@ class PersistentWorkerPool:
     """
 
     def __init__(self, workers: int, schema, fds: FDSet, node_limit: int = 2000,
-                 use_kernel: Optional[bool] = None):
+                 use_kernel: Optional[bool] = None,
+                 budget_s: Optional[float] = None):
         self._worker_count = max(1, int(workers))
         self._schema = tuple(schema)
         self._fds = fds
         self._node_limit = node_limit
+        self._budget_s = budget_s
         self._use_kernel = _kernel.enabled() if use_kernel is None else bool(use_kernel)
         self._procs: List = []
         self._inqs: List = []
@@ -205,7 +209,7 @@ class PersistentWorkerPool:
                 proc = ctx.Process(
                     target=_session_worker_main,
                     args=(inq, self._outq, self._schema, self._fds,
-                          self._node_limit, self._use_kernel),
+                          self._node_limit, self._use_kernel, self._budget_s),
                     daemon=True,
                 )
                 proc.start()
@@ -231,8 +235,9 @@ class PersistentWorkerPool:
         return True
 
     def solve(self, tasks: Sequence[Tuple[Tuple[TupleId, ...], str]],
-              timeout: float = 120.0) -> List[Tuple[TupleId, ...]]:
-        """Solve ``(component ids, method)`` tasks on the warm workers.
+              timeout: float = 120.0) -> List[Tuple[Tuple[TupleId, ...], str]]:
+        """Solve ``(component ids, method)`` tasks on the warm workers;
+        returns ``(kept ids, effective method)`` per task.
 
         Round-robin dispatch; results are reassembled in task order.
         Raises ``RuntimeError`` (and marks the pool broken) on any
@@ -247,10 +252,10 @@ class PersistentWorkerPool:
                     ("solve", seq, tuple(ids), method)
                 )
             for _ in range(len(tasks)):
-                seq, kept, error = self._outq.get(timeout=timeout)
+                seq, kept, effective, error = self._outq.get(timeout=timeout)
                 if error is not None:
                     raise RuntimeError(f"worker solve failed: {error}")
-                results[seq] = kept
+                results[seq] = (kept, effective)
         except Exception as exc:
             self._broken = True
             if isinstance(exc, RuntimeError):
@@ -305,32 +310,48 @@ def _solve_s_kept(
     method: str,
     node_limit: int = 2000,
     index=None,
-) -> Tuple[TupleId, ...]:
+    budget_s: Optional[float] = None,
+) -> Tuple[Tuple[TupleId, ...], str]:
     """Solve one component with the given portfolio method; return the
-    kept identifiers in table order."""
+    kept identifiers in table order plus the method that actually ran.
+
+    The effective method differs from the requested one in exactly one
+    case: an ``"exact"`` solve that outran *budget_s* falls back to the
+    Bar-Yehuda–Even construction and reports ``"approx"`` — so the
+    caller's ratio bound, bracket, and portfolio label stay honest about
+    what was computed.
+    """
     if method == "dichotomy":
         from .core.srepair import opt_s_repair
 
-        return opt_s_repair(fds, table).ids()
+        return opt_s_repair(fds, table).ids(), method
     if method == "exact":
-        from .core.exact import exact_s_repair
+        from .core.exact import ExactBudgetExceeded, exact_s_repair
 
-        return exact_s_repair(table, fds, node_limit=node_limit, index=index).ids()
+        try:
+            kept = exact_s_repair(
+                table, fds, node_limit=node_limit, index=index,
+                exact_budget_s=budget_s,
+            ).ids()
+        except ExactBudgetExceeded:
+            method = "approx"  # the escape hatch: fall through below
+        else:
+            return kept, "exact"
     if method == "approx":
         from .core.approx import approx_s_repair
 
-        return approx_s_repair(table, fds, index=index).repair.ids()
+        return approx_s_repair(table, fds, index=index).repair.ids(), "approx"
     if method == "greedy":
         from .core.approx import greedy_s_repair
 
-        return greedy_s_repair(table, fds, index=index).repair.ids()
+        return greedy_s_repair(table, fds, index=index).repair.ids(), "greedy"
     raise ValueError(f"unknown portfolio method {method!r}")
 
 
-def _s_worker(task) -> Tuple[TupleId, ...]:
-    table, fds, method, node_limit, use_kernel = task
+def _s_worker(task) -> Tuple[Tuple[TupleId, ...], str]:
+    table, fds, method, node_limit, use_kernel, budget_s = task
     _kernel.set_enabled(use_kernel)
-    return _solve_s_kept(table, fds, method, node_limit)
+    return _solve_s_kept(table, fds, method, node_limit, budget_s=budget_s)
 
 
 def coded_component_table(
@@ -358,11 +379,12 @@ def coded_component_table(
     )
 
 
-def _s_worker_coded(task) -> Tuple[TupleId, ...]:
-    schema, ids, columns, weights, fds, method, node_limit, use_kernel = task
+def _s_worker_coded(task) -> Tuple[Tuple[TupleId, ...], str]:
+    schema, ids, columns, weights, fds, method, node_limit, use_kernel, \
+        budget_s = task
     _kernel.set_enabled(use_kernel)
     table = coded_component_table(schema, ids, columns, weights)
-    return _solve_s_kept(table, fds, method, node_limit)
+    return _solve_s_kept(table, fds, method, node_limit, budget_s=budget_s)
 
 
 def solve_components(
@@ -370,9 +392,12 @@ def solve_components(
     methods: Sequence[str],
     parallel: Optional[int] = None,
     node_limit: int = 2000,
-) -> List[Tuple[TupleId, ...]]:
+    budget_s: Optional[float] = None,
+) -> Tuple[List[Tuple[TupleId, ...]], List[str]]:
     """Solve each component with its assigned portfolio method; returns
-    the kept identifiers per component, in component order.
+    the kept identifiers per component plus the *effective* methods, both
+    in component order (effective ≠ planned exactly when an ``"exact"``
+    solve outran *budget_s* and fell back to ``"approx"``).
 
     The scheduling seam shared by :func:`decomposed_s_repair` and
     :func:`repro.pipeline.clean` (which derives its dirtiness report from
@@ -385,28 +410,35 @@ def solve_components(
     """
     workers = resolve_workers(parallel, len(methods))
     if workers > 1:
-        # The global kernel flag travels inside each task: workers under
-        # spawn/forkserver re-import this module and would otherwise run
-        # the kernel paths even under --no-kernel.
+        # The global kernel flag travels inside each task, as does the
+        # exact budget: workers under spawn/forkserver re-import this
+        # module and would otherwise run the kernel paths even under
+        # --no-kernel (and solve without the requested escape hatch).
         use_kernel = _kernel.enabled()
         codec = getattr(decomp.index, "_codec", None)
         if codec is not None:
             schema = decomp.table.schema
             tasks = [
                 (schema, *c.code_payload(codec), decomp.fds, m, node_limit,
-                 use_kernel)
+                 use_kernel, budget_s)
                 for c, m in zip(decomp.components, methods)
             ]
-            return map_components(_s_worker_coded, tasks, parallel)
-        tasks = [
-            (c.table, decomp.fds, m, node_limit, use_kernel)
+            outcomes = map_components(_s_worker_coded, tasks, parallel)
+        else:
+            tasks = [
+                (c.table, decomp.fds, m, node_limit, use_kernel, budget_s)
+                for c, m in zip(decomp.components, methods)
+            ]
+            outcomes = map_components(_s_worker, tasks, parallel)
+    else:
+        outcomes = [
+            _solve_s_kept(
+                c.table, decomp.fds, m, node_limit, index=c.index,
+                budget_s=budget_s,
+            )
             for c, m in zip(decomp.components, methods)
         ]
-        return map_components(_s_worker, tasks, parallel)
-    return [
-        _solve_s_kept(c.table, decomp.fds, m, node_limit, index=c.index)
-        for c, m in zip(decomp.components, methods)
-    ]
+    return [kept for kept, _m in outcomes], [m for _kept, m in outcomes]
 
 
 def _method_mix(methods: Sequence[str]) -> Dict[str, int]:
@@ -431,6 +463,7 @@ def decomposed_s_repair(
     index=None,
     node_limit: int = 2000,
     threshold: int = EXACT_COMPONENT_THRESHOLD,
+    budget_s: Optional[float] = None,
 ):
     """S-repair via per-component solving with a portfolio of methods.
 
@@ -441,7 +474,9 @@ def decomposed_s_repair(
     ``exact_s_repair(..., decomposed=True)`` and friends — reuse this
     engine).  The result's ``ratio_bound`` is instance-specific: 1.0
     whenever every component was solved exactly, even for an FD set that
-    is APX-complete in general.
+    is APX-complete in general.  *budget_s* is the per-component exact
+    escape hatch: a component whose branch & bound outruns it is re-solved
+    approximately, and the method mix / ratio bound report the fallback.
     """
     from .core.dichotomy import osr_succeeds
 
@@ -454,7 +489,9 @@ def decomposed_s_repair(
         ]
     else:
         methods = [method] * len(decomp.components)
-    kept_lists = solve_components(decomp, methods, parallel, node_limit)
+    kept_lists, methods = solve_components(
+        decomp, methods, parallel, node_limit, budget_s
+    )
     return assemble_s_result(decomp, methods, kept_lists, parallel)
 
 

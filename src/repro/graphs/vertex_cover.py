@@ -17,16 +17,36 @@ conflict graph (Proposition 3.3):
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .graph import Graph, Node
 
 __all__ = [
+    "ExactBudgetExceeded",
     "bar_yehuda_even",
     "greedy_vertex_cover",
     "exact_min_weight_vertex_cover",
     "maximalize_independent_set",
 ]
+
+
+class ExactBudgetExceeded(Exception):
+    """An exact vertex-cover search ran past its wall-clock budget.
+
+    Raised by :func:`exact_min_weight_vertex_cover` and the bitset mirror
+    in :mod:`repro.core.kernel` when ``budget_s`` expires mid-search.
+    Callers treat it as "this component is too hard for exact solving
+    right now" and fall back to the polynomial bounds — the portfolio's
+    escape hatch for pathological dense components above the old 64-tuple
+    threshold.
+    """
+
+
+#: Search-tree entries between two deadline reads: ``time.monotonic`` is
+#: ~100× the cost of the counter decrement, so budget enforcement stays
+#: invisible on budget-free solves and ~millisecond-accurate otherwise.
+_BUDGET_CHECK_INTERVAL = 256
 
 
 def bar_yehuda_even(graph: Graph) -> Set[Node]:
@@ -86,7 +106,17 @@ def maximalize_independent_set(graph: Graph, independent: Set[Node]) -> Set[Node
     maximal; adding free vertices only shrinks the corresponding repair
     distance, and maximality is what makes the result a *repair* in the
     local-minimum sense of Section 2.3.
+
+    A kernel-backed :class:`~repro.core.conflict_index.ConflictIndex`
+    answers from its flat-array fast path (same candidate order, same
+    blocking test, hence the identical maximal set); everything else runs
+    the dict reference loop below.
     """
+    kernel_mis = getattr(graph, "kernel_maximalize", None)
+    if kernel_mis is not None:
+        result = kernel_mis(independent)
+        if result is not None:
+            return result
     result = set(independent)
     candidates = sorted(
         (v for v in graph.nodes() if v not in result),
@@ -112,13 +142,17 @@ def _matching_lower_bound(g: Graph) -> float:
 
 
 def exact_min_weight_vertex_cover(
-    graph: Graph, node_limit: int = 2000
+    graph: Graph, node_limit: int = 2000, budget_s: Optional[float] = None
 ) -> Set[Node]:
     """Exact minimum-weight vertex cover via branch & bound.
 
     Suitable for the instance sizes used in tests and benchmarks (up to a
     few hundred nodes on sparse conflict graphs).  Raises ``ValueError``
     beyond *node_limit* nodes as a guard against accidental huge inputs.
+    With *budget_s* set, :class:`ExactBudgetExceeded` is raised once the
+    search has run that many wall-clock seconds — the same escape hatch
+    the bitset mirror honours, so ``--no-kernel`` runs respect budgets
+    identically.
     """
     if len(graph) > node_limit:
         raise ValueError(
@@ -132,9 +166,19 @@ def exact_min_weight_vertex_cover(
     # kernel (repro.core.kernel), whose identical-cover property the
     # test suite pins.
     best_cost = graph.total_weight([v for v in graph.nodes() if v in best_cover])
+    deadline = None if budget_s is None else time.monotonic() + budget_s
+    ticks = _BUDGET_CHECK_INTERVAL
 
     def branch(g: Graph, chosen: Set[Node], cost: float) -> None:
-        nonlocal best_cover, best_cost
+        nonlocal best_cover, best_cost, ticks
+        if deadline is not None:
+            ticks -= 1
+            if ticks <= 0:
+                ticks = _BUDGET_CHECK_INTERVAL
+                if time.monotonic() > deadline:
+                    raise ExactBudgetExceeded(
+                        f"exact vertex cover exceeded its {budget_s:g}s budget"
+                    )
         # Simplifications: drop isolated vertices; resolve pendant edges.
         g = g.copy()
         changed = True

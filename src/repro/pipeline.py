@@ -27,6 +27,7 @@ from typing import Mapping, Optional
 
 from .core.approx import approx_s_repair
 from .core.conflict_index import ConflictIndex
+from .graphs.vertex_cover import ExactBudgetExceeded
 from .core.decompose import EXACT_COMPONENT_THRESHOLD, decompose
 from .core.dichotomy import DichotomyResult, classify
 from .core.fd import FDSet
@@ -155,6 +156,7 @@ def assess(
     index: Optional[ConflictIndex] = None,
     decomposed: bool = True,
     exact_threshold: Optional[int] = None,
+    exact_budget_s: Optional[float] = None,
 ) -> DirtinessReport:
     """Detect conflicts and bracket the optimal repair cost (no repair).
 
@@ -170,10 +172,13 @@ def assess(
     strictly tighter whenever any component is bracketed exactly.  With
     ``decomposed=False`` the historical single global bracket is
     computed, which is also the fallback guaranteeing polynomial time on
-    adversarial components.  All readings are served by the table's
-    cached :class:`ConflictIndex` — or the prebuilt one passed in — so
-    assessment costs one bucketing pass, shared with any subsequent
-    repair call on the same table.
+    adversarial components.  *exact_budget_s* is the escape hatch for
+    pathological dense components: an exact bracket whose branch & bound
+    outruns the wall-clock budget keeps its polynomial [matching, BYE]
+    bounds instead (and does not count as exact).  All readings are
+    served by the table's cached :class:`ConflictIndex` — or the
+    prebuilt one passed in — so assessment costs one bucketing pass,
+    shared with any subsequent repair call on the same table.
     """
     if index is None:
         index = table.conflict_index(fds)
@@ -189,7 +194,7 @@ def assess(
     largest = 0
     exact_components = 0
     if decomposed and index.num_edges:
-        from .core.exact import exact_cover_of_index
+        from .core.exact import ExactBudgetExceeded, exact_cover_of_index
 
         decomp = decompose(table, fds, index)
         component_count = decomp.component_count
@@ -203,11 +208,16 @@ def assess(
             if c_lower == c_upper:
                 exact_components += 1
             elif component.size <= threshold:
-                cover = exact_cover_of_index(
-                    component.index, node_limit=threshold
-                )
-                c_lower = c_upper = component.table.total_weight(cover)
-                exact_components += 1
+                try:
+                    cover = exact_cover_of_index(
+                        component.index, node_limit=threshold,
+                        budget_s=exact_budget_s,
+                    )
+                except ExactBudgetExceeded:
+                    pass  # budget hit: the polynomial bracket stands
+                else:
+                    c_lower = c_upper = component.table.total_weight(cover)
+                    exact_components += 1
             lower += c_lower
             upper += c_upper
     else:
@@ -309,16 +319,21 @@ def _clean_deletions_decomposed(
     index: ConflictIndex,
     parallel: Optional[int],
     exact_threshold: int = EXACT_COMPONENT_THRESHOLD,
+    exact_budget_s: Optional[float] = None,
 ) -> CleaningResult:
     """The decomposed S-repair pipeline: decompose once, solve each
     component by the portfolio policy, and derive the dirtiness report
-    from the same per-component solutions."""
+    from the same per-component solutions.  The *effective* methods come
+    back from the solve — an exact component that outran *exact_budget_s*
+    re-solved approximately — so report and label describe what ran."""
     from .exec import solve_components
 
     verdict = classify(fds)
     decomp = decompose(table, fds, index)
     methods = decomp.plan_methods(verdict.tractable, guarantee, exact_threshold)
-    kept_lists = solve_components(decomp, methods, parallel)
+    kept_lists, methods = solve_components(
+        decomp, methods, parallel, budget_s=exact_budget_s
+    )
     return _decomposed_outcome(decomp, verdict, methods, kept_lists, parallel)
 
 
@@ -331,6 +346,7 @@ def clean(
     decomposed: bool = True,
     parallel: Optional[int] = None,
     exact_threshold: Optional[int] = None,
+    exact_budget_s: Optional[float] = None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -367,9 +383,26 @@ def clean(
         Component-size boundary between exact and approximate solving on
         the APX-hard side of the dichotomy (default
         :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`).  Raise
-        it to buy tighter repairs with branch & bound time, lower it to
+        it to buy tighter repairs with branch & bound time — up to
+        :data:`~repro.core.kernel.MAX_BITMASK_VERTICES`, where the
+        multi-word bitset solver still runs array-native — lower it to
         bound worst-case latency; on the global path it bounds the whole
         table size instead.
+    exact_budget_s:
+        Wall-clock escape hatch per exact *vertex-cover* solve (default:
+        unlimited).  On the deletions strategy, a component whose branch
+        & bound outruns the budget is re-solved with the Bar-Yehuda–Even
+        2-approximation — ``guarantee="optimal"`` raises instead, true
+        to "provably optimal or fail" — and the report/ratio bound
+        describe the fallback honestly.  On the updates strategy the
+        budget bounds the assessment bracket only: the U-repair solvers
+        search update space, not vertex covers, and carry their own
+        node-count budget (``exact_budget`` in
+        :mod:`repro.core.urepair`).  The knob exists so a raised
+        ``exact_threshold`` cannot stall the pipeline on a pathological
+        dense component; note that with a budget set, results may
+        legitimately differ run to run on components near the budget
+        boundary.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -391,12 +424,12 @@ def clean(
         # report comes out at least as tight as standalone assessment,
         # without solving any component twice.
         return _clean_deletions_decomposed(
-            table, fds, guarantee, index, parallel, threshold
+            table, fds, guarantee, index, parallel, threshold, exact_budget_s
         )
 
     report = assess(
         table, fds, index=index, decomposed=decomposed,
-        exact_threshold=threshold,
+        exact_threshold=threshold, exact_budget_s=exact_budget_s,
     )
 
     if strategy == "deletions":
@@ -407,7 +440,16 @@ def clean(
         ):
             result = approx_s_repair(table, fds, index=index)
         else:
-            result = optimal_s_repair(table, fds, index=index)
+            try:
+                result = optimal_s_repair(
+                    table, fds, index=index, exact_budget_s=exact_budget_s
+                )
+            except ExactBudgetExceeded:
+                if guarantee == "optimal":
+                    # "provably optimal or fail": hitting the budget IS
+                    # the failure mode the caller signed up for.
+                    raise
+                result = approx_s_repair(table, fds, index=index)
         return CleaningResult(
             cleaned=result.repair,
             report=report,

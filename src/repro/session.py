@@ -75,12 +75,17 @@ class SessionStats:
 
 @dataclass
 class _CachedSolve:
-    """One component's solved repair: the kept ids plus — for approximate
-    methods — the matching lower bound its report bracket needs (both are
-    pure functions of the component, so serving them from cache is
-    indistinguishable from recomputing)."""
+    """One component's solved repair: the kept ids, the method that
+    actually ran (differs from the planned one exactly when an exact
+    solve fell back to ``"approx"`` under the session's exact budget),
+    plus — for approximate methods — the matching lower bound its report
+    bracket needs (kept ids and bound are pure functions of the
+    component, so serving them from cache is indistinguishable from
+    recomputing; the cached method makes a budget fallback *sticky*, so
+    repeated repairs of an unchanged component stay deterministic)."""
 
     kept: Tuple[TupleId, ...]
+    method: str
     lower_bound: Optional[float] = None
 
 
@@ -100,6 +105,12 @@ class RepairSession:
     exact_threshold:
         Component-size boundary for exact solving on hard Δ (default
         :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`).
+    exact_budget_s:
+        Wall-clock escape hatch per exact component solve (default:
+        unlimited): a component whose branch & bound outruns it falls
+        back to the 2-approximation, recorded in the component cache so
+        the fallback is sticky while the component's content is
+        unchanged.  Ships to the warm workers alongside the kernel flag.
     parallel:
         Worker count for solving cache misses.  With ``> 1`` the session
         keeps a :class:`~repro.exec.PersistentWorkerPool` of warm
@@ -134,6 +145,7 @@ class RepairSession:
         *,
         guarantee: str = "best",
         exact_threshold: Optional[int] = None,
+        exact_budget_s: Optional[float] = None,
         parallel: Optional[int] = None,
         node_limit: int = 2000,
         max_cache_entries: Optional[int] = 10_000,
@@ -147,6 +159,7 @@ class RepairSession:
             EXACT_COMPONENT_THRESHOLD if exact_threshold is None
             else exact_threshold
         )
+        self._exact_budget_s = exact_budget_s
         self._parallel = parallel
         self._node_limit = node_limit
         self._max_cache_entries = max_cache_entries
@@ -431,7 +444,8 @@ class RepairSession:
 
         if self._pool is None and not self._pool_disabled:
             pool = PersistentWorkerPool(
-                self._parallel, self._schema, self._fds, self._node_limit
+                self._parallel, self._schema, self._fds, self._node_limit,
+                budget_s=self._exact_budget_s,
             )
             if pool.start() and pool.broadcast(
                 ("reset", self._mirror_rows(self._rows), dict(self._weights))
@@ -450,8 +464,12 @@ class RepairSession:
         self._pool_disabled = True
         self.stats.pool_fallbacks += 1
 
-    def _solve_misses(self, misses: List[Tuple[int, object, str]]) -> Dict[int, Tuple]:
-        """Solve the cache-missed components; returns ordinal → kept ids.
+    def _solve_misses(
+        self, misses: List[Tuple[int, object, str]]
+    ) -> Dict[int, Tuple[Tuple[TupleId, ...], str]]:
+        """Solve the cache-missed components; returns ordinal →
+        ``(kept ids, effective method)`` (effective ≠ planned exactly
+        when an exact solve fell back under the session's exact budget).
 
         On the warm pool when available (ids-only payloads), in-process
         otherwise; any pool failure falls back serially — the solvers are
@@ -459,32 +477,32 @@ class RepairSession:
         """
         from .exec import _solve_s_kept
 
-        solved: Dict[int, Tuple] = {}
+        solved: Dict[int, Tuple[Tuple[TupleId, ...], str]] = {}
         if misses and self._parallel and self._parallel > 1 and len(misses) > 1:
             pool = self._ensure_pool()
             if pool is not None:
                 try:
-                    kept_lists = pool.solve(
+                    outcomes = pool.solve(
                         [(c.ids, method) for _i, c, method in misses],
                         timeout=self._pool_timeout,
                     )
                 except RuntimeError:
                     self._drop_pool()
                 else:
-                    for (i, _c, _m), kept in zip(misses, kept_lists):
-                        solved[i] = kept
+                    for (i, _c, _m), outcome in zip(misses, outcomes):
+                        solved[i] = outcome
                     self.stats.pool_solves += len(misses)
                     return solved
         for i, component, method in misses:
-            solved[i] = tuple(
-                _solve_s_kept(
-                    component.table,
-                    self._fds,
-                    method,
-                    self._node_limit,
-                    index=component.index,
-                )
+            kept, effective = _solve_s_kept(
+                component.table,
+                self._fds,
+                method,
+                self._node_limit,
+                index=component.index,
+                budget_s=self._exact_budget_s,
             )
+            solved[i] = (tuple(kept), effective)
             self.stats.serial_solves += 1
         return solved
 
@@ -516,18 +534,20 @@ class RepairSession:
                 self._solutions[key] = self._solutions.pop(key)
                 kept_lists[i] = entry.kept
                 lower_bounds[i] = entry.lower_bound
+                methods[i] = entry.method
                 self.stats.cache_hits += 1
         solved = self._solve_misses(misses)
         for i, component, method in misses:
-            kept = solved[i]
+            kept, effective = solved[i]
             kept_lists[i] = kept
+            methods[i] = effective
             bound = (
                 component.index.matching_lower_bound()
-                if method == "approx"
+                if effective == "approx"
                 else None
             )
             lower_bounds[i] = bound
-            self._cache_store(keys[i], _CachedSolve(kept, bound))
+            self._cache_store(keys[i], _CachedSolve(kept, effective, bound))
             self.stats.cache_misses += 1
         result = _decomposed_outcome(
             decomp, self._verdict, methods, kept_lists, self._parallel,

@@ -115,6 +115,62 @@ def test_session_matches_clean_with_custom_threshold(data):
     _assert_identical(result, expected)
 
 
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_session_keeps_kernel_array_paths_across_deltas(data):
+    """The ISSUE-5 streaming contract: the session's kernel view is
+    *patched* by every append/delete, never dropped — so the array fast
+    paths stay active for the whole stream — while results remain
+    byte-identical to from-scratch cleaning."""
+    fds = data.draw(st.sampled_from(FD_SETS))
+    value = st.integers(min_value=0, max_value=2)
+    row_st = st.tuples(value, value, value)
+    start = data.draw(st.lists(row_st, min_size=1, max_size=8))
+    table = Table.from_rows(SCHEMA, start)
+    session = RepairSession(table, fds)
+    assert session.index._kernel is not None
+    session.repair()
+    for _step in range(data.draw(st.integers(min_value=1, max_value=6))):
+        live = list(session.table.ids())
+        if live and data.draw(st.booleans()):
+            result = session.delete([data.draw(st.sampled_from(live))])
+        else:
+            result = session.append([data.draw(row_st)])
+        # Never dropped, never out of sync (compaction may swap in a
+        # fresh view object; that still counts as live).
+        kern = session.index._kernel
+        assert kern is not None
+        assert kern.live_count == len(session.index)
+        assert kern.live_edges == session.index.num_edges
+        _assert_identical(result, clean(_fresh_equivalent(session), fds))
+
+
+def test_session_exact_budget_knob(monkeypatch):
+    """With a zero budget (and the check interval pinned to every node),
+    exact components fall back to the 2-approximation — visibly, in the
+    method mix — and the fallback is sticky via the component cache."""
+    from repro.core import kernel
+    from repro.graphs import vertex_cover as vc
+
+    monkeypatch.setattr(kernel, "_BUDGET_CHECK_INTERVAL", 1)
+    monkeypatch.setattr(vc, "_BUDGET_CHECK_INTERVAL", 1)
+    rng = random.Random(6)
+    rows = [(f"a{rng.randrange(6)}", f"b{rng.randrange(6)}", "x")
+            for _ in range(30)]
+    table = Table.from_rows(SCHEMA, rows)
+    fds = FDSet("A -> B; B -> C")  # APX-complete: portfolio plans "exact"
+    session = RepairSession(table, fds, exact_budget_s=0.0)
+    result = session.repair()
+    assert result.method_counts.get("approx", 0) >= 1
+    assert not result.optimal
+    # A consistent append re-serves the fallback from cache, no re-solve.
+    misses = session.stats.cache_misses
+    again = session.append([("quiet", "quiet", "quiet")])
+    assert session.stats.cache_misses == misses
+    assert again.method_counts == result.method_counts
+    assert satisfies(again.cleaned, fds)
+
+
 # ---------------------------------------------------------------------------
 # The component cache
 # ---------------------------------------------------------------------------
@@ -357,12 +413,14 @@ def test_pool_broadcast_and_solve_roundtrip():
         rows = {1: ("a", "x", "p"), 2: ("a", "y", "p"), 3: ("b", "z", "q")}
         weights = {1: 1.0, 2: 2.0, 3: 1.0}
         assert pool.broadcast(("reset", rows, weights))
-        [kept] = pool.solve([((1, 2), "exact")])
+        [(kept, effective)] = pool.solve([((1, 2), "exact")])
         assert kept == (2,)  # heavier tuple wins
+        assert effective == "exact"
         assert pool.broadcast(("delete", (2,)))
         assert pool.broadcast(("append", {4: ("a", "w", "p")}, {4: 5.0}))
-        [kept] = pool.solve([((1, 4), "exact")])
+        [(kept, effective)] = pool.solve([((1, 4), "exact")])
         assert kept == (4,)
+        assert effective == "exact"
     assert not pool.alive
 
 
