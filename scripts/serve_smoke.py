@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI smoke for the repair daemon: start ``fdrepair serve``, drive two
+tenants over TCP, assert clean shutdown.
+
+Every step runs under a hard timeout, so a hung worker pool (the
+failure mode PR 6's lifecycle fixes target) fails CI promptly instead
+of stalling the job until the runner-level kill.  Exit code 0 means:
+the daemon came up, both tenants' sessions opened, appended, repaired
+(with the expected distances), `status` answered, `stats` saw both
+tenants sharing one pool, `shutdown` was acknowledged, and the process
+exited by itself within the grace period.
+
+Usage: python scripts/serve_smoke.py [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+STEP_TIMEOUT = 30.0
+
+
+def fail(message: str, proc: subprocess.Popen = None) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    if proc is not None:
+        proc.kill()
+        try:
+            _out, err = proc.communicate(timeout=5)
+            if err:
+                sys.stderr.write(err.decode("utf-8", "replace")[-2000:])
+        except subprocess.TimeoutExpired:
+            pass
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--timeout", type=float, default=STEP_TIMEOUT,
+                        help="hard per-step timeout in seconds")
+    args = parser.parse_args()
+    deadline = args.timeout
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(repo, "src"), env.get("PYTHONPATH")) if p
+    )
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--parallel", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+    )
+
+    # Step 1: the daemon announces its port within the timeout.
+    start = time.monotonic()
+    banner = proc.stdout.readline().decode("utf-8", "replace").strip()
+    if time.monotonic() - start > deadline or not banner.startswith(
+        "listening on"
+    ):
+        fail(f"no listening banner (got {banner!r})", proc)
+    port = int(banner.rsplit(":", 1)[1])
+    print(f"daemon up on port {port}")
+
+    sock = socket.create_connection(("127.0.0.1", port), timeout=deadline)
+    sock.settimeout(deadline)
+    rfile = sock.makefile("rb")
+
+    def rpc(obj: dict) -> dict:
+        sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+        line = rfile.readline()
+        if not line:
+            fail(f"connection closed answering {obj}", proc)
+        reply = json.loads(line)
+        print(f"  {obj.get('op')}: {json.dumps(reply)[:120]}")
+        return reply
+
+    # Step 2: two tenants, one shared pool; conflicting appends repair
+    # with the expected distances.
+    if not rpc({"op": "ping"}).get("pong"):
+        fail("ping did not pong", proc)
+    for tenant in ("acme", "globex"):
+        reply = rpc({"op": "open", "tenant": tenant, "session": "main",
+                     "schema": ["A", "B"], "fds": "A -> B"})
+        if not reply.get("ok"):
+            fail(f"open failed for {tenant}: {reply}", proc)
+        reply = rpc({"op": "append", "tenant": tenant, "session": "main",
+                     "rows": [["a", "x"], ["a", "y"], ["b", "z"]]})
+        if not reply.get("ok") or reply.get("distance") != 1.0:
+            fail(f"append repair wrong for {tenant}: {reply}", proc)
+        reply = rpc({"op": "status", "tenant": tenant, "session": "main"})
+        if not reply.get("ok") or reply.get("conflicts") != 1:
+            fail(f"status wrong for {tenant}: {reply}", proc)
+
+    stats = rpc({"op": "stats"})
+    if stats.get("sessions") != 2:
+        fail(f"expected 2 sessions in stats: {stats}", proc)
+    # The second tenant's identical component should ride the first's
+    # solve through the shared cache.
+    if stats.get("cache_hits", 0) < 1:
+        fail(f"expected cross-tenant cache hits: {stats}", proc)
+
+    # Step 3: shutdown is acknowledged and the process exits by itself.
+    if not rpc({"op": "shutdown"}).get("ok"):
+        fail("shutdown not acknowledged", proc)
+    sock.close()
+    try:
+        code = proc.wait(timeout=deadline)
+    except subprocess.TimeoutExpired:
+        fail(f"daemon still running {deadline}s after shutdown", proc)
+    if code != 0:
+        _out, err = proc.communicate()
+        fail(f"daemon exited {code}: {err.decode('utf-8', 'replace')[-500:]}")
+    print("SMOKE OK: two tenants served, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,14 @@ Commands
 ``stream``
     A streaming repair session: consume JSONL tuple batches (appends and
     deletes), re-repairing incrementally after each — only the conflict
-    components a batch touches are re-solved.
+    components a batch touches are re-solved.  Malformed batches are
+    reported and skipped (the session survives; the exit code turns
+    nonzero); ``--strict`` restores abort-on-first-error.
+``serve``
+    The multi-tenant repair daemon: many concurrent ``(tenant, table,
+    Δ)`` sessions over one shared worker pool and content-addressed
+    solution cache, speaking the JSONL protocol of
+    :mod:`repro.protocol` over TCP or stdio.
 
 The repair commands run the conflict-decomposed engine: ``--parallel N``
 solves components on N worker processes (``stream`` keeps them warm
@@ -243,6 +250,87 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-batch progress lines",
     )
+    p_stream.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "abort on the first malformed batch (default: report it to "
+            "stderr, skip it, keep streaming, and exit nonzero at "
+            "end-of-stream)"
+        ),
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant streaming repair daemon",
+        description=(
+            "Serve many concurrent (tenant, table, Δ) repair sessions "
+            "over one shared worker pool and one content-addressed "
+            "solution cache.  Speaks a JSONL protocol (one request "
+            "object per line, one response line per request) using the "
+            "stream op vocabulary plus addressing: open / append / "
+            "delete / repair / assess / status / close carry tenant "
+            "and session fields; ping / stats / shutdown drive the "
+            "daemon itself.  Ops for one session run in arrival order; "
+            "sessions proceed independently, and least-recently-used "
+            "sessions beyond --max-resident are frozen to their "
+            "serialised state and rehydrated on the next request."
+        ),
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=7473,
+        metavar="N",
+        help="TCP port (0 picks a free one; printed on startup)",
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve a single connection over stdin/stdout instead of TCP",
+    )
+    p_serve.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=1,
+        help=(
+            "warm worker processes shared by every session (0 solves "
+            "in-process on the daemon's executor threads)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        metavar="N",
+        default=256,
+        help="total open sessions across all tenants",
+    )
+    p_serve.add_argument(
+        "--max-resident",
+        type=int,
+        metavar="N",
+        default=64,
+        help="sessions kept live before LRU eviction to serialised state",
+    )
+    p_serve.add_argument(
+        "--max-tenant-sessions",
+        type=int,
+        metavar="N",
+        default=32,
+        help="open sessions one tenant may hold",
+    )
+    p_serve.add_argument(
+        "--max-tenant-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="per-tenant memory budget in bytes (default 256 MiB)",
+    )
+    _add_kernel_option(p_serve)
     return parser
 
 
@@ -367,8 +455,16 @@ def _open_stream(source: str):
     return _stream_lines(source)
 
 
+#: Ops a stream batch line may carry — the session slice of the daemon
+#: protocol (`repro.protocol`); both front ends execute them through the
+#: same `apply_session_op`, so stream files replay against a daemon
+#: session verbatim.
+STREAM_OPS = ("append", "delete", "repair", "assess", "status")
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .core.table import Table
+    from .protocol import ProtocolError, apply_session_op
     from .session import RepairSession
 
     _apply_kernel_choice(args)
@@ -403,48 +499,66 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{result.report.conflict_count} conflicts, "
                 f"distance {result.distance:g}"
             )
+        # A malformed batch is a data problem, not a session problem:
+        # diagnose it on stderr, count it, and keep the session (and
+        # every later batch) alive.  --strict restores abort-on-error;
+        # either way a rejected batch makes the exit code nonzero.
+        rejected = 0
+
+        def reject(number: int, message: str) -> bool:
+            nonlocal rejected
+            print(f"batch {number}: {message}", file=sys.stderr)
+            rejected += 1
+            return args.strict
+
         for number, line in enumerate(lines, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             try:
                 op = json.loads(line)
+                if not isinstance(op, dict):
+                    raise ValueError("operation must be a JSON object")
             except ValueError as exc:
-                print(f"batch {number}: bad JSON ({exc})", file=sys.stderr)
-                return 1
+                if reject(number, f"bad JSON ({exc})"):
+                    return 1
+                continue
             kind = op.get("op")
+            if kind not in STREAM_OPS:
+                if reject(number, f"unknown op {kind!r}"):
+                    return 1
+                continue
+            payload = {k: v for k, v in op.items() if k != "op"}
             start = time.perf_counter()
             try:
-                if kind == "append":
-                    result = session.append(
-                        op.get("rows", []),
-                        weights=op.get("weights"),
-                        ids=op.get("ids"),
-                    )
-                    what = f"append ×{len(op.get('rows', []))}"
-                elif kind == "delete":
-                    result = session.delete(op.get("ids", []))
-                    what = f"delete ×{len(op.get('ids', []))}"
-                elif kind == "repair":
-                    result = session.repair()
-                    what = "repair"
-                else:
-                    print(
-                        f"batch {number}: unknown op {kind!r}", file=sys.stderr
-                    )
+                fields = apply_session_op(session, kind, payload)
+            except ProtocolError as exc:
+                if reject(number, str(exc)):
                     return 1
-            except (KeyError, TypeError, ValueError) as exc:
-                # TypeError covers structurally malformed payloads (e.g.
-                # "rows" not a list) — diagnose, don't traceback.
-                print(f"batch {number}: {exc}", file=sys.stderr)
-                return 1
+                continue
             elapsed_ms = (time.perf_counter() - start) * 1e3
+            if session.last_result is not None:
+                result = session.last_result
             if not args.quiet:
                 stats = session.stats
+                if kind in ("status", "assess"):
+                    print(
+                        f"batch {number}: {kind} → |T|={len(session)}, "
+                        f"conflicts {fields['conflicts']}, bracket "
+                        f"[{fields['lower_bound']:g}, "
+                        f"{fields['upper_bound']:g}], "
+                        f"{elapsed_ms:.1f} ms"
+                    )
+                    continue
+                what = (
+                    kind
+                    if kind == "repair"
+                    else f"{kind} ×{fields.get('applied', 0)}"
+                )
                 print(
                     f"batch {number}: {what} → |T|={len(session)}, "
-                    f"distance {result.distance:g}, "
-                    f"components {result.component_count}, "
+                    f"distance {fields.get('distance', result.distance):g}, "
+                    f"components {fields.get('components', 0)}, "
                     f"cache {stats.cache_hits}h/{stats.cache_misses}m, "
                     f"{elapsed_ms:.1f} ms"
                 )
@@ -457,8 +571,44 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{100 * stats.hit_rate():.0f}%"
             + (f", {stats.pool_solves} pool solves" if stats.pool_solves else "")
         )
+        if rejected:
+            print(
+                f"{rejected} batch{'es' if rejected != 1 else ''} rejected",
+                file=sys.stderr,
+            )
         if args.out:
             table_to_csv(result.cleaned, args.out)
+    return 1 if rejected else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import RepairServer, ServerConfig, SessionManager
+
+    _apply_kernel_choice(args)
+    config = ServerConfig(
+        workers=args.parallel,
+        max_sessions=args.max_sessions,
+        max_resident=args.max_resident,
+        max_tenant_sessions=args.max_tenant_sessions,
+    )
+    if args.max_tenant_bytes is not None:
+        config.max_tenant_bytes = args.max_tenant_bytes
+    server = RepairServer(SessionManager(config))
+
+    async def run() -> None:
+        if args.stdio:
+            await server.serve_stdio()
+        else:
+            port = await server.serve_tcp(args.host, args.port)
+            print(f"listening on {args.host}:{port}", flush=True)
+            await server.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
@@ -469,6 +619,7 @@ _COMMANDS = {
     "u-repair": _cmd_u_repair,
     "mpd": _cmd_mpd,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
 }
 
 

@@ -49,6 +49,7 @@ __all__ = [
     "decomposed_s_repair",
     "decomposed_u_repair",
     "PersistentWorkerPool",
+    "DEFAULT_SESSION_KEY",
 ]
 
 #: Display name and proven ratio bound per portfolio method.
@@ -102,53 +103,85 @@ def map_components(worker, tasks: Sequence, parallel: Optional[int] = None) -> L
 
 
 # ---------------------------------------------------------------------------
-# Persistent worker pool (streaming sessions)
+# Persistent worker pool (streaming sessions, shared by daemon sessions)
 # ---------------------------------------------------------------------------
 
-def _session_worker_main(inq, outq, schema, fds, node_limit,
-                         use_kernel=True, budget_s=None) -> None:
+#: Namespace key a single-session pool (constructor schema/fds) binds to.
+DEFAULT_SESSION_KEY = ""
+
+
+def _session_worker_main(inq, outq, node_limit, use_kernel=True,
+                         budget_s=None) -> None:
     """Worker loop of a :class:`PersistentWorkerPool`.
 
-    Each worker mirrors the session's table as plain ``rows``/``weights``
-    dicts, kept in sync by broadcast delta messages, and solves components
-    shipped as **id lists only** — the payload a fork-per-call pool would
-    re-pickle per task (the whole sub-table) crosses the process boundary
-    exactly once, as deltas.  Dict insertion order mirrors the session's
+    Each worker mirrors *every attached session's* table as plain
+    ``rows``/``weights`` dicts under a session key, kept in sync by
+    broadcast delta messages, and solves components shipped as
+    **id lists only** — the payload a fork-per-call pool would re-pickle
+    per task (the whole sub-table) crosses the process boundary exactly
+    once, as deltas.  Dict insertion order mirrors the owning session's
     (appends at the end, deletions in place), so the sub-table a worker
     builds for an id list is identical to the session-side projection and
     the solves are byte-identical wherever they run.
+
+    Namespacing is what lets one pool serve many concurrent
+    ``(tenant, table, Δ)`` sessions: each ``open`` message installs a
+    session's schema, FD set, and solver knobs; maintenance and solve
+    messages carry the key.  A solve against a missing or stale
+    namespace ships an error for *that* request — it never kills the
+    worker or touches other sessions' mirrors.
     """
     # The parent's kernel on/off choice must survive spawn/forkserver
     # start methods, where workers re-import the module with the flag at
     # its default — so it travels as an argument, not as ambient state.
     _kernel.set_enabled(use_kernel)
-    rows: Dict = {}
-    weights: Dict = {}
+    # key -> [schema, fds, node_limit, budget_s, rows, weights]
+    spaces: Dict = {}
     while True:
         message = inq.get()
         kind = message[0]
         if kind == "stop":
             break
-        if kind == "reset":
-            rows = dict(message[1])
-            weights = dict(message[2])
+        if kind == "open":
+            key, schema, fds, space_limit, space_budget = message[1:6]
+            spaces[key] = [
+                tuple(schema),
+                fds,
+                node_limit if space_limit is None else space_limit,
+                budget_s if space_budget is None else space_budget,
+                {},
+                {},
+            ]
+        elif kind == "drop":
+            spaces.pop(message[1], None)
+        elif kind == "reset":
+            space = spaces.get(message[1])
+            if space is not None:
+                space[4] = dict(message[2])
+                space[5] = dict(message[3])
         elif kind == "append":
-            rows.update(message[1])
-            weights.update(message[2])
+            space = spaces.get(message[1])
+            if space is not None:
+                space[4].update(message[2])
+                space[5].update(message[3])
         elif kind == "delete":
-            for tid in message[1]:
-                rows.pop(tid, None)
-                weights.pop(tid, None)
+            space = spaces.get(message[1])
+            if space is not None:
+                for tid in message[2]:
+                    space[4].pop(tid, None)
+                    space[5].pop(tid, None)
         elif kind == "solve":
-            seq, ids, method = message[1], message[2], message[3]
+            seq, key, ids, method = message[1], message[2], message[3], message[4]
             try:
+                space = spaces[key]
+                schema, fds, space_limit, space_budget, rows, weights = space
                 subtable = Table(
                     schema,
                     {tid: rows[tid] for tid in ids},
                     {tid: weights[tid] for tid in ids},
                 )
                 kept, effective = _solve_s_kept(
-                    subtable, fds, method, node_limit, budget_s=budget_s
+                    subtable, fds, method, space_limit, budget_s=space_budget
                 )
             except BaseException as exc:  # ship the failure, don't die
                 outq.put((seq, None, None, repr(exc)))
@@ -157,29 +190,50 @@ def _session_worker_main(inq, outq, schema, fds, node_limit,
 
 
 class PersistentWorkerPool:
-    """Long-lived worker processes for streaming repair sessions.
+    """Long-lived worker processes shared by streaming repair sessions.
 
     :func:`map_components` forks a fresh process pool per call and ships
     whole sub-tables — right for one-shot batch repairs, pure overhead
     for a session issuing many small re-repairs.  This pool keeps warm
-    workers across calls: each worker holds a mirror of the session's
-    table (synchronised by broadcasting the same deltas the session
-    applies locally), so a solve request is just ``(component ids,
-    method)``.
+    workers across calls: each worker holds a mirror of each attached
+    session's table (synchronised by broadcasting the same deltas the
+    sessions apply locally), so a solve request is just ``(component
+    ids, method)``.
 
-    The pool is an *optimisation*, never a dependency: construction and
-    every operation degrade gracefully (``start`` returns ``False``, the
-    session falls back to in-process solving) on platforms without
-    working subprocess support, and any mid-flight failure marks the
-    pool broken so the caller can re-solve serially — the workers are
-    pure, so a retry is always safe.
+    **Multi-tenancy.**  Worker mirrors are namespaced by a session key:
+    :meth:`open_session` installs a session's schema, Δ, and solver
+    knobs on every worker; :meth:`broadcast` and :meth:`solve` take the
+    key.  One pool therefore serves many concurrent ``(tenant, table,
+    Δ)`` sessions — the process lifecycle (spawn, dispatch, teardown)
+    lives here, while the engine state (mirrors, caches, indexes) stays
+    per session.  Constructing with ``schema``/``fds`` binds the default
+    namespace, preserving the single-session API.
+
+    **Concurrency.**  ``solve`` is thread-safe: a collector thread drains
+    the shared result queue and correlates results to callers by global
+    sequence number, so concurrent solves from many sessions interleave
+    freely — one session's slow exact solve never blocks another's.
+
+    **Failure.**  A worker process dying is detected within ~0.2 s by
+    the collector's liveness sweep: solves routed to the dead worker
+    fail immediately with ``RuntimeError`` (instead of burning the full
+    solve timeout), the dead worker leaves the dispatch rotation, and
+    the pool stays alive while any worker survives.  A worker-side solve
+    *exception* fails only that call.  The pool is an optimisation,
+    never a dependency: construction degrades gracefully (``start``
+    returns ``False``) on platforms without subprocess support, and
+    callers re-solve serially on any failure — the workers are pure, so
+    a retry is always safe and byte-identical.
     """
 
-    def __init__(self, workers: int, schema, fds: FDSet, node_limit: int = 2000,
+    def __init__(self, workers: int, schema=None, fds: Optional[FDSet] = None,
+                 node_limit: int = 2000,
                  use_kernel: Optional[bool] = None,
                  budget_s: Optional[float] = None):
+        import threading
+
         self._worker_count = max(1, int(workers))
-        self._schema = tuple(schema)
+        self._schema = None if schema is None else tuple(schema)
         self._fds = fds
         self._node_limit = node_limit
         self._budget_s = budget_s
@@ -189,10 +243,26 @@ class PersistentWorkerPool:
         self._outq = None
         self._started = False
         self._broken = False
+        self._closed = False
+        self._stop = threading.Event()
+        self._collector = None
+        self._cond = threading.Condition()
+        self._pending: Dict[int, int] = {}   # seq -> worker index
+        self._done: Dict[int, Tuple] = {}    # seq -> (kept, method, error)
+        self._dead: set = set()
+        self._next_seq = 0
+        self._rr = 0
 
     @property
     def alive(self) -> bool:
         return self._started and not self._broken
+
+    @property
+    def worker_count(self) -> int:
+        return self._worker_count
+
+    def live_workers(self) -> int:
+        return len(self._procs) - len(self._dead) if self._started else 0
 
     def start(self) -> bool:
         """Spawn the workers; True on success (idempotent)."""
@@ -201,6 +271,7 @@ class PersistentWorkerPool:
         self._started = True
         try:
             import multiprocessing as mp
+            import threading
 
             ctx = mp.get_context()
             self._outq = ctx.Queue()
@@ -208,83 +279,239 @@ class PersistentWorkerPool:
                 inq = ctx.Queue()
                 proc = ctx.Process(
                     target=_session_worker_main,
-                    args=(inq, self._outq, self._schema, self._fds,
-                          self._node_limit, self._use_kernel, self._budget_s),
+                    args=(inq, self._outq, self._node_limit,
+                          self._use_kernel, self._budget_s),
                     daemon=True,
                 )
                 proc.start()
                 self._inqs.append(inq)
                 self._procs.append(proc)
+            self._collector = threading.Thread(
+                target=self._collector_loop, name="fdrepair-pool-collector",
+                daemon=True,
+            )
+            self._collector.start()
         except (OSError, PermissionError, ValueError, ImportError):
             self._broken = True
             self._shutdown(force=True)
+            return False
+        if self._schema is not None and self._fds is not None:
+            if not self.open_session(DEFAULT_SESSION_KEY, self._schema, self._fds):
+                self._broken = True
+                self._shutdown(force=True)
         return not self._broken
 
-    def broadcast(self, op) -> bool:
+    # ------------------------------------------------------------------
+    # Session namespaces
+    # ------------------------------------------------------------------
+    def open_session(self, key, schema, fds: FDSet, *,
+                     node_limit: Optional[int] = None,
+                     budget_s: Optional[float] = None) -> bool:
+        """Install session *key*'s schema/Δ/knobs on every worker (its
+        mirror starts empty; follow with a ``reset`` broadcast)."""
+        return self._send_all(
+            ("open", key, tuple(schema), fds, node_limit, budget_s)
+        )
+
+    def drop_session(self, key) -> bool:
+        """Forget session *key*'s mirrors on every worker."""
+        return self._send_all(("drop", key))
+
+    def broadcast(self, op, key=DEFAULT_SESSION_KEY) -> bool:
         """Send one mirror-maintenance op — ``("reset", rows, weights)``,
         ``("append", rows, weights)`` or ``("delete", ids)`` — to every
-        worker.  False (pool broken) instead of raising."""
+        worker, for session *key*.  False (pool broken) instead of
+        raising."""
+        return self._send_all((op[0], key) + tuple(op[1:]))
+
+    def _send_all(self, message) -> bool:
         if not self.alive:
             return False
         try:
-            for inq in self._inqs:
-                inq.put(op)
+            for i, inq in enumerate(self._inqs):
+                if i not in self._dead:
+                    inq.put(message)
         except (OSError, ValueError):
             self._broken = True
             return False
         return True
 
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
     def solve(self, tasks: Sequence[Tuple[Tuple[TupleId, ...], str]],
-              timeout: float = 120.0) -> List[Tuple[Tuple[TupleId, ...], str]]:
+              timeout: float = 120.0,
+              key=DEFAULT_SESSION_KEY) -> List[Tuple[Tuple[TupleId, ...], str]]:
         """Solve ``(component ids, method)`` tasks on the warm workers;
         returns ``(kept ids, effective method)`` per task.
 
-        Round-robin dispatch; results are reassembled in task order.
-        Raises ``RuntimeError`` (and marks the pool broken) on any
-        failure — callers fall back to the serial path.
+        Round-robin dispatch over live workers; results are reassembled
+        in task order.  Thread-safe — concurrent calls (one per daemon
+        session) interleave without blocking each other.  Raises
+        ``RuntimeError`` on failure: a dead worker or closed pool fails
+        fast (~0.2 s, not the full *timeout*); a worker-side solve
+        exception or a timeout fails only this call, leaving the pool
+        serving other sessions.  Callers fall back to the serial path.
         """
+        import time as _time
+
         if not self.alive:
             raise RuntimeError("worker pool is not running")
-        results: List = [None] * len(tasks)
-        try:
-            for seq, (ids, method) in enumerate(tasks):
-                self._inqs[seq % len(self._inqs)].put(
-                    ("solve", seq, tuple(ids), method)
-                )
-            for _ in range(len(tasks)):
-                seq, kept, effective, error = self._outq.get(timeout=timeout)
-                if error is not None:
-                    raise RuntimeError(f"worker solve failed: {error}")
-                results[seq] = (kept, effective)
-        except Exception as exc:
-            self._broken = True
-            if isinstance(exc, RuntimeError):
-                raise
-            raise RuntimeError(f"worker pool failed: {exc!r}") from exc
+        if not tasks:
+            return []
+        deadline = _time.monotonic() + timeout
+        routed: List[Tuple[int, int, Tuple, str]] = []
+        with self._cond:
+            live = [i for i in range(len(self._procs)) if i not in self._dead]
+            if not live:
+                self._broken = True
+                raise RuntimeError("worker pool has no live workers")
+            seqs = []
+            for ids, method in tasks:
+                seq = self._next_seq
+                self._next_seq += 1
+                widx = live[self._rr % len(live)]
+                self._rr += 1
+                self._pending[seq] = widx
+                seqs.append(seq)
+                routed.append((seq, widx, tuple(ids), method))
+        for seq, widx, ids, method in routed:
+            try:
+                self._inqs[widx].put(("solve", seq, key, ids, method))
+            except (OSError, ValueError):
+                self._fail_worker(widx, "dispatch to worker failed")
+        failure = None
+        with self._cond:
+            while True:
+                if all(seq in self._done for seq in seqs):
+                    outcomes = [self._done.pop(seq) for seq in seqs]
+                    break
+                if self._broken:
+                    failure = "worker pool failed"
+                elif _time.monotonic() >= deadline:
+                    failure = f"worker pool timed out after {timeout:g}s"
+                if failure is not None:
+                    for seq in seqs:  # abandon: late results are discarded
+                        self._pending.pop(seq, None)
+                        self._done.pop(seq, None)
+                    break
+                remaining = deadline - _time.monotonic()
+                self._cond.wait(min(max(remaining, 0.01), 0.5))
+        if failure is not None:
+            raise RuntimeError(failure)
+        results = []
+        for kept, effective, error in outcomes:
+            if error is not None:
+                raise RuntimeError(f"worker solve failed: {error}")
+            results.append((kept, effective))
         return results
 
+    # ------------------------------------------------------------------
+    # Result collection and worker liveness
+    # ------------------------------------------------------------------
+    def _collector_loop(self) -> None:
+        from queue import Empty
+
+        outq = self._outq
+        while not self._stop.is_set():
+            try:
+                item = outq.get(timeout=0.1)
+            except Empty:
+                self._reap_dead_workers()
+                continue
+            except (OSError, ValueError, EOFError):
+                break
+            try:
+                seq, kept, effective, error = item
+            except (TypeError, ValueError):
+                continue
+            with self._cond:
+                if seq in self._pending:
+                    del self._pending[seq]
+                    self._done[seq] = (kept, effective, error)
+                    self._cond.notify_all()
+
+    def _reap_dead_workers(self) -> None:
+        """Fail-fast sweep: a worker process that died mid-solve fails
+        its routed requests immediately instead of letting callers burn
+        the full solve timeout, and leaves the dispatch rotation."""
+        fresh_dead = [
+            i for i, proc in enumerate(self._procs)
+            if i not in self._dead and not proc.is_alive()
+        ]
+        for widx in fresh_dead:
+            self._fail_worker(widx, "worker process died")
+
+    def _fail_worker(self, widx: int, reason: str) -> None:
+        with self._cond:
+            self._dead.add(widx)
+            if len(self._dead) >= len(self._procs):
+                self._broken = True
+            for seq, routed_to in list(self._pending.items()):
+                if routed_to in self._dead:
+                    del self._pending[seq]
+                    self._done[seq] = (None, None, reason)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def _shutdown(self, force: bool = False) -> None:
+        import threading
+
+        self._stop.set()
+        collector = self._collector
+        if collector is not None and collector is not threading.current_thread():
+            collector.join(timeout=2.0)
+        self._collector = None
         for inq in self._inqs:
             try:
-                inq.put(("stop",))
-            except (OSError, ValueError):
+                inq.put_nowait(("stop",))
+            except Exception:
                 pass
         for proc in self._procs:
             try:
-                proc.join(timeout=0.1 if force else 5)
+                proc.join(timeout=0.1 if force else 2.0)
                 if proc.is_alive():
                     proc.terminate()
-            except (OSError, ValueError):
+                    proc.join(timeout=0.5)
+            except (OSError, ValueError, AssertionError):
+                pass
+        # Drain leftover items (queued solves from a partial dispatch,
+        # unread results) and detach the feeder threads so repeated
+        # close() calls — including via __del__ at interpreter teardown —
+        # can never block on a queue join.
+        for q in [*self._inqs, self._outq]:
+            if q is None:
+                continue
+            try:
+                while True:
+                    q.get_nowait()
+            except Exception:
+                pass
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
                 pass
         self._procs = []
         self._inqs = []
         self._outq = None
+        with self._cond:
+            for seq in list(self._pending):
+                del self._pending[seq]
+                self._done[seq] = (None, None, "worker pool closed")
+            self._cond.notify_all()
 
     def close(self) -> None:
-        """Stop the workers; safe to call repeatedly."""
-        if self._started:
-            self._shutdown()
-            self._broken = True
+        """Stop the workers; non-blocking and safe to call repeatedly."""
+        if not self._started:
+            return
+        self._broken = True
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown()
 
     def __enter__(self) -> "PersistentWorkerPool":
         self.start()

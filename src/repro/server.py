@@ -1,0 +1,631 @@
+"""``repro.server``: the multi-tenant streaming repair daemon.
+
+The paper's component-locality result makes repair a *service*: a delta
+re-solves only the conflict components it touches, and component
+repairs are content-addressed, so many concurrent ``(tenant, table, Δ)``
+streams can share one warm :class:`~repro.exec.PersistentWorkerPool`
+and one :class:`~repro.session.SolutionCache` — one tenant's solve is
+every co-tenant's cache hit wherever their component content coincides.
+
+The module splits along the engine-state / process-lifecycle seam the
+session layer exposes:
+
+:class:`SessionManager`
+    Owns engine state: the registry of sessions, per-tenant memory
+    accounting, admission control, and LRU eviction + rehydration.
+    Eviction freezes a session to its pickled
+    :meth:`~repro.session.RepairSession.export_state` snapshot (the
+    component cache is content-addressed, so a shared-cache session
+    loses nothing by being frozen); rehydration rebuilds it attached to
+    the *same* shared pool and cache, byte-identical to a session that
+    was never evicted.  The manager is transport-free and synchronous —
+    tests drive it directly.
+
+:class:`RepairServer`
+    Owns process lifecycle: the asyncio event loop, TCP/stdio
+    transports, the executor threads solver work runs on, and clean
+    shutdown.  Requests speak the JSONL protocol of
+    :mod:`repro.protocol` (the ``fdrepair stream`` op vocabulary plus
+    session addressing).  Ops for one session execute strictly in
+    arrival order behind that session's lock; ops for different
+    sessions interleave freely — a slow exact solve ships to a pool
+    worker process and only its own session waits on it, so one
+    tenant's hard component never blocks another's cache-hit repair.
+
+Locking discipline (load-bearing): per-session ``asyncio.Lock``\\ s are
+acquired only on the event-loop thread, and eviction runs only on the
+event-loop thread as straight-line synchronous code — so "is this
+session mid-op?" (``lock.locked()``) cannot race with freezing it.  The
+registry itself takes a ``threading.Lock`` because ``open`` and op
+execution run on executor threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .core.fd import parse_fd_set
+from .core.table import Table
+from .protocol import (
+    DAEMON_OPS,
+    ProtocolError,
+    Request,
+    apply_session_op,
+    decode_line,
+    encode,
+)
+from .session import RepairSession, SolutionCache
+
+__all__ = ["RepairServer", "ServerConfig", "SessionManager"]
+
+
+@dataclass
+class ServerConfig:
+    """Tenancy and lifecycle knobs for one daemon."""
+
+    #: Total sessions open across all tenants (resident + frozen).
+    max_sessions: int = 256
+    #: Sessions kept live in memory; beyond this the least-recently-used
+    #: unlocked sessions are frozen to their pickled state.
+    max_resident: int = 64
+    #: Sessions one tenant may hold open.
+    max_tenant_sessions: int = 32
+    #: Estimated bytes one tenant may hold (live + frozen); opens that
+    #: would exceed it are refused.  ``None`` disables the bound.
+    max_tenant_bytes: Optional[int] = 256 * 1024 * 1024
+    #: Warm worker processes shared by every session (0 = solve
+    #: in-process on the executor threads).
+    workers: int = 1
+    #: Bound on the shared content-addressed solution cache.
+    cache_entries: Optional[int] = 200_000
+    #: Executor threads op execution runs on (per-session sequencing
+    #: means a session occupies at most one at a time).
+    executor_threads: int = 8
+    #: Seconds a session waits for one pool solve batch.
+    pool_timeout: float = 600.0
+
+
+@dataclass
+class SessionEntry:
+    """One registered session: live object or frozen snapshot.
+
+    Exactly one of ``live`` / ``frozen`` is set.  ``lock`` sequences the
+    session's ops (acquired on the event loop only); ``last_used`` is
+    the manager's logical clock reading for LRU eviction; ``bytes`` the
+    current accounting estimate charged to ``tenant``.
+    """
+
+    tenant: str
+    name: str
+    session_key: str
+    live: Optional[RepairSession] = None
+    frozen: Optional[bytes] = None
+    bytes: int = 0
+    last_used: int = 0
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    @property
+    def resident(self) -> bool:
+        return self.live is not None
+
+
+#: ``open`` payload keys forwarded to the ``RepairSession`` constructor.
+_OPEN_OPTIONS = (
+    "guarantee",
+    "exact_threshold",
+    "exact_budget_s",
+    "node_limit",
+)
+
+
+class SessionManager:
+    """Registry, admission control, and eviction for daemon sessions.
+
+    All sessions share one worker pool and one content-addressed
+    solution cache; each gets its own pool mirror namespace (attached
+    lazily on first solve, detached on close/eviction).  The manager
+    never touches the event loop — :class:`RepairServer` layers
+    concurrency on top.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str], SessionEntry] = {}
+        self._tenant_bytes: Dict[str, int] = {}
+        self._clock = 0
+        self.solutions = SolutionCache(self.config.cache_entries)
+        self._pool = None
+        self._pool_started = False
+        self.evictions = 0
+        self.rehydrations = 0
+        self.ops = 0
+        self.errors = 0
+        self._closed = False
+
+    # -- pool lifecycle (owned here, never by a session) ---------------
+    def _shared_pool(self):
+        """The shared worker pool, started on first use; ``None`` when
+        ``workers == 0`` or the platform cannot start workers."""
+        if self.config.workers <= 0:
+            return None
+        with self._lock:
+            if not self._pool_started:
+                self._pool_started = True
+                from .exec import PersistentWorkerPool
+
+                pool = PersistentWorkerPool(self.config.workers)
+                if pool.start():
+                    self._pool = pool
+            return self._pool
+
+    # -- admission -----------------------------------------------------
+    def open(
+        self, tenant: str, name: str, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Admit and create one session; returns its opening status."""
+        return self.finish_open(self.admit(tenant, name), payload)
+
+    def admit(self, tenant: str, name: str) -> SessionEntry:
+        """Admission control: reserve a registry slot for a new session.
+
+        Cheap and synchronous, so the server can run it on the event
+        loop and take ``entry.lock`` before its first await — ops a
+        client pipelines behind the ``open`` then queue on the lock
+        instead of racing the construction.
+        """
+        cfg = self.config
+        key = (tenant, name)
+        with self._lock:
+            if self._closed:
+                raise ProtocolError("server is shutting down")
+            if key in self._entries:
+                raise ProtocolError(f"session {name!r} is already open")
+            if len(self._entries) >= cfg.max_sessions:
+                raise ProtocolError(
+                    f"session limit reached ({cfg.max_sessions})"
+                )
+            held = sum(
+                1 for (t, _n) in self._entries if t == tenant
+            )
+            if held >= cfg.max_tenant_sessions:
+                raise ProtocolError(
+                    f"tenant {tenant!r} session limit reached "
+                    f"({cfg.max_tenant_sessions})"
+                )
+            if (
+                cfg.max_tenant_bytes is not None
+                and self._tenant_bytes.get(tenant, 0) >= cfg.max_tenant_bytes
+            ):
+                raise ProtocolError(
+                    f"tenant {tenant!r} memory budget exhausted "
+                    f"({cfg.max_tenant_bytes} bytes)"
+                )
+            # Reserve the slot before the (unlocked) construction below
+            # so two concurrent opens of the same name cannot both pass
+            # admission.
+            entry = SessionEntry(
+                tenant=tenant, name=name, session_key=f"{tenant}/{name}"
+            )
+            self._entries[key] = entry
+        return entry
+
+    def finish_open(
+        self, entry: SessionEntry, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Build the session for an admitted entry (the slow half of
+        ``open``); on failure the reserved slot is released."""
+        try:
+            session = self._build_session(entry, payload)
+        except ProtocolError:
+            with self._lock:
+                self._entries.pop((entry.tenant, entry.name), None)
+            raise
+        with self._lock:
+            entry.live = session
+            self._touch(entry)
+            self._account(entry)
+        return {"opened": True, **session.status().as_dict()}
+
+    def _build_session(
+        self, entry: SessionEntry, payload: Mapping[str, object]
+    ) -> RepairSession:
+        schema = payload.get("schema")
+        if not isinstance(schema, (list, tuple)) or not schema:
+            raise ProtocolError("open needs a non-empty schema list")
+        fds_text = payload.get("fds")
+        if not isinstance(fds_text, str):
+            raise ProtocolError("open needs an fds string")
+        options = {
+            k: payload[k] for k in _OPEN_OPTIONS if payload.get(k) is not None
+        }
+        options["pool_timeout"] = self.config.pool_timeout
+        try:
+            fds = parse_fd_set(fds_text)
+            table = Table(
+                tuple(str(a) for a in schema), {}, name=entry.name
+            )
+            session = RepairSession(
+                table,
+                fds,
+                pool=self._shared_pool(),
+                session_key=entry.session_key,
+                solutions=self.solutions,
+                **options,
+            )
+            rows = payload.get("rows")
+            if rows:
+                session.append(
+                    rows,
+                    weights=payload.get("weights"),
+                    ids=payload.get("ids"),
+                    repair=False,
+                )
+        except ProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(str(exc)) from None
+        return session
+
+    # -- lookup & op execution ----------------------------------------
+    def entry(self, tenant: str, name: str) -> SessionEntry:
+        with self._lock:
+            entry = self._entries.get((tenant, name))
+        if entry is None:
+            raise ProtocolError(
+                f"no open session {name!r} for tenant {tenant!r}"
+            )
+        return entry
+
+    def run_op(
+        self, entry: SessionEntry, op: str, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Execute one session op (rehydrating first when frozen).
+
+        Caller must hold ``entry.lock`` (or be otherwise single-threaded
+        for this entry); the registry lock is only taken for the brief
+        bookkeeping moments, never across a solve.
+        """
+        session = self._ensure_live(entry)
+        self.ops += 1
+        fields = apply_session_op(session, op, payload)
+        with self._lock:
+            self._touch(entry)
+            self._account(entry)
+        return fields
+
+    def _ensure_live(self, entry: SessionEntry) -> RepairSession:
+        if entry.live is not None:
+            return entry.live
+        if entry.frozen is None:
+            # The entry was closed — or its ``open`` failed — while
+            # this op waited on the session lock.
+            raise ProtocolError(
+                f"session {entry.name!r} for tenant {entry.tenant!r} "
+                "is not open"
+            )
+        state = pickle.loads(entry.frozen)
+        session = RepairSession.restore(
+            state,
+            pool=self._shared_pool(),
+            session_key=entry.session_key,
+            solutions=self.solutions,
+        )
+        entry.live = session
+        entry.frozen = None
+        with self._lock:
+            self.rehydrations += 1
+            self._account(entry)
+        return session
+
+    def close(self, tenant: str, name: str) -> Dict[str, object]:
+        entry = self.entry(tenant, name)
+        with self._lock:
+            self._entries.pop((tenant, name), None)
+            self._charge(entry, 0)
+        if entry.live is not None:
+            entry.live.close()
+            entry.live = None
+        entry.frozen = None
+        return {"closed": True}
+
+    # -- accounting & eviction ----------------------------------------
+    def _touch(self, entry: SessionEntry) -> None:
+        self._clock += 1
+        entry.last_used = self._clock
+
+    def _account(self, entry: SessionEntry) -> None:
+        if entry.live is not None:
+            self._charge(entry, entry.live.approx_bytes())
+        elif entry.frozen is not None:
+            self._charge(entry, len(entry.frozen))
+
+    def _charge(self, entry: SessionEntry, new_bytes: int) -> None:
+        delta = new_bytes - entry.bytes
+        entry.bytes = new_bytes
+        total = self._tenant_bytes.get(entry.tenant, 0) + delta
+        if total > 0:
+            self._tenant_bytes[entry.tenant] = total
+        else:
+            self._tenant_bytes.pop(entry.tenant, None)
+
+    def resident_count(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.resident)
+
+    def evict_to_limit(self) -> int:
+        """Freeze least-recently-used sessions down to ``max_resident``.
+
+        Skips sessions whose lock is held (mid-op).  MUST run on the
+        thread that acquires session locks (the event loop, for the
+        server): the locked-check and the freeze are then atomic, so a
+        session can never be frozen under an executing op.
+        """
+        evicted = 0
+        while True:
+            with self._lock:
+                live = [
+                    e
+                    for e in self._entries.values()
+                    if e.resident and not e.lock.locked()
+                ]
+                over = (
+                    sum(1 for e in self._entries.values() if e.resident)
+                    - self.config.max_resident
+                )
+                if over <= 0 or not live:
+                    return evicted
+                victim = min(live, key=lambda e: e.last_used)
+            self._freeze(victim)
+            evicted += 1
+
+    def _freeze(self, entry: SessionEntry) -> None:
+        session = entry.live
+        if session is None:
+            return
+        blob = pickle.dumps(session.export_state(), protocol=4)
+        session.close()  # detaches the pool mirror namespace
+        entry.live = None
+        entry.frozen = blob
+        with self._lock:
+            self.evictions += 1
+            self._account(entry)
+
+    # -- introspection & shutdown -------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            entries = list(self._entries.values())
+            tenant_bytes = dict(self._tenant_bytes)
+        return {
+            "sessions": len(entries),
+            "resident": sum(1 for e in entries if e.resident),
+            "frozen": sum(1 for e in entries if not e.resident),
+            "tenants": len({e.tenant for e in entries}),
+            "tenant_bytes": tenant_bytes,
+            "evictions": self.evictions,
+            "rehydrations": self.rehydrations,
+            "ops": self.ops,
+            "errors": self.errors,
+            "cache_entries": len(self.solutions),
+            "cache_hits": self.solutions.hits,
+            "cache_misses": self.solutions.misses,
+            "pool_alive": bool(self._pool is not None and self._pool.alive),
+            "pool_workers": (
+                self._pool.worker_count if self._pool is not None else 0
+            ),
+        }
+
+    def shutdown(self) -> None:
+        """Close every session and the shared pool; idempotent."""
+        with self._lock:
+            if self._closed:
+                entries: List[SessionEntry] = []
+            else:
+                self._closed = True
+                entries = list(self._entries.values())
+                self._entries.clear()
+                self._tenant_bytes.clear()
+        for entry in entries:
+            if entry.live is not None:
+                # The pool is about to close wholesale; skip per-session
+                # namespace teardown chatter.
+                entry.live._pool = None
+                entry.live.close()
+                entry.live = None
+            entry.frozen = None
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.close()
+
+
+class RepairServer:
+    """Asyncio front end multiplexing JSONL repair traffic onto a
+    :class:`SessionManager`.
+
+    One task per request line; a per-session lock sequences each
+    session's ops while different sessions proceed concurrently on the
+    executor (and, for solver work, on the shared pool's worker
+    processes).  Responses may therefore interleave across sessions —
+    clients correlate by ``session``/``seq``, which every response
+    echoes.
+    """
+
+    def __init__(self, manager: Optional[SessionManager] = None) -> None:
+        self.manager = manager or SessionManager()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.manager.config.executor_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._shutdown = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- request handling ---------------------------------------------
+    async def handle_line(self, line: str, write) -> None:
+        """Parse and execute one request line, sending one response via
+        ``write`` (an async callable taking the response dict)."""
+        obj: object = None
+        try:
+            obj = decode_line(line)
+            req = Request(obj)
+        except ProtocolError as exc:
+            self.manager.errors += 1
+            error = {"ok": False, "error": str(exc)}
+            if isinstance(obj, dict):
+                # Echo whatever envelope the client did send, so it can
+                # still correlate the failure by seq.
+                for field in ("op", "tenant", "session", "seq"):
+                    value = obj.get(field)
+                    if isinstance(value, (str, int)):
+                        error[field] = value
+            await write(error)
+            return
+        try:
+            if req.op in DAEMON_OPS:
+                await write(req.reply(**self._daemon_op(req)))
+                return
+            if req.op == "open":
+                # Admission is synchronous, and entry.lock is free when
+                # it returns, so the ``async with`` takes the lock on
+                # its no-yield fast path: ops pipelined behind this open
+                # queue on the lock until construction finishes.
+                entry = self.manager.admit(req.tenant, req.session)
+                async with entry.lock:
+                    loop = asyncio.get_running_loop()
+                    fields = await loop.run_in_executor(
+                        self._executor,
+                        self.manager.finish_open,
+                        entry,
+                        req.payload,
+                    )
+                self.manager.evict_to_limit()
+                await write(req.reply(**fields))
+                return
+            entry = self.manager.entry(req.tenant, req.session)
+            async with entry.lock:
+                if req.op == "close":
+                    fields = self.manager.close(req.tenant, req.session)
+                else:
+                    loop = asyncio.get_running_loop()
+                    fields = await loop.run_in_executor(
+                        self._executor,
+                        self.manager.run_op,
+                        entry,
+                        req.op,
+                        req.payload,
+                    )
+            self.manager.evict_to_limit()
+            await write(req.reply(**fields))
+        except ProtocolError as exc:
+            self.manager.errors += 1
+            await write(req.error(str(exc)))
+        except RuntimeError as exc:
+            # Pool breakage surfaces here when serial fallback also
+            # failed; the session stays open, the request fails.
+            self.manager.errors += 1
+            await write(req.error(f"internal: {exc}"))
+
+    def _daemon_op(self, req: Request) -> Dict[str, object]:
+        if req.op == "ping":
+            return {"pong": True}
+        if req.op == "stats":
+            return self.manager.stats()
+        # shutdown: acknowledge first, stop accepting after.
+        self._shutdown.set()
+        return {"stopping": True}
+
+    # -- transports ----------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        wlock = asyncio.Lock()
+
+        async def write(obj) -> None:
+            async with wlock:
+                writer.write(encode(obj).encode("utf-8"))
+                await writer.drain()
+
+        tasks: List[asyncio.Task] = []
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                tasks.append(
+                    asyncio.create_task(self.handle_line(text, write))
+                )
+                tasks = [t for t in tasks if not t.done()]
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Start listening; returns the actual bound port (useful with
+        ``port=0``).  Run :meth:`wait_closed` to block until shutdown."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op arrives, then tear down."""
+        await self._shutdown.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.aclose()
+
+    async def serve_stdio(self) -> None:
+        """Serve the protocol over stdin/stdout until EOF or shutdown.
+
+        Lines are read on the executor (portable — no pipe transports),
+        responses written synchronously under a lock; per-session
+        concurrency works exactly as over TCP.
+        """
+        loop = asyncio.get_running_loop()
+        wlock = asyncio.Lock()
+
+        async def write(obj) -> None:
+            async with wlock:
+                sys.stdout.write(encode(obj))
+                sys.stdout.flush()
+
+        tasks: List[asyncio.Task] = []
+        while not self._shutdown.is_set():
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                break
+            text = line.strip()
+            if not text:
+                continue
+            tasks.append(asyncio.create_task(self.handle_line(text, write)))
+            tasks = [t for t in tasks if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Drain the executor and close every session and the pool."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.manager.shutdown)
+        self._executor.shutdown(wait=True)

@@ -36,7 +36,9 @@ per-component solves are pure functions of content the cache key freezes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+import threading
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .core.conflict_index import ConflictIndex
@@ -48,9 +50,95 @@ from .core.decompose import (
 from .core.dichotomy import classify
 from .core.fd import FDSet
 from .core.table import Row, Table, TupleId
-from .pipeline import CleaningResult, _decomposed_outcome
+from .pipeline import CleaningResult, _bracket_component, _decomposed_outcome
 
-__all__ = ["RepairSession", "SessionStats"]
+__all__ = ["RepairSession", "SessionStats", "SessionStatus", "SolutionCache"]
+
+#: Distinct namespace keys for sessions attached to a shared pool.
+_SESSION_KEYS = itertools.count(1)
+
+
+class SolutionCache:
+    """A thread-safe LRU cache of per-component repairs, shareable
+    across sessions.
+
+    Component repairs are content-addressed — the kept ids are a pure
+    function of the member rows, weights, ids, and the solve method —
+    so *any* session whose component carries identical content can serve
+    another session's solve verbatim.  This is the component-locality
+    result working across tenants: in a multi-tenant daemon where many
+    streams carry overlapping data (the schema-discovery workload, or N
+    tenants cleaning near-identical dimension tables), one tenant's
+    solve becomes every other tenant's cache hit.
+
+    Sessions sharing a cache additionally scope their keys by FD set,
+    schema, and solver knobs (see ``RepairSession._cache_scope``), so
+    content can never leak between sessions for which the same member
+    rows would repair differently.  Mutations take a lock — sessions
+    running on different executor threads hit this cache concurrently.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 200_000) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict = {}
+        self._max = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._data.pop(key, None)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._data[key] = entry  # refresh recency
+            self.hits += 1
+            return entry
+
+    def put(self, key, entry) -> None:
+        with self._lock:
+            self._data[key] = entry
+            if self._max is not None:
+                while len(self._data) > self._max:
+                    self._data.pop(next(iter(self._data)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """A solver-free snapshot of one session's dirtiness.
+
+    Served entirely from delta-maintained bookkeeping: the bracket is
+    the sum of per-component polynomial ``[matching, Bar-Yehuda–Even]``
+    brackets, cached per component and recomputed only for components
+    the deltas since the last reading actually touched — no exact
+    branch & bound, no OptSRepair, no worker-pool round trip.  The true
+    optimal deletion cost always lies inside ``[lower_bound,
+    upper_bound]`` (Proposition 3.3).
+    """
+
+    tuples: int
+    total_weight: float
+    conflicts: int
+    conflicting_tuples: int
+    components: int
+    lower_bound: float
+    upper_bound: float
+    cache_entries: int
+    repairs: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.conflicts == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
 
 
 @dataclass
@@ -127,9 +215,27 @@ class RepairSession:
         components simply re-solve).  ``None`` disables the bound.
     pool_timeout:
         Seconds to wait for the warm workers to finish one batch of
-        solves (default 600).  On expiry the pool is dropped and the
-        batch re-solves in process — raise it for ``guarantee="optimal"``
-        sessions whose exact components may legitimately run long.
+        solves (default 600).  On expiry the batch re-solves in process
+        — raise it for ``guarantee="optimal"`` sessions whose exact
+        components may legitimately run long.
+    pool:
+        An externally-owned :class:`~repro.exec.PersistentWorkerPool`
+        shared with other sessions (the multi-tenant daemon's layout).
+        The session attaches its own mirror namespace lazily, keeps it
+        synchronised with the same deltas it applies locally, detaches
+        on :meth:`close` — and never starts or stops the pool itself:
+        engine state is the session's, process lifecycle is the
+        caller's.  With a shared pool, even single cache-miss components
+        are offloaded, so one session's slow solve keeps the event loop
+        (and every other session) responsive.
+    session_key:
+        Namespace key on the shared *pool* (auto-generated when omitted;
+        must be unique per attached session).
+    solutions:
+        A :class:`SolutionCache` shared with other sessions.  Keys are
+        scoped by FD set, schema, and solver knobs, so sharing is always
+        byte-identical-safe; ``max_cache_entries`` is ignored in favour
+        of the shared cache's own bound.
 
     Only the ``"deletions"`` strategy is supported: update repairs mint
     fresh labelled nulls whose identity-based equality makes
@@ -150,6 +256,9 @@ class RepairSession:
         node_limit: int = 2000,
         max_cache_entries: Optional[int] = 10_000,
         pool_timeout: float = 600.0,
+        pool=None,
+        session_key: Optional[str] = None,
+        solutions: Optional[SolutionCache] = None,
     ) -> None:
         if guarantee not in ("best", "optimal", "fast"):
             raise ValueError(f"unknown guarantee {guarantee!r}")
@@ -186,7 +295,35 @@ class RepairSession:
         # instead of being re-derived per delta.
         self._component_reuse: Dict[Tuple[TupleId, ...], Tuple[Component, Tuple]] = {}
         self._solutions: Dict[Tuple, _CachedSolve] = {}
-        self._pool = None
+        # Cross-session solution sharing: keys into a shared cache are
+        # prefixed with everything besides component content that can
+        # change a solve's outcome — Δ, the schema (it fixes which
+        # columns each FD reads), and the exact-solver knobs (budget
+        # fallbacks and node limits are sticky in cached methods) — so
+        # two sessions share an entry exactly when serving it is
+        # indistinguishable from re-solving.
+        self._shared_solutions = solutions
+        self._cache_scope = (
+            (fds, self._schema, node_limit, exact_budget_s)
+            if solutions is not None
+            else None
+        )
+        # Worker-pool wiring: the pool is either owned (created lazily
+        # from the ``parallel`` knob, closed with the session) or shared
+        # (passed in by a daemon; the session only attaches/detaches its
+        # mirror namespace).  This is the engine-state / process-
+        # lifecycle split the server builds on.
+        self._pool = pool
+        self._pool_owned = pool is None
+        self._pool_ready = False
+        if session_key is not None:
+            self._session_key = session_key
+        elif pool is not None:
+            self._session_key = f"session-{next(_SESSION_KEYS)}"
+        else:
+            from .exec import DEFAULT_SESSION_KEY
+
+            self._session_key = DEFAULT_SESSION_KEY
         # When the index is kernel-backed, worker mirrors are kept in
         # *coded* rows (the codec stays live under session deltas): the
         # kept-id results are identical — solvers only observe the value
@@ -195,6 +332,13 @@ class RepairSession:
         # for the pool's whole life.
         self._pool_coded = self._index._codec is not None
         self._pool_disabled = False
+        # Delta-maintained dirtiness bracket: per-component polynomial
+        # [matching, BYE] brackets keyed by member-id tuple, invalidated
+        # exactly like the component-reuse map, summed lazily so
+        # :meth:`status` never touches a solver.
+        self._bracket_by_key: Dict[Tuple[TupleId, ...], Tuple[float, float]] = {}
+        self._bracket_totals: Tuple[float, float] = (0.0, 0.0)
+        self._bracket_fresh = False
         self.stats = SessionStats()
         self.last_result: Optional[CleaningResult] = None
 
@@ -219,10 +363,15 @@ class RepairSession:
         return len(self._rows)
 
     def cache_size(self) -> int:
+        if self._shared_solutions is not None:
+            return len(self._shared_solutions)
         return len(self._solutions)
 
     def clear_cache(self) -> None:
-        """Drop all cached component repairs (they rebuild on demand)."""
+        """Drop all cached component repairs (they rebuild on demand).
+        On a shared cache this clears *every* session's entries."""
+        if self._shared_solutions is not None:
+            self._shared_solutions.clear()
         self._solutions.clear()
 
     # ------------------------------------------------------------------
@@ -318,12 +467,15 @@ class RepairSession:
             self._used_ids.add(tid)
         self._table = self._snapshot()
         self._index.reanchor(self._table)
+        self._bracket_fresh = False
         self.stats.appends += 1
         self.stats.tuples_appended += len(rows)
-        if self._pool is not None and self._pool.alive and rows:
+        if self._pool_ready and self._pool is not None and self._pool.alive and rows:
             delta_rows = self._mirror_rows(new_ids)
             delta_weights = dict(zip(new_ids, new_weights))
-            if not self._pool.broadcast(("append", delta_rows, delta_weights)):
+            if not self._pool.broadcast(
+                ("append", delta_rows, delta_weights), key=self._session_key
+            ):
                 self._drop_pool()
         return self.repair() if repair else None
 
@@ -346,10 +498,13 @@ class RepairSession:
             del self._weights[tid]
         self._table = self._snapshot()
         self._index.reanchor(self._table)
+        self._bracket_fresh = False
         self.stats.deletes += 1
         self.stats.tuples_deleted += len(ids)
-        if self._pool is not None and self._pool.alive and ids:
-            if not self._pool.broadcast(("delete", tuple(ids))):
+        if self._pool_ready and self._pool is not None and self._pool.alive and ids:
+            if not self._pool.broadcast(
+                ("delete", tuple(ids)), key=self._session_key
+            ):
                 self._drop_pool()
         return self.repair() if repair else None
 
@@ -371,6 +526,13 @@ class RepairSession:
         ]
         for key in stale:
             del self._component_reuse[key]
+        stale_brackets = [
+            key
+            for key in self._bracket_by_key
+            if not touched.isdisjoint(key)
+        ]
+        for key in stale_brackets:
+            del self._bracket_by_key[key]
 
     # ------------------------------------------------------------------
     # Repair
@@ -423,7 +585,19 @@ class RepairSession:
             tuple((tid, rows[tid], weights[tid]) for tid in member_ids),
         )
 
+    def _cache_lookup(self, key: Tuple) -> Optional[_CachedSolve]:
+        if self._shared_solutions is not None:
+            return self._shared_solutions.get((self._cache_scope, key))
+        entry = self._solutions.get(key)
+        if entry is not None:
+            # Refresh recency for the LRU eviction order.
+            self._solutions[key] = self._solutions.pop(key)
+        return entry
+
     def _cache_store(self, key: Tuple, entry: _CachedSolve) -> None:
+        if self._shared_solutions is not None:
+            self._shared_solutions.put((self._cache_scope, key), entry)
+            return
         self._solutions[key] = entry
         cap = self._max_cache_entries
         if cap is not None:
@@ -440,27 +614,71 @@ class RepairSession:
         return {tid: rows[tid] for tid in ids}
 
     def _ensure_pool(self):
-        from .exec import PersistentWorkerPool
+        if self._pool_disabled:
+            return None
+        if self._pool is None:
+            # Owned pool: created lazily from the ``parallel`` knob and
+            # bound to this session's namespace for its whole life.
+            from .exec import PersistentWorkerPool
 
-        if self._pool is None and not self._pool_disabled:
             pool = PersistentWorkerPool(
-                self._parallel, self._schema, self._fds, self._node_limit,
+                self._parallel, node_limit=self._node_limit,
                 budget_s=self._exact_budget_s,
             )
-            if pool.start() and pool.broadcast(
-                ("reset", self._mirror_rows(self._rows), dict(self._weights))
+            if (
+                pool.start()
+                and pool.open_session(
+                    self._session_key, self._schema, self._fds,
+                    node_limit=self._node_limit,
+                    budget_s=self._exact_budget_s,
+                )
+                and pool.broadcast(
+                    ("reset", self._mirror_rows(self._rows), dict(self._weights)),
+                    key=self._session_key,
+                )
             ):
                 self._pool = pool
+                self._pool_ready = True
             else:
                 pool.close()
                 self._pool_disabled = True
                 self.stats.pool_fallbacks += 1
-        return self._pool
+        elif not self._pool_ready:
+            # Shared pool: attach this session's mirror namespace; the
+            # full state ships once, deltas keep it synchronised.
+            ok = (
+                self._pool.start()
+                and self._pool.open_session(
+                    self._session_key, self._schema, self._fds,
+                    node_limit=self._node_limit,
+                    budget_s=self._exact_budget_s,
+                )
+                and self._pool.broadcast(
+                    ("reset", self._mirror_rows(self._rows), dict(self._weights)),
+                    key=self._session_key,
+                )
+            )
+            if ok:
+                self._pool_ready = True
+            else:
+                self._pool_disabled = True
+                self.stats.pool_fallbacks += 1
+                return None
+        if self._pool is not None and self._pool.alive:
+            return self._pool
+        return None
 
     def _drop_pool(self) -> None:
+        """Stop using the pool: close it when owned, detach the mirror
+        namespace when shared — a shared pool keeps serving its other
+        sessions."""
         if self._pool is not None:
-            self._pool.close()
+            if self._pool_owned:
+                self._pool.close()
+            elif self._pool_ready and self._pool.alive:
+                self._pool.drop_session(self._session_key)
             self._pool = None
+        self._pool_ready = False
         self._pool_disabled = True
         self.stats.pool_fallbacks += 1
 
@@ -478,16 +696,33 @@ class RepairSession:
         from .exec import _solve_s_kept
 
         solved: Dict[int, Tuple[Tuple[TupleId, ...], str]] = {}
-        if misses and self._parallel and self._parallel > 1 and len(misses) > 1:
+        # An owned pool pays off once a batch has ≥ 2 misses; a shared
+        # (daemon) pool is offloaded even for a single miss, so a slow
+        # solve runs in a worker process and the caller's thread only
+        # waits — keeping the daemon's event loop and every co-tenant
+        # session responsive.
+        want_pool = bool(misses) and (
+            not self._pool_owned
+            or (self._parallel is not None and self._parallel > 1
+                and len(misses) > 1)
+        )
+        if want_pool:
             pool = self._ensure_pool()
             if pool is not None:
                 try:
                     outcomes = pool.solve(
                         [(c.ids, method) for _i, c, method in misses],
                         timeout=self._pool_timeout,
+                        key=self._session_key,
                     )
                 except RuntimeError:
-                    self._drop_pool()
+                    if pool.alive:
+                        # One failed batch (worker-side exception or
+                        # timeout): re-solve serially below, keep the
+                        # pool for the next repair.
+                        self.stats.pool_fallbacks += 1
+                    else:
+                        self._drop_pool()
                 else:
                     for (i, _c, _m), outcome in zip(misses, outcomes):
                         solved[i] = outcome
@@ -526,12 +761,10 @@ class RepairSession:
         for i, (component, method) in enumerate(zip(decomp.components, methods)):
             key = self._component_key(method, component.ids)
             keys[i] = key
-            entry = self._solutions.get(key)
+            entry = self._cache_lookup(key)
             if entry is None:
                 misses.append((i, component, method))
             else:
-                # Refresh recency for the LRU eviction order.
-                self._solutions[key] = self._solutions.pop(key)
                 kept_lists[i] = entry.kept
                 lower_bounds[i] = entry.lower_bound
                 methods[i] = entry.method
@@ -558,13 +791,180 @@ class RepairSession:
         return result
 
     # ------------------------------------------------------------------
+    # Solver-free status: the delta-maintained dirtiness bracket
+    # ------------------------------------------------------------------
+    def _refresh_bracket(self) -> None:
+        """Bring the per-component bracket cache up to date.
+
+        Components whose member-id tuple survives from the last reading
+        keep their cached ``[matching, BYE]`` bracket (member content is
+        immutable while an id lives, and recycled ids invalidate their
+        components eagerly — the same contract the component-reuse map
+        relies on); only delta-touched components recompute, via one
+        polynomial matching + Bar-Yehuda–Even pass each.  Projections
+        are shared with :meth:`_decompose`'s reuse map, so a status
+        reading right after a repair touches nothing at all.
+        """
+        if self._bracket_fresh:
+            return
+        fresh: Dict[Tuple[TupleId, ...], Tuple[float, float]] = {}
+        lower = upper = 0.0
+        for ids in self._index.components():
+            key = tuple(ids)
+            entry = self._bracket_by_key.get(key)
+            if entry is None:
+                cached = self._component_reuse.get(key)
+                if cached is not None:
+                    subtable, subindex = cached[0].table, cached[0].index
+                else:
+                    subtable = self._table.subset(key)
+                    subindex = self._index.project(subtable, set(key))
+                entry = _bracket_component(subindex, subtable)
+            fresh[key] = entry
+            lower += entry[0]
+            upper += entry[1]
+        self._bracket_by_key = fresh
+        self._bracket_totals = (lower, upper)
+        self._bracket_fresh = True
+
+    def status(self) -> SessionStatus:
+        """A dirtiness snapshot served without touching any solver.
+
+        The bracket is the delta-maintained per-component polynomial
+        ``[matching lower bound, Bar-Yehuda–Even upper bound]`` sum —
+        the optimal deletion cost provably lies inside it — and every
+        other field reads O(1) bookkeeping.  A monitoring endpoint can
+        therefore poll ``status`` at any rate without ever queueing
+        behind (or triggering) exact solves.
+        """
+        self._refresh_bracket()
+        lower, upper = self._bracket_totals
+        return SessionStatus(
+            tuples=len(self._rows),
+            total_weight=self._table.total_weight(),
+            conflicts=self._index.num_edges,
+            conflicting_tuples=len(self._index.conflicting_tuples()),
+            components=len(self._bracket_by_key),
+            lower_bound=lower,
+            upper_bound=upper,
+            cache_entries=self.cache_size(),
+            repairs=self.stats.repairs,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation: eviction and rehydration
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """A picklable snapshot from which :meth:`restore` rebuilds an
+        equivalent session.
+
+        Engine *state* serialises — rows, weights (in insertion order,
+        which the mirrors and solvers observe), id-allocator bookkeeping,
+        options, stats, and the private component cache.  Process
+        *lifecycle* does not: pools and shared caches re-attach on
+        restore, and the conflict index, kernel view, and component
+        structures rebuild on demand (a rebuild equals the
+        live-maintained index by the PR-1/PR-3 algebra properties, so a
+        rehydrated session's repairs stay byte-identical to one that was
+        never evicted).  Sessions on a shared :class:`SolutionCache`
+        export no cache entries at all — their solves survive eviction
+        *in the cache itself*, which is the point of content addressing.
+        """
+        return {
+            "version": 1,
+            "schema": self._schema,
+            "name": self._name,
+            "fds": self._fds,
+            "rows": dict(self._rows),
+            "weights": dict(self._weights),
+            "used_ids": set(self._used_ids),
+            "next_auto_id": self._next_auto_id,
+            "options": {
+                "guarantee": self._guarantee,
+                "exact_threshold": self._threshold,
+                "exact_budget_s": self._exact_budget_s,
+                "parallel": self._parallel,
+                "node_limit": self._node_limit,
+                "max_cache_entries": self._max_cache_entries,
+                "pool_timeout": self._pool_timeout,
+            },
+            "solutions": (
+                dict(self._solutions) if self._shared_solutions is None else {}
+            ),
+            "stats": asdict(self.stats),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: Mapping[str, object],
+        *,
+        pool=None,
+        session_key: Optional[str] = None,
+        solutions: Optional[SolutionCache] = None,
+    ) -> "RepairSession":
+        """Rebuild a session from :meth:`export_state` output, attaching
+        it to the given (possibly shared) pool and solution cache."""
+        schema = tuple(state["schema"])
+        table = Table._from_trusted(
+            schema,
+            dict(state["rows"]),
+            dict(state["weights"]),
+            state["name"],
+            {a: i for i, a in enumerate(schema)},
+        )
+        session = cls(
+            table,
+            state["fds"],
+            pool=pool,
+            session_key=session_key,
+            solutions=solutions,
+            **state["options"],
+        )
+        session._used_ids |= set(state["used_ids"])
+        session._next_auto_id = max(
+            session._next_auto_id, int(state["next_auto_id"])
+        )
+        if solutions is None:
+            session._solutions.update(state["solutions"])
+        session.stats = SessionStats(**state["stats"])
+        return session
+
+    def approx_bytes(self) -> int:
+        """A cheap resident-memory estimate for admission control.
+
+        Counts the dominant structures — rows, the conflict index +
+        kernel view (both scale with the row count), and the private
+        component cache — at calibrated per-entry costs rather than
+        walking objects with ``sys.getsizeof`` (which would cost more
+        than the eviction decision it feeds).  Entries on a shared
+        :class:`SolutionCache` are accounted by the cache owner, not per
+        session.
+        """
+        arity = len(self._schema)
+        per_tuple = 120 + 64 * arity
+        index_factor = 3  # rows + live index + kernel/codec arrays
+        cached = (
+            0
+            if self._shared_solutions is not None
+            else len(self._solutions) * (160 + 48 * arity)
+        )
+        return 512 + len(self._rows) * per_tuple * index_factor + cached
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the worker pool (the session stays usable serially)."""
+        """Release the worker pool (the session stays usable serially).
+        An owned pool is stopped; a shared pool only sheds this
+        session's mirror namespace and keeps serving other sessions."""
         if self._pool is not None:
-            self._pool.close()
+            if self._pool_owned:
+                self._pool.close()
+            elif self._pool_ready and self._pool.alive:
+                self._pool.drop_session(self._session_key)
             self._pool = None
+        self._pool_ready = False
         self._pool_disabled = True
 
     def __enter__(self) -> "RepairSession":

@@ -1,0 +1,738 @@
+"""The multi-tenant repair daemon: protocol, manager, and server.
+
+The daemon's load-bearing contract extends the session's: every
+``(tenant, session)`` stream served concurrently over one shared worker
+pool and one shared solution cache yields repairs byte-identical to an
+isolated :class:`~repro.session.RepairSession` replaying the same
+deltas alone.  Admission control, LRU eviction + rehydration, and the
+solver-free ``status`` bracket are pinned alongside, plus the pool
+lifecycle regressions this PR fixes (a dead worker fails fast; shutdown
+drains queues and repeated ``close()`` never blocks).
+"""
+
+import asyncio
+import json
+import pickle
+import random
+import time
+
+import pytest
+
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.exec import PersistentWorkerPool
+from repro.io.tables import table_to_csv
+from repro.pipeline import clean
+from repro.protocol import (
+    ProtocolError,
+    Request,
+    apply_session_op,
+    decode_line,
+    encode,
+    result_summary,
+)
+from repro.server import RepairServer, ServerConfig, SessionManager
+from repro.session import RepairSession, SolutionCache
+from repro.testing import random_small_table
+
+SCHEMA = ("A", "B", "C")
+
+
+def _pool_available():
+    pool = PersistentWorkerPool(1, SCHEMA, FDSet("A -> B"))
+    try:
+        return pool.start()
+    finally:
+        pool.close()
+
+
+def _table(rows, weights=None):
+    return Table.from_rows(SCHEMA, rows, weights=weights)
+
+
+def _assert_identical(result, expected):
+    assert result.cleaned == expected.cleaned
+    assert result.distance == expected.distance
+    assert result.method == expected.method
+    assert result.report == expected.report
+    assert table_to_csv(result.cleaned) == table_to_csv(expected.cleaned)
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_decode_rejects_bad_json_and_non_objects(self):
+        with pytest.raises(ProtocolError):
+            decode_line("not json")
+        with pytest.raises(ProtocolError):
+            decode_line("[1, 2]")
+        assert decode_line('{"op": "ping"}') == {"op": "ping"}
+
+    def test_request_envelope_validation(self):
+        with pytest.raises(ProtocolError, match="missing op"):
+            Request({})
+        with pytest.raises(ProtocolError, match="unknown op"):
+            Request({"op": "mystery"})
+        with pytest.raises(ProtocolError, match="needs a tenant"):
+            Request({"op": "repair"})
+        with pytest.raises(ProtocolError, match="needs a session"):
+            Request({"op": "repair", "tenant": "t"})
+        req = Request({"op": "ping"})  # daemon ops need no addressing
+        assert req.key is None
+
+    def test_reply_echoes_addressing(self):
+        req = Request(
+            {"op": "status", "tenant": "t", "session": "s", "seq": 42}
+        )
+        reply = req.reply(tuples=3)
+        assert reply == {
+            "ok": True, "op": "status", "tenant": "t", "session": "s",
+            "seq": 42, "tuples": 3,
+        }
+        err = req.error("nope")
+        assert err["ok"] is False and err["error"] == "nope"
+        # encode() emits exactly one JSON line.
+        line = encode(reply)
+        assert line.endswith("\n") and json.loads(line) == reply
+
+    def test_apply_session_op_matches_direct_calls(self):
+        fds = FDSet("A -> B")
+        session = RepairSession(_table([("a", "x", "p")]), fds)
+        fields = apply_session_op(
+            session, "append", {"rows": [["a", "y", "p"]]}
+        )
+        assert fields["applied"] == 1 and fields["distance"] == 1.0
+        fields = apply_session_op(session, "status", {})
+        assert fields["conflicts"] == 1
+        fields = apply_session_op(session, "assess", {})
+        assert fields["lower_bound"] == fields["upper_bound"] == 1.0
+        with pytest.raises(ProtocolError):
+            apply_session_op(session, "append", {"rows": 5})
+        with pytest.raises(ProtocolError):
+            apply_session_op(session, "delete", {"ids": [999]})
+        # Payload errors leave the session intact and usable.
+        assert apply_session_op(session, "repair", {})["distance"] == 1.0
+
+    def test_result_summary_reports_deleted_ids(self):
+        fds = FDSet("A -> B")
+        session = RepairSession(
+            _table([("a", "x", "p"), ("a", "y", "p")], weights=[2.0, 1.0]),
+            fds,
+        )
+        summary = result_summary(session.repair(), session.table)
+        assert summary["deleted_ids"] == [2]  # the lighter tuple
+
+
+# ---------------------------------------------------------------------------
+# SessionManager: admission, accounting, eviction, rehydration
+# ---------------------------------------------------------------------------
+
+def _manager(**overrides):
+    defaults = dict(workers=0, executor_threads=2)
+    defaults.update(overrides)
+    return SessionManager(ServerConfig(**defaults))
+
+
+def _open(manager, tenant, name, **payload):
+    payload.setdefault("schema", list(SCHEMA))
+    payload.setdefault("fds", "A -> B")
+    return manager.open(tenant, name, payload)
+
+
+class TestSessionManager:
+    def test_open_run_close_roundtrip(self):
+        manager = _manager()
+        try:
+            fields = _open(manager, "t1", "s1")
+            assert fields["opened"] and fields["tuples"] == 0
+            entry = manager.entry("t1", "s1")
+            fields = manager.run_op(
+                entry, "append", {"rows": [["a", "x", "p"], ["a", "y", "p"]]}
+            )
+            assert fields["distance"] == 1.0
+            assert manager.stats()["tenant_bytes"]["t1"] > 0
+            assert manager.close("t1", "s1") == {"closed": True}
+            with pytest.raises(ProtocolError, match="no open session"):
+                manager.entry("t1", "s1")
+            assert manager.stats()["tenant_bytes"] == {}
+        finally:
+            manager.shutdown()
+
+    def test_admission_limits(self):
+        manager = _manager(
+            max_sessions=3, max_tenant_sessions=2, max_tenant_bytes=1
+        )
+        try:
+            _open(manager, "t1", "a")
+            # t1 now holds ≥ 1 byte, over its (tiny) budget.
+            with pytest.raises(ProtocolError, match="memory budget"):
+                _open(manager, "t1", "b")
+            _open(manager, "t2", "a")
+            with pytest.raises(ProtocolError, match="already open"):
+                _open(manager, "t2", "a")
+            _open(manager, "t3", "a")
+            with pytest.raises(ProtocolError, match="session limit"):
+                _open(manager, "t4", "a")
+        finally:
+            manager.shutdown()
+
+    def test_tenant_session_limit(self):
+        manager = _manager(max_tenant_sessions=2)
+        try:
+            _open(manager, "t1", "a")
+            _open(manager, "t1", "b")
+            with pytest.raises(ProtocolError, match="tenant .* session limit"):
+                _open(manager, "t1", "c")
+            _open(manager, "t2", "a")  # other tenants unaffected
+        finally:
+            manager.shutdown()
+
+    def test_open_rejects_bad_payloads(self):
+        manager = _manager()
+        try:
+            with pytest.raises(ProtocolError, match="schema"):
+                manager.open("t", "s", {"fds": "A -> B"})
+            with pytest.raises(ProtocolError, match="fds"):
+                manager.open("t", "s", {"schema": ["A"]})
+            with pytest.raises(ProtocolError):
+                _open(manager, "t", "s", fds="A -> ")  # unparsable
+            # Failed opens release their reserved slot.
+            _open(manager, "t", "s")
+        finally:
+            manager.shutdown()
+
+    def test_eviction_and_rehydration_byte_identical(self):
+        rng = random.Random(11)
+        table = random_small_table(rng, SCHEMA, 30, domain=2, weighted=True)
+        fds = FDSet("A -> B; B -> C")
+        manager = _manager(max_resident=1)
+        try:
+            _open(manager, "t", "a", fds="A -> B; B -> C")
+            entry_a = manager.entry("t", "a")
+            rows = [list(r) for r in table.rows().values()]
+            weights = list(table.weights().values())
+            manager.run_op(
+                entry_a, "append",
+                {"rows": rows, "weights": weights, "repair": False},
+            )
+            manager.run_op(entry_a, "repair", {})
+            _open(manager, "t", "b")
+            manager.evict_to_limit()
+            stats = manager.stats()
+            assert stats["resident"] == 1 and stats["frozen"] == 1
+            assert entry_a.live is None and entry_a.frozen is not None
+            # Rehydration is transparent: the next op rebuilds the
+            # session and its repair equals a from-scratch clean.
+            fields = manager.run_op(entry_a, "repair", {})
+            assert manager.stats()["rehydrations"] == 1
+            fresh = Table(SCHEMA, entry_a.live.table.rows(),
+                          entry_a.live.table.weights())
+            assert fields["distance"] == clean(fresh, fds).distance
+            _assert_identical(entry_a.live.last_result, clean(fresh, fds))
+        finally:
+            manager.shutdown()
+
+    def test_eviction_skips_locked_sessions(self):
+        manager = _manager(max_resident=0)
+        try:
+            _open(manager, "t", "a")
+            entry = manager.entry("t", "a")
+
+            async def check():
+                async with entry.lock:
+                    assert manager.evict_to_limit() == 0
+                assert manager.evict_to_limit() == 1
+
+            asyncio.run(check())
+            assert entry.frozen is not None
+        finally:
+            manager.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        manager = _manager()
+        _open(manager, "t", "a")
+        manager.shutdown()
+        manager.shutdown()
+        with pytest.raises(ProtocolError):
+            _open(manager, "t", "b")
+
+
+# ---------------------------------------------------------------------------
+# Session serialisation and the solver-free status bracket
+# ---------------------------------------------------------------------------
+
+class TestSessionState:
+    def test_export_restore_byte_identical(self):
+        rng = random.Random(5)
+        table = random_small_table(rng, SCHEMA, 40, domain=2, weighted=True)
+        fds = FDSet("A -> B; B -> C")
+        session = RepairSession(table, fds)
+        session.repair()
+        session.append([("q", "q", "q"), ("q", "r", "r")], repair=False)
+        blob = pickle.dumps(session.export_state())
+        restored = RepairSession.restore(pickle.loads(blob))
+        _assert_identical(restored.repair(), session.repair())
+        # The id allocator survives: no clashes with pre-snapshot ids.
+        restored.append([("z", "z", "z")], repair=False)
+        assert len(restored) == len(session) + 1
+
+    def test_restore_onto_shared_cache_serves_hits(self):
+        table = _table([("a", "x", "p"), ("a", "y", "p")])
+        fds = FDSet("A -> B")
+        shared = SolutionCache()
+        donor = RepairSession(table, fds, solutions=shared)
+        donor.repair()
+        state = RepairSession(table, fds).export_state()
+        restored = RepairSession.restore(state, solutions=shared)
+        restored.repair()
+        # The restored session's solve was served by the donor's entry.
+        assert restored.stats.cache_hits == 1
+        assert restored.stats.cache_misses == 0
+
+    def test_status_never_touches_a_solver(self, monkeypatch):
+        import repro.exec as exec_mod
+
+        table = _table(
+            [("a", "x", "p"), ("a", "y", "p"), ("b", "z", "q"),
+             ("b", "w", "q")]
+        )
+        session = RepairSession(table, FDSet("A -> B"))
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - must not run
+            raise AssertionError("status touched a solver")
+
+        monkeypatch.setattr(exec_mod, "_solve_s_kept", boom)
+        status = session.status()
+        assert status.conflicts == 2 and status.components == 2
+        assert status.lower_bound == status.upper_bound == 2.0
+        assert not status.consistent
+
+    def test_status_bracket_tracks_deltas(self):
+        session = RepairSession(_table([]), FDSet("A -> B"))
+        assert session.status().consistent
+        session.append([("a", "x", "p"), ("a", "y", "p")], repair=False)
+        status = session.status()
+        assert status.conflicts == 1
+        assert status.lower_bound <= 1.0 <= status.upper_bound
+        session.delete([1], repair=False)
+        assert session.status().consistent
+        # The bracket always contains the realised optimal distance.
+        session.append(
+            [("c", 1, 1), ("c", 2, 2), ("c", 3, 3)], repair=False
+        )
+        status = session.status()
+        result = session.repair()
+        assert status.lower_bound <= result.distance <= status.upper_bound
+
+
+# ---------------------------------------------------------------------------
+# The daemon: ≥ 8 concurrent sessions, byte-identical to isolated runs
+# ---------------------------------------------------------------------------
+
+def _tenant_workload(seed, batches=4, rows_per_batch=6):
+    """Deterministic per-tenant delta script: mixed appends/deletes."""
+    rng = random.Random(seed)
+    script = []
+    live = []
+    next_id = 1
+    for _ in range(batches):
+        rows = [
+            [rng.choice("ab"), rng.choice("xy"), rng.choice("pq")]
+            for _ in range(rows_per_batch)
+        ]
+        ids = list(range(next_id, next_id + len(rows)))
+        next_id += len(rows)
+        live.extend(ids)
+        script.append(("append", {"rows": rows, "ids": ids}))
+        if len(live) > 8 and rng.random() < 0.7:
+            victims = rng.sample(live, 3)
+            for v in victims:
+                live.remove(v)
+            script.append(("delete", {"ids": victims}))
+    script.append(("repair", {}))
+    return script
+
+
+def _isolated_results(fds_text, script):
+    """Replay one tenant's script on a private session, no pool."""
+    session = RepairSession(_table([]), FDSet(fds_text))
+    outcomes = []
+    for op, payload in script:
+        outcomes.append(apply_session_op(session, op, dict(payload)))
+    final = session.last_result
+    return outcomes, table_to_csv(final.cleaned), final
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_daemon_sessions_byte_identical_to_isolated(workers):
+    if workers and not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    fds_text = "A -> B; B -> C"
+    tenants = [f"tenant-{i}" for i in range(8)]
+    scripts = {t: _tenant_workload(seed) for seed, t in enumerate(tenants)}
+    expected = {
+        t: _isolated_results(fds_text, scripts[t]) for t in tenants
+    }
+
+    manager = SessionManager(
+        ServerConfig(workers=workers, executor_threads=8, max_resident=4)
+    )
+    server = RepairServer(manager)
+
+    async def drive():
+        port = await server.serve_tcp()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        lock = asyncio.Lock()
+        waiters = {}
+
+        async def dispatch():
+            # Responses interleave across sessions; one reader task
+            # routes each back to its caller by the echoed seq.
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                reply = json.loads(line)
+                waiter = waiters.pop(reply.get("seq"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(reply)
+
+        dispatcher = asyncio.create_task(dispatch())
+
+        async def rpc(obj):
+            fut = asyncio.get_running_loop().create_future()
+            waiters[obj["seq"]] = fut
+            async with lock:
+                writer.write((json.dumps(obj) + "\n").encode())
+                await writer.drain()
+            return await fut
+
+        async def run_tenant(tenant):
+            got = []
+            await rpc({
+                "op": "open", "tenant": tenant, "session": "s",
+                "seq": f"{tenant}-open", "schema": list(SCHEMA),
+                "fds": fds_text,
+            })
+            for i, (op, payload) in enumerate(scripts[tenant]):
+                reply = await rpc({
+                    "op": op, "tenant": tenant, "session": "s",
+                    "seq": f"{tenant}-{i}", **payload,
+                })
+                assert reply["ok"], reply
+                got.append(reply)
+            return got
+
+        # Interleave all tenants' scripts concurrently (the shared
+        # connection serialises writes; the daemon interleaves work).
+        results = await asyncio.gather(*(run_tenant(t) for t in tenants))
+        stats = await rpc({"op": "stats", "seq": "stats"})
+        await rpc({"op": "shutdown", "seq": "bye"})
+        writer.close()
+        dispatcher.cancel()
+        await server.wait_closed()
+        return dict(zip(tenants, results)), stats
+
+    got, stats = asyncio.run(drive())
+    for tenant in tenants:
+        outcomes, _csv, final = expected[tenant]
+        for reply, exp in zip(got[tenant], outcomes):
+            for field in ("distance", "conflicts", "components", "applied"):
+                if field in exp:
+                    assert reply[field] == exp[field], (tenant, reply, exp)
+        # The daemon's final repair distance equals the isolated run's.
+        assert got[tenant][-1]["distance"] == final.distance
+    # All eight rode one manager; identical content means shared-cache
+    # traffic (every tenant's workload draws from the same tiny domain).
+    assert stats["sessions"] == 8
+    assert stats["cache_hits"] > 0
+    if workers:
+        assert stats["pool_alive"] and stats["pool_workers"] == workers
+
+
+def test_daemon_error_responses_keep_connection_alive():
+    manager = SessionManager(ServerConfig(workers=0, executor_threads=2))
+    server = RepairServer(manager)
+
+    async def drive():
+        port = await server.serve_tcp()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def rpc(text):
+            writer.write((text + "\n").encode())
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        assert not (await rpc("garbage"))["ok"]
+        assert not (await rpc('{"op": "mystery"}'))["ok"]
+        reply = await rpc(
+            '{"op": "repair", "tenant": "t", "session": "nope"}'
+        )
+        assert not reply["ok"] and "no open session" in reply["error"]
+        # The connection (and daemon) survive all of the above.
+        assert (await rpc('{"op": "ping"}'))["pong"]
+        await rpc('{"op": "shutdown"}')
+        writer.close()
+        await server.wait_closed()
+
+    asyncio.run(drive())
+
+
+def test_daemon_pipelined_ops_queue_behind_open():
+    """A client that pipelines ops without awaiting replies (the stdio
+    transport's natural shape) must see them queue behind the in-flight
+    ``open`` on the session lock — not race the construction and crash
+    on a half-built entry.  Ops stranded behind a *failed* open get a
+    clean 'is not open' error, and the connection survives."""
+    manager = SessionManager(ServerConfig(workers=0, executor_threads=2))
+    server = RepairServer(manager)
+
+    async def drive():
+        port = await server.serve_tcp()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        def send(obj):
+            writer.write((json.dumps(obj) + "\n").encode())
+
+        # Burst 1: open + append + status written before reading any
+        # reply.  Replies may interleave; correlate by seq.
+        send({"op": "open", "tenant": "t", "session": "s", "seq": 1,
+              "schema": ["A", "B"], "fds": "A -> B"})
+        send({"op": "append", "tenant": "t", "session": "s", "seq": 2,
+              "rows": [["a", "x"], ["a", "y"], ["b", "z"]]})
+        send({"op": "status", "tenant": "t", "session": "s", "seq": 3})
+        await writer.drain()
+        replies = {}
+        for _ in range(3):
+            reply = json.loads(await reader.readline())
+            replies[reply["seq"]] = reply
+        assert replies[1]["ok"] and replies[1]["opened"]
+        assert replies[2]["ok"] and replies[2]["distance"] == 1.0
+        assert replies[3]["ok"] and replies[3]["conflicts"] == 1
+
+        # Burst 2: ops pipelined behind an open that fails admission-
+        # -side construction (bad fds) — each gets a reply, the ops a
+        # clean "is not open", and the daemon stays up.
+        send({"op": "open", "tenant": "t", "session": "s2", "seq": 4,
+              "schema": ["A", "B"], "fds": "not an fd"})
+        send({"op": "repair", "tenant": "t", "session": "s2", "seq": 5})
+        await writer.drain()
+        replies = {}
+        for _ in range(2):
+            reply = json.loads(await reader.readline())
+            replies[reply["seq"]] = reply
+        assert not replies[4]["ok"]
+        assert not replies[5]["ok"]
+        assert (
+            "is not open" in replies[5]["error"]
+            or "no open session" in replies[5]["error"]
+        )
+        assert (await _rpc(reader, writer, {"op": "ping"}))["pong"]
+        await _rpc(reader, writer, {"op": "shutdown"})
+        writer.close()
+        await server.wait_closed()
+
+    asyncio.run(drive())
+
+
+async def _rpc(reader, writer, obj):
+    writer.write((json.dumps(obj) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle regressions
+# ---------------------------------------------------------------------------
+
+def test_killed_worker_fails_fast_and_repair_survives():
+    """A worker killed mid-stream must not stall ``solve`` for the full
+    timeout: the collector reaps the corpse within its poll interval,
+    the call raises, and the session's serial fallback still produces a
+    byte-identical repair — promptly."""
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    # Disjoint value spaces per group → several conflict components, so
+    # the first repair has > 1 miss and actually spins the pool up.
+    rows = []
+    for g in range(6):
+        rows += [
+            (f"a{g}", f"x{g}", "p"),
+            (f"a{g}", f"y{g}", "p"),
+            (f"b{g}", f"y{g}", "q"),
+        ]
+    table = _table(rows)
+    fds = FDSet("A -> B; B -> C")
+    session = RepairSession(table, fds, parallel=2, pool_timeout=120.0)
+    try:
+        session.repair()  # warm the pool
+        pool = session._pool
+        if pool is None:
+            pytest.skip("pool did not start")
+        for proc in pool._procs:
+            proc.terminate()
+        for proc in pool._procs:
+            proc.join(timeout=5.0)
+        session.append([("z", 1, 1), ("z", 2, 2)], repair=False)
+        start = time.monotonic()
+        result = session.repair()
+        elapsed = time.monotonic() - start
+        # Fail-fast: nowhere near the 120 s get-timeout of old.
+        assert elapsed < 20.0, f"dead-worker stall: {elapsed:.1f}s"
+        fresh = Table(SCHEMA, session.table.rows(), session.table.weights())
+        _assert_identical(result, clean(fresh, fds, parallel=2))
+    finally:
+        session.close()
+
+
+def test_pool_solve_raises_promptly_when_workers_die():
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    fds = FDSet("A -> B")
+    pool = PersistentWorkerPool(2, SCHEMA, fds)
+    assert pool.start()
+    try:
+        rows = {i: ("a", str(i), "p") for i in range(1, 11)}
+        weights = {i: 1.0 for i in rows}
+        assert pool.broadcast(("reset", rows, weights))
+        for proc in pool._procs:
+            proc.terminate()
+        for proc in pool._procs:
+            proc.join(timeout=5.0)
+        start = time.monotonic()
+        with pytest.raises(RuntimeError):
+            pool.solve([(tuple(rows), "exact")], timeout=120.0)
+        assert time.monotonic() - start < 10.0
+        assert not pool.alive
+    finally:
+        pool.close()
+
+
+def test_pool_shutdown_drains_and_repeated_close_is_nonblocking():
+    """Queued solve work left behind by a failed batch must not wedge
+    shutdown: ``_shutdown`` drains every queue and cancels feeder
+    threads, so ``close()`` — called any number of times, including via
+    ``__del__`` — returns promptly."""
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    fds = FDSet("A -> B")
+    pool = PersistentWorkerPool(2, SCHEMA, fds)
+    assert pool.start()
+    rows = {i: ("a", str(i), "p") for i in range(1, 40)}
+    weights = {i: 1.0 for i in rows}
+    assert pool.broadcast(("reset", rows, weights))
+    # Enqueue a pile of work and close without collecting any of it:
+    # items are still queued, results may be mid-flight.
+    ids = tuple(rows)
+    for inq in pool._inqs:
+        for _ in range(10):
+            inq.put(("solve", 10_000, "", ids, "approx"))
+    start = time.monotonic()
+    pool.close()
+    first = time.monotonic() - start
+    assert first < 10.0, f"close blocked {first:.1f}s"
+    for _ in range(3):
+        start = time.monotonic()
+        pool.close()
+        assert time.monotonic() - start < 0.1
+    assert not pool.alive
+    # __del__ after close must be a no-op, not a hang or a traceback.
+    pool.__del__()
+
+
+def test_pool_namespaces_isolate_sessions():
+    """Two sessions with different Δ share one pool; each namespace
+    solves under its own FD set and mirrors its own deltas."""
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    pool = PersistentWorkerPool(1)
+    assert pool.start()
+    try:
+        fds_a = FDSet("A -> B")
+        fds_b = FDSet("B -> C")
+        assert pool.open_session("one", SCHEMA, fds_a)
+        assert pool.open_session("two", SCHEMA, fds_b)
+        rows = {1: ("a", "x", "p"), 2: ("a", "y", "p")}
+        weights = {1: 2.0, 2: 1.0}
+        assert pool.broadcast(("reset", rows, weights), key="one")
+        # Same rows violate A -> B but satisfy B -> C.
+        assert pool.broadcast(("reset", rows, weights), key="two")
+        [(kept_a, _)] = pool.solve([((1, 2), "exact")], key="one")
+        assert kept_a == (1,)  # heavier tuple wins under A -> B
+        [(kept_b, _)] = pool.solve([((1, 2), "exact")], key="two")
+        assert kept_b == (1, 2)  # consistent under B -> C: keep both
+        assert pool.drop_session("two")
+        # Namespace "one" is unaffected by dropping "two".
+        [(kept_a2, _)] = pool.solve([((1, 2), "exact")], key="one")
+        assert kept_a2 == (1,)
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI: fdrepair stream survives malformed batches
+# ---------------------------------------------------------------------------
+
+MIXED_BATCHES = [
+    '{"op": "append", "rows": [["a", "x", "p"], ["a", "y", "p"]]}',
+    "this is not JSON",
+    '{"op": "frobnicate"}',
+    '{"op": "append", "rows": 5}',
+    '{"op": "delete", "ids": [999]}',
+    '{"op": "append", "rows": [["b", "z", "q"]]}',
+    '{"op": "repair"}',
+]
+
+
+def test_cli_stream_survives_malformed_batches(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    batches = tmp_path / "mix.jsonl"
+    batches.write_text("\n".join(MIXED_BATCHES) + "\n", encoding="utf-8")
+    out = tmp_path / "final.csv"
+    code = cli_main([
+        "stream", "A -> B", str(batches),
+        "--schema", "A,B,C", "--out", str(out),
+    ])
+    captured = capsys.readouterr()
+    # Rejected batches make the exit nonzero, but the stream survived:
+    # later valid batches ran and the final table was written.
+    assert code == 1
+    assert "batch 2: bad JSON" in captured.err
+    assert "batch 3: unknown op 'frobnicate'" in captured.err
+    assert "batch 4" in captured.err
+    assert "batch 5" in captured.err
+    assert "4 batches rejected" in captured.err
+    assert "batch 6: append" in captured.out
+    assert "batch 7: repair" in captured.out
+    text = out.read_text(encoding="utf-8")
+    assert text.startswith("id,A,B,C,weight")
+    assert "b,z,q" in text  # batch 6 made it in despite 4 rejections
+
+    # A fully-valid stream still exits 0.
+    batches.write_text(
+        '{"op": "append", "rows": [["a", "x", "p"]]}\n', encoding="utf-8"
+    )
+    assert cli_main([
+        "stream", "A -> B", str(batches), "--schema", "A,B,C",
+    ]) == 0
+
+
+def test_cli_stream_strict_restores_abort(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    batches = tmp_path / "mix.jsonl"
+    batches.write_text("\n".join(MIXED_BATCHES) + "\n", encoding="utf-8")
+    out = tmp_path / "final.csv"
+    code = cli_main([
+        "stream", "A -> B", str(batches),
+        "--schema", "A,B,C", "--strict", "--out", str(out),
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "batch 2: bad JSON" in captured.err
+    # Strict mode aborts at the first bad batch: nothing later ran.
+    assert "batch 6" not in captured.out
+    assert not out.exists()
