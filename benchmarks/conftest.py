@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import statistics
 import time
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.testing import (  # noqa: F401 — re-exported for bench modules
     DELTA_A_IFF_B_TO_C,
@@ -45,8 +46,30 @@ __all__ = [
     "random_small_table",
     "measure_median",
     "measure_best",
+    "bench_environment",
     "record_bench",
 ]
+
+
+def bench_environment() -> Dict[str, object]:
+    """The environment fingerprint stamped into every ``BENCH_*.json``.
+
+    The CI regression gate compares fresh results against committed
+    baselines; a comparison across different Python versions or with the
+    kernel toggled measures the environment, not the change under test.
+    Stamping the fingerprint lets the gate *skip* (rather than fail)
+    cross-environment comparisons: python ``major.minor`` and the kernel
+    flag must match for the gate to judge, CPU count mismatches only
+    warn (they move absolute times but rarely flip a within-run
+    speedup).
+    """
+    from repro.core import kernel
+
+    return {
+        "python": ".".join(platform.python_version_tuple()[:2]),
+        "cpu_count": os.cpu_count(),
+        "kernel": kernel.enabled(),
+    }
 
 
 def measure_median(fn: Callable, repeats: int = 3) -> Tuple[object, float, list]:
@@ -99,7 +122,10 @@ def record_bench(
     suite's headline seconds for that configuration (historically a
     median, best-of-5 for the gated benches since the measure_best
     switch; the field name stays put so the CI perf trajectory remains
-    one series) — plus whatever context the benchmark adds.
+    one series) — plus whatever context the benchmark adds.  Every
+    write refreshes the file's ``environment`` stamp
+    (:func:`bench_environment`) so the regression gate can recognise —
+    and skip — cross-environment comparisons.
     """
     path = os.path.join(os.environ.get("BENCH_JSON_DIR", "."), json_name)
     try:
@@ -107,6 +133,7 @@ def record_bench(
             data = json.load(handle)
     except (OSError, ValueError):
         data = {}
+    data["environment"] = bench_environment()
     results = data.setdefault("results", {})
     entry = {"median_s": round(median_s, 6)}
     if runs_s is not None:

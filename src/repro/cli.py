@@ -107,12 +107,26 @@ def _add_exact_budget_option(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         default=None,
         help=(
-            "wall-clock escape hatch per exact vertex-cover solve: a "
-            "component whose branch & bound runs longer falls back to "
-            "the 2-approximation (default: unlimited); pair with a "
-            "raised --exact-threshold.  Bounds deletion repairs and "
-            "assessment brackets; u-repair's update search has its own "
-            "node budget"
+            "global exact-solve budget in wall-clock seconds: components "
+            "are ranked by predicted branch & bound difficulty and "
+            "solved exactly easiest-first while the predicted spend "
+            "fits; the rest fall to the LP-bracketed 2-approximation "
+            "up front (default: unlimited).  Bounds deletion repairs "
+            "and assessment brackets; u-repair's update search has its "
+            "own node budget"
+        ),
+    )
+    parser.add_argument(
+        "--per-component-budget",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "wall-clock ceiling per exact vertex-cover solve — the "
+            "historical semantics of --exact-budget: a component whose "
+            "branch & bound runs longer falls back to the "
+            "2-approximation; combinable with --exact-budget, which "
+            "then additionally caps each scheduled slice"
         ),
     )
 
@@ -171,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=None,
         help="bracket components of at most N tuples exactly (default 128)",
+    )
+    p_assess.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the report as JSON, including one record per conflict "
+            "component with its predicted difficulty, scheduled bracket "
+            "method, and bracket source (matching / lp / exact)"
+        ),
     )
     _add_exact_budget_option(p_assess)
     _add_kernel_option(p_assess)
@@ -356,8 +379,32 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         decomposed=args.decomposed,
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
+        per_component_budget_s=args.per_component_budget,
+        detailed=args.json,
     )
-    print(report.summary())
+    if args.json:
+        from dataclasses import asdict
+
+        payload = {
+            "total_tuples": report.total_tuples,
+            "total_weight": report.total_weight,
+            "conflict_count": report.conflict_count,
+            "conflicting_tuples": report.conflicting_tuples,
+            "lower_bound": report.lower_bound,
+            "upper_bound": report.upper_bound,
+            "complexity": report.complexity,
+            "consistent": report.consistent,
+            "dirtiness_fraction": report.dirtiness_fraction,
+            "component_count": report.component_count,
+            "largest_component": report.largest_component,
+            "exact_components": report.exact_components,
+            "components": [
+                asdict(detail) for detail in report.component_details or ()
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return 0
 
 
@@ -396,6 +443,7 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
         parallel=args.parallel,
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
+        per_component_budget_s=args.per_component_budget,
     )
 
 
@@ -491,6 +539,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
+        per_component_budget_s=args.per_component_budget,
     ) as session:
         result = session.repair()
         if not args.quiet:

@@ -464,21 +464,27 @@ class ConflictIndex:
 
         A pristine kernel-built index answers from the CSR arrays (row
         index *is* table position, so ascending row order is table order
-        and the listing is identical).  Once the view is patched the
-        sweep below takes over: an alive-filtered array walk would be
-        Python-level work per neighbour, while the sweep's
-        set-difference frontier runs at C speed — the arrays keep
-        serving the paths where they do win (BYE, greedy,
-        maximalisation, edge iteration), and
+        and the listing is identical).  A **patched** view stays
+        array-native too:
+        :func:`~repro.core.kernel.components_csr_patched` walks the CSR
+        slices merged with the overflow adjacency under byte-flag
+        alive/seen filters, rooted at the index's live conflicting rows
+        (construction-time roots are stale after mutations, which is why
         :func:`~repro.core.kernel.components_csr` refuses patched views
-        outright so a stale array sweep cannot be reached by accident.
+        outright).  The dict sweep below remains the reference and the
+        ``--no-kernel`` path.
         """
         kern = self._kernel_view()
-        if kern is not None and not kern.patched:
+        if kern is not None:
             ids = kern.codec.ids
+            if not kern.patched:
+                row_components = _kernel.components_csr(kern)
+            else:
+                row_index = kern.codec.row_index
+                roots = sorted(row_index[tid] for tid in self._conflicting)
+                row_components = _kernel.components_csr_patched(kern, roots)
             return [
-                [ids[i] for i in members]
-                for members in _kernel.components_csr(kern)
+                [ids[i] for i in members] for members in row_components
             ]
         position = self._position
         adj = self._adj
@@ -710,6 +716,45 @@ class ConflictIndex:
         from ..graphs.vertex_cover import _matching_lower_bound
 
         return _matching_lower_bound(self)
+
+    def lp_lower_bound(self) -> Optional[float]:
+        """LP-relaxation lower bound on the deletion cost, or ``None``.
+
+        The half-integral vertex-cover LP optimum over the live conflict
+        graph (see :func:`~repro.core.kernel.lp_half_integral_bound`):
+        always ≥ the matching bound and ≤ the exact optimum, so
+        ``max(matching, LP)`` is a strictly tighter-or-equal bracket
+        floor — strictly tighter exactly on components whose matching
+        bound is not LP-optimal (odd cycles being the canonical case).
+
+        ``None`` past :data:`~repro.core.kernel.LP_BOUND_MAX_VERTICES`
+        live tuples, where the flow computation stops paying for itself
+        — callers keep the matching bound.  Vertices are numbered by
+        live (table) order on both the mask-view and dict arms, and the
+        shared core sorts the edge list, so kernel-backed and reference
+        indexes return the bit-identical float.
+        """
+        n = len(self._live)
+        if n > _kernel.LP_BOUND_MAX_VERTICES:
+            return None
+        if self._num_edges == 0:
+            return 0.0
+        view = self._mask_view()
+        if view is not None:
+            _members, weights, masks = view
+            edge_list = []
+            for i, mask in enumerate(masks):
+                forward = (mask >> (i + 1)) << (i + 1)
+                while forward:
+                    low = forward & -forward
+                    forward ^= low
+                    edge_list.append((i, low.bit_length() - 1))
+            return _kernel.lp_half_integral_bound(weights, edge_list)
+        members = list(self._live)
+        rank = {tid: i for i, tid in enumerate(members)}
+        weights = [self._live[tid] for tid in members]
+        edge_list = [(rank[u], rank[v]) for u, v in self.edges()]
+        return _kernel.lp_half_integral_bound(weights, edge_list)
 
     # ------------------------------------------------------------------
     # Incremental maintenance

@@ -38,6 +38,7 @@ for the exact per-component brackets of :func:`repro.pipeline.assess`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -46,11 +47,21 @@ from .fd import FDSet
 from .table import Table, TupleId
 
 __all__ = [
+    "DEFAULT_NODE_LIMIT",
+    "DIFFICULTY_UNIT_COST_S",
     "EXACT_COMPONENT_THRESHOLD",
     "Component",
+    "ComponentFeatures",
+    "ComponentPlan",
     "Decomposition",
+    "PlanDefaults",
+    "component_features",
     "decompose",
     "plan_s_method",
+    "plan_schedule",
+    "polynomial_bracket",
+    "predict_difficulty",
+    "resolve_plan_defaults",
 ]
 
 #: Component-size boundary between exact and approximate S-repair on the
@@ -71,6 +82,22 @@ __all__ = [
 #: :func:`repro.pipeline.clean`, and the exact per-component brackets of
 #: :func:`repro.pipeline.assess`.
 EXACT_COMPONENT_THRESHOLD = 128
+
+#: Branch & bound node budget per exact solve — the single default the
+#: CLI, :func:`repro.pipeline.clean`, :class:`repro.session.RepairSession`
+#: and the worker pool all resolve through :func:`resolve_plan_defaults`.
+DEFAULT_NODE_LIMIT = 2000
+
+#: Seconds one unit of :func:`predict_difficulty` is predicted to cost.
+#: Calibrated on the ``bench_portfolio`` mixed family: dense hard
+#: tangles (~100 vertices, density ~0.15, gap_rel ~0.6) sit at
+#: difficulty ~2e4–1e5 and measure ~0.25–2+ s in the branch & bound on
+#: stock hardware, i.e. ~1e-5–6e-5 s/unit; easier probes measure
+#: ~2e-6–2e-5.  The global scheduler only needs the predictor to *rank*
+#: components and to ration the budget to the right order of magnitude,
+#: so this geometric-middle constant tolerates an order of magnitude of
+#: hardware drift.
+DIFFICULTY_UNIT_COST_S = 2e-5
 
 
 @dataclass
@@ -165,6 +192,30 @@ class Decomposition:
             for c in self.components
         ]
 
+    def plan_schedule(
+        self,
+        tractable: bool,
+        guarantee: str = "best",
+        threshold: int = EXACT_COMPONENT_THRESHOLD,
+        exact_budget_s: Optional[float] = None,
+        per_component_budget_s: Optional[float] = None,
+        node_limit: int = DEFAULT_NODE_LIMIT,
+    ) -> List["ComponentPlan"]:
+        """The difficulty-driven schedule for this decomposition — see
+        the module-level :func:`plan_schedule`.  Shared by
+        :func:`repro.pipeline.clean`, :func:`repro.pipeline.assess`, and
+        the streaming :class:`repro.session.RepairSession`, so all three
+        compute byte-identical plans for the same instance and knobs."""
+        return plan_schedule(
+            self.components,
+            tractable,
+            guarantee,
+            threshold,
+            exact_budget_s,
+            per_component_budget_s,
+            node_limit,
+        )
+
     def merge_kept(self, kept_per_component: Sequence[Iterable[TupleId]]) -> Table:
         """Stitch per-component S-repairs back together.
 
@@ -250,3 +301,275 @@ def plan_s_method(
     if guarantee == "optimal" or size <= threshold:
         return "exact"
     return "approx"
+
+
+# ---------------------------------------------------------------------------
+# Difficulty-driven scheduling: features, predictor, plans
+# ---------------------------------------------------------------------------
+
+def polynomial_bracket(index: ConflictIndex, table: Table) -> Tuple[float, float]:
+    """Polynomial ``[matching, Bar-Yehuda–Even]`` bracket of one
+    (sub-)index — the admissible cost bounds every assessment and
+    difficulty feature computation starts from.  Runs array-native on
+    kernel-backed indexes (mask/CSR fast paths inside the bound
+    computations)."""
+    from ..graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
+
+    lower = index.matching_lower_bound()
+    if index.num_edges:
+        cover = bar_yehuda_even(index)
+        kept = {tid for tid in table.ids() if tid not in cover}
+        kept = maximalize_independent_set(index, kept)
+        upper = table.total_weight() - table.total_weight(kept)
+    else:
+        upper = 0.0
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class ComponentFeatures:
+    """Difficulty features of one conflict component.
+
+    All array-native reads: size and edge count from the sub-index,
+    weight spread from the weight array, and the polynomial
+    ``[matching, BYE]`` bracket via :func:`polynomial_bracket` (mask-view
+    fast paths on kernel-backed components).  The bracket *is* a feature
+    — the matching-vs-BYE gap is the strongest predictor of branch &
+    bound blowup (a tight bracket prunes the search at the root) — so
+    computing features subsumes the polynomial assessment of the
+    component and callers never pay for both.
+    """
+
+    size: int
+    edges: int
+    density: float
+    weight_spread: float
+    matching: float
+    upper: float
+
+    @property
+    def gap(self) -> float:
+        """Absolute matching-vs-BYE gap (0 ⇒ the bracket is tight and
+        exact search is free)."""
+        return self.upper - self.matching
+
+    @property
+    def gap_rel(self) -> float:
+        """The gap as a fraction of the upper bound, in [0, 1]."""
+        return self.gap / self.upper if self.upper > 0 else 0.0
+
+
+def component_features(component: Component) -> ComponentFeatures:
+    """Compute :class:`ComponentFeatures` for one component."""
+    index = component.index
+    n = component.size
+    m = index.num_edges
+    density = (2.0 * m) / (n * (n - 1)) if n > 1 else 0.0
+    weights = list(component.table.weights().values())
+    w_min = min(weights)
+    w_max = max(weights)
+    spread = w_max / w_min if w_min > 0 else 1.0
+    matching, upper = polynomial_bracket(index, component.table)
+    return ComponentFeatures(
+        size=n,
+        edges=m,
+        density=density,
+        weight_spread=spread,
+        matching=matching,
+        upper=upper,
+    )
+
+
+def predict_difficulty(features: ComponentFeatures) -> float:
+    """Predicted exact-solve difficulty of a component, unitless.
+
+    The model: branch & bound cost grows exponentially in how much of
+    the component the matching prune *fails* to certify — captured by
+    ``density · size · gap_rel`` in the exponent — scaled by the linear
+    per-node work (``size``) and dampened pruning under heterogeneous
+    weights (``√weight_spread``).  A component with no edges, or whose
+    polynomial bracket is already tight, costs nothing: the solver
+    certifies it at the root.  The exponent is clamped so a pathological
+    feature combination yields a huge finite number that sorts last
+    instead of overflowing.
+
+    Absolute scale is calibrated by :data:`DIFFICULTY_UNIT_COST_S`; the
+    scheduler's correctness only needs the *ordering* to be right, which
+    is what ``bench_portfolio``'s mixed easy-large/hard-small family
+    gates.
+    """
+    if features.edges == 0 or features.gap <= 0.0:
+        return 0.0
+    exponent = min(features.density * features.size * features.gap_rel, 40.0)
+    return features.size * math.sqrt(features.weight_spread) * 2.0 ** exponent
+
+
+@dataclass(frozen=True)
+class ComponentPlan:
+    """One component's scheduled solve: the method, the difficulty
+    evidence behind it, and the wall-clock slice it ships with.
+
+    ``difficulty``/``predicted_s`` are ``None`` on the legacy
+    (per-component budget) path, where no features are computed;
+    ``downgraded`` marks a component the global scheduler *would* have
+    solved exactly by size but left approximate because the budget ran
+    out — exactly the components whose brackets the LP bound tightens.
+    ``budget_s`` is the per-solve wall-clock ceiling shipped with the
+    task (serial and pool paths read the same plan, which is what keeps
+    them byte-identical: the plan is pure arithmetic over predictions,
+    never wall-clock measurements).  ``features`` carries the computed
+    :class:`ComponentFeatures` when the scheduler computed them — the
+    polynomial bracket is among them, so assessment never brackets the
+    same component twice.
+    """
+
+    method: str
+    difficulty: Optional[float] = None
+    predicted_s: Optional[float] = None
+    budget_s: Optional[float] = None
+    downgraded: bool = False
+    features: Optional[ComponentFeatures] = None
+
+
+@dataclass(frozen=True)
+class PlanDefaults:
+    """Resolved scheduling knobs — one source of truth for the CLI,
+    :func:`repro.pipeline.clean`/`assess`, the streaming session, and
+    the worker pool (see :func:`resolve_plan_defaults`)."""
+
+    threshold: int
+    node_limit: int
+    exact_budget_s: Optional[float]
+    per_component_budget_s: Optional[float]
+
+
+def resolve_plan_defaults(
+    exact_threshold: Optional[int] = None,
+    node_limit: Optional[int] = None,
+    exact_budget_s: Optional[float] = None,
+    per_component_budget_s: Optional[float] = None,
+) -> PlanDefaults:
+    """Resolve the portfolio knobs to their effective values.
+
+    ``None`` means "the library default": *exact_threshold* →
+    :data:`EXACT_COMPONENT_THRESHOLD`, *node_limit* →
+    :data:`DEFAULT_NODE_LIMIT`.  The budgets stay ``None`` when unset
+    (= unlimited); *exact_budget_s* is the **global** budget of the
+    difficulty scheduler, *per_component_budget_s* the historical
+    per-solve ceiling — both may be set, in which case every exact slice
+    is additionally capped per component.  Centralised here so
+    ``session.py``, ``exec.py``, ``pipeline.py`` and the CLI can never
+    drift on what an omitted knob means.
+    """
+    return PlanDefaults(
+        threshold=(
+            EXACT_COMPONENT_THRESHOLD
+            if exact_threshold is None
+            else exact_threshold
+        ),
+        node_limit=DEFAULT_NODE_LIMIT if node_limit is None else node_limit,
+        exact_budget_s=exact_budget_s,
+        per_component_budget_s=per_component_budget_s,
+    )
+
+
+def plan_schedule(
+    components: Sequence[Component],
+    tractable: bool,
+    guarantee: str = "best",
+    threshold: int = EXACT_COMPONENT_THRESHOLD,
+    exact_budget_s: Optional[float] = None,
+    per_component_budget_s: Optional[float] = None,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> List[ComponentPlan]:
+    """The difficulty-driven successor of per-component
+    :func:`plan_s_method`: one :class:`ComponentPlan` per component, in
+    component order.
+
+    Without a global budget (*exact_budget_s* ``None``) this reproduces
+    the historical policy exactly — per-component
+    :func:`plan_s_method` with *per_component_budget_s* as each exact
+    solve's ceiling, and **no feature computation at all** (streaming
+    sessions plan on every delta; the legacy path must stay O(1) per
+    component).
+
+    With a global budget, hard-Δ components under ``guarantee="best"``
+    are scheduled by ascending :func:`predict_difficulty`: the scheduler
+    walks the eligible components easiest-first, grants ``"exact"``
+    while the *predicted* cumulative cost fits the budget, and
+    downgrades the residual tail to ``"approx"`` (``downgraded=True``).
+    Eligibility is feasibility, not the size threshold — any component
+    the exact solvers accept (≤ ``min(node_limit, MAX_BITMASK_VERTICES)``
+    vertices) may be granted exactness, which is the point: many easy
+    *large* components beat one hard small one.  Each granted solve
+    ships a wall-clock slice of ``budget − predicted spend so far``
+    (capped by *per_component_budget_s* when given) as its hard ceiling.
+    The plan is pure arithmetic over predictions — no wall-clock reads —
+    so serial and worker-pool runs of the same instance compute the
+    identical plan, and a zero budget deterministically plans every
+    hard-Δ component approximate.
+
+    ``guarantee="optimal"`` plans every component exact with the full
+    budget as each slice (the exact solver raises on expiry, true to
+    "provably optimal or fail"); ``"fast"`` plans every component
+    approximate; tractable Δ plans the polynomial dichotomy recursion
+    everywhere (budget-irrelevant).
+    """
+    if guarantee == "fast":
+        return [ComponentPlan("approx") for _ in components]
+    if tractable:
+        return [ComponentPlan("dichotomy") for _ in components]
+    if guarantee == "optimal":
+        slice_s = (
+            exact_budget_s if exact_budget_s is not None
+            else per_component_budget_s
+        )
+        return [
+            ComponentPlan("exact", budget_s=slice_s) for _ in components
+        ]
+    if exact_budget_s is None:
+        return [
+            ComponentPlan(
+                plan_s_method(c.size, tractable, guarantee, threshold),
+                budget_s=per_component_budget_s,
+            )
+            for c in components
+        ]
+    # Global budget: rank by predicted difficulty, grant exactness
+    # easiest-first while the predicted spend fits.
+    from . import kernel as _kernel
+
+    ceiling = min(node_limit, _kernel.MAX_BITMASK_VERTICES)
+    plans: List[Optional[ComponentPlan]] = [None] * len(components)
+    ranked: List[Tuple[float, int, float, ComponentFeatures]] = []
+    for i, component in enumerate(components):
+        if component.size > ceiling:
+            plans[i] = ComponentPlan("approx", downgraded=False)
+            continue
+        feats = component_features(component)
+        difficulty = predict_difficulty(feats)
+        ranked.append((difficulty, i, difficulty * DIFFICULTY_UNIT_COST_S, feats))
+    ranked.sort(key=lambda entry: (entry[0], entry[1]))
+    spent = 0.0
+    for difficulty, i, predicted, feats in ranked:
+        if exact_budget_s > 0 and spent + predicted <= exact_budget_s:
+            slice_s = exact_budget_s - spent
+            if per_component_budget_s is not None:
+                slice_s = min(slice_s, per_component_budget_s)
+            plans[i] = ComponentPlan(
+                "exact",
+                difficulty=difficulty,
+                predicted_s=predicted,
+                budget_s=slice_s,
+                features=feats,
+            )
+            spent += predicted
+        else:
+            plans[i] = ComponentPlan(
+                "approx",
+                difficulty=difficulty,
+                predicted_s=predicted,
+                downgraded=True,
+                features=feats,
+            )
+    return plans  # every slot filled: ceiling branch or ranked loop

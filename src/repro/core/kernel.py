@@ -85,6 +85,7 @@ from .table import Row, Table, TupleId, Value
 
 __all__ = [
     "MAX_BITMASK_VERTICES",
+    "LP_BOUND_MAX_VERTICES",
     "TableCodec",
     "ConflictKernel",
     "BitsetVC",
@@ -97,8 +98,10 @@ __all__ = [
     "bye_cover_csr",
     "bye_cover_masks",
     "components_csr",
+    "components_csr_patched",
     "greedy_cover_csr",
     "greedy_cover_masks",
+    "lp_half_integral_bound",
     "mis_maximalize_csr",
     "mis_maximalize_masks",
 ]
@@ -117,6 +120,12 @@ MAX_BITMASK_VERTICES = 512
 #: Search-tree entries between deadline reads of a budgeted solve —
 #: mirrors ``repro.graphs.vertex_cover._BUDGET_CHECK_INTERVAL``.
 _BUDGET_CHECK_INTERVAL = 256
+
+#: Largest component the LP-relaxation lower bound is computed for.  The
+#: bound runs a blocking-flow computation on the bipartite double cover
+#: (O(E·√V)-ish in practice); past this size the polynomial matching
+#: bound stands alone — the bracket stays valid, just looser.
+LP_BOUND_MAX_VERTICES = 1024
 
 _ENABLED = True
 
@@ -582,6 +591,56 @@ def components_csr(kernel: ConflictKernel) -> List[List[int]]:
     return out
 
 
+def components_csr_patched(
+    kernel: ConflictKernel, roots: Iterable[int]
+) -> List[List[int]]:
+    """Connected components over a **patched** kernel view.
+
+    The array-native successor to the owning index's dict-of-sets sweep
+    after mutations: a byte-flag visited array, explicit stack, and
+    C-level iteration over CSR slices merged with the overflow adjacency
+    — no per-row Python set differences.  *roots* must be the live
+    conflicting rows in ascending row order (the owning index supplies
+    them from its conflicting-tuple set; construction-time
+    ``conflicting_rows`` is stale on a patched view).  Dead rows are
+    filtered through ``alive``; output matches
+    :meth:`ConflictIndex.components` exactly (components by earliest
+    row, members ascending).
+    """
+    alive = kernel.alive
+    indptr = kernel.indptr
+    indices = kernel.indices
+    csr_rows = kernel.csr_rows
+    extra = kernel.extra_adj
+    degree = kernel.degree
+    seen = bytearray(len(alive))
+    out: List[List[int]] = []
+    for root in roots:
+        if seen[root] or not alive[root] or not degree[root]:
+            continue
+        seen[root] = 1
+        stack = [root]
+        members: List[int] = []
+        append = members.append
+        while stack:
+            current = stack.pop()
+            append(current)
+            if current < csr_rows:
+                for other in indices[indptr[current]:indptr[current + 1]]:
+                    if not seen[other] and alive[other]:
+                        seen[other] = 1
+                        stack.append(other)
+            overflow = extra.get(current)
+            if overflow is not None:
+                for other in overflow:
+                    if not seen[other] and alive[other]:
+                        seen[other] = 1
+                        stack.append(other)
+        members.sort()
+        out.append(members)
+    return out
+
+
 def bye_cover_csr(kernel: ConflictKernel) -> Set[int]:
     """Bar-Yehuda–Even over the flat edge arrays; returns covered rows.
 
@@ -612,6 +671,128 @@ def bye_cover_csr(kernel: ConflictKernel) -> Set[int]:
         if residual[v] <= 0:
             cover.add(v)
     return cover
+
+
+# ---------------------------------------------------------------------------
+# LP-relaxation lower bound (half-integral vertex cover LP)
+# ---------------------------------------------------------------------------
+
+#: Residual-capacity epsilon of the blocking-flow loops below: float
+#: arithmetic can leave a saturated arc with a ~1e-16 residue, which must
+#: read as "saturated" or the level search loops forever.
+_LP_EPS = 1e-12
+
+
+def lp_half_integral_bound(
+    weights: Sequence[float],
+    edges: Iterable[Tuple[int, int]],
+) -> float:
+    """Optimal value of the vertex-cover LP relaxation over *edges*.
+
+    The LP ``min Σ w_v·x_v  s.t.  x_u + x_v ≥ 1, 0 ≤ x ≤ 1`` always has
+    a half-integral optimum (Nemhauser–Trotter), computable exactly with
+    no external solver: the LP optimum equals half the maximum flow on
+    the **bipartite double cover** — source → u_L with capacity ``w_u``,
+    ``u_L → v_R`` and ``v_L → u_R`` uncapacitated per edge, ``v_R`` →
+    sink with capacity ``w_v``.  The flow is the standard primal-dual
+    augmenting computation (BFS level graph + blocking-flow DFS) over
+    flat arrays.  By LP duality the result dominates every fractional
+    matching — in particular the greedy maximal-matching bound — and is
+    itself dominated by the integral optimum:
+    ``matching ≤ LP ≤ exact optimum ≤ BYE``, with equality of LP and
+    exact on bipartite components and strict LP > matching typically on
+    odd cycles.
+
+    Determinism contract: the edge list is **sorted internally**, so any
+    caller producing the same edge *set* over the same vertex numbering
+    (kernel CSR arrays or the dict reference's canonical ``edges()``)
+    gets the bit-identical float back — load-bearing for kernel-vs-dict
+    report identity.
+
+    *weights* is indexed by vertex number; vertices not named by any
+    edge contribute nothing.  Returns ``0.0`` for an empty edge list.
+    """
+    edge_list = sorted(edges)
+    if not edge_list:
+        return 0.0
+    n = len(weights)
+    source = 2 * n
+    sink = 2 * n + 1
+    # Flat adjacency: graph[node] lists edge ids; eto/ecap parallel
+    # arrays with the reverse arc at ``e ^ 1``.
+    graph: List[List[int]] = [[] for _ in range(2 * n + 2)]
+    eto: List[int] = []
+    ecap: List[float] = []
+
+    def add(u: int, v: int, cap: float) -> None:
+        graph[u].append(len(eto))
+        eto.append(v)
+        ecap.append(cap)
+        graph[v].append(len(eto))
+        eto.append(u)
+        ecap.append(0.0)
+
+    touched = sorted({w for pair in edge_list for w in pair})
+    infinity = float("inf")
+    for u in touched:
+        add(source, u, float(weights[u]))
+        add(n + u, sink, float(weights[u]))
+    for u, v in edge_list:
+        add(u, n + v, infinity)
+        add(v, n + u, infinity)
+
+    flow = 0.0
+    num_nodes = 2 * n + 2
+    while True:
+        # BFS level graph over residual arcs.
+        level = [-1] * num_nodes
+        level[source] = 0
+        queue = [source]
+        for node in queue:
+            base = level[node] + 1
+            for e in graph[node]:
+                other = eto[e]
+                if ecap[e] > _LP_EPS and level[other] < 0:
+                    level[other] = base
+                    queue.append(other)
+        if level[sink] < 0:
+            break
+        # Blocking flow: iterative DFS with per-node arc pointers; a
+        # dead-ended node drops out of the level graph, an augmentation
+        # restarts from the source with pointers kept.
+        pointer = [0] * num_nodes
+        path: List[int] = []
+        node = source
+        while True:
+            if node == sink:
+                pushed = min(ecap[e] for e in path)
+                for e in path:
+                    ecap[e] -= pushed
+                    ecap[e ^ 1] += pushed
+                flow += pushed
+                path = []
+                node = source
+                continue
+            advanced = False
+            arcs = graph[node]
+            want = level[node] + 1
+            while pointer[node] < len(arcs):
+                e = arcs[pointer[node]]
+                other = eto[e]
+                if ecap[e] > _LP_EPS and level[other] == want:
+                    path.append(e)
+                    node = other
+                    advanced = True
+                    break
+                pointer[node] += 1
+            if advanced:
+                continue
+            if node == source:
+                break
+            level[node] = -1  # dead end: never re-enter this phase
+            e = path.pop()
+            node = eto[e ^ 1]
+    return flow / 2.0
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from .synthetic import (
     consistent_table,
     corrupt_cells,
     planted_violations_table,
+    portfolio_mix_table,
     random_table,
 )
 from .graphs import bounded_degree_graph, gnp_graph, random_tripartite_graph
@@ -34,7 +35,7 @@ __all__ = [
     "EXPECTED_SUBSET_DISTANCES", "EXPECTED_UPDATE_DISTANCES", "OFFICE_SCHEMA",
     "consistent_subsets", "consistent_updates", "office_fds", "office_table",
     "consistent_table", "corrupt_cells", "planted_violations_table",
-    "random_table",
+    "portfolio_mix_table", "random_table",
     "bounded_degree_graph", "gnp_graph", "random_tripartite_graph",
     "random_non_mixed_formula",
     "random_probabilistic_table",

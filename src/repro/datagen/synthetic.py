@@ -22,6 +22,7 @@ __all__ = [
     "planted_violations_table",
     "clustered_conflicts_table",
     "corrupt_cells",
+    "portfolio_mix_table",
 ]
 
 
@@ -190,3 +191,64 @@ def clustered_conflicts_table(
         [float(rng.choice((1, 1, 2, 3))) for _ in rows] if weighted else None
     )
     return Table.from_rows(schema, rows, weights)
+
+
+def portfolio_mix_table(
+    schema: Sequence[str],
+    easy_components: int = 6,
+    easy_size: int = 220,
+    hard_components: int = 4,
+    hard_size: int = 100,
+    hard_values: int = 10,
+    seed: Optional[int] = None,
+) -> Table:
+    """A mixed **easy-large / hard-small** workload — the family where
+    difficulty ordering beats size ordering.
+
+    Built for a 2-FD overlay Δ of the shape ``A → B; B → C`` (APX-hard,
+    so the portfolio faces the exact-vs-approximate choice) over a
+    ``(A, B, C)``-prefixed schema:
+
+    * *easy_components* **path** components of *easy_size* tuples each,
+      all at weight ``1.0``: tuple ``2k+1``/``2k+2`` share an A value
+      (differing B ⇒ an ``A → B`` edge), tuple ``2k``/``2k+1`` share a
+      B value (differing C ⇒ a ``B → C`` edge).  Under uniform weights
+      the solver's pendant rule (take the unique neighbour whenever
+      ``w_u ≤ w_v``) collapses the entire chain in the simplification
+      loop — the exact solve never branches — yet the component's size
+      puts it *above* the historical exact threshold: the size rule
+      settles for ratio 2 where the difficulty scheduler solves it
+      exactly in milliseconds.
+    * *hard_components* dense **tangles** of *hard_size* tuples each
+      (A/B drawn uniformly from *hard_values* values, binary C, weights
+      from ``{0.5, 1, 2, 3}`` — heterogeneous weights blunt both the
+      pendant rule and the matching prune), sized *below* the
+      threshold: the size rule burns its whole per-component budget
+      branching on each before falling back, while the predictor ranks
+      them last and the scheduler downgrades them up front.
+
+    Component value spaces are prefixed per component, so the conflict
+    graph decomposes exactly as constructed; rows are shuffled so
+    components interleave in table order.
+    """
+    if len(schema) < 3:
+        raise ValueError("portfolio_mix_table needs ≥3 attributes")
+    rng = random.Random(seed)
+    rows: List[Tuple[Tuple[str, ...], float]] = []
+    rest = tuple("z" for _ in schema[3:])
+    for i in range(easy_components):
+        for j in range(easy_size):
+            a = f"e{i}.u{(j + 1) // 2}"
+            b = f"e{i}.v{j // 2}"
+            c = f"c{j % 2}"
+            rows.append(((a, b, c) + rest, 1.0))
+    for i in range(hard_components):
+        for _ in range(hard_size):
+            a = f"h{i}.a{rng.randrange(hard_values)}"
+            b = f"h{i}.b{rng.randrange(hard_values)}"
+            c = f"c{rng.randrange(2)}"
+            rows.append(((a, b, c) + rest, rng.choice((0.5, 1.0, 2.0, 3.0))))
+    rng.shuffle(rows)
+    return Table.from_rows(
+        schema, [row for row, _ in rows], [weight for _, weight in rows]
+    )

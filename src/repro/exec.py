@@ -34,9 +34,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from .core import kernel as _kernel
 from .core.decompose import (
     EXACT_COMPONENT_THRESHOLD,
+    ComponentPlan,
     Decomposition,
     decompose,
     plan_s_method,
+    resolve_plan_defaults,
 )
 from .core.fd import FDSet
 from .core.table import FreshValue, Table, TupleId
@@ -175,13 +177,17 @@ def _session_worker_main(inq, outq, node_limit, use_kernel=True,
             try:
                 space = spaces[key]
                 schema, fds, space_limit, space_budget, rows, weights = space
+                # An optional sixth element is a per-task budget slice
+                # (the global scheduler's plans ship one per exact
+                # solve); absent, the namespace default applies.
+                solve_budget = message[5] if len(message) > 5 else space_budget
                 subtable = Table(
                     schema,
                     {tid: rows[tid] for tid in ids},
                     {tid: weights[tid] for tid in ids},
                 )
                 kept, effective = _solve_s_kept(
-                    subtable, fds, method, space_limit, budget_s=space_budget
+                    subtable, fds, method, space_limit, budget_s=solve_budget
                 )
             except BaseException as exc:  # ship the failure, don't die
                 outq.put((seq, None, None, repr(exc)))
@@ -339,11 +345,15 @@ class PersistentWorkerPool:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def solve(self, tasks: Sequence[Tuple[Tuple[TupleId, ...], str]],
+    def solve(self, tasks: Sequence[Tuple],
               timeout: float = 120.0,
               key=DEFAULT_SESSION_KEY) -> List[Tuple[Tuple[TupleId, ...], str]]:
-        """Solve ``(component ids, method)`` tasks on the warm workers;
-        returns ``(kept ids, effective method)`` per task.
+        """Solve ``(component ids, method)`` or ``(component ids, method,
+        budget_s)`` tasks on the warm workers; returns ``(kept ids,
+        effective method)`` per task.  The optional third element is a
+        per-task wall-clock budget overriding the session namespace's
+        default — how the global difficulty scheduler ships each exact
+        solve's slice so pool and serial runs read the identical plan.
 
         Round-robin dispatch over live workers; results are reassembled
         in task order.  Thread-safe — concurrent calls (one per daemon
@@ -360,24 +370,31 @@ class PersistentWorkerPool:
         if not tasks:
             return []
         deadline = _time.monotonic() + timeout
-        routed: List[Tuple[int, int, Tuple, str]] = []
+        routed: List[Tuple] = []
         with self._cond:
             live = [i for i in range(len(self._procs)) if i not in self._dead]
             if not live:
                 self._broken = True
                 raise RuntimeError("worker pool has no live workers")
             seqs = []
-            for ids, method in tasks:
+            for task in tasks:
+                ids, method = task[0], task[1]
+                budget = task[2] if len(task) > 2 else None
                 seq = self._next_seq
                 self._next_seq += 1
                 widx = live[self._rr % len(live)]
                 self._rr += 1
                 self._pending[seq] = widx
                 seqs.append(seq)
-                routed.append((seq, widx, tuple(ids), method))
-        for seq, widx, ids, method in routed:
+                routed.append((seq, widx, tuple(ids), method, budget))
+        for seq, widx, ids, method, budget in routed:
+            message = (
+                ("solve", seq, key, ids, method)
+                if budget is None
+                else ("solve", seq, key, ids, method, budget)
+            )
             try:
-                self._inqs[widx].put(("solve", seq, key, ids, method))
+                self._inqs[widx].put(message)
             except (OSError, ValueError):
                 self._fail_worker(widx, "dispatch to worker failed")
         failure = None
@@ -620,11 +637,22 @@ def solve_components(
     parallel: Optional[int] = None,
     node_limit: int = 2000,
     budget_s: Optional[float] = None,
+    plans: Optional[Sequence[ComponentPlan]] = None,
 ) -> Tuple[List[Tuple[TupleId, ...]], List[str]]:
     """Solve each component with its assigned portfolio method; returns
     the kept identifiers per component plus the *effective* methods, both
     in component order (effective ≠ planned exactly when an ``"exact"``
-    solve outran *budget_s* and fell back to ``"approx"``).
+    solve outran its wall-clock budget and fell back to ``"approx"``).
+
+    With *plans* (from :func:`repro.core.decompose.plan_schedule`) each
+    component runs under its plan's method and per-solve budget slice,
+    and the solves are *dispatched* in ascending predicted difficulty
+    (easiest first — the scheduler's granted budget slices assume the
+    cheap solves land before the expensive ones); results are still
+    reassembled in component order, and since every plan is pure
+    prediction the serial and parallel runs stay byte-identical.
+    Without *plans*, *budget_s* is the uniform per-component budget
+    (historical semantics).
 
     The scheduling seam shared by :func:`decomposed_s_repair` and
     :func:`repro.pipeline.clean` (which derives its dirtiness report from
@@ -635,7 +663,22 @@ def solve_components(
     as column-code arrays instead of sub-``Table`` dicts (see
     :func:`coded_component_table`) — same kept ids, smaller payloads.
     """
-    workers = resolve_workers(parallel, len(methods))
+    count = len(methods)
+    if plans is not None:
+        methods = [plan.method for plan in plans]
+        budgets = [plan.budget_s for plan in plans]
+        order = sorted(
+            range(count),
+            key=lambda i: (
+                plans[i].difficulty if plans[i].difficulty is not None else 0.0,
+                i,
+            ),
+        )
+    else:
+        budgets = [budget_s] * count
+        order = list(range(count))
+    components = decomp.components
+    workers = resolve_workers(parallel, count)
     if workers > 1:
         # The global kernel flag travels inside each task, as does the
         # exact budget: workers under spawn/forkserver re-import this
@@ -646,25 +689,29 @@ def solve_components(
         if codec is not None:
             schema = decomp.table.schema
             tasks = [
-                (schema, *c.code_payload(codec), decomp.fds, m, node_limit,
-                 use_kernel, budget_s)
-                for c, m in zip(decomp.components, methods)
+                (schema, *components[i].code_payload(codec), decomp.fds,
+                 methods[i], node_limit, use_kernel, budgets[i])
+                for i in order
             ]
-            outcomes = map_components(_s_worker_coded, tasks, parallel)
+            ordered = map_components(_s_worker_coded, tasks, parallel)
         else:
             tasks = [
-                (c.table, decomp.fds, m, node_limit, use_kernel, budget_s)
-                for c, m in zip(decomp.components, methods)
+                (components[i].table, decomp.fds, methods[i], node_limit,
+                 use_kernel, budgets[i])
+                for i in order
             ]
-            outcomes = map_components(_s_worker, tasks, parallel)
+            ordered = map_components(_s_worker, tasks, parallel)
     else:
-        outcomes = [
+        ordered = [
             _solve_s_kept(
-                c.table, decomp.fds, m, node_limit, index=c.index,
-                budget_s=budget_s,
+                components[i].table, decomp.fds, methods[i], node_limit,
+                index=components[i].index, budget_s=budgets[i],
             )
-            for c, m in zip(decomp.components, methods)
+            for i in order
         ]
+    outcomes: List = [None] * count
+    for i, outcome in zip(order, ordered):
+        outcomes[i] = outcome
     return [kept for kept, _m in outcomes], [m for _kept, m in outcomes]
 
 
@@ -688,37 +735,49 @@ def decomposed_s_repair(
     method: Optional[str] = None,
     parallel: Optional[int] = None,
     index=None,
-    node_limit: int = 2000,
-    threshold: int = EXACT_COMPONENT_THRESHOLD,
+    node_limit: Optional[int] = None,
+    threshold: Optional[int] = None,
     budget_s: Optional[float] = None,
+    global_budget_s: Optional[float] = None,
 ):
     """S-repair via per-component solving with a portfolio of methods.
 
-    With ``method=None`` each component gets the method the portfolio
-    policy picks for it (:func:`~repro.core.decompose.plan_s_method`
+    With ``method=None`` each component gets the method the difficulty
+    scheduler picks for it (:func:`~repro.core.decompose.plan_schedule`
     under *guarantee*); passing an explicit ``method`` forces it on every
     component (this is how the single-method entry points —
     ``exact_s_repair(..., decomposed=True)`` and friends — reuse this
     engine).  The result's ``ratio_bound`` is instance-specific: 1.0
     whenever every component was solved exactly, even for an FD set that
     is APX-complete in general.  *budget_s* is the per-component exact
-    escape hatch: a component whose branch & bound outruns it is re-solved
-    approximately, and the method mix / ratio bound report the fallback.
+    escape hatch (each solve's own wall-clock ceiling);
+    *global_budget_s* hands the whole instance one exact budget that
+    :func:`~repro.core.decompose.plan_schedule` rations over components
+    in ascending predicted difficulty.  ``None`` knobs resolve through
+    :func:`~repro.core.decompose.resolve_plan_defaults`.
     """
     from .core.dichotomy import osr_succeeds
 
+    defaults = resolve_plan_defaults(
+        threshold, node_limit, global_budget_s, budget_s
+    )
     decomp = decompose(table, fds, index)
     if method is None:
         tractable = osr_succeeds(fds)
-        methods = [
-            plan_s_method(c.size, tractable, guarantee, threshold)
-            for c in decomp.components
-        ]
+        plans = decomp.plan_schedule(
+            tractable, guarantee, defaults.threshold,
+            defaults.exact_budget_s, defaults.per_component_budget_s,
+            defaults.node_limit,
+        )
+        kept_lists, methods = solve_components(
+            decomp, [plan.method for plan in plans], parallel,
+            defaults.node_limit, plans=plans,
+        )
     else:
         methods = [method] * len(decomp.components)
-    kept_lists, methods = solve_components(
-        decomp, methods, parallel, node_limit, budget_s
-    )
+        kept_lists, methods = solve_components(
+            decomp, methods, parallel, defaults.node_limit, budget_s
+        )
     return assemble_s_result(decomp, methods, kept_lists, parallel)
 
 

@@ -28,14 +28,52 @@ from typing import Mapping, Optional
 from .core.approx import approx_s_repair
 from .core.conflict_index import ConflictIndex
 from .graphs.vertex_cover import ExactBudgetExceeded
-from .core.decompose import EXACT_COMPONENT_THRESHOLD, decompose
+from .core.decompose import (
+    EXACT_COMPONENT_THRESHOLD,
+    decompose,
+    polynomial_bracket,
+    resolve_plan_defaults,
+)
 from .core.dichotomy import DichotomyResult, classify
 from .core.fd import FDSet
 from .core.srepair import SRepairResult, optimal_s_repair
 from .core.table import Table
 from .core.urepair import URepairResult, u_repair
 
-__all__ = ["DirtinessReport", "CleaningResult", "assess", "clean"]
+__all__ = [
+    "ComponentAssessment",
+    "DirtinessReport",
+    "CleaningResult",
+    "assess",
+    "clean",
+]
+
+
+@dataclass(frozen=True)
+class ComponentAssessment:
+    """Per-component detail row of a :func:`assess` run (``detailed=True``).
+
+    ``method`` is the *planned* bracket computation (``"exact"`` — branch
+    & bound attempted — or ``"approx"``), ``bracket_source`` where the
+    reported lower bound actually came from: ``"exact"`` when the
+    component optimum is certified (tight polynomial bracket or a
+    completed exact solve), ``"lp"`` when the half-integral LP relaxation
+    beat the matching bound, ``"matching"`` otherwise.
+    ``difficulty``/``predicted_s`` are the scheduler's cost-model
+    outputs (``None`` when no global budget was set — the legacy path
+    computes no features).
+    """
+
+    ordinal: int
+    size: int
+    edges: int
+    method: str
+    difficulty: Optional[float]
+    predicted_s: Optional[float]
+    downgraded: bool
+    lower_bound: float
+    upper_bound: float
+    bracket_source: str
 
 
 @dataclass(frozen=True)
@@ -68,6 +106,7 @@ class DirtinessReport:
     component_count: int = 0
     largest_component: int = 0
     exact_components: int = 0
+    component_details: Optional[tuple] = None
 
     @property
     def consistent(self) -> bool:
@@ -136,18 +175,12 @@ class CleaningResult:
 
 
 def _bracket_component(index, table: Table) -> tuple:
-    """Polynomial [matching, Bar-Yehuda–Even] bracket of one (sub-)index."""
-    from .graphs.vertex_cover import bar_yehuda_even, maximalize_independent_set
+    """Polynomial [matching, Bar-Yehuda–Even] bracket of one (sub-)index.
 
-    lower = index.matching_lower_bound()
-    if index.num_edges:
-        cover = bar_yehuda_even(index)
-        kept = {tid for tid in table.ids() if tid not in cover}
-        kept = maximalize_independent_set(index, kept)
-        upper = table.total_weight() - table.total_weight(kept)
-    else:
-        upper = 0.0
-    return lower, upper
+    Kept as an alias of :func:`repro.core.decompose.polynomial_bracket`
+    (where the body moved when the bracket became a difficulty feature)
+    for the streaming session's bracket refresh."""
+    return polynomial_bracket(index, table)
 
 
 def assess(
@@ -157,25 +190,35 @@ def assess(
     decomposed: bool = True,
     exact_threshold: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
+    per_component_budget_s: Optional[float] = None,
+    detailed: bool = False,
 ) -> DirtinessReport:
     """Detect conflicts and bracket the optimal repair cost (no repair).
 
     The bracket is the sum of per-component brackets over the conflict
-    graph's connected components: a component of at most
-    *exact_threshold* tuples (default
-    :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`) contributes
-    its **exact** optimal deletion cost — the vertex-cover branch & bound
-    is empirically instantaneous at that size — and a larger component
-    its matching lower bound and Bar-Yehuda–Even upper bound
-    (Proposition 3.3).  The result is never looser than the global
-    bracket (matching and BYE are component-local computations) and is
-    strictly tighter whenever any component is bracketed exactly.  With
-    ``decomposed=False`` the historical single global bracket is
-    computed, which is also the fallback guaranteeing polynomial time on
-    adversarial components.  *exact_budget_s* is the escape hatch for
-    pathological dense components: an exact bracket whose branch & bound
-    outruns the wall-clock budget keeps its polynomial [matching, BYE]
-    bounds instead (and does not count as exact).  All readings are
+    graph's connected components.  Which components are bracketed
+    **exactly** is decided by the difficulty scheduler
+    (:func:`repro.core.decompose.plan_schedule`): without a global
+    budget, every component of at most *exact_threshold* tuples (default
+    :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`) gets a
+    branch & bound attempt — empirically instantaneous at that size —
+    each capped by *per_component_budget_s*; with *exact_budget_s* set,
+    components are ranked by predicted difficulty and granted exact
+    attempts easiest-first while the predicted spend fits the **global**
+    budget, so the same wall-clock buys the most certified components.
+    A component left approximate contributes its matching lower bound —
+    tightened to the half-integral LP relaxation bound when that is
+    larger (strictly tighter on non-bipartite components) — and the
+    Bar-Yehuda–Even upper bound (Proposition 3.3).  The result is never
+    looser than the global bracket (all bounds are component-local
+    computations) and strictly tighter whenever any component is
+    bracketed exactly.  With ``decomposed=False`` the historical single
+    global bracket is computed, which is also the fallback guaranteeing
+    polynomial time on adversarial components.  An exact bracket whose
+    branch & bound outruns its wall-clock slice keeps its polynomial
+    bounds instead (and does not count as exact).  ``detailed=True``
+    additionally fills ``component_details`` with one
+    :class:`ComponentAssessment` per component.  All readings are
     served by the table's cached :class:`ConflictIndex` — or the
     prebuilt one passed in — so assessment costs one bucketing pass,
     shared with any subsequent repair call on the same table.
@@ -186,40 +229,86 @@ def assess(
         index.ensure_for(fds, table)
 
     verdict = classify(fds)
-    threshold = (
-        EXACT_COMPONENT_THRESHOLD if exact_threshold is None else exact_threshold
+    defaults = resolve_plan_defaults(
+        exact_threshold, None, exact_budget_s, per_component_budget_s
     )
+    threshold = defaults.threshold
 
     component_count = 0
     largest = 0
     exact_components = 0
+    details = [] if detailed else None
     if decomposed and index.num_edges:
         from .core.exact import ExactBudgetExceeded, exact_cover_of_index
 
         decomp = decompose(table, fds, index)
         component_count = decomp.component_count
         largest = decomp.largest_component
+        # Assessment brackets every component via vertex cover
+        # regardless of the dichotomy, so the schedule is planned on the
+        # hard side (tractable=False: exact-vs-approx, never dichotomy).
+        plans = decomp.plan_schedule(
+            False,
+            "best",
+            threshold,
+            defaults.exact_budget_s,
+            defaults.per_component_budget_s,
+            defaults.node_limit,
+        )
         lower = upper = 0.0
-        for component in decomp.components:
+        for ordinal, (component, plan) in enumerate(
+            zip(decomp.components, plans)
+        ):
             # The cheap polynomial bracket first: when it is already
             # tight the component optimum is certified and the branch &
-            # bound has nothing to add.
-            c_lower, c_upper = _bracket_component(component.index, component.table)
+            # bound has nothing to add.  The global scheduler already
+            # bracketed eligible components as a difficulty feature.
+            if plan.features is not None:
+                c_lower, c_upper = plan.features.matching, plan.features.upper
+            else:
+                c_lower, c_upper = polynomial_bracket(
+                    component.index, component.table
+                )
+            source = "matching"
             if c_lower == c_upper:
                 exact_components += 1
-            elif component.size <= threshold:
+                source = "exact"
+            elif plan.method == "exact":
                 try:
                     cover = exact_cover_of_index(
-                        component.index, node_limit=threshold,
-                        budget_s=exact_budget_s,
+                        component.index, node_limit=defaults.node_limit,
+                        budget_s=plan.budget_s,
                     )
                 except ExactBudgetExceeded:
                     pass  # budget hit: the polynomial bracket stands
                 else:
                     c_lower = c_upper = component.table.total_weight(cover)
                     exact_components += 1
+                    source = "exact"
+            if (
+                source == "matching"
+                and plan.method == "approx"
+                and (plan.downgraded or component.size > threshold)
+            ):
+                lp = component.index.lp_lower_bound()
+                if lp is not None and lp > c_lower:
+                    c_lower = lp
+                    source = "lp"
             lower += c_lower
             upper += c_upper
+            if details is not None:
+                details.append(ComponentAssessment(
+                    ordinal=ordinal,
+                    size=component.size,
+                    edges=component.index.num_edges,
+                    method=plan.method,
+                    difficulty=plan.difficulty,
+                    predicted_s=plan.predicted_s,
+                    downgraded=plan.downgraded,
+                    lower_bound=c_lower,
+                    upper_bound=c_upper,
+                    bracket_source=source,
+                ))
     else:
         lower, upper = _bracket_component(index, table)
         if index.num_edges:
@@ -239,6 +328,7 @@ def assess(
         component_count=component_count,
         largest_component=largest,
         exact_components=exact_components,
+        component_details=tuple(details) if details is not None else None,
     )
 
 
@@ -258,10 +348,12 @@ def _decomposed_outcome(
     — freshly computed or cache-served — through the same assembly, so a
     session result is byte-identical to a from-scratch ``clean``.
 
-    *lower_bounds*, when given, supplies a precomputed matching lower
-    bound per component (``None`` entries fall back to recomputing from
-    the component index); the bound is a pure function of the component,
-    so cached and recomputed values coincide exactly.
+    *lower_bounds*, when given, supplies a precomputed lower bound per
+    component — the matching bound, or ``max(matching, LP)`` for
+    components that qualify under :func:`_lp_qualifies` (``None``
+    entries fall back to recomputing the matching bound from the
+    component index); every bound involved is a pure function of the
+    component, so cached and recomputed values coincide exactly.
     """
     from .exec import assemble_s_result
 
@@ -312,6 +404,23 @@ def _decomposed_outcome(
     )
 
 
+def _lp_qualifies(plan, size: int, threshold: int, guarantee: str) -> bool:
+    """Whether a component's lower bound should be tightened by the
+    half-integral LP relaxation: only components the *plan* leaves
+    approximate (too large for the threshold, or downgraded by the
+    global scheduler) under a bound-seeking guarantee.  A component
+    whose exact solve fell back at *run* time keeps the matching bound —
+    the fallback is wall-clock dependent, and the bound must stay a pure
+    function of the plan for serial/pool and session/clean byte-identity.
+    The rule lives here so the streaming session and the one-shot
+    pipeline can never disagree on it."""
+    return (
+        guarantee != "fast"
+        and plan.method == "approx"
+        and (plan.downgraded or size > threshold)
+    )
+
+
 def _clean_deletions_decomposed(
     table: Table,
     fds: FDSet,
@@ -320,21 +429,42 @@ def _clean_deletions_decomposed(
     parallel: Optional[int],
     exact_threshold: int = EXACT_COMPONENT_THRESHOLD,
     exact_budget_s: Optional[float] = None,
+    per_component_budget_s: Optional[float] = None,
 ) -> CleaningResult:
-    """The decomposed S-repair pipeline: decompose once, solve each
-    component by the portfolio policy, and derive the dirtiness report
-    from the same per-component solutions.  The *effective* methods come
-    back from the solve — an exact component that outran *exact_budget_s*
-    re-solved approximately — so report and label describe what ran."""
+    """The decomposed S-repair pipeline: decompose once, schedule the
+    portfolio (:func:`repro.core.decompose.plan_schedule` — difficulty-
+    ranked under a global *exact_budget_s*, the historical size rule
+    otherwise), solve each component by its plan, and derive the
+    dirtiness report from the same per-component solutions.  The
+    *effective* methods come back from the solve — an exact component
+    that outran its wall-clock slice re-solved approximately — so report
+    and label describe what ran.  Approximated components that qualify
+    (:func:`_lp_qualifies`) report ``max(matching, LP)`` as their lower
+    bound."""
     from .exec import solve_components
 
     verdict = classify(fds)
     decomp = decompose(table, fds, index)
-    methods = decomp.plan_methods(verdict.tractable, guarantee, exact_threshold)
-    kept_lists, methods = solve_components(
-        decomp, methods, parallel, budget_s=exact_budget_s
+    plans = decomp.plan_schedule(
+        verdict.tractable,
+        guarantee,
+        exact_threshold,
+        exact_budget_s,
+        per_component_budget_s,
     )
-    return _decomposed_outcome(decomp, verdict, methods, kept_lists, parallel)
+    kept_lists, methods = solve_components(
+        decomp, [plan.method for plan in plans], parallel, plans=plans
+    )
+    lower_bounds = [None] * len(plans)
+    for i, (component, plan) in enumerate(zip(decomp.components, plans)):
+        if _lp_qualifies(plan, component.size, exact_threshold, guarantee):
+            lp = component.index.lp_lower_bound()
+            if lp is not None:
+                matching = component.index.matching_lower_bound()
+                lower_bounds[i] = max(matching, lp)
+    return _decomposed_outcome(
+        decomp, verdict, methods, kept_lists, parallel, lower_bounds
+    )
 
 
 def clean(
@@ -347,6 +477,7 @@ def clean(
     parallel: Optional[int] = None,
     exact_threshold: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
+    per_component_budget_s: Optional[float] = None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -389,28 +520,41 @@ def clean(
         bound worst-case latency; on the global path it bounds the whole
         table size instead.
     exact_budget_s:
-        Wall-clock escape hatch per exact *vertex-cover* solve (default:
-        unlimited).  On the deletions strategy, a component whose branch
-        & bound outruns the budget is re-solved with the Bar-Yehuda–Even
-        2-approximation — ``guarantee="optimal"`` raises instead, true
-        to "provably optimal or fail" — and the report/ratio bound
-        describe the fallback honestly.  On the updates strategy the
-        budget bounds the assessment bracket only: the U-repair solvers
-        search update space, not vertex covers, and carry their own
-        node-count budget (``exact_budget`` in
-        :mod:`repro.core.urepair`).  The knob exists so a raised
-        ``exact_threshold`` cannot stall the pipeline on a pathological
-        dense component; note that with a budget set, results may
-        legitimately differ run to run on components near the budget
-        boundary.
+        **Global** exact-solve budget in wall-clock seconds (default:
+        unlimited).  On the decomposed deletions path it drives the
+        difficulty scheduler
+        (:func:`repro.core.decompose.plan_schedule`): components are
+        ranked by predicted branch & bound difficulty, granted exact
+        solves easiest-first while the *predicted* cumulative cost fits
+        the budget, and the residual tail is planned approximate up
+        front — so the plan, and with it the serial and worker-pool
+        results, is deterministic (the budget buys certified components,
+        not a race).  Each granted solve still carries the unspent
+        budget as a hard wall-clock ceiling; one that outruns it is
+        re-solved with the Bar-Yehuda–Even 2-approximation —
+        ``guarantee="optimal"`` raises instead, true to "provably
+        optimal or fail" — and the report/ratio bound describe the
+        fallback honestly.  On the updates strategy the budget bounds
+        the assessment bracket only: the U-repair solvers search update
+        space, not vertex covers, and carry their own node-count budget
+        (``exact_budget`` in :mod:`repro.core.urepair`).
+    per_component_budget_s:
+        The historical *per-solve* wall-clock ceiling (default:
+        unlimited) — the pre-scheduler semantics of ``exact_budget_s``.
+        Usable alone (every ≤-threshold component attempted, each solve
+        individually capped) or together with the global budget (each
+        scheduled slice additionally capped).  With a per-solve budget
+        set and no global one, results may legitimately differ run to
+        run on components near the budget boundary.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if guarantee not in ("best", "optimal", "fast"):
         raise ValueError(f"unknown guarantee {guarantee!r}")
-    threshold = (
-        EXACT_COMPONENT_THRESHOLD if exact_threshold is None else exact_threshold
+    defaults = resolve_plan_defaults(
+        exact_threshold, None, exact_budget_s, per_component_budget_s
     )
+    threshold = defaults.threshold
     if index is None:
         index = table.conflict_index(fds)
     else:
@@ -424,15 +568,23 @@ def clean(
         # report comes out at least as tight as standalone assessment,
         # without solving any component twice.
         return _clean_deletions_decomposed(
-            table, fds, guarantee, index, parallel, threshold, exact_budget_s
+            table, fds, guarantee, index, parallel, threshold,
+            exact_budget_s, per_component_budget_s,
         )
 
     report = assess(
         table, fds, index=index, decomposed=decomposed,
         exact_threshold=threshold, exact_budget_s=exact_budget_s,
+        per_component_budget_s=per_component_budget_s,
     )
 
     if strategy == "deletions":
+        # One global solve: the global budget and the per-solve ceiling
+        # coincide, whichever is set bounds it.
+        solve_budget_s = (
+            exact_budget_s if exact_budget_s is not None
+            else per_component_budget_s
+        )
         if guarantee == "fast" or (
             guarantee == "best"
             and not report.dichotomy.tractable
@@ -442,7 +594,7 @@ def clean(
         else:
             try:
                 result = optimal_s_repair(
-                    table, fds, index=index, exact_budget_s=exact_budget_s
+                    table, fds, index=index, exact_budget_s=solve_budget_s
                 )
             except ExactBudgetExceeded:
                 if guarantee == "optimal":

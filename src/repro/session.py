@@ -43,14 +43,19 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .core.conflict_index import ConflictIndex
 from .core.decompose import (
-    EXACT_COMPONENT_THRESHOLD,
     Component,
     Decomposition,
+    resolve_plan_defaults,
 )
 from .core.dichotomy import classify
 from .core.fd import FDSet
 from .core.table import Row, Table, TupleId
-from .pipeline import CleaningResult, _bracket_component, _decomposed_outcome
+from .pipeline import (
+    CleaningResult,
+    _bracket_component,
+    _decomposed_outcome,
+    _lp_qualifies,
+)
 
 __all__ = ["RepairSession", "SessionStats", "SessionStatus", "SolutionCache"]
 
@@ -170,11 +175,21 @@ class _CachedSolve:
     bracket needs (kept ids and bound are pure functions of the
     component, so serving them from cache is indistinguishable from
     recomputing; the cached method makes a budget fallback *sticky*, so
-    repeated repairs of an unchanged component stay deterministic)."""
+    repeated repairs of an unchanged component stay deterministic).
+
+    ``lp_bound`` memoises the half-integral LP relaxation bound.  It is
+    computed lazily — only when a *reading* plan qualifies for LP
+    tightening (:func:`repro.pipeline._lp_qualifies`) — because the
+    solve itself never needs it and whether it applies depends on the
+    reader's guarantee/plan, which the cache key deliberately omits so
+    sessions with different guarantees can share solves.  The bound is a
+    pure function of component content, so back-filling the shared entry
+    is an idempotent write."""
 
     kept: Tuple[TupleId, ...]
     method: str
     lower_bound: Optional[float] = None
+    lp_bound: Optional[float] = None
 
 
 class RepairSession:
@@ -194,11 +209,21 @@ class RepairSession:
         Component-size boundary for exact solving on hard Δ (default
         :data:`~repro.core.decompose.EXACT_COMPONENT_THRESHOLD`).
     exact_budget_s:
-        Wall-clock escape hatch per exact component solve (default:
-        unlimited): a component whose branch & bound outruns it falls
-        back to the 2-approximation, recorded in the component cache so
-        the fallback is sticky while the component's content is
-        unchanged.  Ships to the warm workers alongside the kernel flag.
+        **Global** exact-solve budget in wall-clock seconds (default:
+        unlimited), as in :func:`repro.pipeline.clean`: each repair's
+        components are ranked by predicted difficulty and granted exact
+        solves easiest-first while the predicted spend fits; the
+        residual tail is planned approximate up front.  Each granted
+        solve ships its slice as a hard ceiling; one that outruns it
+        falls back to the 2-approximation, recorded in the component
+        cache so the fallback is sticky while the component's content
+        (and scheduled slice) is unchanged.
+    per_component_budget_s:
+        The historical *per-solve* wall-clock ceiling (default:
+        unlimited) — every exact solve is individually capped, with no
+        difficulty scheduling.  May be combined with the global budget,
+        in which case each scheduled slice is additionally capped.
+        Ships to the warm workers alongside the kernel flag.
     parallel:
         Worker count for solving cache misses.  With ``> 1`` the session
         keeps a :class:`~repro.exec.PersistentWorkerPool` of warm
@@ -252,8 +277,9 @@ class RepairSession:
         guarantee: str = "best",
         exact_threshold: Optional[int] = None,
         exact_budget_s: Optional[float] = None,
+        per_component_budget_s: Optional[float] = None,
         parallel: Optional[int] = None,
-        node_limit: int = 2000,
+        node_limit: Optional[int] = None,
         max_cache_entries: Optional[int] = 10_000,
         pool_timeout: float = 600.0,
         pool=None,
@@ -264,13 +290,15 @@ class RepairSession:
             raise ValueError(f"unknown guarantee {guarantee!r}")
         self._fds = fds
         self._guarantee = guarantee
-        self._threshold = (
-            EXACT_COMPONENT_THRESHOLD if exact_threshold is None
-            else exact_threshold
+        defaults = resolve_plan_defaults(
+            exact_threshold, node_limit, exact_budget_s,
+            per_component_budget_s,
         )
-        self._exact_budget_s = exact_budget_s
+        self._threshold = defaults.threshold
+        self._exact_budget_s = defaults.exact_budget_s
+        self._per_component_budget_s = defaults.per_component_budget_s
         self._parallel = parallel
-        self._node_limit = node_limit
+        self._node_limit = defaults.node_limit
         self._max_cache_entries = max_cache_entries
         self._pool_timeout = pool_timeout
         self._verdict = classify(fds)
@@ -304,7 +332,13 @@ class RepairSession:
         # indistinguishable from re-solving.
         self._shared_solutions = solutions
         self._cache_scope = (
-            (fds, self._schema, node_limit, exact_budget_s)
+            (
+                fds,
+                self._schema,
+                self._node_limit,
+                self._exact_budget_s,
+                self._per_component_budget_s,
+            )
             if solutions is not None
             else None
         )
@@ -574,16 +608,32 @@ class RepairSession:
             consistent_ids=tuple(self._index.consistent_ids()),
         )
 
-    def _component_key(self, method: str, member_ids: Tuple[TupleId, ...]) -> Tuple:
+    def _component_key(
+        self,
+        method: str,
+        member_ids: Tuple[TupleId, ...],
+        epoch: Optional[float] = None,
+    ) -> Tuple:
+        """Cache key of one component solve: ``(method, content)``, or
+        ``(method, epoch, content)`` when *epoch* is given.  The epoch is
+        the scheduled wall-clock slice of an exact solve under a global
+        budget: whether such a solve succeeds (and stays sticky on
+        fallback) depends on its slice, which shifts as the schedule
+        around the component changes — keying on it keeps cached
+        fallbacks honest.  Legacy (no global budget) keys are unchanged,
+        so existing sticky-fallback behaviour is untouched."""
         cached = self._component_reuse.get(tuple(member_ids))
         if cached is not None:
-            return (method, cached[1])
-        rows = self._rows
-        weights = self._weights
-        return (
-            method,
-            tuple((tid, rows[tid], weights[tid]) for tid in member_ids),
-        )
+            content = cached[1]
+        else:
+            rows = self._rows
+            weights = self._weights
+            content = tuple(
+                (tid, rows[tid], weights[tid]) for tid in member_ids
+            )
+        if epoch is not None:
+            return (method, epoch, content)
+        return (method, content)
 
     def _cache_lookup(self, key: Tuple) -> Optional[_CachedSolve]:
         if self._shared_solutions is not None:
@@ -604,6 +654,29 @@ class RepairSession:
             while len(self._solutions) > cap:
                 self._solutions.pop(next(iter(self._solutions)))
 
+    def _effective_lower_bound(
+        self, entry: _CachedSolve, component, plan
+    ) -> Optional[float]:
+        """The report lower bound one component contributes: the cached
+        matching bound, tightened to the LP relaxation bound when the
+        current plan qualifies (:func:`repro.pipeline._lp_qualifies`).
+        The LP bound is memoised on the cache entry on first use; both
+        bounds are pure functions of component content, so hit and miss
+        paths — and the batch pipeline — report the same number."""
+        bound = entry.lower_bound
+        if bound is None or not _lp_qualifies(
+            plan, component.size, self._threshold, self._guarantee
+        ):
+            return bound
+        lp = entry.lp_bound
+        if lp is None:
+            lp = component.index.lp_lower_bound()
+            if lp is not None:
+                entry.lp_bound = lp
+        if lp is not None and lp > bound:
+            return lp
+        return bound
+
     def _mirror_rows(self, ids: Iterable[TupleId]) -> Dict[TupleId, Row]:
         """The rows a worker mirror stores for *ids*: coded when the
         session's index carries a live codec, verbatim otherwise."""
@@ -621,16 +694,19 @@ class RepairSession:
             # bound to this session's namespace for its whole life.
             from .exec import PersistentWorkerPool
 
+            # The namespace default budget is the *per-solve* ceiling:
+            # globally-scheduled exact solves ship their slice per task,
+            # so the namespace default only governs tasks without one.
             pool = PersistentWorkerPool(
                 self._parallel, node_limit=self._node_limit,
-                budget_s=self._exact_budget_s,
+                budget_s=self._per_component_budget_s,
             )
             if (
                 pool.start()
                 and pool.open_session(
                     self._session_key, self._schema, self._fds,
                     node_limit=self._node_limit,
-                    budget_s=self._exact_budget_s,
+                    budget_s=self._per_component_budget_s,
                 )
                 and pool.broadcast(
                     ("reset", self._mirror_rows(self._rows), dict(self._weights)),
@@ -651,7 +727,7 @@ class RepairSession:
                 and self._pool.open_session(
                     self._session_key, self._schema, self._fds,
                     node_limit=self._node_limit,
-                    budget_s=self._exact_budget_s,
+                    budget_s=self._per_component_budget_s,
                 )
                 and self._pool.broadcast(
                     ("reset", self._mirror_rows(self._rows), dict(self._weights)),
@@ -683,15 +759,19 @@ class RepairSession:
         self.stats.pool_fallbacks += 1
 
     def _solve_misses(
-        self, misses: List[Tuple[int, object, str]]
+        self, misses: List[Tuple[int, object, object]]
     ) -> Dict[int, Tuple[Tuple[TupleId, ...], str]]:
         """Solve the cache-missed components; returns ordinal →
         ``(kept ids, effective method)`` (effective ≠ planned exactly
-        when an exact solve fell back under the session's exact budget).
+        when an exact solve fell back under its wall-clock budget).
 
-        On the warm pool when available (ids-only payloads), in-process
-        otherwise; any pool failure falls back serially — the solvers are
-        pure, so the retry is safe and byte-identical.
+        Each miss carries its :class:`~repro.core.decompose.ComponentPlan`;
+        a plan with a budget ships it per task (the globally-scheduled
+        slice, or the per-solve ceiling on the legacy path), one without
+        defers to the worker namespace default.  On the warm pool when
+        available (ids-only payloads), in-process otherwise; any pool
+        failure falls back serially — the solvers are pure and the plan
+        is the same either way, so the retry is safe and byte-identical.
         """
         from .exec import _solve_s_kept
 
@@ -709,9 +789,14 @@ class RepairSession:
         if want_pool:
             pool = self._ensure_pool()
             if pool is not None:
+                tasks = [
+                    (c.ids, plan.method) if plan.budget_s is None
+                    else (c.ids, plan.method, plan.budget_s)
+                    for _i, c, plan in misses
+                ]
                 try:
                     outcomes = pool.solve(
-                        [(c.ids, method) for _i, c, method in misses],
+                        tasks,
                         timeout=self._pool_timeout,
                         key=self._session_key,
                     )
@@ -724,18 +809,18 @@ class RepairSession:
                     else:
                         self._drop_pool()
                 else:
-                    for (i, _c, _m), outcome in zip(misses, outcomes):
+                    for (i, _c, _p), outcome in zip(misses, outcomes):
                         solved[i] = outcome
                     self.stats.pool_solves += len(misses)
                     return solved
-        for i, component, method in misses:
+        for i, component, plan in misses:
             kept, effective = _solve_s_kept(
                 component.table,
                 self._fds,
-                method,
+                plan.method,
                 self._node_limit,
                 index=component.index,
-                budget_s=self._exact_budget_s,
+                budget_s=plan.budget_s,
             )
             solved[i] = (tuple(kept), effective)
             self.stats.serial_solves += 1
@@ -747,30 +832,49 @@ class RepairSession:
 
         The result is byte-identical to
         ``pipeline.clean(session.table, fds, guarantee=..., parallel=...,
-        exact_threshold=...)`` — same cleaned table, distance, dirtiness
-        report, and portfolio label.
+        exact_threshold=..., exact_budget_s=...,
+        per_component_budget_s=...)`` — same cleaned table, distance,
+        dirtiness report, and portfolio label.  The schedule is re-planned
+        per call (it is pure arithmetic over the current components);
+        under a global budget an exact solve's cache key carries its
+        scheduled slice, so a slice change — the schedule shifting as
+        components come and go — re-solves rather than serving a result
+        computed under a different ceiling.
         """
         decomp = self._decompose()
-        methods = decomp.plan_methods(
-            self._verdict.tractable, self._guarantee, self._threshold
+        plans = decomp.plan_schedule(
+            self._verdict.tractable,
+            self._guarantee,
+            self._threshold,
+            self._exact_budget_s,
+            self._per_component_budget_s,
+            self._node_limit,
         )
+        methods = [plan.method for plan in plans]
         kept_lists: List[Optional[Tuple[TupleId, ...]]] = [None] * len(methods)
         lower_bounds: List[Optional[float]] = [None] * len(methods)
-        misses: List[Tuple[int, object, str]] = []
+        misses: List[Tuple[int, object, object]] = []
         keys: Dict[int, Tuple] = {}
-        for i, (component, method) in enumerate(zip(decomp.components, methods)):
-            key = self._component_key(method, component.ids)
+        for i, (component, plan) in enumerate(zip(decomp.components, plans)):
+            epoch = (
+                plan.budget_s
+                if self._exact_budget_s is not None and plan.method == "exact"
+                else None
+            )
+            key = self._component_key(plan.method, component.ids, epoch)
             keys[i] = key
             entry = self._cache_lookup(key)
             if entry is None:
-                misses.append((i, component, method))
+                misses.append((i, component, plan))
             else:
                 kept_lists[i] = entry.kept
-                lower_bounds[i] = entry.lower_bound
+                lower_bounds[i] = self._effective_lower_bound(
+                    entry, component, plan
+                )
                 methods[i] = entry.method
                 self.stats.cache_hits += 1
         solved = self._solve_misses(misses)
-        for i, component, method in misses:
+        for i, component, plan in misses:
             kept, effective = solved[i]
             kept_lists[i] = kept
             methods[i] = effective
@@ -779,8 +883,11 @@ class RepairSession:
                 if effective == "approx"
                 else None
             )
-            lower_bounds[i] = bound
-            self._cache_store(keys[i], _CachedSolve(kept, effective, bound))
+            entry = _CachedSolve(kept, effective, bound)
+            lower_bounds[i] = self._effective_lower_bound(
+                entry, component, plan
+            )
+            self._cache_store(keys[i], entry)
             self.stats.cache_misses += 1
         result = _decomposed_outcome(
             decomp, self._verdict, methods, kept_lists, self._parallel,
@@ -883,6 +990,7 @@ class RepairSession:
                 "guarantee": self._guarantee,
                 "exact_threshold": self._threshold,
                 "exact_budget_s": self._exact_budget_s,
+                "per_component_budget_s": self._per_component_budget_s,
                 "parallel": self._parallel,
                 "node_limit": self._node_limit,
                 "max_cache_entries": self._max_cache_entries,
