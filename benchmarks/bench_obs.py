@@ -1,0 +1,202 @@
+"""ISSUE-8 — telemetry overhead and trace-driven calibration gates.
+
+The observability layer (:mod:`repro.obs`) promises to be free when
+off and cheap when on.  Both claims are CI-gated here, measured
+best-of-N with the arms interleaved round-robin (so load drift on a
+busy CI box hits every arm alike) on the portfolio-mix clean —
+the workload whose solve loop crosses every instrumented seam (index,
+decompose, plan, per-component solve records, merge):
+
+* **No-op recorder** — a clean with the shared ``NULL_RECORDER``
+  explicitly attached must stay within 3% of a clean with no recorder
+  argument at all.  The two arms run the identical attribute-check-only
+  path, so this gate measures that the no-op guard *stays* an
+  attribute check and nobody accidentally makes the default path pay
+  for telemetry.
+* **Tracing enabled** — a clean under a live :class:`repro.obs.Recorder`
+  streaming to a JSONL sink must stay within 15% of the no-recorder
+  arm: spans are per-phase (a handful per clean) and solve records
+  per-component, so the trace cost is bounded by the decomposition
+  width, not the table size.
+
+The third gate closes the ROADMAP's learned-cost-model loop: a traced
+clean of the same mix family must yield enough exact predicted-vs-actual
+pairs that :func:`repro.obs.calibrate_trace` fits a seconds-per-unit
+constant with **lower mean relative prediction error** than the
+hand-calibrated ``DIFFICULTY_UNIT_COST_S``.
+
+Results land in ``BENCH_obs.json``; the ``overhead-traced-clean``
+configuration records a ``speedup`` (baseline over traced) wired into
+the CI >30% regression gate.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import obs
+from repro.core.decompose import DIFFICULTY_UNIT_COST_S
+from repro.core.fd import FDSet
+from repro.datagen.synthetic import portfolio_mix_table
+from repro.pipeline import clean
+
+from conftest import print_table, record_bench
+
+OVERLAY = FDSet("A -> B; B -> C")
+GLOBAL_BUDGET_S = 0.8
+#: Overhead ceilings, as traced-over-baseline wall ratios.
+NULL_OVERHEAD_CEILING = 1.03
+TRACE_OVERHEAD_CEILING = 1.15
+
+
+def _mix_table(seed=11):
+    return portfolio_mix_table(("A", "B", "C"), seed=seed)
+
+
+def _interleaved_best(fns, rounds=9, warmup=1):
+    """Best-of-*rounds* for several arms, measured **interleaved**.
+
+    The overhead gates below compare ratios in the low single-digit
+    percent range; measuring each arm's rounds back-to-back (as
+    ``measure_best`` does) lets a load drift between arms masquerade as
+    overhead.  Rotating through the arms each round exposes every arm
+    to the same load profile, and the per-arm minimum then filters the
+    spikes symmetrically.  Returns (last results, best seconds, all
+    rounds) per arm.
+    """
+    import time
+
+    results = [None] * len(fns)
+    for _ in range(warmup):
+        for i, fn in enumerate(fns):
+            results[i] = fn()
+    runs = [[] for _ in fns]
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            results[i] = fn()
+            runs[i].append(time.perf_counter() - start)
+    return results, [min(r) for r in runs], runs
+
+
+def test_recorder_overhead_gates(benchmark):
+    """Gates 1+2: no-op recorder ≤ 3%, live JSONL tracing ≤ 15% over an
+    un-recorded clean of the same workload."""
+    table = _mix_table()
+    trace_path = os.path.join(tempfile.mkdtemp(), "bench_obs_trace.jsonl")
+
+    def run_plain():
+        return clean(table, OVERLAY, exact_budget_s=GLOBAL_BUDGET_S)
+
+    def run_null():
+        return clean(
+            table,
+            OVERLAY,
+            exact_budget_s=GLOBAL_BUDGET_S,
+            recorder=obs.NULL_RECORDER,
+        )
+
+    def run_traced():
+        # Recorder construction, sink open, and summary flush are part
+        # of the measured cost — that is what `--trace` actually buys.
+        with obs.Recorder(sink=obs.JsonlTraceSink(trace_path)) as recorder:
+            return clean(
+                table,
+                OVERLAY,
+                exact_budget_s=GLOBAL_BUDGET_S,
+                recorder=recorder,
+            )
+
+    (plain, null, traced), bests, runs = _interleaved_best(
+        [run_plain, run_null, run_traced]
+    )
+    plain_s, null_s, traced_s = bests
+    traced_runs = runs[2]
+    benchmark.pedantic(run_traced, rounds=1, iterations=1)
+
+    # Telemetry must never change the repair, only describe it.
+    assert null.distance == plain.distance
+    assert traced.distance == plain.distance
+
+    null_ratio = null_s / plain_s
+    traced_ratio = traced_s / plain_s
+    assert null_ratio <= NULL_OVERHEAD_CEILING, (
+        f"no-op recorder costs {100 * (null_ratio - 1):.1f}% "
+        f"(ceiling {100 * (NULL_OVERHEAD_CEILING - 1):.0f}%)"
+    )
+    assert traced_ratio <= TRACE_OVERHEAD_CEILING, (
+        f"JSONL tracing costs {100 * (traced_ratio - 1):.1f}% "
+        f"(ceiling {100 * (TRACE_OVERHEAD_CEILING - 1):.0f}%)"
+    )
+
+    print_table(
+        "ISSUE-8 — recorder overhead on the portfolio-mix clean",
+        ("arm", "best of 9 interleaved", "vs baseline"),
+        [
+            ("no recorder", f"{plain_s * 1e3:.1f} ms", "1.00×"),
+            ("NULL_RECORDER", f"{null_s * 1e3:.1f} ms",
+             f"{null_ratio:.3f}×"),
+            ("traced (JSONL sink)", f"{traced_s * 1e3:.1f} ms",
+             f"{traced_ratio:.3f}×"),
+        ],
+    )
+    record_bench(
+        "BENCH_obs.json",
+        "overhead-traced-clean",
+        traced_s,
+        runs_s=traced_runs,
+        baseline_s=round(plain_s, 6),
+        null_s=round(null_s, 6),
+        null_ratio=round(null_ratio, 4),
+        traced_ratio=round(traced_ratio, 4),
+        speedup=round(plain_s / traced_s, 2),
+    )
+
+
+def test_trace_calibration_beats_hand_constant():
+    """Gate 3: fitting DIFFICULTY_UNIT_COST_S from a trace of the mix
+    family reduces the mean relative prediction error below the
+    hand-calibrated constant's."""
+    trace_path = os.path.join(tempfile.mkdtemp(), "bench_obs_calib.jsonl")
+    with obs.Recorder(sink=obs.JsonlTraceSink(trace_path)) as recorder:
+        clean(
+            _mix_table(),
+            OVERLAY,
+            exact_budget_s=GLOBAL_BUDGET_S,
+            recorder=recorder,
+        )
+    records = obs.read_trace(trace_path)
+    report = obs.calibrate_trace(records)
+
+    assert report["pairs"] >= 3, (
+        f"only {report['pairs']} exact predicted-vs-actual pairs in the "
+        "trace — not enough signal to calibrate"
+    )
+    assert report["hand_unit_cost_s"] == DIFFICULTY_UNIT_COST_S
+    assert report["mean_rel_error"] <= report["hand_mean_rel_error"], (
+        f"fitted constant predicts worse than the hand one "
+        f"({report['mean_rel_error']:.3f} vs "
+        f"{report['hand_mean_rel_error']:.3f} mean relative error)"
+    )
+
+    print_table(
+        "ISSUE-8 — trace-driven cost-model calibration (mix family)",
+        ("constant", "seconds per unit", "mean rel. error"),
+        [
+            ("hand-calibrated", f"{report['hand_unit_cost_s']:.3g}",
+             f"{report['hand_mean_rel_error']:.3f}"),
+            ("fitted from trace", f"{report['unit_cost_s']:.3g}",
+             f"{report['mean_rel_error']:.3f}"),
+        ],
+    )
+    record_bench(
+        "BENCH_obs.json",
+        "calibrate-mix-family",
+        0.0,
+        pairs=report["pairs"],
+        hand_unit_cost_s=report["hand_unit_cost_s"],
+        hand_mean_rel_error=report["hand_mean_rel_error"],
+        unit_cost_s=round(report["unit_cost_s"], 9),
+        mean_rel_error=report["mean_rel_error"],
+    )

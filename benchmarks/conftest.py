@@ -30,6 +30,8 @@ import statistics
 import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+import pytest
+
 from repro.testing import (  # noqa: F401 — re-exported for bench modules
     DELTA_A_IFF_B_TO_C,
     DELTA_SSN,
@@ -70,6 +72,21 @@ def bench_environment() -> Dict[str, object]:
         "cpu_count": os.cpu_count(),
         "kernel": kernel.enabled(),
     }
+
+
+#: Wall-clock origin for the currently running benchmark test; reset by
+#: the autouse fixture below so :func:`record_bench` can stamp how many
+#: seconds the *whole* bench (data generation, warm-ups, every arm)
+#: cost — the number one needs to budget a CI bench-smoke job, which
+#: none of the per-arm timings contain.
+_TEST_START = time.perf_counter()
+
+
+@pytest.fixture(autouse=True)
+def _bench_wall_clock():
+    global _TEST_START
+    _TEST_START = time.perf_counter()
+    yield
 
 
 def measure_median(fn: Callable, repeats: int = 3) -> Tuple[object, float, list]:
@@ -122,7 +139,9 @@ def record_bench(
     suite's headline seconds for that configuration (historically a
     median, best-of-5 for the gated benches since the measure_best
     switch; the field name stays put so the CI perf trajectory remains
-    one series) — plus whatever context the benchmark adds.  Every
+    one series) — plus ``wall_s``, the wall-clock seconds from the
+    enclosing test's start to this record (data generation and warm-ups
+    included), and whatever context the benchmark adds.  Every
     write refreshes the file's ``environment`` stamp
     (:func:`bench_environment`) so the regression gate can recognise —
     and skip — cross-environment comparisons.
@@ -135,7 +154,10 @@ def record_bench(
         data = {}
     data["environment"] = bench_environment()
     results = data.setdefault("results", {})
-    entry = {"median_s": round(median_s, 6)}
+    entry = {
+        "median_s": round(median_s, 6),
+        "wall_s": round(time.perf_counter() - _TEST_START, 3),
+    }
     if runs_s is not None:
         entry["runs_s"] = [round(t, 6) for t in runs_s]
     entry.update(extra)

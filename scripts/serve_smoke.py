@@ -43,6 +43,9 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--timeout", type=float, default=STEP_TIMEOUT,
                         help="hard per-step timeout in seconds")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="pass --trace PATH through to fdrepair serve "
+                             "and assert the daemon wrote a telemetry log")
     args = parser.parse_args()
     deadline = args.timeout
 
@@ -52,10 +55,12 @@ def main() -> None:
         p for p in (os.path.join(repo, "src"), env.get("PYTHONPATH")) if p
     )
 
+    argv = [sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--parallel", "1"]
+    if args.trace:
+        argv += ["--trace", args.trace]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--port", "0", "--parallel", "1"],
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
     )
 
     # Step 1: the daemon announces its port within the timeout.
@@ -101,6 +106,12 @@ def main() -> None:
     stats = rpc({"op": "stats"})
     if stats.get("sessions") != 2:
         fail(f"expected 2 sessions in stats: {stats}", proc)
+    tenant_sessions = stats.get("tenant_sessions", {})
+    for tenant in ("acme", "globex"):
+        if tenant_sessions.get(tenant, {}).get("resident") != 1:
+            fail(f"per-tenant stats missing {tenant}: {stats}", proc)
+    if stats.get("op_latency_s", {}).get("op.append", {}).get("count") != 2:
+        fail(f"expected 2 appends in op latency histogram: {stats}", proc)
     # The second tenant's identical component should ride the first's
     # solve through the shared cache.
     if stats.get("cache_hits", 0) < 1:
@@ -117,6 +128,15 @@ def main() -> None:
     if code != 0:
         _out, err = proc.communicate()
         fail(f"daemon exited {code}: {err.decode('utf-8', 'replace')[-500:]}")
+    if args.trace:
+        if not os.path.exists(args.trace) or not os.path.getsize(args.trace):
+            fail(f"daemon wrote no telemetry trace at {args.trace}")
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            types = {json.loads(line).get("type")
+                     for line in handle if line.strip()}
+        if "op" not in types or "summary" not in types:
+            fail(f"trace missing op/summary records (saw {sorted(types)})")
+        print(f"trace OK: {sorted(types)} records in {args.trace}")
     print("SMOKE OK: two tenants served, clean shutdown")
 
 

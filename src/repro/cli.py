@@ -29,6 +29,18 @@ Commands
     Δ)`` sessions over one shared worker pool and content-addressed
     solution cache, speaking the JSONL protocol of
     :mod:`repro.protocol` over TCP or stdio.
+``trace summarize``
+    Roll a ``--trace`` JSONL telemetry log up into phase / method /
+    tenant / op tables (see :mod:`repro.obs` for the record schema).
+``calibrate``
+    Fit the difficulty cost model's seconds-per-unit constant (and
+    optionally its exponent) from the predicted-vs-actual solve records
+    of a ``--trace`` log.
+
+``assess``, ``s-repair``, ``u-repair``, ``stream``, and ``serve`` all
+take ``--trace PATH`` to append a structured telemetry trace — spans,
+per-component solve records, and a closing summary — consumable by the
+two analysis verbs above.
 
 The repair commands run the conflict-decomposed engine: ``--parallel N``
 solves components on N worker processes (``stream`` keeps them warm
@@ -97,6 +109,7 @@ def _add_repair_options(parser: argparse.ArgumentParser) -> None:
         help="disable conflict decomposition (one global solver call)",
     )
     _add_kernel_option(parser)
+    _add_trace_option(parser)
     parser.add_argument("--out", help="write the result CSV here")
 
 
@@ -153,6 +166,32 @@ def _apply_kernel_choice(args: argparse.Namespace) -> None:
         kernel.set_enabled(False)
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append a structured JSONL telemetry trace to PATH: nested "
+            "spans, one record per component solve (planned vs effective "
+            "method, predicted vs actual seconds), and a closing summary "
+            "of counters and latency histograms; analyse with "
+            "'fdrepair trace summarize' and 'fdrepair calibrate'"
+        ),
+    )
+
+
+def _recorder_for(args: argparse.Namespace):
+    """A sink-backed :class:`repro.obs.Recorder` for ``--trace PATH``,
+    or ``None`` (commands then run on the guaranteed-no-op recorder)."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from . import obs
+
+    return obs.Recorder(sink=obs.JsonlTraceSink(path))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fdrepair",
@@ -197,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exact_budget_option(p_assess)
     _add_kernel_option(p_assess)
+    _add_trace_option(p_assess)
 
     p_srepair = sub.add_parser("s-repair", help="compute an S-repair")
     p_srepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
@@ -267,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exact_budget_option(p_stream)
     _add_kernel_option(p_stream)
+    _add_trace_option(p_stream)
     p_stream.add_argument("--out", help="write the final repaired CSV here")
     p_stream.add_argument(
         "--quiet",
@@ -354,6 +395,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant memory budget in bytes (default 256 MiB)",
     )
     _add_kernel_option(p_serve)
+    _add_trace_option(p_serve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="analyse a --trace telemetry log",
+        description=(
+            "Inspect a JSONL telemetry trace written by --trace: roll "
+            "spans up into the pipeline phase breakdown, solve records "
+            "into per-method predicted-vs-actual totals, and op records "
+            "into per-tenant and per-op latency tables."
+        ),
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="phase / method / tenant / op rollups"
+    )
+    p_tsum.add_argument("path", help="trace JSONL file")
+    p_tsum.add_argument(
+        "--json", action="store_true", help="emit the full rollup as JSON"
+    )
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit the difficulty cost model from a --trace log",
+        description=(
+            "Fit DIFFICULTY_UNIT_COST_S — the seconds-per-difficulty-"
+            "unit constant the scheduler multiplies predicted difficulty "
+            "by — from the exact-solve records of a telemetry trace, by "
+            "least squares in log space.  Reports the hand-calibrated "
+            "constant's mean relative prediction error on the same "
+            "trace next to the fitted constant's, so a regression is "
+            "visible immediately."
+        ),
+    )
+    p_cal.add_argument("path", help="trace JSONL file")
+    p_cal.add_argument(
+        "--fit-exponent",
+        action="store_true",
+        help=(
+            "additionally fit the two-parameter model "
+            "actual ≈ c · difficulty^γ"
+        ),
+    )
+    p_cal.add_argument(
+        "--json", action="store_true", help="emit the fit report as JSON"
+    )
     return parser
 
 
@@ -373,18 +460,28 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     _apply_kernel_choice(args)
     table = table_from_csv(args.table)
     fds = parse_fd_set(args.fds)
-    report = assess(
-        table,
-        fds,
-        decomposed=args.decomposed,
-        exact_threshold=args.exact_threshold,
-        exact_budget_s=args.exact_budget,
-        per_component_budget_s=args.per_component_budget,
-        detailed=args.json,
-    )
+    recorder = _recorder_for(args)
+    try:
+        report = assess(
+            table,
+            fds,
+            decomposed=args.decomposed,
+            exact_threshold=args.exact_threshold,
+            exact_budget_s=args.exact_budget,
+            per_component_budget_s=args.per_component_budget,
+            detailed=args.json,
+            recorder=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     if args.json:
         from dataclasses import asdict
 
+        details = report.component_details or ()
+        predicted = [
+            d.predicted_s for d in details if d.predicted_s is not None
+        ]
         payload = {
             "total_tuples": report.total_tuples,
             "total_weight": report.total_weight,
@@ -398,9 +495,11 @@ def _cmd_assess(args: argparse.Namespace) -> int:
             "component_count": report.component_count,
             "largest_component": report.largest_component,
             "exact_components": report.exact_components,
-            "components": [
-                asdict(detail) for detail in report.component_details or ()
-            ],
+            "predicted_total_s": (
+                round(sum(predicted), 9) if predicted else None
+            ),
+            "granted_budget_s": args.exact_budget,
+            "components": [asdict(detail) for detail in details],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -434,17 +533,23 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
     # --guarantee choice; it only strengthens the default.
     if getattr(args, "approx", False) and guarantee == "best":
         guarantee = "fast"
-    return clean(
-        table,
-        fds,
-        strategy=strategy,
-        guarantee=guarantee,
-        decomposed=args.decomposed,
-        parallel=args.parallel,
-        exact_threshold=args.exact_threshold,
-        exact_budget_s=args.exact_budget,
-        per_component_budget_s=args.per_component_budget,
-    )
+    recorder = _recorder_for(args)
+    try:
+        return clean(
+            table,
+            fds,
+            strategy=strategy,
+            guarantee=guarantee,
+            decomposed=args.decomposed,
+            parallel=args.parallel,
+            exact_threshold=args.exact_threshold,
+            exact_budget_s=args.exact_budget,
+            per_component_budget_s=args.per_component_budget,
+            recorder=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
 
 
 def _cmd_s_repair(args: argparse.Namespace) -> int:
@@ -481,6 +586,15 @@ def _cmd_mpd(args: argparse.Namespace) -> int:
     if args.out:
         table_to_csv(result.database, args.out)
     return 0
+
+
+def _closing_recorder(recorder):
+    """Context manager closing *recorder* on exit; no-op for ``None``."""
+    import contextlib
+
+    if recorder is None:
+        return contextlib.nullcontext()
+    return contextlib.closing(recorder)
 
 
 def _stream_lines(source: str):
@@ -532,7 +646,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if lines is None:
         return 2
 
-    with RepairSession(
+    recorder = _recorder_for(args)
+    with _closing_recorder(recorder), RepairSession(
         table,
         fds,
         guarantee=args.guarantee,
@@ -540,6 +655,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
         per_component_budget_s=args.per_component_budget,
+        recorder=recorder,
     ) as session:
         result = session.repair()
         if not args.quiet:
@@ -644,7 +760,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.max_tenant_bytes is not None:
         config.max_tenant_bytes = args.max_tenant_bytes
-    server = RepairServer(SessionManager(config))
+    recorder = _recorder_for(args)
+    server = RepairServer(SessionManager(config, recorder=recorder))
 
     async def run() -> None:
         if args.stdio:
@@ -658,6 +775,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         return 130
+    finally:
+        # manager.shutdown() already closed it on the clean path;
+        # Recorder.close is idempotent, this covers interrupts.
+        if recorder is not None:
+            recorder.close()
+    return 0
+
+
+def _read_trace_or_fail(path: str):
+    from . import obs
+
+    try:
+        return obs.read_trace(path)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+
+    records = _read_trace_or_fail(args.path)
+    if records is None:
+        return 2
+    summary = obs.summarize_trace(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    phases = summary["phases"]
+    if phases:
+        print("phase breakdown:")
+        for phase, row in phases.items():
+            print(
+                f"  {phase:<10} {row['total_s']:>10.4f} s "
+                f"({100 * row['share']:5.1f}%)  ×{row['count']}"
+            )
+    methods = summary["methods"]
+    if methods:
+        print(f"solves: {summary['solves']}")
+        for method, row in sorted(methods.items()):
+            line = (
+                f"  {method:<12} ×{row['solves']:<5} "
+                f"{row['actual_s']:.4f} s total, max {row['max_s']:.4f} s"
+            )
+            if row["predicted_pairs"]:
+                line += (
+                    f", predicted {row['predicted_s']:.4f} s over "
+                    f"{row['predicted_pairs']} scheduled"
+                )
+            if row["budget_exhausted"]:
+                line += f", {row['budget_exhausted']} budget-exhausted"
+            print(line)
+    tenants = summary["tenants"]
+    if tenants:
+        print("tenants:")
+        for tenant, row in sorted(tenants.items()):
+            print(
+                f"  {tenant:<16} {row['ops']} ops, {row['total_s']:.4f} s"
+            )
+    ops = summary["ops"]
+    if ops:
+        print("ops:")
+        for op, row in sorted(ops.items()):
+            line = f"  {op:<10} ×{row['count']:<5} {row['total_s']:.4f} s"
+            if row["errors"]:
+                line += f", {row['errors']} errors"
+            print(line)
+    if not (phases or methods or tenants or ops):
+        print("trace contains no span, solve, or op records")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from . import obs
+
+    records = _read_trace_or_fail(args.path)
+    if records is None:
+        return 2
+    report = obs.calibrate_trace(records, fit_exponent=args.fit_exponent)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not report["pairs"]:
+        print(
+            "no calibratable solve records (need exact solves with "
+            "positive predicted difficulty and measured seconds — run "
+            "with --trace and a global --exact-budget)"
+        )
+        return 0
+    print(f"training pairs: {report['pairs']} exact solves")
+    print(
+        f"hand-calibrated unit cost: {report['hand_unit_cost_s']:.3g} s "
+        f"(mean relative error {report['hand_mean_rel_error']:.3f})"
+    )
+    print(
+        f"fitted unit cost:          {report['unit_cost_s']:.3g} s "
+        f"(mean relative error {report['mean_rel_error']:.3f})"
+    )
+    if "exponent" in report:
+        print(
+            f"fitted exponent model:     "
+            f"{report['exponent_unit_cost_s']:.3g} s · difficulty^"
+            f"{report['exponent']:.3f} "
+            f"(mean relative error {report['exponent_mean_rel_error']:.3f})"
+        )
     return 0
 
 
@@ -669,6 +891,8 @@ _COMMANDS = {
     "mpd": _cmd_mpd,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "calibrate": _cmd_calibrate,
 }
 
 

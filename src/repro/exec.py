@@ -29,8 +29,10 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import obs as _obs
 from .core import kernel as _kernel
 from .core.decompose import (
     EXACT_COMPONENT_THRESHOLD,
@@ -186,13 +188,15 @@ def _session_worker_main(inq, outq, node_limit, use_kernel=True,
                     {tid: rows[tid] for tid in ids},
                     {tid: weights[tid] for tid in ids},
                 )
+                solve_start = _perf_counter()
                 kept, effective = _solve_s_kept(
                     subtable, fds, method, space_limit, budget_s=solve_budget
                 )
+                elapsed = _perf_counter() - solve_start
             except BaseException as exc:  # ship the failure, don't die
-                outq.put((seq, None, None, repr(exc)))
+                outq.put((seq, None, None, 0.0, repr(exc)))
             else:
-                outq.put((seq, tuple(kept), effective, None))
+                outq.put((seq, tuple(kept), effective, elapsed, None))
 
 
 class PersistentWorkerPool:
@@ -254,7 +258,7 @@ class PersistentWorkerPool:
         self._collector = None
         self._cond = threading.Condition()
         self._pending: Dict[int, int] = {}   # seq -> worker index
-        self._done: Dict[int, Tuple] = {}    # seq -> (kept, method, error)
+        self._done: Dict[int, Tuple] = {}    # seq -> (kept, method, secs, error)
         self._dead: set = set()
         self._next_seq = 0
         self._rr = 0
@@ -347,13 +351,18 @@ class PersistentWorkerPool:
     # ------------------------------------------------------------------
     def solve(self, tasks: Sequence[Tuple],
               timeout: float = 120.0,
-              key=DEFAULT_SESSION_KEY) -> List[Tuple[Tuple[TupleId, ...], str]]:
+              key=DEFAULT_SESSION_KEY
+              ) -> List[Tuple[Tuple[TupleId, ...], str, float]]:
         """Solve ``(component ids, method)`` or ``(component ids, method,
         budget_s)`` tasks on the warm workers; returns ``(kept ids,
-        effective method)`` per task.  The optional third element is a
-        per-task wall-clock budget overriding the session namespace's
-        default — how the global difficulty scheduler ships each exact
-        solve's slice so pool and serial runs read the identical plan.
+        effective method, solve seconds)`` per task.  The optional third
+        task element is a per-task wall-clock budget overriding the
+        session namespace's default — how the global difficulty scheduler
+        ships each exact solve's slice so pool and serial runs read the
+        identical plan.  The seconds are measured *inside* the worker
+        around the solve itself (queueing and pickling excluded), so
+        they are the pool-path counterpart of a serially timed solve —
+        the telemetry layer's predicted-vs-actual training signal.
 
         Round-robin dispatch over live workers; results are reassembled
         in task order.  Thread-safe — concurrent calls (one per daemon
@@ -417,10 +426,10 @@ class PersistentWorkerPool:
         if failure is not None:
             raise RuntimeError(failure)
         results = []
-        for kept, effective, error in outcomes:
+        for kept, effective, secs, error in outcomes:
             if error is not None:
                 raise RuntimeError(f"worker solve failed: {error}")
-            results.append((kept, effective))
+            results.append((kept, effective, secs))
         return results
 
     # ------------------------------------------------------------------
@@ -439,13 +448,13 @@ class PersistentWorkerPool:
             except (OSError, ValueError, EOFError):
                 break
             try:
-                seq, kept, effective, error = item
+                seq, kept, effective, secs, error = item
             except (TypeError, ValueError):
                 continue
             with self._cond:
                 if seq in self._pending:
                     del self._pending[seq]
-                    self._done[seq] = (kept, effective, error)
+                    self._done[seq] = (kept, effective, secs, error)
                     self._cond.notify_all()
 
     def _reap_dead_workers(self) -> None:
@@ -467,7 +476,7 @@ class PersistentWorkerPool:
             for seq, routed_to in list(self._pending.items()):
                 if routed_to in self._dead:
                     del self._pending[seq]
-                    self._done[seq] = (None, None, reason)
+                    self._done[seq] = (None, None, 0.0, reason)
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -517,7 +526,7 @@ class PersistentWorkerPool:
         with self._cond:
             for seq in list(self._pending):
                 del self._pending[seq]
-                self._done[seq] = (None, None, "worker pool closed")
+                self._done[seq] = (None, None, 0.0, "worker pool closed")
             self._cond.notify_all()
 
     def close(self) -> None:
@@ -592,10 +601,14 @@ def _solve_s_kept(
     raise ValueError(f"unknown portfolio method {method!r}")
 
 
-def _s_worker(task) -> Tuple[Tuple[TupleId, ...], str]:
+def _s_worker(task) -> Tuple[Tuple[TupleId, ...], str, float]:
     table, fds, method, node_limit, use_kernel, budget_s = task
     _kernel.set_enabled(use_kernel)
-    return _solve_s_kept(table, fds, method, node_limit, budget_s=budget_s)
+    start = _perf_counter()
+    kept, effective = _solve_s_kept(
+        table, fds, method, node_limit, budget_s=budget_s
+    )
+    return kept, effective, _perf_counter() - start
 
 
 def coded_component_table(
@@ -623,12 +636,16 @@ def coded_component_table(
     )
 
 
-def _s_worker_coded(task) -> Tuple[Tuple[TupleId, ...], str]:
+def _s_worker_coded(task) -> Tuple[Tuple[TupleId, ...], str, float]:
     schema, ids, columns, weights, fds, method, node_limit, use_kernel, \
         budget_s = task
     _kernel.set_enabled(use_kernel)
     table = coded_component_table(schema, ids, columns, weights)
-    return _solve_s_kept(table, fds, method, node_limit, budget_s=budget_s)
+    start = _perf_counter()
+    kept, effective = _solve_s_kept(
+        table, fds, method, node_limit, budget_s=budget_s
+    )
+    return kept, effective, _perf_counter() - start
 
 
 def solve_components(
@@ -638,6 +655,7 @@ def solve_components(
     node_limit: int = 2000,
     budget_s: Optional[float] = None,
     plans: Optional[Sequence[ComponentPlan]] = None,
+    recorder=None,
 ) -> Tuple[List[Tuple[TupleId, ...]], List[str]]:
     """Solve each component with its assigned portfolio method; returns
     the kept identifiers per component plus the *effective* methods, both
@@ -662,7 +680,16 @@ def solve_components(
     property).  When the parent index is kernel-backed, components ship
     as column-code arrays instead of sub-``Table`` dicts (see
     :func:`coded_component_table`) — same kept ids, smaller payloads.
+
+    With an enabled *recorder* (:mod:`repro.obs`), one ``solve`` trace
+    record is emitted per component carrying the plan evidence
+    (difficulty, predicted seconds, budget slice, downgrade flag,
+    features), the effective method, and the measured solve seconds —
+    timed in-process on the serial path, inside the worker on the pool
+    path.  The default :data:`repro.obs.NULL_RECORDER` costs one
+    attribute check.
     """
+    rec = _obs.resolve(recorder)
     count = len(methods)
     if plans is not None:
         methods = [plan.method for plan in plans]
@@ -702,17 +729,36 @@ def solve_components(
             ]
             ordered = map_components(_s_worker, tasks, parallel)
     else:
-        ordered = [
-            _solve_s_kept(
+        timed = rec.enabled
+        ordered = []
+        for i in order:
+            start = _perf_counter() if timed else 0.0
+            kept, effective = _solve_s_kept(
                 components[i].table, decomp.fds, methods[i], node_limit,
                 index=components[i].index, budget_s=budgets[i],
             )
-            for i in order
-        ]
+            ordered.append(
+                (kept, effective, _perf_counter() - start if timed else 0.0)
+            )
     outcomes: List = [None] * count
     for i, outcome in zip(order, ordered):
         outcomes[i] = outcome
-    return [kept for kept, _m in outcomes], [m for _kept, m in outcomes]
+    if rec.enabled:
+        path = "pool" if workers > 1 else "serial"
+        for i, (_kept, effective, secs) in enumerate(outcomes):
+            component = components[i]
+            rec.solve_record(
+                ordinal=i,
+                size=component.size,
+                edges=component.index.num_edges,
+                planned=methods[i],
+                effective=effective,
+                actual_s=secs,
+                path=path,
+                context="clean",
+                plan=plans[i] if plans is not None else None,
+            )
+    return [kept for kept, _m, _s in outcomes], [m for _k, m, _s in outcomes]
 
 
 def _method_mix(methods: Sequence[str]) -> Dict[str, int]:

@@ -1,0 +1,720 @@
+"""``repro.obs``: zero-dependency structured telemetry.
+
+The difficulty scheduler (PR 7) turned repair into a predict-then-spend
+loop: :func:`repro.core.decompose.predict_difficulty` prices each
+component, the budget is rationed on those prices, and a misprediction
+silently burns the residual budget of the whole run.  Closing that loop
+needs *data* — predicted vs. actual solve seconds, where wall-clock goes
+inside a ``clean``, why the daemon evicted a tenant — which is exactly
+what this module records.
+
+Three layers, all dependency-free and thread-safe:
+
+:class:`Recorder`
+    Nested spans (monotonic-clock start/duration, tags, thread-local
+    nesting), counters, gauges, and fixed-bucket latency histograms.
+    Aggregates in memory (span rollups, counter totals) and — when
+    constructed with a sink — streams span/solve/op events as JSON
+    lines.  One recorder may be shared by many sessions/threads: every
+    aggregate mutation takes the recorder's lock, span nesting lives in
+    thread-local storage, and the sink serialises its writes.
+
+:data:`NULL_RECORDER`
+    The guaranteed-no-op default.  Every instrumented hot path guards
+    per-item work with ``if recorder.enabled:``, so an uninstrumented
+    run pays one attribute read per guard — nothing else.  ``enabled``
+    is a class attribute (``False``), not state: a ``NullRecorder`` can
+    never be switched on, which is what makes the no-op guarantee a
+    type-level fact rather than a convention.
+
+:class:`JsonlTraceSink`
+    A thread-safe append-only JSONL file.  Events buffer through the
+    file object's own buffering and flush on :meth:`close` (the
+    recorder writes a final ``summary`` record — counter totals,
+    gauges, histograms — before closing, so a trace file is
+    self-contained).
+
+Trace record schema (one JSON object per line; all optional fields may
+be absent):
+
+``{"type": "span", "ts", "name", "dur_s", "depth", "parent", "tags"}``
+    One finished span.  ``ts`` is the wall-clock completion time
+    (``time.time()``); ``dur_s`` the monotonic-clock duration;
+    ``depth``/``parent`` encode the nesting at completion.  Phase spans
+    are named ``phase.<index|decompose|plan|solve|merge>`` under a root
+    ``pipeline.clean`` / ``pipeline.assess`` / ``session.repair`` span.
+
+``{"type": "solve", "ts", "ordinal", "size", "edges", "planned",
+"method", "difficulty", "predicted_s", "budget_s", "downgraded",
+"budget_exhausted", "actual_s", "path", "context", "key", "density",
+"weight_spread", "gap_rel"}``
+    One per-component solve: the :class:`~repro.core.decompose.ComponentPlan`
+    evidence (``difficulty``/``predicted_s``/``budget_s``/``downgraded``
+    and the feature triple, present when the global scheduler computed
+    features), the *effective* method (``budget_exhausted`` marks an
+    exact solve that fell back under its slice), and the measured
+    ``actual_s`` — on the ``"serial"`` path timed in-process, on the
+    ``"pool"`` path timed inside the worker and shipped back in the
+    result tuple.  These records are :func:`calibrate_trace`'s training
+    set.
+
+``{"type": "op", "ts", "op", "tenant", "session", "dur_s", "ok"}``
+    One daemon request, recorded by :class:`repro.server.RepairServer`.
+
+``{"type": "summary", "ts", "counters", "tagged", "gauges",
+"histograms", "spans"}``
+    The recorder's aggregate snapshot, written once on :meth:`Recorder.close`
+    — counter totals (cache hits/misses/evictions, per-tenant ops),
+    per-op latency histograms, and the span rollup.  Counters stream as
+    aggregates rather than per-increment lines so a million-delta
+    stream leaves a kilobyte of counter data, not a gigabyte.
+
+:func:`summarize_trace` rolls a trace back up (phases, methods,
+tenants, ops) and :func:`calibrate_trace` fits
+:data:`~repro.core.decompose.DIFFICULTY_UNIT_COST_S` — and optionally
+the difficulty exponent — by least squares in log space over the
+trace's predicted-vs-actual pairs; both power the ``fdrepair trace
+summarize`` and ``fdrepair calibrate`` CLI verbs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HIST_BOUNDS_S",
+    "NULL_RECORDER",
+    "JsonlTraceSink",
+    "NullRecorder",
+    "Recorder",
+    "calibrate_trace",
+    "read_trace",
+    "resolve",
+    "summarize_trace",
+]
+
+#: Latency histogram bucket upper bounds, in seconds (log-spaced; one
+#: overflow bucket above the last bound).  Fixed so histograms from any
+#: two runs are mergeable bucket-for-bucket.
+HIST_BOUNDS_S = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+#: The canonical phase names every instrumented entry point uses, in
+#: pipeline order — the vocabulary :meth:`Recorder.phase_breakdown` and
+#: ``fdrepair trace summarize`` roll spans up into.
+PHASES = ("index", "decompose", "plan", "solve", "merge")
+
+
+class NullRecorder:
+    """The guaranteed-no-op recorder: every method does nothing, and
+    ``enabled`` is a *class* attribute fixed at ``False`` — hot paths
+    guard on it and pay one attribute read when uninstrumented."""
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, **tags):
+        return _NOOP_SPAN
+
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def record(self, type_: str, **fields) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+class _NoopSpan:
+    """The shared context manager :meth:`NullRecorder.span` hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+#: The module-wide no-op default every ``recorder=None`` resolves to.
+NULL_RECORDER = NullRecorder()
+
+
+def resolve(recorder) -> "Recorder":
+    """``None`` → :data:`NULL_RECORDER`; anything else passes through.
+    The one line every instrumented entry point starts with."""
+    return NULL_RECORDER if recorder is None else recorder
+
+
+class JsonlTraceSink:
+    """A thread-safe append-only JSONL event sink.
+
+    Writes are serialised under a lock (recorders shared across daemon
+    executor threads and session threads funnel through one file) and
+    buffered by the file object; :meth:`close` flushes.  Non-JSON-able
+    values are stringified rather than failing the traced operation —
+    telemetry must never take the pipeline down with it.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    def write(self, record: Mapping[str, object]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Hist:
+    """Fixed-bucket latency histogram (see :data:`HIST_BOUNDS_S`)."""
+
+    __slots__ = ("count", "total", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets = [0] * (len(HIST_BOUNDS_S) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(HIST_BOUNDS_S):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        labels = [f"le_{b:g}" for b in HIST_BOUNDS_S] + ["inf"]
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "max_s": round(self.max, 6),
+            "mean_s": round(self.total / self.count, 6) if self.count else 0.0,
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+
+class _Span:
+    """One live span: pushes itself on the thread-local stack on entry,
+    reports duration + nesting to the recorder on exit."""
+
+    __slots__ = ("_rec", "name", "tags", "_start", "_depth", "_parent")
+
+    def __init__(self, rec: "Recorder", name: str, tags: Dict[str, object]):
+        self._rec = rec
+        self.name = name
+        self.tags = tags
+
+    def __enter__(self) -> "_Span":
+        stack = self._rec._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        dur = time.perf_counter() - self._start
+        stack = self._rec._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._rec._finish_span(
+            self.name, dur, self._depth, self._parent, self.tags
+        )
+
+
+class Recorder:
+    """A live telemetry recorder: spans + counters + gauges + histograms,
+    aggregated in memory and (optionally) streamed to a JSONL *sink*.
+
+    Safe to share across threads and sessions: aggregate mutations take
+    one lock, span nesting is thread-local, and the sink locks its own
+    writes.  Construct with ``sink=None`` for aggregation-only use (the
+    daemon's default: ``stats`` reads the aggregates, nothing hits
+    disk) or with a :class:`JsonlTraceSink` for full tracing
+    (``--trace PATH``).
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[JsonlTraceSink] = None) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: Dict[str, float] = {}
+        self._tagged: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, _Hist] = {}
+        # span name -> [count, total_s, max_s]
+        self._spans: Dict[str, List[float]] = {}
+        self._closed = False
+
+    # -- spans ----------------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **tags) -> _Span:
+        """A context manager timing one named span.  Nesting is tracked
+        per thread; the finished span aggregates into the in-memory
+        rollup and streams to the sink (if any) with its depth, parent
+        span name, and tags."""
+        return _Span(self, name, tags)
+
+    def _finish_span(
+        self,
+        name: str,
+        dur_s: float,
+        depth: int,
+        parent: Optional[str],
+        tags: Dict[str, object],
+    ) -> None:
+        with self._lock:
+            agg = self._spans.get(name)
+            if agg is None:
+                agg = self._spans[name] = [0, 0.0, 0.0]
+            agg[0] += 1
+            agg[1] += dur_s
+            if dur_s > agg[2]:
+                agg[2] = dur_s
+        if self._sink is not None:
+            record: Dict[str, object] = {
+                "type": "span",
+                "ts": round(time.time(), 6),
+                "name": name,
+                "dur_s": round(dur_s, 6),
+                "depth": depth,
+            }
+            if parent is not None:
+                record["parent"] = parent
+            if tags:
+                record["tags"] = tags
+            self._sink.write(record)
+
+    # -- counters / gauges / histograms --------------------------------
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        """Increment counter *name* by *n*.  With *tags*, the tagged
+        series ``(name, tags)`` is additionally incremented — how the
+        daemon keeps per-tenant op counts under one counter name."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            if tags:
+                key = (name, tuple(sorted(tags.items())))
+                self._tagged[key] = self._tagged.get(key, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Add one observation to latency histogram *name*."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = _Hist()
+            hist.observe(seconds)
+
+    def tag_totals(self, name: str, tag: str) -> Dict[str, float]:
+        """Totals of counter *name* broken down by *tag*'s values."""
+        out: Dict[str, float] = {}
+        with self._lock:
+            for (cname, tags), n in self._tagged.items():
+                if cname != name:
+                    continue
+                for key, value in tags:
+                    if key == tag:
+                        out[str(value)] = out.get(str(value), 0) + n
+        return out
+
+    # -- events ---------------------------------------------------------
+    def record(self, type_: str, **fields) -> None:
+        """Stream one raw event record (e.g. a per-component ``solve``
+        record) to the sink; a sink-less recorder drops it.  ``None``
+        fields are elided so traces stay compact."""
+        if self._sink is None:
+            return
+        record: Dict[str, object] = {
+            "type": type_,
+            "ts": round(time.time(), 6),
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self._sink.write(record)
+
+    def solve_record(
+        self,
+        *,
+        ordinal: int,
+        size: int,
+        edges: int,
+        planned: str,
+        effective: str,
+        actual_s: float,
+        path: str,
+        context: str,
+        plan=None,
+        key: Optional[str] = None,
+    ) -> None:
+        """One per-component solve record — the calibration training
+        row.  *plan* is the :class:`~repro.core.decompose.ComponentPlan`
+        (its difficulty evidence and budget slice are carried when
+        present; ``features`` contributes the density / weight-spread /
+        relative-gap triple)."""
+        fields: Dict[str, object] = {
+            "ordinal": ordinal,
+            "size": size,
+            "edges": edges,
+            "planned": planned,
+            "method": effective,
+            "actual_s": round(actual_s, 6),
+            "path": path,
+            "context": context,
+            "key": key,
+        }
+        if planned != effective:
+            fields["budget_exhausted"] = True
+        if plan is not None:
+            fields["difficulty"] = plan.difficulty
+            fields["predicted_s"] = plan.predicted_s
+            fields["budget_s"] = plan.budget_s
+            if plan.downgraded:
+                fields["downgraded"] = True
+            feats = plan.features
+            if feats is not None:
+                fields["density"] = round(feats.density, 6)
+                fields["weight_spread"] = round(feats.weight_spread, 6)
+                fields["gap_rel"] = round(feats.gap_rel, 6)
+        self.record("solve", **fields)
+
+    # -- aggregates -----------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The in-memory aggregates as one JSON-able dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            tagged = {
+                f"{name}[{','.join(f'{k}={v}' for k, v in tags)}]": n
+                for (name, tags), n in self._tagged.items()
+            }
+            gauges = dict(self._gauges)
+            hists = {name: h.as_dict() for name, h in self._hists.items()}
+            spans = {
+                name: {
+                    "count": int(agg[0]),
+                    "total_s": round(agg[1], 6),
+                    "max_s": round(agg[2], 6),
+                }
+                for name, agg in self._spans.items()
+            }
+        return {
+            "counters": counters,
+            "tagged": tagged,
+            "gauges": gauges,
+            "histograms": hists,
+            "spans": spans,
+        }
+
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {name: h.as_dict() for name, h in self._hists.items()}
+
+    def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Span rollup restricted to the canonical ``phase.*`` names, in
+        pipeline order — where the wall-clock of a traced run went."""
+        snap = self.snapshot()["spans"]
+        return {
+            phase: snap[f"phase.{phase}"]
+            for phase in PHASES
+            if f"phase.{phase}" in snap
+        }
+
+    def close(self) -> None:
+        """Write the aggregate ``summary`` record and close the sink.
+        Idempotent; a sink-less recorder just marks itself closed."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sink is not None:
+            self.record("summary", **self.snapshot())
+            self._sink.close()
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Trace analysis: summarize + calibrate (the CLI verbs' engines)
+# ---------------------------------------------------------------------------
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file, skipping malformed lines (a crashed
+    writer may leave a torn final line; analysis should survive it)."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(obj, dict) and "type" in obj:
+                records.append(obj)
+    return records
+
+
+def _merge_counters(target: Dict[str, float], source: Mapping) -> None:
+    for name, n in source.items():
+        if isinstance(n, (int, float)):
+            target[name] = target.get(name, 0) + n
+
+
+def summarize_trace(records: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """Roll a trace up into phase / span / method / tenant / op tables.
+
+    Returns a JSON-able dict:
+
+    * ``phases`` — wall-clock per canonical pipeline phase (count,
+      total, max, share of the summed phase time);
+    * ``spans`` — the full span rollup by name;
+    * ``methods`` — per effective solve method: solve count, total and
+      max actual seconds, budget-exhaustion count, and predicted-vs-
+      actual totals where predictions were recorded;
+    * ``tenants`` — per-tenant daemon op counts and seconds (from
+      ``op`` records);
+    * ``ops`` — per-op counts and latency totals;
+    * ``counters`` — merged counter totals from ``summary`` records.
+    """
+    spans: Dict[str, List[float]] = {}
+    methods: Dict[str, Dict[str, float]] = {}
+    tenants: Dict[str, Dict[str, float]] = {}
+    ops: Dict[str, Dict[str, float]] = {}
+    counters: Dict[str, float] = {}
+    solves = 0
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "span":
+            name = str(record.get("name"))
+            dur = float(record.get("dur_s", 0.0))
+            agg = spans.setdefault(name, [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += dur
+            if dur > agg[2]:
+                agg[2] = dur
+        elif rtype == "solve":
+            solves += 1
+            method = str(record.get("method", "?"))
+            entry = methods.setdefault(
+                method,
+                {
+                    "solves": 0,
+                    "actual_s": 0.0,
+                    "max_s": 0.0,
+                    "budget_exhausted": 0,
+                    "predicted_s": 0.0,
+                    "predicted_pairs": 0,
+                    "predicted_actual_s": 0.0,
+                },
+            )
+            actual = float(record.get("actual_s", 0.0))
+            entry["solves"] += 1
+            entry["actual_s"] += actual
+            if actual > entry["max_s"]:
+                entry["max_s"] = actual
+            if record.get("budget_exhausted"):
+                entry["budget_exhausted"] += 1
+            predicted = record.get("predicted_s")
+            if isinstance(predicted, (int, float)):
+                entry["predicted_s"] += predicted
+                entry["predicted_pairs"] += 1
+                entry["predicted_actual_s"] += actual
+        elif rtype == "op":
+            op = str(record.get("op", "?"))
+            dur = float(record.get("dur_s", 0.0))
+            tenant = record.get("tenant")
+            op_entry = ops.setdefault(op, {"count": 0, "total_s": 0.0, "errors": 0})
+            op_entry["count"] += 1
+            op_entry["total_s"] += dur
+            if record.get("ok") is False:
+                op_entry["errors"] += 1
+            if tenant:
+                t_entry = tenants.setdefault(
+                    str(tenant), {"ops": 0, "total_s": 0.0}
+                )
+                t_entry["ops"] += 1
+                t_entry["total_s"] += dur
+        elif rtype == "summary":
+            summary_counters = record.get("counters")
+            if isinstance(summary_counters, Mapping):
+                _merge_counters(counters, summary_counters)
+    phase_total = sum(
+        spans[f"phase.{p}"][1] for p in PHASES if f"phase.{p}" in spans
+    )
+    phases = {}
+    for phase in PHASES:
+        agg = spans.get(f"phase.{phase}")
+        if agg is None:
+            continue
+        phases[phase] = {
+            "count": int(agg[0]),
+            "total_s": round(agg[1], 6),
+            "max_s": round(agg[2], 6),
+            "share": round(agg[1] / phase_total, 4) if phase_total else 0.0,
+        }
+    for entry in methods.values():
+        for field in ("actual_s", "max_s", "predicted_s", "predicted_actual_s"):
+            entry[field] = round(entry[field], 6)
+    for table in (tenants, ops):
+        for entry in table.values():
+            entry["total_s"] = round(entry["total_s"], 6)
+    return {
+        "phases": phases,
+        "spans": {
+            name: {
+                "count": int(agg[0]),
+                "total_s": round(agg[1], 6),
+                "max_s": round(agg[2], 6),
+            }
+            for name, agg in sorted(spans.items())
+        },
+        "methods": methods,
+        "tenants": tenants,
+        "ops": ops,
+        "counters": counters,
+        "solves": solves,
+    }
+
+
+def _mean_relative_error(
+    pairs: List[Tuple[float, float]], unit_cost: float, exponent: float = 1.0
+) -> float:
+    return sum(
+        abs(unit_cost * d ** exponent - a) / a for d, a in pairs
+    ) / len(pairs)
+
+
+def calibrate_trace(
+    records: Iterable[Mapping[str, object]],
+    hand_unit_cost: Optional[float] = None,
+    fit_exponent: bool = False,
+) -> Dict[str, object]:
+    """Fit the difficulty model's seconds-per-unit constant from a trace.
+
+    The training rows are the ``solve`` records whose effective method
+    is ``"exact"`` and that carry both a positive predicted
+    ``difficulty`` and a positive measured ``actual_s`` — i.e. exactly
+    the schedule/outcome pairs the ROADMAP's learned-cost-model item
+    asks to log.  The fit is least squares **in log space**: with the
+    model ``actual ≈ c · difficulty``, the optimal ``log c`` is the
+    mean log-ratio ``mean(log actual − log difficulty)`` (the geometric
+    mean of the observed per-unit costs) — the natural objective when
+    solve times span orders of magnitude and the error that matters is
+    *relative*, which is how the scheduler consumes predictions.  With
+    ``fit_exponent=True`` the two-parameter model
+    ``actual ≈ c · difficulty^γ`` is fit by ordinary least squares on
+    ``(log difficulty, log actual)``.
+
+    Returns a JSON-able report: the pair count, the hand-calibrated
+    constant (default :data:`~repro.core.decompose.DIFFICULTY_UNIT_COST_S`)
+    and its mean relative prediction error on the trace, the fitted
+    constant and its error, and — when requested and identifiable — the
+    fitted exponent model and its error.  With no usable pairs the
+    report carries ``pairs: 0`` and no fit.
+    """
+    from .core.decompose import DIFFICULTY_UNIT_COST_S
+
+    if hand_unit_cost is None:
+        hand_unit_cost = DIFFICULTY_UNIT_COST_S
+    pairs: List[Tuple[float, float]] = []
+    for record in records:
+        if record.get("type") != "solve" or record.get("method") != "exact":
+            continue
+        difficulty = record.get("difficulty")
+        actual = record.get("actual_s")
+        if (
+            isinstance(difficulty, (int, float))
+            and isinstance(actual, (int, float))
+            and difficulty > 0
+            and actual > 0
+        ):
+            pairs.append((float(difficulty), float(actual)))
+    report: Dict[str, object] = {
+        "pairs": len(pairs),
+        "hand_unit_cost_s": hand_unit_cost,
+    }
+    if not pairs:
+        return report
+    log_ratios = [math.log(a) - math.log(d) for d, a in pairs]
+    fitted = math.exp(sum(log_ratios) / len(log_ratios))
+    report["hand_mean_rel_error"] = round(
+        _mean_relative_error(pairs, hand_unit_cost), 6
+    )
+    report["unit_cost_s"] = fitted
+    report["mean_rel_error"] = round(_mean_relative_error(pairs, fitted), 6)
+    if fit_exponent and len(pairs) >= 2:
+        log_d = [math.log(d) for d, _a in pairs]
+        log_a = [math.log(a) for _d, a in pairs]
+        mean_d = sum(log_d) / len(log_d)
+        mean_a = sum(log_a) / len(log_a)
+        var_d = sum((x - mean_d) ** 2 for x in log_d)
+        if var_d > 0:
+            gamma = sum(
+                (x - mean_d) * (y - mean_a) for x, y in zip(log_d, log_a)
+            ) / var_d
+            c_exp = math.exp(mean_a - gamma * mean_d)
+            report["exponent"] = round(gamma, 6)
+            report["exponent_unit_cost_s"] = c_exp
+            report["exponent_mean_rel_error"] = round(
+                _mean_relative_error(pairs, c_exp, gamma), 6
+            )
+    return report

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from . import obs as _obs
 from .core.approx import approx_s_repair
 from .core.conflict_index import ConflictIndex
 from .graphs.vertex_cover import ExactBudgetExceeded
@@ -192,6 +193,7 @@ def assess(
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
     detailed: bool = False,
+    recorder=None,
 ) -> DirtinessReport:
     """Detect conflicts and bracket the optimal repair cost (no repair).
 
@@ -222,31 +224,82 @@ def assess(
     served by the table's cached :class:`ConflictIndex` — or the
     prebuilt one passed in — so assessment costs one bucketing pass,
     shared with any subsequent repair call on the same table.
+
+    An enabled *recorder* (:mod:`repro.obs`) receives a
+    ``pipeline.assess`` root span with ``phase.index`` /
+    ``phase.decompose`` / ``phase.plan`` / ``phase.solve`` children (the
+    solve phase covers the bracket loop — exact attempts and LP
+    tightening).  The default no-op recorder costs a handful of empty
+    context managers per call.
     """
-    if index is None:
-        index = table.conflict_index(fds)
-    else:
-        index.ensure_for(fds, table)
+    rec = _obs.resolve(recorder)
+    with rec.span("pipeline.assess", decomposed=decomposed):
+        with rec.span("phase.index"):
+            if index is None:
+                index = table.conflict_index(fds)
+            else:
+                index.ensure_for(fds, table)
 
-    verdict = classify(fds)
-    defaults = resolve_plan_defaults(
-        exact_threshold, None, exact_budget_s, per_component_budget_s
-    )
-    threshold = defaults.threshold
+        verdict = classify(fds)
+        defaults = resolve_plan_defaults(
+            exact_threshold, None, exact_budget_s, per_component_budget_s
+        )
+        threshold = defaults.threshold
 
-    component_count = 0
-    largest = 0
-    exact_components = 0
-    details = [] if detailed else None
-    if decomposed and index.num_edges:
-        from .core.exact import ExactBudgetExceeded, exact_cover_of_index
+        component_count = 0
+        largest = 0
+        exact_components = 0
+        details = [] if detailed else None
+        if decomposed and index.num_edges:
+            lower, upper, component_count, largest, exact_components = (
+                _assess_decomposed_bracket(
+                    table, fds, index, defaults, threshold, details, rec
+                )
+            )
+        else:
+            lower, upper = _bracket_component(index, table)
+            if index.num_edges:
+                components = index.components()
+                component_count = len(components)
+                largest = max(len(c) for c in components)
 
+        return DirtinessReport(
+            total_tuples=len(table),
+            total_weight=table.total_weight(),
+            conflict_count=index.num_edges,
+            conflicting_tuples=len(index.conflicting_tuples()),
+            lower_bound=lower,
+            upper_bound=upper,
+            complexity=verdict.complexity,
+            dichotomy=verdict,
+            component_count=component_count,
+            largest_component=largest,
+            exact_components=exact_components,
+            component_details=tuple(details) if details is not None else None,
+        )
+
+
+def _assess_decomposed_bracket(
+    table: Table,
+    fds: FDSet,
+    index: ConflictIndex,
+    defaults,
+    threshold: int,
+    details,
+    rec,
+):
+    """The decomposed bracket loop of :func:`assess`: decompose, plan,
+    then bracket each component (exact attempt or matching/LP/BYE),
+    filling *details* rows in place when requested.  Returns
+    ``(lower, upper, component_count, largest, exact_components)``."""
+    from .core.exact import ExactBudgetExceeded, exact_cover_of_index
+
+    with rec.span("phase.decompose"):
         decomp = decompose(table, fds, index)
-        component_count = decomp.component_count
-        largest = decomp.largest_component
-        # Assessment brackets every component via vertex cover
-        # regardless of the dichotomy, so the schedule is planned on the
-        # hard side (tractable=False: exact-vs-approx, never dichotomy).
+    # Assessment brackets every component via vertex cover regardless of
+    # the dichotomy, so the schedule is planned on the hard side
+    # (tractable=False: exact-vs-approx, never dichotomy).
+    with rec.span("phase.plan"):
         plans = decomp.plan_schedule(
             False,
             "best",
@@ -255,7 +308,9 @@ def assess(
             defaults.per_component_budget_s,
             defaults.node_limit,
         )
-        lower = upper = 0.0
+    exact_components = 0
+    lower = upper = 0.0
+    with rec.span("phase.solve"):
         for ordinal, (component, plan) in enumerate(
             zip(decomp.components, plans)
         ):
@@ -309,26 +364,12 @@ def assess(
                     upper_bound=c_upper,
                     bracket_source=source,
                 ))
-    else:
-        lower, upper = _bracket_component(index, table)
-        if index.num_edges:
-            components = index.components()
-            component_count = len(components)
-            largest = max(len(c) for c in components)
-
-    return DirtinessReport(
-        total_tuples=len(table),
-        total_weight=table.total_weight(),
-        conflict_count=index.num_edges,
-        conflicting_tuples=len(index.conflicting_tuples()),
-        lower_bound=lower,
-        upper_bound=upper,
-        complexity=verdict.complexity,
-        dichotomy=verdict,
-        component_count=component_count,
-        largest_component=largest,
-        exact_components=exact_components,
-        component_details=tuple(details) if details is not None else None,
+    return (
+        lower,
+        upper,
+        decomp.component_count,
+        decomp.largest_component,
+        exact_components,
     )
 
 
@@ -430,6 +471,7 @@ def _clean_deletions_decomposed(
     exact_threshold: int = EXACT_COMPONENT_THRESHOLD,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    recorder=None,
 ) -> CleaningResult:
     """The decomposed S-repair pipeline: decompose once, schedule the
     portfolio (:func:`repro.core.decompose.plan_schedule` — difficulty-
@@ -440,31 +482,39 @@ def _clean_deletions_decomposed(
     that outran its wall-clock slice re-solved approximately — so report
     and label describe what ran.  Approximated components that qualify
     (:func:`_lp_qualifies`) report ``max(matching, LP)`` as their lower
-    bound."""
+    bound.  An enabled *recorder* times the decompose / plan / solve /
+    merge phases and receives one ``solve`` record per component (via
+    :func:`repro.exec.solve_components`)."""
     from .exec import solve_components
 
+    rec = _obs.resolve(recorder)
     verdict = classify(fds)
-    decomp = decompose(table, fds, index)
-    plans = decomp.plan_schedule(
-        verdict.tractable,
-        guarantee,
-        exact_threshold,
-        exact_budget_s,
-        per_component_budget_s,
-    )
-    kept_lists, methods = solve_components(
-        decomp, [plan.method for plan in plans], parallel, plans=plans
-    )
-    lower_bounds = [None] * len(plans)
-    for i, (component, plan) in enumerate(zip(decomp.components, plans)):
-        if _lp_qualifies(plan, component.size, exact_threshold, guarantee):
-            lp = component.index.lp_lower_bound()
-            if lp is not None:
-                matching = component.index.matching_lower_bound()
-                lower_bounds[i] = max(matching, lp)
-    return _decomposed_outcome(
-        decomp, verdict, methods, kept_lists, parallel, lower_bounds
-    )
+    with rec.span("phase.decompose"):
+        decomp = decompose(table, fds, index)
+    with rec.span("phase.plan"):
+        plans = decomp.plan_schedule(
+            verdict.tractable,
+            guarantee,
+            exact_threshold,
+            exact_budget_s,
+            per_component_budget_s,
+        )
+    with rec.span("phase.solve"):
+        kept_lists, methods = solve_components(
+            decomp, [plan.method for plan in plans], parallel, plans=plans,
+            recorder=rec,
+        )
+    with rec.span("phase.merge"):
+        lower_bounds = [None] * len(plans)
+        for i, (component, plan) in enumerate(zip(decomp.components, plans)):
+            if _lp_qualifies(plan, component.size, exact_threshold, guarantee):
+                lp = component.index.lp_lower_bound()
+                if lp is not None:
+                    matching = component.index.matching_lower_bound()
+                    lower_bounds[i] = max(matching, lp)
+        return _decomposed_outcome(
+            decomp, verdict, methods, kept_lists, parallel, lower_bounds
+        )
 
 
 def clean(
@@ -478,6 +528,7 @@ def clean(
     exact_threshold: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    recorder=None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -546,36 +597,68 @@ def clean(
         scheduled slice additionally capped).  With a per-solve budget
         set and no global one, results may legitimately differ run to
         run on components near the budget boundary.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  When enabled, the run is
+        wrapped in a ``pipeline.clean`` span with per-phase children
+        (index / decompose / plan / solve / merge) and per-component
+        ``solve`` trace records; the default
+        :data:`repro.obs.NULL_RECORDER` is a guaranteed no-op costing an
+        attribute check on the hot paths.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if guarantee not in ("best", "optimal", "fast"):
         raise ValueError(f"unknown guarantee {guarantee!r}")
+    rec = _obs.resolve(recorder)
     defaults = resolve_plan_defaults(
         exact_threshold, None, exact_budget_s, per_component_budget_s
     )
     threshold = defaults.threshold
-    if index is None:
-        index = table.conflict_index(fds)
-    else:
-        index.ensure_for(fds, table)
+    with rec.span("pipeline.clean", strategy=strategy, guarantee=guarantee):
+        with rec.span("phase.index"):
+            if index is None:
+                index = table.conflict_index(fds)
+            else:
+                index.ensure_for(fds, table)
 
-    if strategy == "deletions" and decomposed:
-        # One decomposition drives both the report and the repair: the
-        # components each portfolio method solved *exactly* contribute
-        # their solved cost to the bracket (lower = upper), only the
-        # approximated ones are bracketed by matching/BYE — so the
-        # report comes out at least as tight as standalone assessment,
-        # without solving any component twice.
-        return _clean_deletions_decomposed(
-            table, fds, guarantee, index, parallel, threshold,
-            exact_budget_s, per_component_budget_s,
+        if strategy == "deletions" and decomposed:
+            # One decomposition drives both the report and the repair:
+            # the components each portfolio method solved *exactly*
+            # contribute their solved cost to the bracket (lower =
+            # upper), only the approximated ones are bracketed by
+            # matching/BYE — so the report comes out at least as tight
+            # as standalone assessment, without solving any component
+            # twice.
+            return _clean_deletions_decomposed(
+                table, fds, guarantee, index, parallel, threshold,
+                exact_budget_s, per_component_budget_s, recorder=rec,
+            )
+        return _clean_global(
+            table, fds, strategy, guarantee, index, decomposed, parallel,
+            threshold, exact_budget_s, per_component_budget_s, rec,
         )
 
+
+def _clean_global(
+    table: Table,
+    fds: FDSet,
+    strategy: str,
+    guarantee: str,
+    index: ConflictIndex,
+    decomposed: bool,
+    parallel: Optional[int],
+    threshold: int,
+    exact_budget_s: Optional[float],
+    per_component_budget_s: Optional[float],
+    rec,
+) -> CleaningResult:
+    """The non-decomposed-deletions tail of :func:`clean` (global
+    S-repair and both U-repair paths): assess, then one global solve
+    under a ``phase.solve`` span."""
     report = assess(
         table, fds, index=index, decomposed=decomposed,
         exact_threshold=threshold, exact_budget_s=exact_budget_s,
-        per_component_budget_s=per_component_budget_s,
+        per_component_budget_s=per_component_budget_s, recorder=rec,
     )
 
     if strategy == "deletions":
@@ -585,23 +668,24 @@ def clean(
             exact_budget_s if exact_budget_s is not None
             else per_component_budget_s
         )
-        if guarantee == "fast" or (
-            guarantee == "best"
-            and not report.dichotomy.tractable
-            and len(table) > threshold
-        ):
-            result = approx_s_repair(table, fds, index=index)
-        else:
-            try:
-                result = optimal_s_repair(
-                    table, fds, index=index, exact_budget_s=solve_budget_s
-                )
-            except ExactBudgetExceeded:
-                if guarantee == "optimal":
-                    # "provably optimal or fail": hitting the budget IS
-                    # the failure mode the caller signed up for.
-                    raise
+        with rec.span("phase.solve"):
+            if guarantee == "fast" or (
+                guarantee == "best"
+                and not report.dichotomy.tractable
+                and len(table) > threshold
+            ):
                 result = approx_s_repair(table, fds, index=index)
+            else:
+                try:
+                    result = optimal_s_repair(
+                        table, fds, index=index, exact_budget_s=solve_budget_s
+                    )
+                except ExactBudgetExceeded:
+                    if guarantee == "optimal":
+                        # "provably optimal or fail": hitting the budget
+                        # IS the failure mode the caller signed up for.
+                        raise
+                    result = approx_s_repair(table, fds, index=index)
         return CleaningResult(
             cleaned=result.repair,
             report=report,
@@ -615,34 +699,36 @@ def clean(
         )
 
     # strategy == "updates"
-    if decomposed:
-        from .core.urepair import optimal_u_repair
-        from .exec import decomposed_u_repair
+    with rec.span("phase.solve"):
+        if decomposed:
+            from .core.urepair import optimal_u_repair
+            from .exec import decomposed_u_repair
 
-        if guarantee == "optimal":
-            u_result = optimal_u_repair(
-                table, fds, index=index, decomposed=True, parallel=parallel
-            )
+            if guarantee == "optimal":
+                u_result = optimal_u_repair(
+                    table, fds, index=index, decomposed=True, parallel=parallel
+                )
+            else:
+                # "fast" disables per-component exhaustive search,
+                # keeping the whole path polynomial; "best" allows it
+                # within budget.
+                u_result = decomposed_u_repair(
+                    table,
+                    fds,
+                    allow_exact_search=guarantee == "best",
+                    parallel=parallel,
+                    index=index,
+                )
+        elif guarantee == "fast":
+            from .core.approx import approx_u_repair
+
+            u_result: URepairResult = approx_u_repair(table, fds, index=index)
+        elif guarantee == "optimal":
+            from .core.urepair import optimal_u_repair
+
+            u_result = optimal_u_repair(table, fds, index=index)
         else:
-            # "fast" disables per-component exhaustive search, keeping
-            # the whole path polynomial; "best" allows it within budget.
-            u_result = decomposed_u_repair(
-                table,
-                fds,
-                allow_exact_search=guarantee == "best",
-                parallel=parallel,
-                index=index,
-            )
-    elif guarantee == "fast":
-        from .core.approx import approx_u_repair
-
-        u_result: URepairResult = approx_u_repair(table, fds, index=index)
-    elif guarantee == "optimal":
-        from .core.urepair import optimal_u_repair
-
-        u_result = optimal_u_repair(table, fds, index=index)
-    else:
-        u_result = u_repair(table, fds, index=index)
+            u_result = u_repair(table, fds, index=index)
     return CleaningResult(
         cleaned=u_result.update,
         report=report,

@@ -48,8 +48,10 @@ import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from . import obs as _obs
 from .core.fd import parse_fd_set
 from .core.table import Table
 from .protocol import (
@@ -134,13 +136,25 @@ class SessionManager:
     concurrency on top.
     """
 
-    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        recorder: Optional["_obs.Recorder"] = None,
+    ) -> None:
         self.config = config or ServerConfig()
+        # A sink-less recorder aggregates op latencies and per-tenant
+        # counters in memory so ``stats`` can always report them; pass a
+        # sink-backed recorder (``--trace``) to also stream a JSONL log.
+        self.recorder = recorder if recorder is not None else _obs.Recorder()
         self._lock = threading.Lock()
         self._entries: Dict[Tuple[str, str], SessionEntry] = {}
         self._tenant_bytes: Dict[str, int] = {}
+        self._tenant_evictions: Dict[str, int] = {}
+        self._tenant_rehydrations: Dict[str, int] = {}
         self._clock = 0
-        self.solutions = SolutionCache(self.config.cache_entries)
+        self.solutions = SolutionCache(
+            self.config.cache_entries, recorder=self.recorder
+        )
         self._pool = None
         self._pool_started = False
         self.evictions = 0
@@ -257,6 +271,7 @@ class SessionManager:
                 pool=self._shared_pool(),
                 session_key=entry.session_key,
                 solutions=self.solutions,
+                recorder=self.recorder,
                 **options,
             )
             rows = payload.get("rows")
@@ -316,12 +331,18 @@ class SessionManager:
             pool=self._shared_pool(),
             session_key=entry.session_key,
             solutions=self.solutions,
+            recorder=self.recorder,
         )
         entry.live = session
         entry.frozen = None
         with self._lock:
             self.rehydrations += 1
+            self._tenant_rehydrations[entry.tenant] = (
+                self._tenant_rehydrations.get(entry.tenant, 0) + 1
+            )
             self._account(entry)
+        if self.recorder.enabled:
+            self.recorder.count("server.rehydrations", tenant=entry.tenant)
         return session
 
     def close(self, tenant: str, name: str) -> Dict[str, object]:
@@ -395,19 +416,43 @@ class SessionManager:
         entry.frozen = blob
         with self._lock:
             self.evictions += 1
+            self._tenant_evictions[entry.tenant] = (
+                self._tenant_evictions.get(entry.tenant, 0) + 1
+            )
             self._account(entry)
+        if self.recorder.enabled:
+            self.recorder.count("server.evictions", tenant=entry.tenant)
 
     # -- introspection & shutdown -------------------------------------
     def stats(self) -> Dict[str, object]:
         with self._lock:
             entries = list(self._entries.values())
             tenant_bytes = dict(self._tenant_bytes)
-        return {
+            tenant_evictions = dict(self._tenant_evictions)
+            tenant_rehydrations = dict(self._tenant_rehydrations)
+        tenants = (
+            {e.tenant for e in entries}
+            | set(tenant_bytes)
+            | set(tenant_evictions)
+            | set(tenant_rehydrations)
+        )
+        tenant_sessions: Dict[str, Dict[str, int]] = {}
+        for tenant in sorted(tenants):
+            mine = [e for e in entries if e.tenant == tenant]
+            tenant_sessions[tenant] = {
+                "resident": sum(1 for e in mine if e.resident),
+                "frozen": sum(1 for e in mine if not e.resident),
+                "bytes": tenant_bytes.get(tenant, 0),
+                "evictions": tenant_evictions.get(tenant, 0),
+                "rehydrations": tenant_rehydrations.get(tenant, 0),
+            }
+        out: Dict[str, object] = {
             "sessions": len(entries),
             "resident": sum(1 for e in entries if e.resident),
             "frozen": sum(1 for e in entries if not e.resident),
             "tenants": len({e.tenant for e in entries}),
             "tenant_bytes": tenant_bytes,
+            "tenant_sessions": tenant_sessions,
             "evictions": self.evictions,
             "rehydrations": self.rehydrations,
             "ops": self.ops,
@@ -415,11 +460,22 @@ class SessionManager:
             "cache_entries": len(self.solutions),
             "cache_hits": self.solutions.hits,
             "cache_misses": self.solutions.misses,
+            "cache_evictions": self.solutions.evictions,
             "pool_alive": bool(self._pool is not None and self._pool.alive),
             "pool_workers": (
                 self._pool.worker_count if self._pool is not None else 0
             ),
         }
+        if self.recorder.enabled:
+            out["op_latency_s"] = {
+                name: hist
+                for name, hist in self.recorder.histograms().items()
+                if name.startswith("op.")
+            }
+            out["tenant_ops"] = self.recorder.tag_totals(
+                "server.ops", "tenant"
+            )
+        return out
 
     def shutdown(self) -> None:
         """Close every session and the shared pool; idempotent."""
@@ -443,6 +499,7 @@ class SessionManager:
         self._pool = None
         if pool is not None:
             pool.close()
+        self.recorder.close()
 
 
 class RepairServer:
@@ -486,6 +543,9 @@ class RepairServer:
                         error[field] = value
             await write(error)
             return
+        rec = self.manager.recorder
+        start = _perf_counter()
+        ok = True
         try:
             if req.op in DAEMON_OPS:
                 await write(req.reply(**self._daemon_op(req)))
@@ -523,13 +583,31 @@ class RepairServer:
             self.manager.evict_to_limit()
             await write(req.reply(**fields))
         except ProtocolError as exc:
+            ok = False
             self.manager.errors += 1
             await write(req.error(str(exc)))
         except RuntimeError as exc:
             # Pool breakage surfaces here when serial fallback also
             # failed; the session stays open, the request fails.
+            ok = False
             self.manager.errors += 1
             await write(req.error(f"internal: {exc}"))
+        finally:
+            if rec.enabled:
+                dur = _perf_counter() - start
+                rec.observe(f"op.{req.op}", dur)
+                if req.tenant:
+                    rec.count("server.ops", tenant=req.tenant)
+                else:
+                    rec.count("server.ops")
+                rec.record(
+                    "op",
+                    op=req.op,
+                    tenant=req.tenant,
+                    session=req.session,
+                    dur_s=round(dur, 6),
+                    ok=ok,
+                )
 
     def _daemon_op(self, req: Request) -> Dict[str, object]:
         if req.op == "ping":

@@ -39,8 +39,10 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import asdict, dataclass
+from time import perf_counter as _perf_counter
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from . import obs as _obs
 from .core.conflict_index import ConflictIndex
 from .core.decompose import (
     Component,
@@ -83,12 +85,15 @@ class SolutionCache:
     running on different executor threads hit this cache concurrently.
     """
 
-    def __init__(self, max_entries: Optional[int] = 200_000) -> None:
+    def __init__(self, max_entries: Optional[int] = 200_000,
+                 recorder=None) -> None:
         self._lock = threading.Lock()
         self._data: Dict = {}
         self._max = max_entries
+        self._recorder = _obs.resolve(recorder)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key):
         with self._lock:
@@ -101,11 +106,16 @@ class SolutionCache:
             return entry
 
     def put(self, key, entry) -> None:
+        evicted = 0
         with self._lock:
             self._data[key] = entry
             if self._max is not None:
                 while len(self._data) > self._max:
                     self._data.pop(next(iter(self._data)))
+                    evicted += 1
+            self.evictions += evicted
+        if evicted and self._recorder.enabled:
+            self._recorder.count("session.cache_evict", evicted)
 
     def clear(self) -> None:
         with self._lock:
@@ -261,6 +271,15 @@ class RepairSession:
         scoped by FD set, schema, and solver knobs, so sharing is always
         byte-identical-safe; ``max_cache_entries`` is ignored in favour
         of the shared cache's own bound.
+    recorder:
+        Optional :class:`repro.obs.Recorder` (shareable across sessions
+        — it is thread-safe).  When enabled, every :meth:`repair` is a
+        ``session.repair`` span with phase children, each solved
+        component emits a ``solve`` trace record (plan evidence +
+        serial/pool-measured actual seconds), and cache hits / misses /
+        evictions tick ``session.cache_*`` counters tagged with the
+        session key.  The default no-op recorder costs an attribute
+        check per guard.
 
     Only the ``"deletions"`` strategy is supported: update repairs mint
     fresh labelled nulls whose identity-based equality makes
@@ -285,9 +304,11 @@ class RepairSession:
         pool=None,
         session_key: Optional[str] = None,
         solutions: Optional[SolutionCache] = None,
+        recorder=None,
     ) -> None:
         if guarantee not in ("best", "optimal", "fast"):
             raise ValueError(f"unknown guarantee {guarantee!r}")
+        self._recorder = _obs.resolve(recorder)
         self._fds = fds
         self._guarantee = guarantee
         defaults = resolve_plan_defaults(
@@ -651,8 +672,14 @@ class RepairSession:
         self._solutions[key] = entry
         cap = self._max_cache_entries
         if cap is not None:
+            evicted = 0
             while len(self._solutions) > cap:
                 self._solutions.pop(next(iter(self._solutions)))
+                evicted += 1
+            if evicted and self._recorder.enabled:
+                self._recorder.count(
+                    "session.cache_evict", evicted, key=self._session_key
+                )
 
     def _effective_lower_bound(
         self, entry: _CachedSolve, component, plan
@@ -760,10 +787,11 @@ class RepairSession:
 
     def _solve_misses(
         self, misses: List[Tuple[int, object, object]]
-    ) -> Dict[int, Tuple[Tuple[TupleId, ...], str]]:
+    ) -> Dict[int, Tuple[Tuple[TupleId, ...], str, float]]:
         """Solve the cache-missed components; returns ordinal →
-        ``(kept ids, effective method)`` (effective ≠ planned exactly
-        when an exact solve fell back under its wall-clock budget).
+        ``(kept ids, effective method, solve seconds)`` (effective ≠
+        planned exactly when an exact solve fell back under its
+        wall-clock budget).
 
         Each miss carries its :class:`~repro.core.decompose.ComponentPlan`;
         a plan with a budget ships it per task (the globally-scheduled
@@ -772,10 +800,16 @@ class RepairSession:
         available (ids-only payloads), in-process otherwise; any pool
         failure falls back serially — the solvers are pure and the plan
         is the same either way, so the retry is safe and byte-identical.
+
+        With an enabled recorder, each miss emits one ``solve`` trace
+        record carrying the plan evidence and the measured seconds —
+        timed inside the worker on the pool path, in-process on the
+        serial path (where an untraced run skips the clock entirely).
         """
         from .exec import _solve_s_kept
 
-        solved: Dict[int, Tuple[Tuple[TupleId, ...], str]] = {}
+        rec = self._recorder
+        solved: Dict[int, Tuple[Tuple[TupleId, ...], str, float]] = {}
         # An owned pool pays off once a batch has ≥ 2 misses; a shared
         # (daemon) pool is offloaded even for a single miss, so a slow
         # solve runs in a worker process and the caller's thread only
@@ -812,8 +846,12 @@ class RepairSession:
                     for (i, _c, _p), outcome in zip(misses, outcomes):
                         solved[i] = outcome
                     self.stats.pool_solves += len(misses)
+                    if rec.enabled:
+                        self._record_solves(misses, solved, "pool")
                     return solved
+        timed = rec.enabled
         for i, component, plan in misses:
+            start = _perf_counter() if timed else 0.0
             kept, effective = _solve_s_kept(
                 component.table,
                 self._fds,
@@ -822,9 +860,30 @@ class RepairSession:
                 index=component.index,
                 budget_s=plan.budget_s,
             )
-            solved[i] = (tuple(kept), effective)
+            elapsed = _perf_counter() - start if timed else 0.0
+            solved[i] = (tuple(kept), effective, elapsed)
             self.stats.serial_solves += 1
+        if rec.enabled:
+            self._record_solves(misses, solved, "serial")
         return solved
+
+    def _record_solves(self, misses, solved, path: str) -> None:
+        """Emit one ``solve`` trace record per cache miss (plan evidence,
+        effective method, measured seconds, serial-vs-pool path)."""
+        for i, component, plan in misses:
+            _kept, effective, secs = solved[i]
+            self._recorder.solve_record(
+                ordinal=i,
+                size=component.size,
+                edges=component.index.num_edges,
+                planned=plan.method,
+                effective=effective,
+                actual_s=secs,
+                path=path,
+                context="session",
+                plan=plan,
+                key=str(self._session_key),
+            )
 
     def repair(self) -> CleaningResult:
         """Re-repair the current table, re-solving only the components
@@ -841,58 +900,78 @@ class RepairSession:
         components come and go — re-solves rather than serving a result
         computed under a different ceiling.
         """
-        decomp = self._decompose()
-        plans = decomp.plan_schedule(
-            self._verdict.tractable,
-            self._guarantee,
-            self._threshold,
-            self._exact_budget_s,
-            self._per_component_budget_s,
-            self._node_limit,
-        )
-        methods = [plan.method for plan in plans]
-        kept_lists: List[Optional[Tuple[TupleId, ...]]] = [None] * len(methods)
-        lower_bounds: List[Optional[float]] = [None] * len(methods)
-        misses: List[Tuple[int, object, object]] = []
-        keys: Dict[int, Tuple] = {}
-        for i, (component, plan) in enumerate(zip(decomp.components, plans)):
-            epoch = (
-                plan.budget_s
-                if self._exact_budget_s is not None and plan.method == "exact"
-                else None
-            )
-            key = self._component_key(plan.method, component.ids, epoch)
-            keys[i] = key
-            entry = self._cache_lookup(key)
-            if entry is None:
-                misses.append((i, component, plan))
-            else:
-                kept_lists[i] = entry.kept
-                lower_bounds[i] = self._effective_lower_bound(
-                    entry, component, plan
+        rec = self._recorder
+        with rec.span("session.repair", key=str(self._session_key)):
+            with rec.span("phase.decompose"):
+                decomp = self._decompose()
+            with rec.span("phase.plan"):
+                plans = decomp.plan_schedule(
+                    self._verdict.tractable,
+                    self._guarantee,
+                    self._threshold,
+                    self._exact_budget_s,
+                    self._per_component_budget_s,
+                    self._node_limit,
                 )
-                methods[i] = entry.method
-                self.stats.cache_hits += 1
-        solved = self._solve_misses(misses)
-        for i, component, plan in misses:
-            kept, effective = solved[i]
-            kept_lists[i] = kept
-            methods[i] = effective
-            bound = (
-                component.index.matching_lower_bound()
-                if effective == "approx"
-                else None
+            methods = [plan.method for plan in plans]
+            kept_lists: List[Optional[Tuple[TupleId, ...]]] = (
+                [None] * len(methods)
             )
-            entry = _CachedSolve(kept, effective, bound)
-            lower_bounds[i] = self._effective_lower_bound(
-                entry, component, plan
-            )
-            self._cache_store(keys[i], entry)
-            self.stats.cache_misses += 1
-        result = _decomposed_outcome(
-            decomp, self._verdict, methods, kept_lists, self._parallel,
-            lower_bounds,
-        )
+            lower_bounds: List[Optional[float]] = [None] * len(methods)
+            misses: List[Tuple[int, object, object]] = []
+            keys: Dict[int, Tuple] = {}
+            for i, (component, plan) in enumerate(
+                zip(decomp.components, plans)
+            ):
+                epoch = (
+                    plan.budget_s
+                    if self._exact_budget_s is not None
+                    and plan.method == "exact"
+                    else None
+                )
+                key = self._component_key(plan.method, component.ids, epoch)
+                keys[i] = key
+                entry = self._cache_lookup(key)
+                if entry is None:
+                    misses.append((i, component, plan))
+                else:
+                    kept_lists[i] = entry.kept
+                    lower_bounds[i] = self._effective_lower_bound(
+                        entry, component, plan
+                    )
+                    methods[i] = entry.method
+                    self.stats.cache_hits += 1
+            if rec.enabled:
+                session_tag = str(self._session_key)
+                hits = len(methods) - len(misses)
+                if hits:
+                    rec.count("session.cache_hit", hits, key=session_tag)
+                if misses:
+                    rec.count(
+                        "session.cache_miss", len(misses), key=session_tag
+                    )
+            with rec.span("phase.solve"):
+                solved = self._solve_misses(misses)
+            with rec.span("phase.merge"):
+                for i, component, plan in misses:
+                    kept, effective, _secs = solved[i]
+                    kept_lists[i] = kept
+                    methods[i] = effective
+                    bound = (
+                        component.index.matching_lower_bound()
+                        if effective == "approx"
+                        else None
+                    )
+                    entry = _CachedSolve(kept, effective, bound)
+                    lower_bounds[i] = self._effective_lower_bound(
+                        entry, component, plan
+                    )
+                    self._cache_store(keys[i], entry)
+                    self.stats.cache_misses += 1
+                result = _decomposed_outcome(
+                    decomp, self._verdict, methods, kept_lists,
+                    self._parallel, lower_bounds,
+                )
         self.stats.repairs += 1
         self.last_result = result
         return result
@@ -1010,9 +1089,12 @@ class RepairSession:
         pool=None,
         session_key: Optional[str] = None,
         solutions: Optional[SolutionCache] = None,
+        recorder=None,
     ) -> "RepairSession":
         """Rebuild a session from :meth:`export_state` output, attaching
-        it to the given (possibly shared) pool and solution cache."""
+        it to the given (possibly shared) pool, solution cache, and
+        recorder (recorders are process-lifecycle, not engine state, so
+        they re-attach like pools rather than serialising)."""
         schema = tuple(state["schema"])
         table = Table._from_trusted(
             schema,
@@ -1027,6 +1109,7 @@ class RepairSession:
             pool=pool,
             session_key=session_key,
             solutions=solutions,
+            recorder=recorder,
             **state["options"],
         )
         session._used_ids |= set(state["used_ids"])

@@ -223,10 +223,18 @@ class TestSessionManager:
             stats = manager.stats()
             assert stats["resident"] == 1 and stats["frozen"] == 1
             assert entry_a.live is None and entry_a.frozen is not None
+            # Per-tenant rollup mirrors the globals for the lone tenant.
+            mine = stats["tenant_sessions"]["t"]
+            assert mine["resident"] == 1 and mine["frozen"] == 1
+            assert mine["bytes"] == stats["tenant_bytes"]["t"] > 0
+            assert mine["evictions"] == 1 and mine["rehydrations"] == 0
             # Rehydration is transparent: the next op rebuilds the
             # session and its repair equals a from-scratch clean.
             fields = manager.run_op(entry_a, "repair", {})
-            assert manager.stats()["rehydrations"] == 1
+            stats = manager.stats()
+            assert stats["rehydrations"] == 1
+            assert stats["tenant_sessions"]["t"]["rehydrations"] == 1
+            assert stats["cache_evictions"] == manager.solutions.evictions
             fresh = Table(SCHEMA, entry_a.live.table.rows(),
                           entry_a.live.table.weights())
             assert fields["distance"] == clean(fresh, fds).distance
@@ -448,6 +456,16 @@ def test_daemon_sessions_byte_identical_to_isolated(workers):
     # traffic (every tenant's workload draws from the same tiny domain).
     assert stats["sessions"] == 8
     assert stats["cache_hits"] > 0
+    # Per-tenant session rollup and recorder-backed op telemetry: every
+    # tenant holds one resident session and shows up in the op counts;
+    # the repair latency histogram saw at least one op per tenant.
+    for tenant in tenants:
+        mine = stats["tenant_sessions"][tenant]
+        assert mine["resident"] + mine["frozen"] == 1
+        assert stats["tenant_ops"][tenant] >= 1
+    repair_hist = stats["op_latency_s"]["op.repair"]
+    assert repair_hist["count"] >= len(tenants)
+    assert repair_hist["total_s"] > 0
     if workers:
         assert stats["pool_alive"] and stats["pool_workers"] == workers
 
@@ -659,13 +677,13 @@ def test_pool_namespaces_isolate_sessions():
         assert pool.broadcast(("reset", rows, weights), key="one")
         # Same rows violate A -> B but satisfy B -> C.
         assert pool.broadcast(("reset", rows, weights), key="two")
-        [(kept_a, _)] = pool.solve([((1, 2), "exact")], key="one")
+        [(kept_a, _, _)] = pool.solve([((1, 2), "exact")], key="one")
         assert kept_a == (1,)  # heavier tuple wins under A -> B
-        [(kept_b, _)] = pool.solve([((1, 2), "exact")], key="two")
+        [(kept_b, _, _)] = pool.solve([((1, 2), "exact")], key="two")
         assert kept_b == (1, 2)  # consistent under B -> C: keep both
         assert pool.drop_session("two")
         # Namespace "one" is unaffected by dropping "two".
-        [(kept_a2, _)] = pool.solve([((1, 2), "exact")], key="one")
+        [(kept_a2, _, _)] = pool.solve([((1, 2), "exact")], key="one")
         assert kept_a2 == (1,)
     finally:
         pool.close()

@@ -413,12 +413,13 @@ def test_pool_broadcast_and_solve_roundtrip():
         rows = {1: ("a", "x", "p"), 2: ("a", "y", "p"), 3: ("b", "z", "q")}
         weights = {1: 1.0, 2: 2.0, 3: 1.0}
         assert pool.broadcast(("reset", rows, weights))
-        [(kept, effective)] = pool.solve([((1, 2), "exact")])
+        [(kept, effective, secs)] = pool.solve([((1, 2), "exact")])
+        assert secs >= 0.0
         assert kept == (2,)  # heavier tuple wins
         assert effective == "exact"
         assert pool.broadcast(("delete", (2,)))
         assert pool.broadcast(("append", {4: ("a", "w", "p")}, {4: 5.0}))
-        [(kept, effective)] = pool.solve([((1, 4), "exact")])
+        [(kept, effective, _secs)] = pool.solve([((1, 4), "exact")])
         assert kept == (4,)
         assert effective == "exact"
     assert not pool.alive
