@@ -10,7 +10,14 @@ the daemon came up, both tenants' sessions opened, appended, repaired
 tenants sharing one pool, `shutdown` was acknowledged, and the process
 exited by itself within the grace period.
 
-Usage: python scripts/serve_smoke.py [--timeout SECONDS]
+With ``--chaos`` the smoke turns adversarial: a ``FDREPAIR_FAULTS``
+plan kills a pool worker mid-solve (the supervisor must heal it and the
+repair distances must still come out right), the daemon is then
+hard-killed (SIGKILL, no shutdown op) and restarted on the same
+``--state-dir``, which must recover both tenant sessions from the op
+journal; finally SIGTERM must drain gracefully and exit 0.
+
+Usage: python scripts/serve_smoke.py [--timeout SECONDS] [--chaos]
 """
 
 from __future__ import annotations
@@ -18,12 +25,20 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
 import time
 
 STEP_TIMEOUT = 30.0
+
+FAULTS_ENV = "FDREPAIR_FAULTS"
+
+#: Kill worker 0's first incarnation at its first solve; the respawn
+#: (generation 1) survives, so healing is observable and deterministic.
+CHAOS_PLAN = [{"site": "worker.solve", "action": "kill",
+               "match": {"worker": 0, "generation": 0}}]
 
 
 def fail(message: str, proc: subprocess.Popen = None) -> None:
@@ -39,31 +54,22 @@ def fail(message: str, proc: subprocess.Popen = None) -> None:
     sys.exit(1)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--timeout", type=float, default=STEP_TIMEOUT,
-                        help="hard per-step timeout in seconds")
-    parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="pass --trace PATH through to fdrepair serve "
-                             "and assert the daemon wrote a telemetry log")
-    args = parser.parse_args()
-    deadline = args.timeout
-
+def _smoke_env() -> dict:
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.join(repo, "src"), env.get("PYTHONPATH")) if p
     )
+    return env
 
+
+def _spawn(extra_argv, env, deadline):
+    """Start ``fdrepair serve`` and wait for its listening banner."""
     argv = [sys.executable, "-m", "repro.cli", "serve",
-            "--port", "0", "--parallel", "1"]
-    if args.trace:
-        argv += ["--trace", args.trace]
+            "--port", "0", "--parallel", "1"] + extra_argv
     proc = subprocess.Popen(
         argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
     )
-
-    # Step 1: the daemon announces its port within the timeout.
     start = time.monotonic()
     banner = proc.stdout.readline().decode("utf-8", "replace").strip()
     if time.monotonic() - start > deadline or not banner.startswith(
@@ -72,7 +78,10 @@ def main() -> None:
         fail(f"no listening banner (got {banner!r})", proc)
     port = int(banner.rsplit(":", 1)[1])
     print(f"daemon up on port {port}")
+    return proc, port
 
+
+def _connect(port, deadline, proc):
     sock = socket.create_connection(("127.0.0.1", port), timeout=deadline)
     sock.settimeout(deadline)
     rfile = sock.makefile("rb")
@@ -85,6 +94,112 @@ def main() -> None:
         reply = json.loads(line)
         print(f"  {obj.get('op')}: {json.dumps(reply)[:120]}")
         return reply
+
+    return sock, rpc
+
+
+def run_chaos(args) -> None:
+    """The fault-tolerance smoke: heal a killed worker, recover from a
+    hard kill via the journal, drain gracefully on SIGTERM."""
+    deadline = args.timeout
+    state_dir = args.state_dir
+    if state_dir is None:
+        import tempfile
+
+        state_dir = tempfile.mkdtemp(prefix="fdrepair-chaos-")
+    env = _smoke_env()
+    env[FAULTS_ENV] = json.dumps(CHAOS_PLAN)
+
+    # Phase 1: serve with a worker-killing fault plan.  The supervisor
+    # must absorb the death: correct distances, supervision counters.
+    proc, port = _spawn(["--state-dir", state_dir], env, deadline)
+    sock, rpc = _connect(port, deadline, proc)
+    for tenant in ("acme", "globex"):
+        reply = rpc({"op": "open", "tenant": tenant, "session": "main",
+                     "schema": ["A", "B"], "fds": "A -> B"})
+        if not reply.get("ok"):
+            fail(f"open failed for {tenant}: {reply}", proc)
+        reply = rpc({"op": "append", "tenant": tenant, "session": "main",
+                     "rows": [["a", "x"], ["a", "y"], ["b", "z"]]})
+        if not reply.get("ok") or reply.get("distance") != 1.0:
+            fail(f"append repair wrong under chaos for {tenant}: {reply}",
+                 proc)
+    sup = {}
+    poll_until = time.monotonic() + deadline
+    while time.monotonic() < poll_until:
+        sup = rpc({"op": "stats"}).get("pool_supervision", {})
+        if sup.get("respawns", 0) >= 1:
+            break
+        time.sleep(0.2)
+    if sup.get("worker_deaths", 0) < 1 or sup.get("respawns", 0) < 1:
+        fail(f"supervisor saw no worker death/respawn: {sup}", proc)
+    print(f"supervisor healed a worker kill: {sup}")
+
+    # Phase 2: hard-kill the daemon (no shutdown op, no snapshot) and
+    # restart on the same state dir; the journal must bring both
+    # tenants back.
+    sock.close()
+    proc.kill()
+    proc.wait(timeout=deadline)
+    print("daemon hard-killed; restarting on the same --state-dir")
+    proc, port = _spawn(["--state-dir", state_dir], env, deadline)
+    sock, rpc = _connect(port, deadline, proc)
+    stats = rpc({"op": "stats"})
+    if stats.get("recovered_sessions") != 2:
+        fail(f"expected 2 recovered sessions: {stats}", proc)
+    for tenant in ("acme", "globex"):
+        reply = rpc({"op": "status", "tenant": tenant, "session": "main"})
+        if not reply.get("ok") or reply.get("conflicts") != 1:
+            fail(f"recovered status wrong for {tenant}: {reply}", proc)
+        reply = rpc({"op": "repair", "tenant": tenant, "session": "main"})
+        if not reply.get("ok") or reply.get("distance") != 1.0:
+            fail(f"recovered repair wrong for {tenant}: {reply}", proc)
+    print("recovery OK: both tenants byte-for-byte back in business")
+
+    # Phase 3: SIGTERM drains gracefully — exit code 0, not a signal
+    # death — and leaves a compacted snapshot plus journal behind for
+    # the CI artifact.
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=deadline)
+    except subprocess.TimeoutExpired:
+        fail(f"daemon still running {deadline}s after SIGTERM", proc)
+    if code != 0:
+        _out, err = proc.communicate()
+        fail(f"SIGTERM exit {code}: {err.decode('utf-8', 'replace')[-500:]}")
+    snapshot = os.path.join(state_dir, "snapshot.pkl")
+    journal = os.path.join(state_dir, "journal.jsonl")
+    if not os.path.exists(snapshot):
+        fail(f"graceful drain left no snapshot at {snapshot}")
+    if not os.path.exists(journal):
+        fail(f"no journal at {journal}")
+    print(f"CHAOS SMOKE OK: healed kill, journal recovery, clean "
+          f"SIGTERM drain (state in {state_dir})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--timeout", type=float, default=STEP_TIMEOUT,
+                        help="hard per-step timeout in seconds")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="pass --trace PATH through to fdrepair serve "
+                             "and assert the daemon wrote a telemetry log")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the fault-tolerance smoke: worker kill "
+                             "+ hard restart + SIGTERM drain")
+    parser.add_argument("--state-dir", metavar="PATH", default=None,
+                        help="state dir for --chaos (kept afterwards so "
+                             "CI can upload the journal as an artifact)")
+    args = parser.parse_args()
+    if args.chaos:
+        run_chaos(args)
+        return
+    deadline = args.timeout
+
+    env = _smoke_env()
+    extra = ["--trace", args.trace] if args.trace else []
+    proc, port = _spawn(extra, env, deadline)
+    sock, rpc = _connect(port, deadline, proc)
 
     # Step 2: two tenants, one shared pool; conflicting appends repair
     # with the expected distances.

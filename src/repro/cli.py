@@ -142,6 +142,19 @@ def _add_exact_budget_option(parser: argparse.ArgumentParser) -> None:
             "then additionally caps each scheduled slice"
         ),
     )
+    parser.add_argument(
+        "--unit-cost",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "seconds one unit of predicted difficulty costs on this "
+            "machine (default: the hand-calibrated constant).  Deploy a "
+            "'fdrepair calibrate' fit here to rescale what the global "
+            "--exact-budget believes it can afford; the difficulty "
+            "ranking — and so the plan's determinism — is unchanged"
+        ),
+    )
 
 
 def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
@@ -394,6 +407,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-tenant memory budget in bytes (default 256 MiB)",
     )
+    p_serve.add_argument(
+        "--state-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "directory for crash-safe state: an append-only op journal, "
+            "periodic snapshots, and the frozen-session spool.  A "
+            "restarted daemon recovers every tenant session "
+            "byte-identically (sessions are deterministic, so replaying "
+            "acknowledged ops rebuilds exactly what was lost).  Omit "
+            "for a stateless in-memory daemon"
+        ),
+    )
+    p_serve.add_argument(
+        "--journal-fsync",
+        type=int,
+        metavar="N",
+        default=8,
+        help=(
+            "journal records between fsync calls (writes are flushed "
+            "per record regardless; this bounds what a machine crash — "
+            "not a process kill — can lose)"
+        ),
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        metavar="N",
+        default=256,
+        help="journal records between snapshot compactions",
+    )
+    p_serve.add_argument(
+        "--solve-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "per-solve ceiling on the shared worker pool: a solve stuck "
+            "longer gets its worker replaced and rides the supervisor's "
+            "retry-then-degrade path (default: none)"
+        ),
+    )
+    p_serve.add_argument(
+        "--unit-cost",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "calibrated seconds-per-difficulty-unit applied to every "
+            "session this daemon opens (per-open payloads win); deploy "
+            "a 'fdrepair calibrate' fit across the fleet here"
+        ),
+    )
     _add_kernel_option(p_serve)
     _add_trace_option(p_serve)
 
@@ -469,6 +535,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
             exact_threshold=args.exact_threshold,
             exact_budget_s=args.exact_budget,
             per_component_budget_s=args.per_component_budget,
+            unit_cost_s=args.unit_cost,
             detailed=args.json,
             recorder=recorder,
         )
@@ -545,6 +612,7 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
             exact_threshold=args.exact_threshold,
             exact_budget_s=args.exact_budget,
             per_component_budget_s=args.per_component_budget,
+            unit_cost_s=args.unit_cost,
             recorder=recorder,
         )
     finally:
@@ -655,6 +723,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
         per_component_budget_s=args.per_component_budget,
+        unit_cost_s=args.unit_cost,
         recorder=recorder,
     ) as session:
         result = session.repair()
@@ -757,6 +826,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         max_resident=args.max_resident,
         max_tenant_sessions=args.max_tenant_sessions,
+        state_dir=args.state_dir,
+        journal_fsync_every=args.journal_fsync,
+        snapshot_every=args.snapshot_every,
+        solve_timeout_s=args.solve_timeout,
+        unit_cost_s=args.unit_cost,
     )
     if args.max_tenant_bytes is not None:
         config.max_tenant_bytes = args.max_tenant_bytes
@@ -764,6 +838,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = RepairServer(SessionManager(config, recorder=recorder))
 
     async def run() -> None:
+        # SIGTERM/SIGINT drain gracefully: finish in-flight ops, flush
+        # the journal and trace, exit 0 — so a supervisor's stop never
+        # loses acknowledged work.
+        server.install_signal_handlers()
         if args.stdio:
             await server.serve_stdio()
         else:

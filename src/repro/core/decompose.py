@@ -200,6 +200,7 @@ class Decomposition:
         exact_budget_s: Optional[float] = None,
         per_component_budget_s: Optional[float] = None,
         node_limit: int = DEFAULT_NODE_LIMIT,
+        unit_cost_s: Optional[float] = None,
     ) -> List["ComponentPlan"]:
         """The difficulty-driven schedule for this decomposition — see
         the module-level :func:`plan_schedule`.  Shared by
@@ -214,6 +215,7 @@ class Decomposition:
             exact_budget_s,
             per_component_budget_s,
             node_limit,
+            unit_cost_s,
         )
 
     def merge_kept(self, kept_per_component: Sequence[Iterable[TupleId]]) -> Table:
@@ -441,6 +443,7 @@ class PlanDefaults:
     node_limit: int
     exact_budget_s: Optional[float]
     per_component_budget_s: Optional[float]
+    unit_cost_s: float = DIFFICULTY_UNIT_COST_S
 
 
 def resolve_plan_defaults(
@@ -448,6 +451,7 @@ def resolve_plan_defaults(
     node_limit: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    unit_cost_s: Optional[float] = None,
 ) -> PlanDefaults:
     """Resolve the portfolio knobs to their effective values.
 
@@ -457,7 +461,10 @@ def resolve_plan_defaults(
     (= unlimited); *exact_budget_s* is the **global** budget of the
     difficulty scheduler, *per_component_budget_s* the historical
     per-solve ceiling — both may be set, in which case every exact slice
-    is additionally capped per component.  Centralised here so
+    is additionally capped per component.  *unit_cost_s* overrides the
+    hand-calibrated :data:`DIFFICULTY_UNIT_COST_S` (``None`` keeps it)
+    — how a machine-specific ``fdrepair calibrate`` fit is deployed
+    without monkeypatching the module constant.  Centralised here so
     ``session.py``, ``exec.py``, ``pipeline.py`` and the CLI can never
     drift on what an omitted knob means.
     """
@@ -470,6 +477,9 @@ def resolve_plan_defaults(
         node_limit=DEFAULT_NODE_LIMIT if node_limit is None else node_limit,
         exact_budget_s=exact_budget_s,
         per_component_budget_s=per_component_budget_s,
+        unit_cost_s=(
+            DIFFICULTY_UNIT_COST_S if unit_cost_s is None else unit_cost_s
+        ),
     )
 
 
@@ -481,6 +491,7 @@ def plan_schedule(
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
     node_limit: int = DEFAULT_NODE_LIMIT,
+    unit_cost_s: Optional[float] = None,
 ) -> List[ComponentPlan]:
     """The difficulty-driven successor of per-component
     :func:`plan_s_method`: one :class:`ComponentPlan` per component, in
@@ -540,6 +551,7 @@ def plan_schedule(
     from . import kernel as _kernel
 
     ceiling = min(node_limit, _kernel.MAX_BITMASK_VERTICES)
+    unit = DIFFICULTY_UNIT_COST_S if unit_cost_s is None else unit_cost_s
     plans: List[Optional[ComponentPlan]] = [None] * len(components)
     ranked: List[Tuple[float, int, float, ComponentFeatures]] = []
     for i, component in enumerate(components):
@@ -548,7 +560,7 @@ def plan_schedule(
             continue
         feats = component_features(component)
         difficulty = predict_difficulty(feats)
-        ranked.append((difficulty, i, difficulty * DIFFICULTY_UNIT_COST_S, feats))
+        ranked.append((difficulty, i, difficulty * unit, feats))
     ranked.sort(key=lambda entry: (entry[0], entry[1]))
     spent = 0.0
     for difficulty, i, predicted, feats in ranked:

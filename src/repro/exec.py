@@ -32,6 +32,7 @@ from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter as _perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import faults as _faults
 from . import obs as _obs
 from .core import kernel as _kernel
 from .core.decompose import (
@@ -115,7 +116,8 @@ DEFAULT_SESSION_KEY = ""
 
 
 def _session_worker_main(inq, outq, node_limit, use_kernel=True,
-                         budget_s=None) -> None:
+                         budget_s=None, worker_index=0, generation=0,
+                         fault_spec=None) -> None:
     """Worker loop of a :class:`PersistentWorkerPool`.
 
     Each worker mirrors *every attached session's* table as plain
@@ -139,6 +141,11 @@ def _session_worker_main(inq, outq, node_limit, use_kernel=True,
     # start methods, where workers re-import the module with the flag at
     # its default — so it travels as an argument, not as ambient state.
     _kernel.set_enabled(use_kernel)
+    # The fault plan travels the same way (and additionally carries this
+    # worker's index and generation, so a chaos rule can kill exactly
+    # one incarnation of one worker): counters restart per process.
+    plan = _faults.FaultPlan.from_spec(fault_spec)
+    solve_count = 0
     # key -> [schema, fds, node_limit, budget_s, rows, weights]
     spaces: Dict = {}
     while True:
@@ -176,7 +183,14 @@ def _session_worker_main(inq, outq, node_limit, use_kernel=True,
                     space[5].pop(tid, None)
         elif kind == "solve":
             seq, key, ids, method = message[1], message[2], message[3], message[4]
+            solve_count += 1
             try:
+                # Inside the try: a ``raise`` action ships as a solve
+                # error (like any solver exception), a ``kill`` action
+                # exits the process outright.
+                plan.fire("worker.solve", worker=worker_index,
+                          generation=generation, solve=solve_count,
+                          key=key, method=method)
                 space = spaces[key]
                 schema, fds, space_limit, space_budget, rows, weights = space
                 # An optional sixth element is a per-task budget slice
@@ -197,6 +211,24 @@ def _session_worker_main(inq, outq, node_limit, use_kernel=True,
                 outq.put((seq, None, None, 0.0, repr(exc)))
             else:
                 outq.put((seq, tuple(kept), effective, elapsed, None))
+
+
+class _Inflight:
+    """Parent-side record of one dispatched solve: where it is routed,
+    how it has been retried, and what it has degraded to."""
+
+    __slots__ = ("key", "ids", "method", "budget", "widx", "sent_at",
+                 "attempts", "degraded")
+
+    def __init__(self, key, ids, method, budget):
+        self.key = key
+        self.ids = ids
+        self.method = method
+        self.budget = budget
+        self.widx = None       # routed worker slot (None = unrouted)
+        self.sent_at = None    # monotonic dispatch time (timeout sweep)
+        self.attempts = 0      # retries consumed
+        self.degraded = False  # already fell to the approximation tier
 
 
 class PersistentWorkerPool:
@@ -224,22 +256,50 @@ class PersistentWorkerPool:
     sequence number, so concurrent solves from many sessions interleave
     freely — one session's slow exact solve never blocks another's.
 
-    **Failure.**  A worker process dying is detected within ~0.2 s by
-    the collector's liveness sweep: solves routed to the dead worker
-    fail immediately with ``RuntimeError`` (instead of burning the full
-    solve timeout), the dead worker leaves the dispatch rotation, and
-    the pool stays alive while any worker survives.  A worker-side solve
-    *exception* fails only that call.  The pool is an optimisation,
-    never a dependency: construction degrades gracefully (``start``
-    returns ``False``) on platforms without subprocess support, and
-    callers re-solve serially on any failure — the workers are pure, so
-    a retry is always safe and byte-identical.
+    **Failure and supervision.**  A worker process dying is detected
+    within ~0.2 s by the collector's liveness sweep.  By default the
+    pool *self-heals*: a supervisor respawns the dead worker with capped
+    exponential backoff, replays the parent-side table mirror (full
+    snapshot of every attached namespace, so no delta is lost) into the
+    replacement, and transparently **retries** the solves that were in
+    flight on the dead worker — safe and byte-identical because the
+    workers are pure functions of the mirrored component content.
+    After ``max_retries`` the failing component **degrades** to the
+    approximation tier (reported honestly in method mixes, exactly like
+    budget exhaustion); tasks already in the approximation tier fail
+    that call instead.  Per-solve timeouts (``solve_timeout_s``) ride
+    the same path: the stuck worker is terminated, its other in-flight
+    solves retry, and the overdue solve degrades.  A slot that keeps
+    crashing is abandoned after ``max_respawns`` attempts; the pool is
+    broken only when every slot is gone, and callers then fall back to
+    the serial path as before.  ``supervise=False`` restores the PR-6
+    fail-fast semantics (no mirror, no respawn, dead workers fail their
+    routed solves immediately).  Supervision counters are exposed via
+    :meth:`supervision_stats` and the optional *recorder*.  A worker-side
+    solve *exception* still fails only that call.  The pool is an
+    optimisation, never a dependency: construction degrades gracefully
+    (``start`` returns ``False``) on platforms without subprocess
+    support, and callers re-solve serially on any failure.
+
+    **Fault injection.**  Parent-side dispatch fires the
+    ``pool.dispatch`` site and workers fire ``worker.solve`` (see
+    :mod:`repro.faults`); *faults* defaults to the plan named by the
+    ``FDREPAIR_FAULTS`` environment variable, so chaos tests drive real
+    worker deaths deterministically instead of monkeypatching.
     """
 
     def __init__(self, workers: int, schema=None, fds: Optional[FDSet] = None,
                  node_limit: int = 2000,
                  use_kernel: Optional[bool] = None,
-                 budget_s: Optional[float] = None):
+                 budget_s: Optional[float] = None, *,
+                 supervise: bool = True,
+                 max_retries: int = 2,
+                 max_respawns: int = 8,
+                 respawn_backoff_s: float = 0.05,
+                 respawn_backoff_cap_s: float = 2.0,
+                 solve_timeout_s: Optional[float] = None,
+                 faults=None,
+                 recorder=None):
         import threading
 
         self._worker_count = max(1, int(workers))
@@ -251,17 +311,42 @@ class PersistentWorkerPool:
         self._procs: List = []
         self._inqs: List = []
         self._outq = None
+        self._mp_ctx = None
         self._started = False
         self._broken = False
         self._closed = False
         self._stop = threading.Event()
         self._collector = None
         self._cond = threading.Condition()
-        self._pending: Dict[int, int] = {}   # seq -> worker index
+        self._pending: Dict[int, "_Inflight"] = {}  # seq -> in-flight record
         self._done: Dict[int, Tuple] = {}    # seq -> (kept, method, secs, error)
         self._dead: set = set()
         self._next_seq = 0
         self._rr = 0
+        # --- supervision state ---------------------------------------
+        self._supervise = bool(supervise)
+        self._max_retries = max(0, int(max_retries))
+        self._max_respawns = max(0, int(max_respawns))
+        self._backoff_s = max(0.0, float(respawn_backoff_s))
+        self._backoff_cap_s = max(self._backoff_s, float(respawn_backoff_cap_s))
+        self._solve_timeout_s = solve_timeout_s
+        self._faults = _faults.resolve(faults)
+        self._recorder = _obs.resolve(recorder)
+        # Authoritative parent-side mirror of every namespace, replayed
+        # into replacement workers: key -> [schema, fds, node_limit,
+        # budget_s, rows, weights].  Guarded by _io, which serialises
+        # sends and replay so a respawn can never miss a delta.
+        self._mirror: Dict = {}
+        self._io = threading.Lock()
+        self._gens: List[int] = []           # per-slot incarnation number
+        self._respawn_at: Dict[int, float] = {}   # slot -> due (monotonic)
+        self._respawning: set = set()             # slots mid-respawn
+        self._respawn_attempts: Dict[int, int] = {}
+        self._abandoned: set = set()
+        self._counters = {
+            "worker_deaths": 0, "respawns": 0, "retries": 0,
+            "degraded": 0, "timeouts": 0, "abandoned": 0,
+        }
 
     @property
     def alive(self) -> bool:
@@ -274,6 +359,14 @@ class PersistentWorkerPool:
     def live_workers(self) -> int:
         return len(self._procs) - len(self._dead) if self._started else 0
 
+    def supervision_stats(self) -> Dict[str, int]:
+        """Counters of the self-healing machinery: ``worker_deaths``,
+        ``respawns``, ``retries``, ``degraded``, ``timeouts``,
+        ``abandoned`` — the honesty channel for chaos tests and the
+        daemon's ``stats`` op."""
+        with self._cond:
+            return dict(self._counters)
+
     def start(self) -> bool:
         """Spawn the workers; True on success (idempotent)."""
         if self._started:
@@ -284,18 +377,22 @@ class PersistentWorkerPool:
             import threading
 
             ctx = mp.get_context()
+            self._mp_ctx = ctx
             self._outq = ctx.Queue()
-            for _ in range(self._worker_count):
+            fault_spec = self._faults.to_spec() or None
+            for widx in range(self._worker_count):
                 inq = ctx.Queue()
                 proc = ctx.Process(
                     target=_session_worker_main,
                     args=(inq, self._outq, self._node_limit,
-                          self._use_kernel, self._budget_s),
+                          self._use_kernel, self._budget_s,
+                          widx, 0, fault_spec),
                     daemon=True,
                 )
                 proc.start()
                 self._inqs.append(inq)
                 self._procs.append(proc)
+                self._gens.append(0)
             self._collector = threading.Thread(
                 target=self._collector_loop, name="fdrepair-pool-collector",
                 daemon=True,
@@ -319,32 +416,66 @@ class PersistentWorkerPool:
                      budget_s: Optional[float] = None) -> bool:
         """Install session *key*'s schema/Δ/knobs on every worker (its
         mirror starts empty; follow with a ``reset`` broadcast)."""
-        return self._send_all(
-            ("open", key, tuple(schema), fds, node_limit, budget_s)
-        )
+        with self._io:
+            if self._supervise:
+                self._mirror[key] = [tuple(schema), fds, node_limit,
+                                     budget_s, {}, {}]
+            return self._send_all(
+                ("open", key, tuple(schema), fds, node_limit, budget_s)
+            )
 
     def drop_session(self, key) -> bool:
         """Forget session *key*'s mirrors on every worker."""
-        return self._send_all(("drop", key))
+        with self._io:
+            self._mirror.pop(key, None)
+            return self._send_all(("drop", key))
 
     def broadcast(self, op, key=DEFAULT_SESSION_KEY) -> bool:
         """Send one mirror-maintenance op — ``("reset", rows, weights)``,
         ``("append", rows, weights)`` or ``("delete", ids)`` — to every
         worker, for session *key*.  False (pool broken) instead of
         raising."""
-        return self._send_all((op[0], key) + tuple(op[1:]))
+        with self._io:
+            if self._supervise:
+                self._apply_mirror(op, key)
+            return self._send_all((op[0], key) + tuple(op[1:]))
+
+    def _apply_mirror(self, op, key) -> None:
+        """Apply a maintenance op to the parent-side mirror (under
+        ``_io``) — the snapshot respawned workers are rebuilt from."""
+        space = self._mirror.get(key)
+        if space is None:
+            return
+        kind = op[0]
+        if kind == "reset":
+            space[4] = dict(op[1])
+            space[5] = dict(op[2])
+        elif kind == "append":
+            space[4].update(op[1])
+            space[5].update(op[2])
+        elif kind == "delete":
+            for tid in op[1]:
+                space[4].pop(tid, None)
+                space[5].pop(tid, None)
 
     def _send_all(self, message) -> bool:
+        """Send to every live worker (caller holds ``_io``).  A queue
+        that refuses the message fails *that worker* — supervision then
+        respawns it and replays the mirror, so one bad pipe no longer
+        breaks the whole pool."""
         if not self.alive:
             return False
-        try:
-            for i, inq in enumerate(self._inqs):
-                if i not in self._dead:
-                    inq.put(message)
-        except (OSError, ValueError):
-            self._broken = True
-            return False
-        return True
+        failed = []
+        for i, inq in enumerate(self._inqs):
+            if i in self._dead:
+                continue
+            try:
+                inq.put(message)
+            except (OSError, ValueError):
+                failed.append(i)
+        for i in failed:
+            self._fail_worker(i, "mirror broadcast to worker failed")
+        return self.alive
 
     # ------------------------------------------------------------------
     # Solving
@@ -366,11 +497,15 @@ class PersistentWorkerPool:
 
         Round-robin dispatch over live workers; results are reassembled
         in task order.  Thread-safe — concurrent calls (one per daemon
-        session) interleave without blocking each other.  Raises
-        ``RuntimeError`` on failure: a dead worker or closed pool fails
-        fast (~0.2 s, not the full *timeout*); a worker-side solve
-        exception or a timeout fails only this call, leaving the pool
-        serving other sessions.  Callers fall back to the serial path.
+        session) interleave without blocking each other.  Under
+        supervision (the default) a worker dying mid-batch does **not**
+        fail the call: its in-flight solves are retried on surviving or
+        respawned workers (byte-identical — workers are pure), degrading
+        to the approximation tier only after ``max_retries``.  Raises
+        ``RuntimeError`` only when the pool is closed/broken, the batch
+        *timeout* expires, or a worker-side solve exception surfaces;
+        callers fall back to the serial path.  With ``supervise=False``
+        a dead worker fails its routed solves within ~0.2 s, as before.
         """
         import time as _time
 
@@ -379,10 +514,12 @@ class PersistentWorkerPool:
         if not tasks:
             return []
         deadline = _time.monotonic() + timeout
-        routed: List[Tuple] = []
         with self._cond:
+            if self._broken:
+                raise RuntimeError("worker pool is not running")
             live = [i for i in range(len(self._procs)) if i not in self._dead]
-            if not live:
+            if not live and not (self._supervise and
+                                 (self._respawn_at or self._respawning)):
                 self._broken = True
                 raise RuntimeError("worker pool has no live workers")
             seqs = []
@@ -391,21 +528,9 @@ class PersistentWorkerPool:
                 budget = task[2] if len(task) > 2 else None
                 seq = self._next_seq
                 self._next_seq += 1
-                widx = live[self._rr % len(live)]
-                self._rr += 1
-                self._pending[seq] = widx
+                self._pending[seq] = _Inflight(key, tuple(ids), method, budget)
                 seqs.append(seq)
-                routed.append((seq, widx, tuple(ids), method, budget))
-        for seq, widx, ids, method, budget in routed:
-            message = (
-                ("solve", seq, key, ids, method)
-                if budget is None
-                else ("solve", seq, key, ids, method, budget)
-            )
-            try:
-                self._inqs[widx].put(message)
-            except (OSError, ValueError):
-                self._fail_worker(widx, "dispatch to worker failed")
+        self._route_unsent()
         failure = None
         with self._cond:
             while True:
@@ -432,18 +557,64 @@ class PersistentWorkerPool:
             results.append((kept, effective, secs))
         return results
 
+    def _route_unsent(self) -> None:
+        """Assign every unrouted in-flight solve to a live worker and
+        ship it.  Called after registration, after a worker failure
+        requeues its solves, and after a respawn brings capacity back —
+        when no worker is live yet, solves stay queued for the next
+        respawn instead of failing."""
+        import time as _time
+
+        to_send: List[Tuple] = []
+        with self._cond:
+            live = [i for i in range(len(self._procs)) if i not in self._dead]
+            if not live:
+                return
+            for seq, rec in self._pending.items():
+                if rec.widx is not None:
+                    continue
+                rec.widx = live[self._rr % len(live)]
+                self._rr += 1
+                rec.sent_at = _time.monotonic()
+                to_send.append((seq, rec.widx, rec.key, rec.ids,
+                                rec.method, rec.budget))
+        failed = set()
+        with self._io:
+            for seq, widx, key, ids, method, budget in to_send:
+                if self._faults.fire("pool.dispatch",
+                                     worker=widx, seq=seq) == "drop":
+                    continue  # lost message: the timeout sweep recovers it
+                message = (
+                    ("solve", seq, key, ids, method)
+                    if budget is None
+                    else ("solve", seq, key, ids, method, budget)
+                )
+                try:
+                    self._inqs[widx].put(message)
+                except (OSError, ValueError):
+                    failed.add(widx)
+        for widx in failed:
+            self._fail_worker(widx, "dispatch to worker failed")
+
     # ------------------------------------------------------------------
-    # Result collection and worker liveness
+    # Result collection, worker liveness, and supervision
     # ------------------------------------------------------------------
     def _collector_loop(self) -> None:
         from queue import Empty
+        import time as _time
 
         outq = self._outq
+        last_sweep = 0.0
         while not self._stop.is_set():
+            now = _time.monotonic()
+            if now - last_sweep >= 0.1:
+                last_sweep = now
+                self._reap_dead_workers()
+                self._sweep_timeouts()
+                self._service_respawns()
             try:
                 item = outq.get(timeout=0.1)
             except Empty:
-                self._reap_dead_workers()
                 continue
             except (OSError, ValueError, EOFError):
                 break
@@ -458,9 +629,11 @@ class PersistentWorkerPool:
                     self._cond.notify_all()
 
     def _reap_dead_workers(self) -> None:
-        """Fail-fast sweep: a worker process that died mid-solve fails
-        its routed requests immediately instead of letting callers burn
-        the full solve timeout, and leaves the dispatch rotation."""
+        """Liveness sweep (~0.2 s): a worker process that died mid-solve
+        leaves the dispatch rotation immediately; under supervision its
+        in-flight solves are requeued and a replacement is scheduled,
+        otherwise they fail fast so callers never burn the full solve
+        timeout."""
         fresh_dead = [
             i for i, proc in enumerate(self._procs)
             if i not in self._dead and not proc.is_alive()
@@ -469,15 +642,181 @@ class PersistentWorkerPool:
             self._fail_worker(widx, "worker process died")
 
     def _fail_worker(self, widx: int, reason: str) -> None:
+        requeued = False
         with self._cond:
+            if widx in self._dead:
+                return
             self._dead.add(widx)
-            if len(self._dead) >= len(self._procs):
-                self._broken = True
-            for seq, routed_to in list(self._pending.items()):
-                if routed_to in self._dead:
+            self._counters["worker_deaths"] += 1
+            supervising = self._supervise and not self._closed
+            for seq, rec in list(self._pending.items()):
+                if rec.widx != widx:
+                    continue
+                if supervising and rec.attempts < self._max_retries:
+                    # Transparent retry: workers are pure, so re-running
+                    # the solve elsewhere is byte-identical.
+                    rec.attempts += 1
+                    rec.widx = None
+                    rec.sent_at = None
+                    self._counters["retries"] += 1
+                    requeued = True
+                elif (supervising and not rec.degraded
+                        and rec.method in ("exact", "dichotomy")):
+                    # Retries exhausted: degrade to the approximation
+                    # tier, reported honestly via the effective method —
+                    # the same escape hatch as budget exhaustion.
+                    rec.method = "approx"
+                    rec.degraded = True
+                    rec.attempts = 0
+                    rec.widx = None
+                    rec.sent_at = None
+                    self._counters["degraded"] += 1
+                    requeued = True
+                else:
                     del self._pending[seq]
                     self._done[seq] = (None, None, 0.0, reason)
+            if supervising:
+                self._schedule_respawn_locked(widx)
+            if (len(self._dead) >= len(self._procs)
+                    and not (self._respawn_at or self._respawning)):
+                self._broken = True
             self._cond.notify_all()
+        self._recorder.count("pool.worker_death")
+        if requeued:
+            self._route_unsent()
+
+    def _schedule_respawn_locked(self, widx: int) -> None:
+        """Book a replacement for slot *widx* after a capped-exponential
+        backoff; a slot that has crashed ``max_respawns`` times is
+        abandoned (caller holds ``_cond``)."""
+        import time as _time
+
+        attempts = self._respawn_attempts.get(widx, 0)
+        if attempts >= self._max_respawns:
+            if widx not in self._abandoned:
+                self._abandoned.add(widx)
+                self._counters["abandoned"] += 1
+            return
+        delay = min(self._backoff_s * (2 ** attempts), self._backoff_cap_s)
+        self._respawn_at[widx] = _time.monotonic() + delay
+
+    def _sweep_timeouts(self) -> None:
+        """Per-solve timeout path: terminate the worker hosting an
+        overdue solve (it is presumed stuck).  The overdue solve's
+        retries are exhausted on the spot — re-running the identical
+        solve would stall again — so the failure handler degrades it,
+        while the worker's *other* in-flight solves retry normally."""
+        if self._solve_timeout_s is None or not self._supervise:
+            return
+        import time as _time
+
+        victims = set()
+        with self._cond:
+            now = _time.monotonic()
+            for rec in self._pending.values():
+                if (rec.widx is not None and rec.widx not in self._dead
+                        and rec.sent_at is not None
+                        and now - rec.sent_at > self._solve_timeout_s):
+                    rec.attempts = max(rec.attempts, self._max_retries)
+                    self._counters["timeouts"] += 1
+                    victims.add(rec.widx)
+        for widx in victims:
+            try:
+                self._procs[widx].terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
+            self._recorder.count("pool.timeout")
+            self._fail_worker(
+                widx, f"solve exceeded {self._solve_timeout_s:g}s"
+            )
+
+    def _service_respawns(self) -> None:
+        """Run due respawns (collector thread).  A slot moves from the
+        backoff book to ``_respawning`` while its replacement spawns, so
+        concurrent failure handling never mistakes an in-progress
+        respawn for a dead pool."""
+        if not self._supervise or self._closed:
+            return
+        import time as _time
+
+        due = []
+        with self._cond:
+            now = _time.monotonic()
+            for widx, when in list(self._respawn_at.items()):
+                if when <= now:
+                    del self._respawn_at[widx]
+                    self._respawning.add(widx)
+                    due.append(widx)
+        for widx in due:
+            ok = self._respawn_worker(widx)
+            with self._cond:
+                self._respawning.discard(widx)
+                if not ok:
+                    self._schedule_respawn_locked(widx)
+                if (len(self._dead) >= len(self._procs)
+                        and not (self._respawn_at or self._respawning)):
+                    self._broken = True
+                    self._cond.notify_all()
+        if due:
+            self._route_unsent()
+
+    def _respawn_worker(self, widx: int) -> bool:
+        """Spawn a replacement for slot *widx* and replay the full table
+        mirror into it before it rejoins the rotation.  Replay holds
+        ``_io``, which also serialises broadcasts — so the replacement's
+        snapshot plus subsequent deltas is exactly the state every other
+        worker holds, and solves on it stay byte-identical."""
+        self._respawn_attempts[widx] = self._respawn_attempts.get(widx, 0) + 1
+        generation = self._gens[widx] + 1
+        fault_spec = self._faults.to_spec() or None
+        try:
+            ctx = self._mp_ctx
+            inq = ctx.Queue()
+            proc = ctx.Process(
+                target=_session_worker_main,
+                args=(inq, self._outq, self._node_limit,
+                      self._use_kernel, self._budget_s,
+                      widx, generation, fault_spec),
+                daemon=True,
+            )
+            proc.start()
+        except (OSError, PermissionError, ValueError, ImportError,
+                AttributeError):
+            return False
+        with self._io:
+            try:
+                for key, space in self._mirror.items():
+                    schema, fds, nl, bs, rows, weights = space
+                    inq.put(("open", key, schema, fds, nl, bs))
+                    inq.put(("reset", key, dict(rows), dict(weights)))
+            except (OSError, ValueError):
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+                return False
+            with self._cond:
+                old_inq = self._inqs[widx]
+                self._inqs[widx] = inq
+                self._procs[widx] = proc
+                self._gens[widx] = generation
+                self._dead.discard(widx)
+                self._counters["respawns"] += 1
+                self._cond.notify_all()
+        # Retire the dead incarnation's queue so its feeder thread can
+        # never block teardown.
+        try:
+            while True:
+                old_inq.get_nowait()
+        except Exception:
+            pass
+        try:
+            old_inq.cancel_join_thread()
+            old_inq.close()
+        except Exception:
+            pass
+        self._recorder.count("pool.respawn")
+        return True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -524,6 +863,9 @@ class PersistentWorkerPool:
         self._inqs = []
         self._outq = None
         with self._cond:
+            self._respawn_at.clear()
+            self._respawning.clear()
+            self._gens = []
             for seq in list(self._pending):
                 del self._pending[seq]
                 self._done[seq] = (None, None, 0.0, "worker pool closed")

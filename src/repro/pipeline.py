@@ -192,6 +192,7 @@ def assess(
     exact_threshold: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    unit_cost_s: Optional[float] = None,
     detailed: bool = False,
     recorder=None,
 ) -> DirtinessReport:
@@ -242,7 +243,8 @@ def assess(
 
         verdict = classify(fds)
         defaults = resolve_plan_defaults(
-            exact_threshold, None, exact_budget_s, per_component_budget_s
+            exact_threshold, None, exact_budget_s, per_component_budget_s,
+            unit_cost_s,
         )
         threshold = defaults.threshold
 
@@ -307,6 +309,7 @@ def _assess_decomposed_bracket(
             defaults.exact_budget_s,
             defaults.per_component_budget_s,
             defaults.node_limit,
+            defaults.unit_cost_s,
         )
     exact_components = 0
     lower = upper = 0.0
@@ -471,6 +474,7 @@ def _clean_deletions_decomposed(
     exact_threshold: int = EXACT_COMPONENT_THRESHOLD,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    unit_cost_s: Optional[float] = None,
     recorder=None,
 ) -> CleaningResult:
     """The decomposed S-repair pipeline: decompose once, schedule the
@@ -498,6 +502,7 @@ def _clean_deletions_decomposed(
             exact_threshold,
             exact_budget_s,
             per_component_budget_s,
+            unit_cost_s=unit_cost_s,
         )
     with rec.span("phase.solve"):
         kept_lists, methods = solve_components(
@@ -528,6 +533,7 @@ def clean(
     exact_threshold: Optional[int] = None,
     exact_budget_s: Optional[float] = None,
     per_component_budget_s: Optional[float] = None,
+    unit_cost_s: Optional[float] = None,
     recorder=None,
 ) -> CleaningResult:
     """Repair *table* end to end.
@@ -597,6 +603,13 @@ def clean(
         scheduled slice additionally capped).  With a per-solve budget
         set and no global one, results may legitimately differ run to
         run on components near the budget boundary.
+    unit_cost_s:
+        Seconds one unit of predicted difficulty costs on this machine
+        (default: the hand-calibrated
+        :data:`~repro.core.decompose.DIFFICULTY_UNIT_COST_S`).  A
+        ``fdrepair calibrate`` fit deployed here rescales the global
+        budget's predicted spend without touching the difficulty
+        *ranking*, so the plan stays deterministic.
     recorder:
         Optional :class:`repro.obs.Recorder`.  When enabled, the run is
         wrapped in a ``pipeline.clean`` span with per-phase children
@@ -611,7 +624,8 @@ def clean(
         raise ValueError(f"unknown guarantee {guarantee!r}")
     rec = _obs.resolve(recorder)
     defaults = resolve_plan_defaults(
-        exact_threshold, None, exact_budget_s, per_component_budget_s
+        exact_threshold, None, exact_budget_s, per_component_budget_s,
+        unit_cost_s,
     )
     threshold = defaults.threshold
     with rec.span("pipeline.clean", strategy=strategy, guarantee=guarantee):
@@ -631,7 +645,8 @@ def clean(
             # twice.
             return _clean_deletions_decomposed(
                 table, fds, guarantee, index, parallel, threshold,
-                exact_budget_s, per_component_budget_s, recorder=rec,
+                exact_budget_s, per_component_budget_s,
+                defaults.unit_cost_s, recorder=rec,
             )
         return _clean_global(
             table, fds, strategy, guarantee, index, decomposed, parallel,

@@ -45,6 +45,7 @@ from .pipeline import CleaningResult
 
 __all__ = [
     "DAEMON_OPS",
+    "JOURNALED_OPS",
     "ProtocolError",
     "Request",
     "SESSION_OPS",
@@ -64,6 +65,14 @@ DAEMON_OPS = frozenset({"ping", "stats", "shutdown"})
 
 #: Ops valid on the wire: session lifecycle + session ops + daemon ops.
 ALL_OPS = frozenset({"open"}) | SESSION_OPS | DAEMON_OPS
+
+#: Ops the crash-safe daemon writes to its op journal: exactly the ops
+#: that mutate session state (including ``repair``, whose result feeds
+#: the session's exported stats).  Sessions are deterministic, so
+#: replaying this subset in acknowledged order rebuilds every session
+#: byte-identically; read-only ops (``assess``/``status``) and daemon
+#: ops never touch the log.
+JOURNALED_OPS = frozenset({"open", "append", "delete", "repair", "close"})
 
 
 class ProtocolError(ValueError):

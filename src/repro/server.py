@@ -43,7 +43,9 @@ execution run on executor threads.
 from __future__ import annotations
 
 import asyncio
+import os
 import pickle
+import signal
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -51,11 +53,13 @@ from dataclasses import dataclass, field
 from time import perf_counter as _perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from . import faults as _faults
 from . import obs as _obs
 from .core.fd import parse_fd_set
 from .core.table import Table
 from .protocol import (
     DAEMON_OPS,
+    JOURNALED_OPS,
     ProtocolError,
     Request,
     apply_session_op,
@@ -63,6 +67,15 @@ from .protocol import (
     encode,
 )
 from .session import RepairSession, SolutionCache
+from .state import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    SPOOL_DIR,
+    DiskSessionStore,
+    MemorySessionStore,
+    OpJournal,
+    load_snapshot,
+)
 
 __all__ = ["RepairServer", "ServerConfig", "SessionManager"]
 
@@ -91,23 +104,44 @@ class ServerConfig:
     executor_threads: int = 8
     #: Seconds a session waits for one pool solve batch.
     pool_timeout: float = 600.0
+    #: Optional per-solve timeout on the shared pool: an individual
+    #: solve stuck past this long gets its worker terminated and rides
+    #: the supervisor's retry-then-degrade path.
+    solve_timeout_s: Optional[float] = None
+    #: Directory for crash-safe state (op journal, snapshots, frozen
+    #: session spool).  ``None`` keeps the daemon stateless: eviction
+    #: freezes to memory and a crash loses all sessions.
+    state_dir: Optional[str] = None
+    #: Journal records between ``fsync`` calls (writes are flushed per
+    #: record regardless, so only a machine crash can lose a batch).
+    journal_fsync_every: int = 8
+    #: Journal records between snapshot compactions.
+    snapshot_every: int = 256
+    #: Calibrated difficulty cost constant (seconds per difficulty
+    #: unit) applied to every session this daemon opens — how a
+    #: ``fdrepair calibrate`` fit is deployed without monkeypatching.
+    unit_cost_s: Optional[float] = None
 
 
 @dataclass
 class SessionEntry:
     """One registered session: live object or frozen snapshot.
 
-    Exactly one of ``live`` / ``frozen`` is set.  ``lock`` sequences the
-    session's ops (acquired on the event loop only); ``last_used`` is
-    the manager's logical clock reading for LRU eviction; ``bytes`` the
-    current accounting estimate charged to ``tenant``.
+    A frozen session's pickled state lives in the manager's
+    :class:`~repro.state.SessionStore` under ``session_key``;
+    ``frozen``/``frozen_bytes`` record that it is there and what it
+    costs.  ``lock`` sequences the session's ops (acquired on the event
+    loop only); ``last_used`` is the manager's logical clock reading
+    for LRU eviction; ``bytes`` the current accounting estimate charged
+    to ``tenant``.
     """
 
     tenant: str
     name: str
     session_key: str
     live: Optional[RepairSession] = None
-    frozen: Optional[bytes] = None
+    frozen: bool = False
+    frozen_bytes: int = 0
     bytes: int = 0
     last_used: int = 0
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
@@ -123,6 +157,7 @@ _OPEN_OPTIONS = (
     "exact_threshold",
     "exact_budget_s",
     "node_limit",
+    "unit_cost_s",
 )
 
 
@@ -140,12 +175,14 @@ class SessionManager:
         self,
         config: Optional[ServerConfig] = None,
         recorder: Optional["_obs.Recorder"] = None,
+        faults: Optional["_faults.FaultPlan"] = None,
     ) -> None:
         self.config = config or ServerConfig()
         # A sink-less recorder aggregates op latencies and per-tenant
         # counters in memory so ``stats`` can always report them; pass a
         # sink-backed recorder (``--trace``) to also stream a JSONL log.
         self.recorder = recorder if recorder is not None else _obs.Recorder()
+        self._faults = _faults.resolve(faults)
         self._lock = threading.Lock()
         self._entries: Dict[Tuple[str, str], SessionEntry] = {}
         self._tenant_bytes: Dict[str, int] = {}
@@ -161,7 +198,23 @@ class SessionManager:
         self.rehydrations = 0
         self.ops = 0
         self.errors = 0
+        self.snapshots = 0
+        self.recovered_sessions = 0
+        self.replayed_ops = 0
         self._closed = False
+        self._replaying = False
+        # Crash-safe state: a disk-backed store + op journal when the
+        # config names a state dir, PR-6 in-memory semantics otherwise.
+        self._journal: Optional[OpJournal] = None
+        self._snapshot_path: Optional[str] = None
+        if self.config.state_dir:
+            state_dir = self.config.state_dir
+            os.makedirs(state_dir, exist_ok=True)
+            self.store = DiskSessionStore(os.path.join(state_dir, SPOOL_DIR))
+            self._snapshot_path = os.path.join(state_dir, SNAPSHOT_NAME)
+            self._recover(os.path.join(state_dir, JOURNAL_NAME))
+        else:
+            self.store = MemorySessionStore()
 
     # -- pool lifecycle (owned here, never by a session) ---------------
     def _shared_pool(self):
@@ -174,7 +227,12 @@ class SessionManager:
                 self._pool_started = True
                 from .exec import PersistentWorkerPool
 
-                pool = PersistentWorkerPool(self.config.workers)
+                pool = PersistentWorkerPool(
+                    self.config.workers,
+                    solve_timeout_s=self.config.solve_timeout_s,
+                    faults=self._faults,
+                    recorder=self.recorder,
+                )
                 if pool.start():
                     self._pool = pool
             return self._pool
@@ -245,6 +303,7 @@ class SessionManager:
             entry.live = session
             self._touch(entry)
             self._account(entry)
+        self._journal_op("open", entry.tenant, entry.name, payload)
         return {"opened": True, **session.status().as_dict()}
 
     def _build_session(
@@ -260,6 +319,11 @@ class SessionManager:
             k: payload[k] for k in _OPEN_OPTIONS if payload.get(k) is not None
         }
         options["pool_timeout"] = self.config.pool_timeout
+        # The daemon's calibrated cost constant applies to every session
+        # that does not pin its own (per-open payload wins — recovery
+        # replays the payload, so the choice survives a restart).
+        if self.config.unit_cost_s is not None:
+            options.setdefault("unit_cost_s", self.config.unit_cost_s)
         try:
             fds = parse_fd_set(fds_text)
             table = Table(
@@ -305,27 +369,47 @@ class SessionManager:
 
         Caller must hold ``entry.lock`` (or be otherwise single-threaded
         for this entry); the registry lock is only taken for the brief
-        bookkeeping moments, never across a solve.
+        bookkeeping moments, never across a solve.  Successful mutating
+        ops are appended to the op journal *before* this returns (i.e.
+        before the client sees the acknowledgement), so an acknowledged
+        op is always recoverable.
         """
+        self._faults.fire("server.op", op=op, tenant=entry.tenant,
+                          session=entry.name)
         session = self._ensure_live(entry)
         self.ops += 1
         fields = apply_session_op(session, op, payload)
+        self._journal_op(op, entry.tenant, entry.name, payload)
         with self._lock:
             self._touch(entry)
             self._account(entry)
         return fields
 
+    def _journal_op(
+        self, op: str, tenant: str, name: str, payload: Mapping[str, object]
+    ) -> None:
+        if (self._journal is None or self._replaying
+                or op not in JOURNALED_OPS):
+            return
+        self._journal.append(op, tenant, name, payload)
+
     def _ensure_live(self, entry: SessionEntry) -> RepairSession:
         if entry.live is not None:
             return entry.live
-        if entry.frozen is None:
+        if not entry.frozen:
             # The entry was closed — or its ``open`` failed — while
             # this op waited on the session lock.
             raise ProtocolError(
                 f"session {entry.name!r} for tenant {entry.tenant!r} "
                 "is not open"
             )
-        state = pickle.loads(entry.frozen)
+        blob = self.store.get(entry.session_key)
+        if blob is None:
+            raise ProtocolError(
+                f"frozen state for session {entry.name!r} of tenant "
+                f"{entry.tenant!r} is missing from the session store"
+            )
+        state = pickle.loads(blob)
         session = RepairSession.restore(
             state,
             pool=self._shared_pool(),
@@ -334,7 +418,9 @@ class SessionManager:
             recorder=self.recorder,
         )
         entry.live = session
-        entry.frozen = None
+        entry.frozen = False
+        entry.frozen_bytes = 0
+        self.store.pop(entry.session_key)
         with self._lock:
             self.rehydrations += 1
             self._tenant_rehydrations[entry.tenant] = (
@@ -353,7 +439,11 @@ class SessionManager:
         if entry.live is not None:
             entry.live.close()
             entry.live = None
-        entry.frozen = None
+        if entry.frozen:
+            self.store.pop(entry.session_key)
+            entry.frozen = False
+            entry.frozen_bytes = 0
+        self._journal_op("close", tenant, name, {})
         return {"closed": True}
 
     # -- accounting & eviction ----------------------------------------
@@ -364,8 +454,8 @@ class SessionManager:
     def _account(self, entry: SessionEntry) -> None:
         if entry.live is not None:
             self._charge(entry, entry.live.approx_bytes())
-        elif entry.frozen is not None:
-            self._charge(entry, len(entry.frozen))
+        elif entry.frozen:
+            self._charge(entry, entry.frozen_bytes)
 
     def _charge(self, entry: SessionEntry, new_bytes: int) -> None:
         delta = new_bytes - entry.bytes
@@ -413,7 +503,8 @@ class SessionManager:
         blob = pickle.dumps(session.export_state(), protocol=4)
         session.close()  # detaches the pool mirror namespace
         entry.live = None
-        entry.frozen = blob
+        entry.frozen = True
+        entry.frozen_bytes = self.store.put(entry.session_key, blob)
         with self._lock:
             self.evictions += 1
             self._tenant_evictions[entry.tenant] = (
@@ -422,6 +513,130 @@ class SessionManager:
             self._account(entry)
         if self.recorder.enabled:
             self.recorder.count("server.evictions", tenant=entry.tenant)
+
+    # -- crash safety: recovery & snapshot compaction -----------------
+    def _recover(self, journal_path: str) -> None:
+        """Rebuild daemon state from the snapshot plus the journal tail.
+
+        Runs once, single-threaded, before the manager serves anything.
+        Snapshot sessions come back *frozen* (rehydrated lazily on
+        first op — restart cost stays flat in session count); journal
+        records past the snapshot's sequence are re-executed through
+        the ordinary op path, which is byte-identical to the original
+        execution because sessions are deterministic.  Ends with a
+        fresh compaction, so a crash loop never replays the same tail
+        twice.
+        """
+        with self.recorder.span("server.recover"):
+            snapshot = load_snapshot(self._snapshot_path)
+            base_seq = 0
+            if snapshot:
+                base_seq = int(snapshot.get("journal_seq", 0))
+                for item in snapshot.get("sessions", ()):
+                    tenant = str(item["tenant"])
+                    name = str(item["name"])
+                    entry = SessionEntry(
+                        tenant=tenant, name=name,
+                        session_key=f"{tenant}/{name}",
+                    )
+                    entry.frozen = True
+                    entry.frozen_bytes = self.store.put(
+                        entry.session_key, item["blob"]
+                    )
+                    self._entries[(tenant, name)] = entry
+                    with self._lock:
+                        self._touch(entry)
+                        self._account(entry)
+                cached = snapshot.get("solutions")
+                if cached:
+                    # Warm the shared cache: the recovered daemon's
+                    # first repairs are hits, not re-solves.
+                    self.solutions.load_entries(cached)
+            records, last_seq = OpJournal.load(journal_path)
+            self._journal = OpJournal(
+                journal_path,
+                fsync_every=self.config.journal_fsync_every,
+                start_seq=max(base_seq, last_seq),
+                faults=self._faults,
+            )
+            replayed = 0
+            self._replaying = True
+            try:
+                for record in records:
+                    if int(record.get("seq", 0)) <= base_seq:
+                        continue
+                    op = str(record.get("op"))
+                    tenant = str(record.get("tenant") or "")
+                    name = str(record.get("session") or "")
+                    payload = record.get("payload") or {}
+                    try:
+                        if op == "open":
+                            self.open(tenant, name, payload)
+                        elif op == "close":
+                            self.close(tenant, name)
+                        else:
+                            self.run_op(self.entry(tenant, name), op, payload)
+                    except (ProtocolError, RuntimeError):
+                        self.errors += 1
+                    replayed += 1
+            finally:
+                self._replaying = False
+            self.recovered_sessions = len(self._entries)
+            self.replayed_ops = replayed
+            if self.recorder.enabled:
+                self.recorder.count(
+                    "server.recovered_sessions", self.recovered_sessions
+                )
+                self.recorder.count("server.replayed_ops", replayed)
+            if records or snapshot:
+                self.compact(force=True)
+
+    def maybe_compact(self) -> bool:
+        """Snapshot-compact when the journal has grown enough.  Called
+        from the event-loop thread between requests (same discipline as
+        eviction): compaction proceeds only when no session is mid-op,
+        so every ``export_state`` it pickles is quiescent."""
+        journal = self._journal
+        if (journal is None
+                or journal.appends_since_snapshot < self.config.snapshot_every):
+            return False
+        return self.compact()
+
+    def compact(self, force: bool = False) -> bool:
+        """Write a full snapshot (every session's state + the shared
+        solution cache) stamped with the journal sequence it covers,
+        then truncate the journal.  Refuses while any session is mid-op
+        unless *force* (callers forcing must guarantee quiescence:
+        recovery and shutdown do)."""
+        journal = self._journal
+        if journal is None:
+            return False
+        with self._lock:
+            entries = list(self._entries.values())
+        if not force and any(e.lock.locked() for e in entries):
+            return False
+        sessions = []
+        for entry in entries:
+            if entry.live is not None:
+                blob = pickle.dumps(entry.live.export_state(), protocol=4)
+            else:
+                blob = self.store.get(entry.session_key)
+                if blob is None:
+                    continue
+            sessions.append(
+                {"tenant": entry.tenant, "name": entry.name, "blob": blob}
+            )
+        snapshot = {
+            "version": 1,
+            "journal_seq": journal.seq,
+            "sessions": sessions,
+            "solutions": self.solutions.export_entries(),
+        }
+        journal.compact(self._snapshot_path, snapshot)
+        self.snapshots += 1
+        if self.recorder.enabled:
+            self.recorder.count("server.snapshots")
+        return True
 
     # -- introspection & shutdown -------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -465,7 +680,21 @@ class SessionManager:
             "pool_workers": (
                 self._pool.worker_count if self._pool is not None else 0
             ),
+            "snapshots": self.snapshots,
+            "recovered_sessions": self.recovered_sessions,
+            "replayed_ops": self.replayed_ops,
         }
+        if self._pool is not None:
+            out["pool_supervision"] = self._pool.supervision_stats()
+        journal = self._journal
+        if journal is not None:
+            out["journal"] = {
+                "path": journal.path,
+                "seq": journal.seq,
+                "appends": journal.appends,
+                "fsyncs": journal.fsyncs,
+                "since_snapshot": journal.appends_since_snapshot,
+            }
         if self.recorder.enabled:
             out["op_latency_s"] = {
                 name: hist
@@ -478,15 +707,23 @@ class SessionManager:
         return out
 
     def shutdown(self) -> None:
-        """Close every session and the shared pool; idempotent."""
+        """Close every session and the shared pool; idempotent.
+
+        With a state dir, shutdown first takes a final snapshot (the
+        caller has drained in-flight ops, so every session is
+        quiescent) — a restarted daemon then recovers instantly from
+        the snapshot with an empty journal tail.
+        """
         with self._lock:
             if self._closed:
-                entries: List[SessionEntry] = []
-            else:
-                self._closed = True
-                entries = list(self._entries.values())
-                self._entries.clear()
-                self._tenant_bytes.clear()
+                return
+            self._closed = True
+        if self._journal is not None:
+            self.compact(force=True)
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._tenant_bytes.clear()
         for entry in entries:
             if entry.live is not None:
                 # The pool is about to close wholesale; skip per-session
@@ -494,11 +731,14 @@ class SessionManager:
                 entry.live._pool = None
                 entry.live.close()
                 entry.live = None
-            entry.frozen = None
+            entry.frozen = False
+        self.store.clear()
         pool = self._pool
         self._pool = None
         if pool is not None:
             pool.close()
+        if self._journal is not None:
+            self._journal.close()
         self.recorder.close()
 
 
@@ -522,6 +762,26 @@ class RepairServer:
         )
         self._shutdown = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+
+    # -- shutdown ------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: stop accepting new request lines,
+        let in-flight ops finish, flush the journal/trace, exit clean.
+        Safe to call from a signal handler on the event loop."""
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to :meth:`request_shutdown` so a
+        supervisor's stop (or Ctrl-C) drains instead of killing.
+        Falls back silently where the loop doesn't support signal
+        handlers (non-main thread, Windows)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
 
     # -- request handling ---------------------------------------------
     async def handle_line(self, line: str, write) -> None:
@@ -565,6 +825,7 @@ class RepairServer:
                         req.payload,
                     )
                 self.manager.evict_to_limit()
+                self.manager.maybe_compact()
                 await write(req.reply(**fields))
                 return
             entry = self.manager.entry(req.tenant, req.session)
@@ -581,6 +842,7 @@ class RepairServer:
                         req.payload,
                     )
             self.manager.evict_to_limit()
+            self.manager.maybe_compact()
             await write(req.reply(**fields))
         except ProtocolError as exc:
             ok = False
@@ -629,11 +891,30 @@ class RepairServer:
                 writer.write(encode(obj).encode("utf-8"))
                 await writer.drain()
 
+        me = asyncio.current_task()
+        if me is not None:
+            self._conn_tasks.add(me)
         tasks: List[asyncio.Task] = []
+        stop = asyncio.ensure_future(self._shutdown.wait())
         try:
             while not self._shutdown.is_set():
+                read = asyncio.ensure_future(reader.readline())
+                # Race the read against shutdown so a drain (signal or
+                # ``shutdown`` op) interrupts an idle connection instead
+                # of waiting for its next line.
+                await asyncio.wait(
+                    {read, stop}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    read.cancel()
+                    try:
+                        await read
+                    except (asyncio.CancelledError, ConnectionError,
+                            asyncio.IncompleteReadError):
+                        pass
+                    break
                 try:
-                    line = await reader.readline()
+                    line = read.result()
                 except (ConnectionError, asyncio.IncompleteReadError):
                     break
                 if not line:
@@ -646,13 +927,18 @@ class RepairServer:
                 )
                 tasks = [t for t in tasks if not t.done()]
             if tasks:
+                # Drain: in-flight ops finish and their responses ship
+                # before the connection closes.
                 await asyncio.gather(*tasks, return_exceptions=True)
         finally:
+            stop.cancel()
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+            if me is not None:
+                self._conn_tasks.discard(me)
 
     async def serve_tcp(
         self, host: str = "127.0.0.1", port: int = 0
@@ -665,23 +951,46 @@ class RepairServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def wait_closed(self) -> None:
-        """Block until a ``shutdown`` op arrives, then tear down."""
+        """Block until a ``shutdown`` op or signal arrives, then drain:
+        stop accepting, finish in-flight connections, flush state."""
         await self._shutdown.wait()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Connection handlers observe the shutdown event, finish their
+        # in-flight ops, and deregister themselves; wait for all of
+        # them rather than trusting the listener's close semantics.
+        pending = [t for t in self._conn_tasks if not t.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
         await self.aclose()
 
     async def serve_stdio(self) -> None:
         """Serve the protocol over stdin/stdout until EOF or shutdown.
 
-        Lines are read on the executor (portable — no pipe transports),
-        responses written synchronously under a lock; per-session
-        concurrency works exactly as over TCP.
+        Lines are read by a *daemon* thread feeding an asyncio queue
+        (portable — no pipe transports — and a drain never hangs on a
+        thread blocked in ``readline``); responses are written
+        synchronously under a lock; per-session concurrency works
+        exactly as over TCP.
         """
         loop = asyncio.get_running_loop()
         wlock = asyncio.Lock()
+        inbox: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+
+        def _reader() -> None:
+            while True:
+                line = sys.stdin.readline()
+                loop.call_soon_threadsafe(
+                    inbox.put_nowait, line if line else None
+                )
+                if not line:
+                    break
+
+        threading.Thread(
+            target=_reader, name="repro-stdin", daemon=True
+        ).start()
 
         async def write(obj) -> None:
             async with wlock:
@@ -689,15 +998,24 @@ class RepairServer:
                 sys.stdout.flush()
 
         tasks: List[asyncio.Task] = []
+        stop = asyncio.ensure_future(self._shutdown.wait())
         while not self._shutdown.is_set():
-            line = await loop.run_in_executor(None, sys.stdin.readline)
-            if not line:
+            get = asyncio.ensure_future(inbox.get())
+            await asyncio.wait(
+                {get, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not get.done():
+                get.cancel()
+                break
+            line = get.result()
+            if line is None:
                 break
             text = line.strip()
             if not text:
                 continue
             tasks.append(asyncio.create_task(self.handle_line(text, write)))
             tasks = [t for t in tasks if not t.done()]
+        stop.cancel()
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         await self.aclose()

@@ -121,6 +121,25 @@ class SolutionCache:
         with self._lock:
             self._data.clear()
 
+    def export_entries(self) -> Dict:
+        """A consistent copy of the cache contents, LRU order preserved
+        — what the crash-safe daemon embeds in its snapshots so a
+        recovered daemon's first repairs are warm hits."""
+        with self._lock:
+            return dict(self._data)
+
+    def load_entries(self, data: Mapping) -> None:
+        """Bulk-restore exported entries (recovery path); existing
+        entries win on key collision, and the size bound still holds."""
+        with self._lock:
+            for key, entry in data.items():
+                if key not in self._data:
+                    self._data[key] = entry
+            if self._max is not None:
+                while len(self._data) > self._max:
+                    self._data.pop(next(iter(self._data)))
+                    self.evictions += 1
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -297,6 +316,7 @@ class RepairSession:
         exact_threshold: Optional[int] = None,
         exact_budget_s: Optional[float] = None,
         per_component_budget_s: Optional[float] = None,
+        unit_cost_s: Optional[float] = None,
         parallel: Optional[int] = None,
         node_limit: Optional[int] = None,
         max_cache_entries: Optional[int] = 10_000,
@@ -313,11 +333,12 @@ class RepairSession:
         self._guarantee = guarantee
         defaults = resolve_plan_defaults(
             exact_threshold, node_limit, exact_budget_s,
-            per_component_budget_s,
+            per_component_budget_s, unit_cost_s,
         )
         self._threshold = defaults.threshold
         self._exact_budget_s = defaults.exact_budget_s
         self._per_component_budget_s = defaults.per_component_budget_s
+        self._unit_cost_s = defaults.unit_cost_s
         self._parallel = parallel
         self._node_limit = defaults.node_limit
         self._max_cache_entries = max_cache_entries
@@ -359,6 +380,7 @@ class RepairSession:
                 self._node_limit,
                 self._exact_budget_s,
                 self._per_component_budget_s,
+                self._unit_cost_s,
             )
             if solutions is not None
             else None
@@ -912,6 +934,7 @@ class RepairSession:
                     self._exact_budget_s,
                     self._per_component_budget_s,
                     self._node_limit,
+                    self._unit_cost_s,
                 )
             methods = [plan.method for plan in plans]
             kept_lists: List[Optional[Tuple[TupleId, ...]]] = (
@@ -1070,6 +1093,7 @@ class RepairSession:
                 "exact_threshold": self._threshold,
                 "exact_budget_s": self._exact_budget_s,
                 "per_component_budget_s": self._per_component_budget_s,
+                "unit_cost_s": self._unit_cost_s,
                 "parallel": self._parallel,
                 "node_limit": self._node_limit,
                 "max_cache_entries": self._max_cache_entries,
@@ -1113,9 +1137,14 @@ class RepairSession:
             **state["options"],
         )
         session._used_ids |= set(state["used_ids"])
-        session._next_auto_id = max(
-            session._next_auto_id, int(state["next_auto_id"])
-        )
+        # Adopt the exported allocator reading *exactly* (the
+        # constructor recomputes a floor from the rows, which can sit
+        # above a live session that only ever saw explicit ids).  Safe:
+        # allocation skips ``_used_ids``, which the union above makes a
+        # superset of every id this session ever issued — and exactness
+        # keeps a rehydrated session's future auto ids byte-identical
+        # to one that was never evicted.
+        session._next_auto_id = int(state["next_auto_id"])
         if solutions is None:
             session._solutions.update(state["solutions"])
         session.stats = SessionStats(**state["stats"])

@@ -1,0 +1,118 @@
+"""The deterministic fault-injection harness (``repro.faults``).
+
+These tests pin the *harness* semantics — hit counting, matching,
+activation windows, env-var round-trips — so the chaos tests built on
+top of it (supervised pool healing, daemon crash recovery) rest on a
+machinery whose behaviour is itself pinned.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULTS_ENV,
+    NULL_PLAN,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    resolve,
+)
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("no.such.site", "raise")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("worker.solve", "explode")
+
+    def test_spec_round_trip(self):
+        rule = FaultRule(
+            "worker.solve", "raise", at=3, times=2, delay_s=0.5,
+            match={"worker": 1},
+        )
+        clone = FaultRule.from_spec(rule.to_spec())
+        assert clone.to_spec() == rule.to_spec()
+
+
+class TestFaultPlan:
+    def test_null_plan_never_fires(self):
+        assert not NULL_PLAN.enabled
+        assert NULL_PLAN.fire("worker.solve", worker=0) is None
+
+    def test_at_and_times_define_the_activation_window(self):
+        plan = FaultPlan([FaultRule("server.op", "raise", at=2, times=2)])
+        # Hit 1: before the window.  Hits 2 and 3: inside.  Hit 4: after.
+        assert plan.fire("server.op", op="append") is None
+        with pytest.raises(FaultInjected):
+            plan.fire("server.op", op="append")
+        with pytest.raises(FaultInjected):
+            plan.fire("server.op", op="append")
+        assert plan.fire("server.op", op="append") is None
+
+    def test_match_filters_context_and_counts_only_matches(self):
+        plan = FaultPlan(
+            [FaultRule("worker.solve", "raise", match={"worker": 1})]
+        )
+        # Non-matching context never counts toward the rule's window.
+        assert plan.fire("worker.solve", worker=0) is None
+        assert plan.fire("worker.solve", worker=0) is None
+        with pytest.raises(FaultInjected):
+            plan.fire("worker.solve", worker=1)
+
+    def test_generation_match_spares_the_respawn(self):
+        """The chaos idiom: kill generation 0 only, so the replacement
+        (generation 1) of the same worker slot survives."""
+        plan = FaultPlan(
+            [FaultRule("worker.solve", "raise",
+                       match={"worker": 0, "generation": 0})]
+        )
+        with pytest.raises(FaultInjected):
+            plan.fire("worker.solve", worker=0, generation=0)
+        assert plan.fire("worker.solve", worker=0, generation=1) is None
+
+    def test_drop_action_returns_the_verdict(self):
+        plan = FaultPlan([FaultRule("pool.dispatch", "drop")])
+        assert plan.fire("pool.dispatch", worker=0, seq=1) == "drop"
+        assert plan.fire("pool.dispatch", worker=0, seq=2) is None
+
+    def test_plan_spec_round_trip_through_env(self, monkeypatch):
+        plan = FaultPlan(
+            [
+                FaultRule("worker.solve", "kill", match={"worker": 0}),
+                FaultRule("journal.append.before", "raise", at=2),
+            ]
+        )
+        monkeypatch.setenv(FAULTS_ENV, json.dumps(plan.to_spec()))
+        loaded = FaultPlan.from_env()
+        assert loaded.to_spec() == plan.to_spec()
+        # resolve(None) picks the env plan up; an explicit plan wins.
+        assert resolve(None).to_spec() == plan.to_spec()
+        assert resolve(NULL_PLAN) is NULL_PLAN
+
+    def test_resolve_without_env_is_the_null_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert resolve(None) is NULL_PLAN
+
+    def test_hits_are_counted_per_rule_not_shared(self):
+        plan = FaultPlan(
+            [
+                FaultRule("server.op", "raise", at=2,
+                          match={"op": "append"}),
+                FaultRule("server.op", "raise", match={"op": "delete"}),
+            ]
+        )
+        assert plan.fire("server.op", op="append") is None
+        with pytest.raises(FaultInjected):
+            plan.fire("server.op", op="delete")
+        with pytest.raises(FaultInjected):
+            plan.fire("server.op", op="append")
+
+    def test_sites_registry_documents_context_keys(self):
+        for site, keys in faults.SITES.items():
+            assert isinstance(site, str) and site
+            assert all(isinstance(k, str) for k in keys)

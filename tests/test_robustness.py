@@ -156,3 +156,127 @@ class TestPipelineEdgeCases:
         assert report.conflicting_tuples == 6
         result = clean(table, fds)
         assert result.distance == 5.0  # keep exactly one
+
+
+# ---------------------------------------------------------------------------
+# Chaos identity: worker kills + daemon restarts never change results
+# ---------------------------------------------------------------------------
+
+def _chaos_workload(seed, batches=3, rows_per_batch=5):
+    """Deterministic mixed append/delete script from one seed."""
+    import random
+
+    rng = random.Random(seed)
+    script = []
+    live = []
+    next_id = 1
+    for _ in range(batches):
+        rows = [
+            [rng.choice("ab"), rng.choice("xy"), rng.choice("pq")]
+            for _ in range(rows_per_batch)
+        ]
+        ids = list(range(next_id, next_id + len(rows)))
+        next_id += len(rows)
+        live.extend(ids)
+        batch = [("append", {"rows": rows, "ids": ids})]
+        if len(live) > 6 and rng.random() < 0.6:
+            victims = rng.sample(live, 2)
+            for v in victims:
+                live.remove(v)
+            batch.append(("delete", {"ids": victims, "repair": False}))
+        batch.append(("repair", {}))
+        script.append(batch)
+    return script
+
+
+def test_chaos_identity_under_worker_kills_and_daemon_restarts(tmp_path):
+    """The tentpole acceptance property, end to end: a pooled daemon
+    whose workers are killed mid-run (``repro.faults``) and whose
+    process is hard-restarted between batches (crash-safe journal
+    recovery) acknowledges op for op exactly what an isolated serial
+    session computes — fault tolerance is invisible in the results.
+
+    Hypothesis drives the chaos coordinates (workload seed, which solve
+    kills which worker, where the restarts land); every failing example
+    replays deterministically because the faults are plan-driven, not
+    scheduler races.
+    """
+    pytest.importorskip("hypothesis")
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    from repro.core.table import Table as _Table
+    from repro.faults import FaultPlan
+    from repro.protocol import apply_session_op
+    from repro.server import ServerConfig, SessionManager
+    from repro.session import RepairSession
+    from repro.exec import PersistentWorkerPool
+
+    probe = PersistentWorkerPool(1, ("A", "B", "C"), FDSet("A -> B"))
+    try:
+        if not probe.start():
+            pytest.skip("subprocess support unavailable")
+    finally:
+        probe.close()
+
+    fds_text = "A -> B"
+    state_root = [0]
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**16),
+        kill_solve=st.integers(1, 5),
+        restarts=st.sets(st.integers(0, 2), max_size=2),
+    )
+    def run(seed, kill_solve, restarts):
+        script = _chaos_workload(seed)
+
+        # Oracle: one isolated serial session, no pool, no faults.
+        oracle = RepairSession(
+            _Table(("A", "B", "C"), {}), FDSet(fds_text)
+        )
+        expected = [
+            apply_session_op(oracle, op, dict(payload))
+            for batch in script
+            for op, payload in batch
+        ]
+
+        state_root[0] += 1
+        state = str(tmp_path / f"state-{state_root[0]}")
+        spec = [{"site": "worker.solve", "action": "kill",
+                 "at": kill_solve,
+                 "match": {"worker": 0, "generation": 0}}]
+
+        def fresh_manager():
+            return SessionManager(
+                ServerConfig(workers=2, state_dir=state),
+                faults=FaultPlan.from_spec(spec),
+            )
+
+        manager = fresh_manager()
+        manager.open(
+            "t", "s", {"schema": ["A", "B", "C"], "fds": fds_text}
+        )
+        got = []
+        try:
+            for bi, batch in enumerate(script):
+                if bi in restarts and bi > 0:
+                    # Hard crash: abandon the journal mid-stream (the
+                    # pool is closed only to reap subprocesses), then
+                    # recover on the same state dir.
+                    if manager._pool is not None:
+                        manager._pool.close()
+                    manager = fresh_manager()
+                entry = manager.entry("t", "s")
+                for op, payload in batch:
+                    got.append(manager.run_op(entry, op, dict(payload)))
+        finally:
+            manager.shutdown()
+        assert got == expected
+        oracle.close()
+
+    run()

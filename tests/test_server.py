@@ -567,9 +567,9 @@ async def _rpc(reader, writer, obj):
 
 def test_killed_worker_fails_fast_and_repair_survives():
     """A worker killed mid-stream must not stall ``solve`` for the full
-    timeout: the collector reaps the corpse within its poll interval,
-    the call raises, and the session's serial fallback still produces a
-    byte-identical repair — promptly."""
+    timeout: the collector reaps the corpses within its poll interval,
+    the supervisor respawns them (or the serial fallback kicks in), and
+    the session still produces a byte-identical repair — promptly."""
     if not _pool_available():
         pytest.skip("subprocess support unavailable")
     # Disjoint value spaces per group → several conflict components, so
@@ -605,11 +605,14 @@ def test_killed_worker_fails_fast_and_repair_survives():
         session.close()
 
 
-def test_pool_solve_raises_promptly_when_workers_die():
+def test_pool_solve_raises_promptly_when_workers_die_unsupervised():
+    """``supervise=False`` keeps the PR-6 fail-fast contract: all
+    workers dead → ``solve`` raises within the liveness sweep interval
+    and the pool reports broken, so callers can drop to serial."""
     if not _pool_available():
         pytest.skip("subprocess support unavailable")
     fds = FDSet("A -> B")
-    pool = PersistentWorkerPool(2, SCHEMA, fds)
+    pool = PersistentWorkerPool(2, SCHEMA, fds, supervise=False)
     assert pool.start()
     try:
         rows = {i: ("a", str(i), "p") for i in range(1, 11)}
@@ -624,6 +627,54 @@ def test_pool_solve_raises_promptly_when_workers_die():
             pool.solve([(tuple(rows), "exact")], timeout=120.0)
         assert time.monotonic() - start < 10.0
         assert not pool.alive
+    finally:
+        pool.close()
+
+
+def test_pool_supervisor_heals_worker_death_mid_batch():
+    """The acceptance path, driven through ``repro.faults``: a worker
+    killed mid-batch no longer raises — the supervisor retries its
+    in-flight solves, respawns the slot with the mirror replayed, and
+    the batch result is byte-identical to a no-fault run."""
+    if not _pool_available():
+        pytest.skip("subprocess support unavailable")
+    from repro.faults import FaultPlan, FaultRule
+
+    fds = FDSet("A -> B")
+    rows = {i: ("a" if i % 2 else "b", str(i), "p") for i in range(1, 13)}
+    weights = {i: 1.0 for i in rows}
+    tasks = [(tuple(rows), "exact")] * 4
+
+    with PersistentWorkerPool(2, SCHEMA, fds) as baseline:
+        if not baseline.alive:
+            pytest.skip("pool did not start")
+        assert baseline.broadcast(("reset", rows, weights))
+        expected = [(kept, method) for kept, method, _secs
+                    in baseline.solve(tasks, timeout=60.0)]
+
+    plan = FaultPlan([FaultRule("worker.solve", "kill",
+                                match={"worker": 0, "generation": 0})])
+    pool = PersistentWorkerPool(2, SCHEMA, fds, faults=plan,
+                                respawn_backoff_s=0.01)
+    assert pool.start()
+    try:
+        assert pool.broadcast(("reset", rows, weights))
+        got = [(kept, method) for kept, method, _secs
+               in pool.solve(tasks, timeout=60.0)]
+        assert got == expected
+        deadline = time.monotonic() + 10.0
+        while (pool.supervision_stats()["respawns"] < 1
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        counters = pool.supervision_stats()
+        assert counters["worker_deaths"] == 1
+        assert counters["retries"] >= 1
+        assert counters["respawns"] == 1
+        assert counters["degraded"] == 0
+        assert pool.live_workers() == 2
+        # The replacement's replayed mirror serves solves byte-identically.
+        assert ([(kept, method) for kept, method, _secs
+                 in pool.solve(tasks, timeout=60.0)] == expected)
     finally:
         pool.close()
 
@@ -754,3 +805,298 @@ def test_cli_stream_strict_restores_abort(tmp_path, capsys):
     # Strict mode aborts at the first bad batch: nothing later ran.
     assert "batch 6" not in captured.out
     assert not out.exists()
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe state: the op journal, snapshots, and recovery
+# ---------------------------------------------------------------------------
+
+def _export_blobs(manager):
+    """Canonical per-key serialisation of every session's exported
+    state.  Per-key (not whole-dict) pickling is deliberate: whole-dict
+    bytes vary with pickle's identity memoisation of interned strings,
+    which is not a semantic difference."""
+    out = {}
+    for key in sorted(manager._entries):
+        entry = manager._entries[key]
+        state = manager._ensure_live(entry).export_state()
+        out[key] = {
+            # Sets iterate in insertion-history order, which is not
+            # observable (the session only tests membership) — compare
+            # them canonically.
+            k: pickle.dumps(sorted(v, key=repr) if isinstance(v, set) else v)
+            for k, v in state.items()
+        }
+    return out
+
+
+def _crash_ops():
+    return [
+        ("append", {"rows": [["a", "x", "p"], ["a", "y", "p"],
+                             ["b", "x", "q"]], "ids": [1, 2, 3]}),
+        ("repair", {}),
+        ("append", {"rows": [["b", "z", "q"]], "ids": [4],
+                    "repair": False}),
+        ("delete", {"ids": [2], "repair": False}),
+        ("repair", {}),
+    ]
+
+
+def _drive(manager, tenants=("alpha", "beta")):
+    for tenant in tenants:
+        manager.open(
+            tenant, "tbl", {"schema": list(SCHEMA), "fds": "A -> B"}
+        )
+        entry = manager.entry(tenant, "tbl")
+        for op, payload in _crash_ops():
+            manager.run_op(entry, op, dict(payload))
+
+
+def _oracle_from_journal(state_dir):
+    """The recovery contract, stated independently: a stateless manager
+    replaying the journal records in acknowledged order."""
+    import os
+
+    from repro.state import JOURNAL_NAME, OpJournal
+
+    records, _ = OpJournal.load(os.path.join(state_dir, JOURNAL_NAME))
+    oracle = SessionManager(ServerConfig(workers=0))
+    for record in records:
+        op, tenant, name = record["op"], record["tenant"], record["session"]
+        payload = record.get("payload") or {}
+        if op == "open":
+            oracle.open(tenant, name, payload)
+        elif op == "close":
+            oracle.close(tenant, name)
+        else:
+            oracle.run_op(oracle.entry(tenant, name), op, payload)
+    return oracle
+
+
+class TestCrashRecovery:
+    def test_state_dir_restart_recovers_sessions_byte_identically(
+        self, tmp_path
+    ):
+        """The acceptance path: hard-kill the daemon (journal handle
+        simply abandoned, no shutdown), restart on the same state dir,
+        and every tenant session is back byte-identically."""
+        state = str(tmp_path / "state")
+        m1 = SessionManager(ServerConfig(workers=0, state_dir=state))
+        _drive(m1)
+        expected = _export_blobs(m1)
+        assert m1.stats()["journal"]["seq"] == 12  # 2 × (open + 5 ops)
+        del m1  # crash: no shutdown, no final snapshot
+
+        m2 = SessionManager(ServerConfig(workers=0, state_dir=state))
+        stats = m2.stats()
+        assert stats["recovered_sessions"] == 2
+        assert stats["replayed_ops"] == 12
+        assert _export_blobs(m2) == expected
+        # Recovered sessions keep working (and keep journaling).
+        entry = m2.entry("alpha", "tbl")
+        reply = m2.run_op(entry, "repair", {})
+        assert reply["distance"] > 0
+        m2.shutdown()
+
+    def test_shutdown_snapshot_makes_restart_replay_free(self, tmp_path):
+        """Clean shutdown compacts; the next start recovers from the
+        snapshot alone — zero ops replayed, sessions byte-identical,
+        and the warm solution cache rides along."""
+        state = str(tmp_path / "state")
+        m1 = SessionManager(ServerConfig(workers=0, state_dir=state))
+        _drive(m1)
+        expected = _export_blobs(m1)
+        pre_hits = m1.stats()["cache_hits"]
+        m1.shutdown()
+
+        m2 = SessionManager(ServerConfig(workers=0, state_dir=state))
+        stats = m2.stats()
+        assert stats["recovered_sessions"] == 2
+        assert stats["replayed_ops"] == 0
+        assert _export_blobs(m2) == expected
+        # Cache persistence: a recovered daemon's first repair on known
+        # content is a hit, not a re-solve.
+        base_hits = m2.stats()["cache_hits"]
+        entry = m2.entry("alpha", "tbl")
+        m2.run_op(entry, "repair", {})
+        assert m2.stats()["cache_hits"] > base_hits
+        assert pre_hits >= 0  # both managers count hits independently
+        m2.shutdown()
+
+    def test_compaction_truncates_journal_and_bounds_replay(self, tmp_path):
+        state = str(tmp_path / "state")
+        m1 = SessionManager(
+            ServerConfig(workers=0, state_dir=state, snapshot_every=4)
+        )
+        _drive(m1, tenants=("alpha",))
+        assert m1.stats()["journal"]["since_snapshot"] >= 4
+        m1.maybe_compact()
+        stats = m1.stats()
+        assert stats["snapshots"] == 1
+        assert stats["journal"]["since_snapshot"] == 0
+        # Post-snapshot ops land in the (now short) journal tail.
+        entry = m1.entry("alpha", "tbl")
+        m1.run_op(entry, "append",
+                  {"rows": [["c", "c", "c"]], "ids": [99],
+                   "repair": False})
+        expected = _export_blobs(m1)
+        del m1  # crash after the snapshot + one tail record
+
+        m2 = SessionManager(ServerConfig(workers=0, state_dir=state))
+        stats = m2.stats()
+        assert stats["recovered_sessions"] == 1
+        assert stats["replayed_ops"] == 1  # the tail, not the history
+        assert _export_blobs(m2) == expected
+        m2.shutdown()
+
+    def test_compaction_refuses_while_a_session_is_mid_op(self, tmp_path):
+        state = str(tmp_path / "state")
+        manager = SessionManager(
+            ServerConfig(workers=0, state_dir=state, snapshot_every=1)
+        )
+        _drive(manager, tenants=("alpha",))
+
+        async def locked_compact():
+            entry = manager.entry("alpha", "tbl")
+            async with entry.lock:
+                manager.maybe_compact()
+
+        asyncio.run(locked_compact())
+        assert manager.stats()["snapshots"] == 0  # refused: op in flight
+        manager.maybe_compact()
+        assert manager.stats()["snapshots"] == 1
+        manager.shutdown()
+
+    @pytest.mark.parametrize(
+        "site", ["journal.append.before", "journal.append.after"]
+    )
+    def test_journal_crash_sites_recover_exactly_the_journaled_prefix(
+        self, site, tmp_path
+    ):
+        """Kill the daemon process *at the journal write* — just before
+        (op executed, never logged) and just after (logged, never
+        acknowledged) — via ``repro.faults``, then recover.  The
+        recovered state must equal a stateless replay of exactly the
+        records on disk: acknowledged ops are always covered, the
+        crashed-out op is covered iff its record reached the log."""
+        import json as _json
+        import os
+        import subprocess
+        import sys
+
+        from repro.faults import FAULTS_ENV, KILL_EXIT_CODE
+        from repro.state import JOURNAL_NAME, OpJournal
+
+        state = str(tmp_path / "state")
+        child = (
+            "import sys\n"
+            "from repro.server import SessionManager, ServerConfig\n"
+            "m = SessionManager(ServerConfig(workers=0, state_dir=sys.argv[1]))\n"
+            "m.open('t', 's', {'schema': ['A', 'B', 'C'], 'fds': 'A -> B'})\n"
+            "print('ack open', flush=True)\n"
+            "ops = [\n"
+            "    ('append', {'rows': [['a', 'x', 'p'], ['a', 'y', 'p']],\n"
+            "                'ids': [1, 2]}),\n"
+            "    ('append', {'rows': [['b', 'x', 'q']], 'ids': [3],\n"
+            "                'repair': False}),\n"
+            "    ('repair', {}),\n"
+            "    ('delete', {'ids': [1], 'repair': False}),\n"
+            "]\n"
+            "e = m.entry('t', 's')\n"
+            "for i, (op, payload) in enumerate(ops):\n"
+            "    m.run_op(e, op, payload)\n"
+            "    print(f'ack {i}', flush=True)\n"
+            "print('ack done', flush=True)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath("src")] + sys.path
+        )
+        # Journal appends: open=1, then one per op; kill at the 4th
+        # (the 'repair' record).
+        env[FAULTS_ENV] = _json.dumps(
+            [{"site": site, "action": "kill", "at": 4}]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child, state],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+        acked = [l for l in proc.stdout.splitlines() if l.startswith("ack")]
+        assert acked == ["ack open", "ack 0", "ack 1"]  # repair never acked
+
+        records, _ = OpJournal.load(os.path.join(state, JOURNAL_NAME))
+        journaled = 4 if site.endswith("after") else 3
+        assert len(records) == journaled
+        # Acknowledged ⇒ journaled (the write precedes the ack).
+        assert len(records) >= len(acked)
+
+        oracle = _oracle_from_journal(state)
+        recovered = SessionManager(ServerConfig(workers=0, state_dir=state))
+        assert recovered.stats()["replayed_ops"] == journaled
+        assert _export_blobs(recovered) == _export_blobs(oracle)
+        recovered.shutdown()
+        oracle.shutdown()
+
+
+def test_graceful_drain_finishes_inflight_ops_before_closing(tmp_path):
+    """``request_shutdown`` (the SIGTERM/SIGINT handler target) drains:
+    requests already in flight complete and their responses ship, the
+    final snapshot is taken, and a restarted manager sees everything."""
+    state = str(tmp_path / "state")
+    manager = SessionManager(ServerConfig(workers=0, state_dir=state))
+    server = RepairServer(manager)
+
+    async def drive():
+        port = await server.serve_tcp()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def send(obj):
+            writer.write((json.dumps(obj) + "\n").encode())
+            await writer.drain()
+
+        await send({"op": "open", "tenant": "t", "session": "s",
+                    "seq": "open", "schema": list(SCHEMA),
+                    "fds": "A -> B"})
+        replies = [json.loads(await reader.readline())]
+        # A conflicted append with repair=True: accepted, then drain is
+        # requested while it executes.  ``manager.ops`` ticks when the
+        # op *starts* on the executor, so waiting on it pins "in
+        # flight" without racing the server's read loop.
+        await send({"op": "append", "tenant": "t", "session": "s",
+                    "seq": "a1",
+                    "rows": [["a", "x", "p"], ["a", "y", "p"]],
+                    "ids": [1, 2]})
+        deadline = time.monotonic() + 10.0
+        while manager.ops < 1 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        assert manager.ops >= 1
+        server.request_shutdown()
+        closer = asyncio.create_task(server.wait_closed())
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            replies.append(json.loads(line))
+        await closer
+        writer.close()
+        return replies
+
+    replies = asyncio.run(drive())
+    by_seq = {r["seq"]: r for r in replies}
+    # The in-flight append completed and its response shipped before
+    # the connection closed.
+    assert set(by_seq) == {"open", "a1"}
+    assert all(r["ok"] for r in replies)
+    assert by_seq["a1"]["distance"] == 1.0
+
+    # The drain flushed a final snapshot: restart is replay-free and
+    # byte-identical (the repair the client saw acknowledged included).
+    m2 = SessionManager(ServerConfig(workers=0, state_dir=state))
+    stats = m2.stats()
+    assert stats["recovered_sessions"] == 1
+    assert stats["replayed_ops"] == 0
+    entry = m2.entry("t", "s")
+    reply = m2.run_op(entry, "status", {})
+    assert reply["tuples"] == 2
+    m2.shutdown()
