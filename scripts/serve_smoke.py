@@ -15,7 +15,11 @@ plan kills a pool worker mid-solve (the supervisor must heal it and the
 repair distances must still come out right), the daemon is then
 hard-killed (SIGKILL, no shutdown op) and restarted on the same
 ``--state-dir``, which must recover both tenant sessions from the op
-journal; finally SIGTERM must drain gracefully and exit 0.
+journal; SIGTERM must drain gracefully and exit 0.  A final sharded
+phase boots ``fdrepair serve --shards 2`` under a ``shard.kill`` plan:
+the shard fleet must heal the kill (death + respawn visible in
+``stats``) and every acknowledged reply must be byte-identical to an
+unsharded reference daemon's.
 
 Usage: python scripts/serve_smoke.py [--timeout SECONDS] [--chaos]
 """
@@ -39,6 +43,13 @@ FAULTS_ENV = "FDREPAIR_FAULTS"
 #: (generation 1) survives, so healing is observable and deterministic.
 CHAOS_PLAN = [{"site": "worker.solve", "action": "kill",
                "match": {"worker": 0, "generation": 0}}]
+
+#: Kill shard 0's first incarnation at its second message (the mirror
+#: delta right after ``open``); the replacement generation survives and
+#: is re-derived by journal replay, so the repair must still be
+#: byte-identical to an unsharded daemon's.
+SHARD_CHAOS_PLAN = [{"site": "shard.kill", "action": "kill", "at": 2,
+                     "match": {"shard": 0, "generation": 0}}]
 
 
 def fail(message: str, proc: subprocess.Popen = None) -> None:
@@ -173,8 +184,64 @@ def run_chaos(args) -> None:
         fail(f"graceful drain left no snapshot at {snapshot}")
     if not os.path.exists(journal):
         fail(f"no journal at {journal}")
-    print(f"CHAOS SMOKE OK: healed kill, journal recovery, clean "
+    print(f"chaos phases 1-3 OK: healed kill, journal recovery, clean "
           f"SIGTERM drain (state in {state_dir})")
+
+    # Phase 4: sharded execution under a shard-kill plan.  A daemon on
+    # --shards 2 loses shard 0 to the fault plan mid-stream; the fleet
+    # must heal it (death + respawn in stats) and every acknowledged
+    # reply must match an unsharded reference daemon byte for byte.
+    script = [
+        {"op": "open", "tenant": "acme", "session": "shard",
+         "schema": ["A", "B", "C"], "fds": "A -> B; B -> C"},
+        {"op": "append", "tenant": "acme", "session": "shard",
+         "rows": [["a", "x", "1"], ["a", "y", "1"], ["b", "z", "2"],
+                  ["c", "w", "3"], ["c", "w", "3"], ["c", "v", "4"]]},
+        {"op": "repair", "tenant": "acme", "session": "shard"},
+        {"op": "status", "tenant": "acme", "session": "shard"},
+    ]
+
+    def _drive_script(extra_argv, drive_env):
+        proc, port = _spawn(extra_argv, drive_env, deadline)
+        sock, rpc = _connect(port, deadline, proc)
+        replies = [rpc(dict(msg)) for msg in script]
+        healed = {}
+        poll_until = time.monotonic() + deadline
+        while extra_argv and time.monotonic() < poll_until:
+            stats = rpc({"op": "stats"})
+            healed = stats.get("pool_supervision", {})
+            if stats.get("pool_kind") != "shards":
+                fail(f"expected a sharded pool: {stats}", proc)
+            if healed.get("respawns", 0) >= 1:
+                break
+            time.sleep(0.2)
+        if not rpc({"op": "shutdown"}).get("ok"):
+            fail("sharded shutdown not acknowledged", proc)
+        sock.close()
+        try:
+            code = proc.wait(timeout=deadline)
+        except subprocess.TimeoutExpired:
+            fail(f"daemon still running {deadline}s after shutdown", proc)
+        if code != 0:
+            _out, err = proc.communicate()
+            fail(f"sharded daemon exited {code}: "
+                 f"{err.decode('utf-8', 'replace')[-500:]}")
+        return replies, healed
+
+    reference, _ = _drive_script([], _smoke_env())
+    shard_env = _smoke_env()
+    shard_env[FAULTS_ENV] = json.dumps(SHARD_CHAOS_PLAN)
+    sharded, healed = _drive_script(["--shards", "2"], shard_env)
+    if sharded != reference:
+        fail(f"sharded replies diverge from reference:\n"
+             f"  sharded:   {sharded}\n  reference: {reference}")
+    if healed.get("shard_deaths", 0) < 1 or healed.get("respawns", 0) < 1:
+        fail(f"shard fleet saw no death/respawn: {healed}")
+    print(f"shard chaos OK: fleet healed a kill ({healed}) and stayed "
+          f"byte-identical to the unsharded reference")
+    print(f"CHAOS SMOKE OK: healed kills (worker + shard), journal "
+          f"recovery, byte-identical sharded replies, clean SIGTERM "
+          f"drain (state in {state_dir})")
 
 
 def main() -> None:

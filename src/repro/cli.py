@@ -29,6 +29,10 @@ Commands
     Δ)`` sessions over one shared worker pool and content-addressed
     solution cache, speaking the JSONL protocol of
     :mod:`repro.protocol` over TCP or stdio.
+``recover``
+    Inspect (``--dry-run``) or offline-recover a daemon ``--state-dir``:
+    snapshot age and contents, the retained journal chain, and a replay
+    estimate — without starting the daemon.
 ``trace summarize``
     Roll a ``--trace`` JSONL telemetry log up into phase / method /
     tenant / op tables (see :mod:`repro.obs` for the record schema).
@@ -179,6 +183,64 @@ def _apply_kernel_choice(args: argparse.Namespace) -> None:
         kernel.set_enabled(False)
 
 
+def _add_shard_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "solve conflict components on N shard host subprocesses "
+            "(consistent-hash routing, per-RPC deadlines with retry, "
+            "heartbeat failover, journal-replay respawn; results are "
+            "byte-identical to local execution, which the executor "
+            "degrades to when shards are exhausted)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=30.0,
+        help="per-RPC deadline on the sharded executor (default 30)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help=(
+            "RPC retries (capped exponential backoff) before the routed "
+            "shard is presumed wedged and failed over (default 2)"
+        ),
+    )
+
+
+def _shard_executor_for(args: argparse.Namespace):
+    """A started :class:`repro.shard.ShardedExecutor` for ``--shards N``,
+    or ``None`` (no sharding requested, or the platform cannot spawn
+    shard hosts — callers then run the local paths)."""
+    shards = getattr(args, "shards", 0)
+    if not shards or shards <= 0:
+        return None
+    from .shard import ShardedExecutor
+
+    executor = ShardedExecutor(
+        shards,
+        use_kernel=getattr(args, "use_kernel", True),
+        rpc_timeout_s=args.shard_timeout,
+        rpc_retries=args.shard_retries,
+    )
+    if not executor.start():
+        executor.close()
+        print(
+            "warning: cannot start shard hosts; running locally",
+            file=sys.stderr,
+        )
+        return None
+    return executor
+
+
 def _add_trace_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -260,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated alias for --guarantee fast",
     )
     _add_repair_options(p_srepair)
+    _add_shard_options(p_srepair)
 
     p_urepair = sub.add_parser("u-repair", help="compute a U-repair")
     p_urepair.add_argument("table", help="CSV file (id,<attrs...>,weight)")
@@ -318,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exact-vs-approximate component-size boundary (default 128)",
     )
+    _add_shard_options(p_stream)
     _add_exact_budget_option(p_stream)
     _add_kernel_option(p_stream)
     _add_trace_option(p_stream)
@@ -439,6 +503,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal records between snapshot compactions",
     )
     p_serve.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "live journal size that triggers an early snapshot "
+            "compaction (rotation with --journal-keep > 0); default: "
+            "only the --snapshot-every op-count trigger"
+        ),
+    )
+    p_serve.add_argument(
+        "--journal-keep",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "rotated journal segments to retain (journal.jsonl.1 … .N) "
+            "at each snapshot compaction; recovery replays the whole "
+            "retained chain when the snapshot is lost (default 0: "
+            "truncate on compact)"
+        ),
+    )
+    _add_shard_options(p_serve)
+    p_serve.add_argument(
         "--solve-timeout",
         type=float,
         metavar="SECONDS",
@@ -462,6 +550,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_kernel_option(p_serve)
     _add_trace_option(p_serve)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="inspect or recover a daemon --state-dir offline",
+        description=(
+            "Operate on a crash-safe daemon state directory without the "
+            "daemon.  --dry-run inspects it read-only: snapshot age and "
+            "contents, the retained journal chain, the ops a recovery "
+            "would replay, and a replay estimate.  Without --dry-run the "
+            "state is actually recovered offline (snapshot + journal "
+            "replay, exactly the daemon's own boot path) and compacted, "
+            "so the next daemon start is instant."
+        ),
+    )
+    p_recover.add_argument(
+        "--state-dir",
+        metavar="PATH",
+        required=True,
+        help="daemon state directory (journal, snapshot, spool)",
+    )
+    p_recover.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="inspect only; touch nothing",
+    )
+    p_recover.add_argument(
+        "--journal-keep",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "rotated segments the daemon retained (reads the same "
+            "journal.jsonl.1 … .N chain recovery would)"
+        ),
+    )
+    p_recover.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -601,6 +727,7 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
     if getattr(args, "approx", False) and guarantee == "best":
         guarantee = "fast"
     recorder = _recorder_for(args)
+    executor = _shard_executor_for(args)
     try:
         return clean(
             table,
@@ -614,8 +741,11 @@ def _run_clean(args: argparse.Namespace, strategy: str) -> CleaningResult:
             per_component_budget_s=args.per_component_budget,
             unit_cost_s=args.unit_cost,
             recorder=recorder,
+            executor=executor,
         )
     finally:
+        if executor is not None:
+            executor.close()
         if recorder is not None:
             recorder.close()
 
@@ -715,11 +845,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         return 2
 
     recorder = _recorder_for(args)
-    with _closing_recorder(recorder), RepairSession(
+    # With --shards the session rides a sharded executor as its shared
+    # pool (same broadcast-mirror protocol, RPC failover underneath).
+    executor = _shard_executor_for(args)
+    with _closing_recorder(executor), _closing_recorder(recorder), RepairSession(
         table,
         fds,
         guarantee=args.guarantee,
         parallel=args.parallel,
+        pool=executor,
         exact_threshold=args.exact_threshold,
         exact_budget_s=args.exact_budget,
         per_component_budget_s=args.per_component_budget,
@@ -823,12 +957,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _apply_kernel_choice(args)
     config = ServerConfig(
         workers=args.parallel,
+        shards=args.shards,
+        shard_timeout_s=args.shard_timeout,
+        shard_retries=args.shard_retries,
         max_sessions=args.max_sessions,
         max_resident=args.max_resident,
         max_tenant_sessions=args.max_tenant_sessions,
         state_dir=args.state_dir,
         journal_fsync_every=args.journal_fsync,
         snapshot_every=args.snapshot_every,
+        journal_max_bytes=args.journal_max_bytes,
+        journal_keep=args.journal_keep,
         solve_timeout_s=args.solve_timeout,
         unit_cost_s=args.unit_cost,
     )
@@ -859,6 +998,140 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if recorder is not None:
             recorder.close()
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import os
+
+    from .state import JOURNAL_NAME, SNAPSHOT_NAME, OpJournal, load_snapshot
+
+    state_dir = args.state_dir
+    if not os.path.isdir(state_dir):
+        print(f"error: no state directory at {state_dir}", file=sys.stderr)
+        return 2
+    journal_path = os.path.join(state_dir, JOURNAL_NAME)
+    snapshot_path = os.path.join(state_dir, SNAPSHOT_NAME)
+    snapshot = load_snapshot(snapshot_path)
+    base_seq = int(snapshot.get("journal_seq", 0)) if snapshot else 0
+    snapshot_age_s = None
+    if snapshot is not None:
+        try:
+            snapshot_age_s = round(
+                max(0.0, time.time() - os.path.getmtime(snapshot_path)), 3
+            )
+        except OSError:
+            pass
+    chain = OpJournal.chain_paths(journal_path, args.journal_keep)
+    records, last_seq = OpJournal.load_chain(journal_path, args.journal_keep)
+    tail = [r for r in records if int(r.get("seq", 0)) > base_seq]
+    tail_ops: dict = {}
+    tail_sessions = set()
+    for record in tail:
+        op = str(record.get("op"))
+        tail_ops[op] = tail_ops.get(op, 0) + 1
+        tail_sessions.add(
+            (str(record.get("tenant") or ""), str(record.get("session") or ""))
+        )
+    report: dict = {
+        "state_dir": state_dir,
+        "snapshot": None,
+        "journal": {
+            "chain": chain,
+            "records": len(records),
+            "last_seq": last_seq,
+        },
+        "replay": {
+            "ops": len(tail),
+            "by_op": dict(sorted(tail_ops.items())),
+            "sessions_touched": len(tail_sessions),
+            # Solver work happens only on repair replays; append/delete/
+            # open are index maintenance — the honest cost breakdown.
+            "solver_ops": tail_ops.get("repair", 0),
+        },
+    }
+    if snapshot is not None:
+        report["snapshot"] = {
+            "path": snapshot_path,
+            "age_s": snapshot_age_s,
+            "journal_seq": base_seq,
+            "sessions": len(snapshot.get("sessions") or ()),
+            "cached_solutions": len(snapshot.get("solutions") or ()),
+            "supervision": snapshot.get("supervision") or {},
+        }
+    if args.dry_run:
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        if snapshot is None:
+            print("snapshot: none (recovery would replay the full chain)")
+        else:
+            snap = report["snapshot"]
+            print(
+                f"snapshot: {snap['sessions']} sessions, "
+                f"{snap['cached_solutions']} cached solutions, "
+                f"seq {base_seq}"
+                + (f", {snap['age_s']:.0f}s old"
+                   if snap["age_s"] is not None else "")
+            )
+            if snap["supervision"]:
+                worn = ", ".join(
+                    f"{k}={v}" for k, v in sorted(snap["supervision"].items())
+                    if v
+                )
+                if worn:
+                    print(f"lifetime supervision: {worn}")
+        print(
+            f"journal chain: {len(chain)} segment"
+            f"{'s' if len(chain) != 1 else ''} "
+            f"({len(records)} records, last seq {last_seq})"
+        )
+        for segment in chain:
+            print(f"  {segment}")
+        replay = report["replay"]
+        if replay["ops"]:
+            mix = ", ".join(
+                f"{op}×{n}" for op, n in sorted(tail_ops.items())
+            )
+            print(
+                f"replay estimate: {replay['ops']} ops past the snapshot "
+                f"({mix}) across {replay['sessions_touched']} sessions, "
+                f"{replay['solver_ops']} with solver work"
+            )
+        else:
+            print("replay estimate: nothing to replay (snapshot is current)")
+        return 0
+    # Real recovery: the daemon's own boot path, offline — construct a
+    # manager on the state dir (snapshot load + journal replay + fresh
+    # compaction), then shut it down cleanly.
+    from .server import ServerConfig, SessionManager
+
+    manager = SessionManager(
+        ServerConfig(
+            workers=0,
+            state_dir=state_dir,
+            journal_keep=args.journal_keep,
+        )
+    )
+    recovered = manager.recovered_sessions
+    replayed = manager.replayed_ops
+    errors = manager.errors
+    manager.shutdown()
+    result = {
+        "recovered_sessions": recovered,
+        "replayed_ops": replayed,
+        "errors": errors,
+        "compacted": True,
+    }
+    if args.json:
+        print(json.dumps({**report, "recovery": result},
+                         indent=2, sort_keys=True))
+    else:
+        print(
+            f"recovered {recovered} sessions, replayed {replayed} ops"
+            + (f" ({errors} errors)" if errors else "")
+            + "; state compacted"
+        )
+    return 0 if not errors else 1
 
 
 def _read_trace_or_fail(path: str):
@@ -969,6 +1242,7 @@ _COMMANDS = {
     "mpd": _cmd_mpd,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "recover": _cmd_recover,
     "trace": _cmd_trace,
     "calibrate": _cmd_calibrate,
 }

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from itertools import count as _iter_count
 from time import perf_counter as _perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -990,6 +991,10 @@ def _s_worker_coded(task) -> Tuple[Tuple[TupleId, ...], str, float]:
     return kept, effective, _perf_counter() - start
 
 
+#: Namespace keys for executor-routed batch solves (one per clean call).
+_EXECUTOR_KEYS = _iter_count()
+
+
 def solve_components(
     decomp: Decomposition,
     methods: Sequence[str],
@@ -998,6 +1003,7 @@ def solve_components(
     budget_s: Optional[float] = None,
     plans: Optional[Sequence[ComponentPlan]] = None,
     recorder=None,
+    executor=None,
 ) -> Tuple[List[Tuple[TupleId, ...]], List[str]]:
     """Solve each component with its assigned portfolio method; returns
     the kept identifiers per component plus the *effective* methods, both
@@ -1030,6 +1036,13 @@ def solve_components(
     timed in-process on the serial path, inside the worker on the pool
     path.  The default :data:`repro.obs.NULL_RECORDER` costs one
     attribute check.
+
+    An *executor* (a :class:`repro.shard.ShardedExecutor`, or anything
+    duck-typing the pool seam plus ``attach_table``) takes precedence
+    over *parallel*: the table ships once into a per-call namespace and
+    components route as id-list tasks.  Pure solvers keep the results
+    byte-identical to serial; any executor failure falls back to the
+    local paths below.
     """
     rec = _obs.resolve(recorder)
     count = len(methods)
@@ -1048,7 +1061,29 @@ def solve_components(
         order = list(range(count))
     components = decomp.components
     workers = resolve_workers(parallel, count)
-    if workers > 1:
+    ordered = None
+    path = None
+    if executor is not None and count and (
+        getattr(executor, "alive", False) or executor.start()
+    ):
+        key = f"clean-{next(_EXECUTOR_KEYS)}"
+        if executor.attach_table(key, decomp.table, decomp.fds,
+                                 node_limit=node_limit):
+            tasks = [
+                (components[i].ids, methods[i]) if budgets[i] is None
+                else (components[i].ids, methods[i], budgets[i])
+                for i in order
+            ]
+            try:
+                ordered = executor.solve(tasks, key=key)
+                path = getattr(executor, "executor_kind", "executor")
+            except RuntimeError:
+                ordered = None  # solver/transport failure: solve locally
+            finally:
+                executor.drop_session(key)
+    if ordered is not None:
+        pass
+    elif workers > 1:
         # The global kernel flag travels inside each task, as does the
         # exact budget: workers under spawn/forkserver re-import this
         # module and would otherwise run the kernel paths even under
@@ -1086,7 +1121,8 @@ def solve_components(
     for i, outcome in zip(order, ordered):
         outcomes[i] = outcome
     if rec.enabled:
-        path = "pool" if workers > 1 else "serial"
+        if path is None:
+            path = "pool" if workers > 1 else "serial"
         for i, (_kept, effective, secs) in enumerate(outcomes):
             component = components[i]
             rec.solve_record(
@@ -1127,6 +1163,7 @@ def decomposed_s_repair(
     threshold: Optional[int] = None,
     budget_s: Optional[float] = None,
     global_budget_s: Optional[float] = None,
+    executor=None,
 ):
     """S-repair via per-component solving with a portfolio of methods.
 
@@ -1159,12 +1196,13 @@ def decomposed_s_repair(
         )
         kept_lists, methods = solve_components(
             decomp, [plan.method for plan in plans], parallel,
-            defaults.node_limit, plans=plans,
+            defaults.node_limit, plans=plans, executor=executor,
         )
     else:
         methods = [method] * len(decomp.components)
         kept_lists, methods = solve_components(
-            decomp, methods, parallel, defaults.node_limit, budget_s
+            decomp, methods, parallel, defaults.node_limit, budget_s,
+            executor=executor,
         )
     return assemble_s_result(decomp, methods, kept_lists, parallel)
 

@@ -45,6 +45,19 @@ Named sites (context keys in parentheses):
 - ``journal.append.before`` / ``journal.append.after`` (op) — around an
   op-journal append.  ``kill`` simulates a crash exactly before/after
   the write reaches the log, the two cases recovery must distinguish.
+- ``shard.rpc.send`` (shard, generation, op, seq) — in the parent,
+  before an RPC line is written to a shard's pipe.  ``drop`` loses the
+  request (a solve recovers via its deadline; a mirror delta heals by
+  state-error + journal replay); ``delay`` stalls dispatch.
+- ``shard.rpc.recv`` (shard, generation, op, seq, msg) — in a shard
+  host, after decoding a request.  ``drop`` swallows it (lost-reply ≡
+  lost-request to the parent), ``raise`` ships an error reply,
+  ``delay`` stalls the shard, ``kill`` crashes it mid-protocol.
+- ``shard.heartbeat`` (shard, generation, n) — in a shard host, on a
+  ping.  ``drop`` swallows the pong so the parent sees a silent shard.
+- ``shard.kill`` (shard, generation, msg, op) — in a shard host, fired
+  once per incoming message before it is handled: the dedicated crash
+  site chaos schedules use ("kill shard 1 at its 3rd message").
 """
 
 from __future__ import annotations
@@ -80,6 +93,10 @@ SITES: Dict[str, tuple] = {
     "server.op": ("op", "tenant", "session"),
     "journal.append.before": ("op",),
     "journal.append.after": ("op",),
+    "shard.rpc.send": ("shard", "generation", "op", "seq"),
+    "shard.rpc.recv": ("shard", "generation", "op", "seq", "msg"),
+    "shard.heartbeat": ("shard", "generation", "n"),
+    "shard.kill": ("shard", "generation", "msg", "op"),
 }
 
 _ACTIONS = ("kill", "raise", "delay", "drop")

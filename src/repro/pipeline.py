@@ -476,6 +476,7 @@ def _clean_deletions_decomposed(
     per_component_budget_s: Optional[float] = None,
     unit_cost_s: Optional[float] = None,
     recorder=None,
+    executor=None,
 ) -> CleaningResult:
     """The decomposed S-repair pipeline: decompose once, schedule the
     portfolio (:func:`repro.core.decompose.plan_schedule` — difficulty-
@@ -507,7 +508,7 @@ def _clean_deletions_decomposed(
     with rec.span("phase.solve"):
         kept_lists, methods = solve_components(
             decomp, [plan.method for plan in plans], parallel, plans=plans,
-            recorder=rec,
+            recorder=rec, executor=executor,
         )
     with rec.span("phase.merge"):
         lower_bounds = [None] * len(plans)
@@ -535,6 +536,7 @@ def clean(
     per_component_budget_s: Optional[float] = None,
     unit_cost_s: Optional[float] = None,
     recorder=None,
+    executor=None,
 ) -> CleaningResult:
     """Repair *table* end to end.
 
@@ -617,6 +619,13 @@ def clean(
         ``solve`` trace records; the default
         :data:`repro.obs.NULL_RECORDER` is a guaranteed no-op costing an
         attribute check on the hot paths.
+    executor:
+        Optional :class:`repro.shard.ShardedExecutor` (or any object
+        duck-typing the pool seam plus ``attach_table``) that the
+        decomposed deletions path routes per-component solves through
+        (see :func:`repro.exec.solve_components`).  Pure solvers keep
+        the result byte-identical to local execution; executor failure
+        falls back locally.
     """
     if strategy not in ("deletions", "updates"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -646,7 +655,7 @@ def clean(
             return _clean_deletions_decomposed(
                 table, fds, guarantee, index, parallel, threshold,
                 exact_budget_s, per_component_budget_s,
-                defaults.unit_cost_s, recorder=rec,
+                defaults.unit_cost_s, recorder=rec, executor=executor,
             )
         return _clean_global(
             table, fds, strategy, guarantee, index, decomposed, parallel,

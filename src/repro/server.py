@@ -97,6 +97,16 @@ class ServerConfig:
     #: Warm worker processes shared by every session (0 = solve
     #: in-process on the executor threads).
     workers: int = 1
+    #: Shard host subprocesses shared by every session (>0 replaces the
+    #: worker pool with a :class:`repro.shard.ShardedExecutor`: solves
+    #: route by consistent hashing with retry/failover, and execution
+    #: degrades to local when shards are exhausted).
+    shards: int = 0
+    #: Per-RPC deadline on the sharded executor.
+    shard_timeout_s: float = 30.0
+    #: RPC retries (capped exponential backoff) before a shard is
+    #: presumed wedged and failed over.
+    shard_retries: int = 2
     #: Bound on the shared content-addressed solution cache.
     cache_entries: Optional[int] = 200_000
     #: Executor threads op execution runs on (per-session sequencing
@@ -117,6 +127,13 @@ class ServerConfig:
     journal_fsync_every: int = 8
     #: Journal records between snapshot compactions.
     snapshot_every: int = 256
+    #: Live journal size that triggers an early compaction (rotation
+    #: when ``journal_keep`` > 0).  ``None`` leaves only the op-count
+    #: trigger.
+    journal_max_bytes: Optional[int] = None
+    #: Rotated journal segments to retain (``journal.jsonl.1`` …
+    #: ``.keep``); 0 keeps the historical truncate-on-compact.
+    journal_keep: int = 0
     #: Calibrated difficulty cost constant (seconds per difficulty
     #: unit) applied to every session this daemon opens — how a
     #: ``fdrepair calibrate`` fit is deployed without monkeypatching.
@@ -203,6 +220,10 @@ class SessionManager:
         self.replayed_ops = 0
         self._closed = False
         self._replaying = False
+        # Lifetime supervision totals from previous daemon incarnations
+        # (restored from the snapshot; the current pool's counters are
+        # the since-boot split).
+        self._supervision_base: Dict[str, int] = {}
         # Crash-safe state: a disk-backed store + op journal when the
         # config names a state dir, PR-6 in-memory semantics otherwise.
         self._journal: Optional[OpJournal] = None
@@ -218,23 +239,38 @@ class SessionManager:
 
     # -- pool lifecycle (owned here, never by a session) ---------------
     def _shared_pool(self):
-        """The shared worker pool, started on first use; ``None`` when
-        ``workers == 0`` or the platform cannot start workers."""
-        if self.config.workers <= 0:
+        """The shared executor, started on first use: a
+        :class:`repro.shard.ShardedExecutor` when ``shards`` > 0, the
+        :class:`~repro.exec.PersistentWorkerPool` otherwise; ``None``
+        when ``workers == 0`` or the platform cannot start either."""
+        if self.config.shards <= 0 and self.config.workers <= 0:
             return None
         with self._lock:
             if not self._pool_started:
                 self._pool_started = True
-                from .exec import PersistentWorkerPool
+                if self.config.shards > 0:
+                    from .shard import ShardedExecutor
 
-                pool = PersistentWorkerPool(
-                    self.config.workers,
-                    solve_timeout_s=self.config.solve_timeout_s,
-                    faults=self._faults,
-                    recorder=self.recorder,
-                )
+                    pool = ShardedExecutor(
+                        self.config.shards,
+                        rpc_timeout_s=self.config.shard_timeout_s,
+                        rpc_retries=self.config.shard_retries,
+                        faults=self._faults,
+                        recorder=self.recorder,
+                    )
+                else:
+                    from .exec import PersistentWorkerPool
+
+                    pool = PersistentWorkerPool(
+                        self.config.workers,
+                        solve_timeout_s=self.config.solve_timeout_s,
+                        faults=self._faults,
+                        recorder=self.recorder,
+                    )
                 if pool.start():
                     self._pool = pool
+                else:
+                    pool.close()
             return self._pool
 
     # -- admission -----------------------------------------------------
@@ -552,12 +588,24 @@ class SessionManager:
                     # Warm the shared cache: the recovered daemon's
                     # first repairs are hits, not re-solves.
                     self.solutions.load_entries(cached)
-            records, last_seq = OpJournal.load(journal_path)
+                supervision = snapshot.get("supervision")
+                if isinstance(supervision, dict):
+                    self._supervision_base = {
+                        str(k): int(v) for k, v in supervision.items()
+                    }
+            # The retained chain covers the snapshot-lost case: with no
+            # (readable) snapshot, rotated segments replay too, oldest
+            # first; with one, the base_seq filter below skips them.
+            records, last_seq = OpJournal.load_chain(
+                journal_path, self.config.journal_keep
+            )
             self._journal = OpJournal(
                 journal_path,
                 fsync_every=self.config.journal_fsync_every,
                 start_seq=max(base_seq, last_seq),
                 faults=self._faults,
+                max_bytes=self.config.journal_max_bytes,
+                keep=self.config.journal_keep,
             )
             replayed = 0
             self._replaying = True
@@ -597,8 +645,11 @@ class SessionManager:
         eviction): compaction proceeds only when no session is mid-op,
         so every ``export_state`` it pickles is quiescent."""
         journal = self._journal
-        if (journal is None
-                or journal.appends_since_snapshot < self.config.snapshot_every):
+        if journal is None:
+            return False
+        if (journal.appends_since_snapshot < self.config.snapshot_every
+                and not (journal.oversized
+                         and journal.appends_since_snapshot > 0)):
             return False
         return self.compact()
 
@@ -631,6 +682,9 @@ class SessionManager:
             "journal_seq": journal.seq,
             "sessions": sessions,
             "solutions": self.solutions.export_entries(),
+            # Lifetime supervision totals (prior incarnations + this
+            # boot so far) — restarts keep the full honesty record.
+            "supervision": self.lifetime_supervision(),
         }
         journal.compact(self._snapshot_path, snapshot)
         self.snapshots += 1
@@ -639,6 +693,16 @@ class SessionManager:
         return True
 
     # -- introspection & shutdown -------------------------------------
+    def lifetime_supervision(self) -> Dict[str, int]:
+        """Supervision counters summed across daemon incarnations: the
+        snapshot-restored base plus the current executor's since-boot
+        counters."""
+        totals = dict(self._supervision_base)
+        if self._pool is not None:
+            for key, value in self._pool.supervision_stats().items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             entries = list(self._entries.values())
@@ -686,6 +750,15 @@ class SessionManager:
         }
         if self._pool is not None:
             out["pool_supervision"] = self._pool.supervision_stats()
+            out["pool_kind"] = getattr(self._pool, "executor_kind", "pool")
+            live_shards = getattr(self._pool, "live_shards", None)
+            if callable(live_shards):
+                out["shards"] = {
+                    "count": self._pool.shard_count,
+                    "live": live_shards(),
+                }
+        if self._supervision_base or self._pool is not None:
+            out["pool_supervision_lifetime"] = self.lifetime_supervision()
         journal = self._journal
         if journal is not None:
             out["journal"] = {
@@ -694,6 +767,10 @@ class SessionManager:
                 "appends": journal.appends,
                 "fsyncs": journal.fsyncs,
                 "since_snapshot": journal.appends_since_snapshot,
+                "bytes": journal.bytes,
+                "rotations": journal.rotations,
+                "keep": journal.keep,
+                "max_bytes": journal.max_bytes,
             }
         if self.recorder.enabled:
             out["op_latency_s"] = {

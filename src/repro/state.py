@@ -184,23 +184,47 @@ class OpJournal:
     truncates the log; the caller supplies the snapshot payload and
     must guarantee no concurrent appends (the manager only compacts
     when every session lock is free).
+
+    With ``keep > 0`` compaction *rotates* instead of truncating: the
+    closed segment moves to ``<path>.1`` (older segments shifting to
+    ``.2`` … ``.keep``, the oldest dropped), so the last *keep*
+    pre-snapshot epochs stay inspectable and a recovery whose snapshot
+    is lost or unreadable can replay the whole retained chain
+    (:meth:`load_chain`) instead of only the live tail.  *max_bytes*
+    bounds the live segment: :attr:`oversized` turns true once the file
+    passes it, and the manager treats that as a compaction trigger just
+    like the op-count threshold.
     """
 
     def __init__(self, path: str, *, fsync_every: int = 8,
-                 start_seq: int = 0, faults=None) -> None:
+                 start_seq: int = 0, faults=None,
+                 max_bytes: Optional[int] = None, keep: int = 0) -> None:
         self.path = path
         self.fsync_every = max(1, int(fsync_every))
+        self.max_bytes = None if not max_bytes else max(1, int(max_bytes))
+        self.keep = max(0, int(keep))
         self._faults = _faults.resolve(faults)
         self._lock = threading.Lock()
         self._handle: Optional[io.TextIOWrapper] = None
         self.seq = int(start_seq)
         self.appends = 0
         self.fsyncs = 0
+        self.rotations = 0
         self.appends_since_snapshot = 0
+        try:
+            self.bytes = os.path.getsize(path)
+        except OSError:
+            self.bytes = 0
         self._open_handle()
 
     def _open_handle(self) -> None:
         self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def oversized(self) -> bool:
+        """True once the live segment passed *max_bytes* — the manager's
+        size-based compaction trigger."""
+        return self.max_bytes is not None and self.bytes >= self.max_bytes
 
     def append(self, op: str, tenant: str, session: str,
                payload: Mapping[str, object]) -> int:
@@ -211,10 +235,12 @@ class OpJournal:
             record = {"seq": seq, "op": op, "tenant": tenant,
                       "session": session, "payload": dict(payload or {})}
             self._faults.fire("journal.append.before", op=op)
-            self._handle.write(json.dumps(record, default=str) + "\n")
+            line = json.dumps(record, default=str) + "\n"
+            self._handle.write(line)
             # Flush every record (survives a killed process); fsync in
             # batches (bounds what a killed machine loses).
             self._handle.flush()
+            self.bytes += len(line.encode("utf-8"))
             self.appends += 1
             self.appends_since_snapshot += 1
             if self.appends % self.fsync_every == 0:
@@ -241,7 +267,25 @@ class OpJournal:
                 os.fsync(handle.fileno())
             os.replace(tmp, snapshot_path)
             self._handle.close()
+            if self.keep > 0:
+                # Rotate: the closed segment becomes .1, elders shift up,
+                # anything past the retention window is dropped.
+                try:
+                    os.remove(f"{self.path}.{self.keep}")
+                except OSError:
+                    pass
+                for i in range(self.keep - 1, 0, -1):
+                    try:
+                        os.replace(f"{self.path}.{i}", f"{self.path}.{i + 1}")
+                    except OSError:
+                        pass
+                try:
+                    os.replace(self.path, f"{self.path}.1")
+                    self.rotations += 1
+                except OSError:
+                    pass
             self._handle = open(self.path, "w", encoding="utf-8")
+            self.bytes = 0
             self.appends_since_snapshot = 0
 
     def close(self) -> None:
@@ -282,6 +326,31 @@ class OpJournal:
                     break
                 records.append(record)
                 last_seq = max(last_seq, int(record["seq"]))
+        return records, last_seq
+
+    @staticmethod
+    def chain_paths(path: str, keep: int) -> List[str]:
+        """The retained journal chain oldest-first: ``<path>.keep`` …
+        ``<path>.1``, then the live segment.  Only existing files."""
+        paths = [
+            f"{path}.{i}" for i in range(max(0, int(keep)), 0, -1)
+        ]
+        paths.append(path)
+        return [p for p in paths if os.path.exists(p)]
+
+    @staticmethod
+    def load_chain(path: str, keep: int = 0) -> Tuple[List[Dict[str, object]], int]:
+        """Read the whole retained chain oldest-first with a monotonic
+        sequence guard (a stale or re-used segment cannot replay an op
+        twice).  ``keep=0`` degrades to :meth:`load` on the live file."""
+        records: List[Dict[str, object]] = []
+        last_seq = 0
+        for segment in OpJournal.chain_paths(path, keep):
+            seg_records, seg_last = OpJournal.load(segment)
+            for record in seg_records:
+                if int(record["seq"]) > last_seq:
+                    records.append(record)
+            last_seq = max(last_seq, seg_last)
         return records, last_seq
 
 

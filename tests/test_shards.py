@@ -1,0 +1,632 @@
+"""Fault-tolerant sharded execution (``repro.shard``).
+
+The suite pins the PR's acceptance property from both ends:
+
+- **Byte-identity.**  Sharded answers — fault-free, under deterministic
+  chaos schedules (kills, dropped RPCs, stalls), and after full
+  degradation to local execution — are byte-identical to the serial
+  oracle.  Components are independent and solvers pure, so routing,
+  retry, failover, and replay can only move *where* work runs.
+- **Honesty.**  Every recovery the executor performs is visible in
+  ``supervision_stats`` — deaths, respawns, retries, timeouts,
+  re-routes, local degradations — so the identity above is evidence of
+  healing, not of faults never firing.
+
+Plus the satellite machinery riding this PR: journal rotation with
+retention (``OpJournal`` keep/max_bytes), the ``fdrepair recover
+--dry-run`` inspection verb, and supervision counters surviving daemon
+restarts via the snapshot.
+"""
+
+import json
+
+import pytest
+
+from repro.core.fd import FDSet
+from repro.core.table import Table
+from repro.faults import FaultPlan, FaultRule
+from repro.pipeline import clean
+from repro.protocol import apply_session_op
+from repro.session import RepairSession
+from repro.shard import HashRing, ShardedExecutor
+
+SCHEMA = ("A", "B", "C")
+FDS = FDSet("A -> B; B -> C")
+FDS_TEXT = "A -> B; B -> C"
+
+
+def _conflict_table(clusters=4, size=10, seed=7):
+    """Independent conflict clusters (distinct value spaces → distinct
+    components), weights varied so minimum repairs are unique enough to
+    make byte-identity a real assertion."""
+    import random
+
+    rng = random.Random(seed)
+    rows, weights = {}, {}
+    tid = 0
+    for c in range(clusters):
+        for _ in range(size):
+            rows[tid] = (
+                f"a{c}.{rng.randrange(2)}",
+                f"b{c}.{rng.randrange(3)}",
+                f"x{c}.{rng.randrange(2)}",
+            )
+            weights[tid] = 1.0 + (tid % 3)
+            tid += 1
+    return Table(SCHEMA, rows, weights)
+
+
+def _executor(shards, **kwargs):
+    """Start a sharded executor or skip: platforms that cannot spawn
+    the shard subprocesses keep their serial fallback and are not what
+    this suite tests."""
+    kwargs.setdefault("respawn_backoff_s", 0.01)
+    ex = ShardedExecutor(shards, **kwargs)
+    if not ex.start():
+        ex.close()
+        pytest.skip("platform cannot start shard subprocesses")
+    return ex
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+
+
+class TestHashRing:
+    KEYS = [f"key-{i}".encode() for i in range(200)]
+
+    def test_deterministic_across_instances(self):
+        a = HashRing((0, 1, 2))
+        b = HashRing((2, 0, 1))  # construction order must not matter
+        assert [a.route(k) for k in self.KEYS] == [
+            b.route(k) for k in self.KEYS
+        ]
+
+    def test_membership_change_moves_only_the_lost_arc(self):
+        full = HashRing((0, 1, 2))
+        survivors = HashRing((0, 2))
+        moved = 0
+        for key in self.KEYS:
+            before = full.route(key)
+            after = survivors.route(key)
+            if before == 1:
+                assert after in (0, 2)
+            else:
+                # The consistent-hashing contract: keys on surviving
+                # members' arcs do not move when a member dies.
+                assert after == before
+                moved += before != after
+        assert moved == 0
+
+    def test_empty_ring(self):
+        ring = HashRing(())
+        assert not ring
+        with pytest.raises(IndexError):
+            ring.route(b"anything")
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity: fault-free, chaos, and degraded
+# ---------------------------------------------------------------------------
+
+
+class TestShardedIdentity:
+    def _serial(self, table):
+        return clean(table, FDS).cleaned.to_string()
+
+    def test_fault_free_sharded_clean_matches_serial(self):
+        table = _conflict_table()
+        expected = self._serial(table)
+        with _executor(2) as ex:
+            got = clean(table, FDS, executor=ex)
+            stats = ex.supervision_stats()
+        assert got.cleaned.to_string() == expected
+        # The work actually went over the RPC layer.
+        assert stats["rpcs"] > 0
+        assert stats["shard_deaths"] == 0
+        assert stats["degraded_local"] == 0
+
+    def test_shard_kill_mid_run_is_invisible_in_results(self):
+        """A shard killed mid-batch: in-flight solves re-dispatch to the
+        survivor, the slot respawns (generation-matched kill spares the
+        replacement), and the answer is byte-identical."""
+        table = _conflict_table()
+        expected = self._serial(table)
+        plan = FaultPlan([
+            FaultRule("shard.kill", "kill", at=2,
+                      match={"shard": 0, "generation": 0}),
+        ])
+        with _executor(2, faults=plan) as ex:
+            got = clean(table, FDS, executor=ex)
+            stats = ex.supervision_stats()
+        assert got.cleaned.to_string() == expected
+        assert stats["shard_deaths"] >= 1
+        assert stats["rerouted"] >= 1
+
+    def test_dropped_solve_rpcs_recover_via_deadline_and_retry(self):
+        """A lost request and a lost reply look identical from the
+        parent: the RPC deadline expires, the solve retries with
+        backoff, and the answer does not change."""
+        table = _conflict_table()
+        expected = self._serial(table)
+        plan = FaultPlan([
+            FaultRule("shard.rpc.send", "drop", times=2,
+                      match={"op": "solve"}),
+        ])
+        with _executor(2, faults=plan, rpc_timeout_s=0.3) as ex:
+            got = clean(table, FDS, executor=ex)
+            stats = ex.supervision_stats()
+        assert got.cleaned.to_string() == expected
+        assert stats["timeouts"] >= 2
+        assert stats["retries"] >= 2
+
+    def test_all_shards_lost_degrades_to_local_execution(self):
+        """The regression the ISSUE names: with every shard dead and no
+        respawns allowed, the executor must *degrade*, not fail — solves
+        run in the calling thread against the authoritative mirror, the
+        answer stays byte-identical, and the counters say so honestly."""
+        table = _conflict_table()
+        expected = self._serial(table)
+        plan = FaultPlan([
+            FaultRule("shard.kill", "kill", at=2, match={"shard": 0}),
+            FaultRule("shard.kill", "kill", at=2, match={"shard": 1}),
+        ])
+        with _executor(2, faults=plan, max_respawns=0) as ex:
+            got = clean(table, FDS, executor=ex)
+            stats = ex.supervision_stats()
+            live = ex.live_shards()
+            still_alive = ex.alive
+        assert got.cleaned.to_string() == expected
+        assert live == 0
+        assert still_alive  # degraded, not broken: later solves run local
+        assert stats["shard_deaths"] == 2
+        assert stats["abandoned"] == 2
+        assert stats["degraded_local"] > 0
+
+    def test_session_deltas_over_shards_match_serial_oracle(self):
+        """The daemon shape: a RepairSession using the executor as its
+        shared pool, interleaving appends/deletes/repairs — every ack
+        equals the isolated serial session's."""
+        script = _session_script(seed=3, batches=4)
+        oracle = RepairSession(Table(SCHEMA, {}), FDS)
+        expected = [
+            apply_session_op(oracle, op, dict(payload))
+            for op, payload in script
+        ]
+        oracle.close()
+        with _executor(2) as ex:
+            session = RepairSession(Table(SCHEMA, {}), FDS, pool=ex)
+            got = [
+                apply_session_op(session, op, dict(payload))
+                for op, payload in script
+            ]
+            session.close()
+            stats = ex.supervision_stats()
+        assert got == expected
+        assert stats["rpcs"] > 0
+
+
+def _session_script(seed, batches):
+    """A deterministic interleaved append/delete/repair script over one
+    conflict-cluster value space per batch."""
+    import random
+
+    rng = random.Random(seed)
+    script = []
+    live = []
+    next_id = [0]
+
+    def rows_for(batch):
+        rows = []
+        for _ in range(6):
+            rows.append([
+                f"a{batch}.{rng.randrange(2)}",
+                f"b{batch}.{rng.randrange(3)}",
+                f"x{batch}.{rng.randrange(2)}",
+            ])
+        return rows
+
+    for b in range(batches):
+        rows = rows_for(b)
+        ids = list(range(next_id[0], next_id[0] + len(rows)))
+        next_id[0] += len(rows)
+        live.extend(ids)
+        script.append(("append", {"rows": rows, "ids": ids,
+                                  "repair": False}))
+        if len(live) > 8 and rng.random() < 0.7:
+            victims = rng.sample(live, 2)
+            for v in victims:
+                live.remove(v)
+            script.append(("delete", {"ids": victims, "repair": False}))
+        script.append(("repair", {}))
+    return script
+
+
+def test_chaos_identity_under_shard_kills_and_dropped_rpcs():
+    """The hypothesis chaos gate: shard kills and dropped solve RPCs at
+    hypothesis-chosen coordinates, over hypothesis-chosen workloads,
+    never change a single acknowledged byte vs the serial oracle.  Fault
+    plans are deterministic, so every failing example replays exactly.
+    """
+    pytest.importorskip("hypothesis")
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    with _executor(1):
+        pass  # probe once; skip the whole test where spawn fails
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**16),
+        kill_msg=st.integers(2, 10),
+        drops=st.integers(0, 2),
+    )
+    def run(seed, kill_msg, drops):
+        script = _session_script(seed, batches=3)
+
+        oracle = RepairSession(Table(SCHEMA, {}), FDS)
+        expected = [
+            apply_session_op(oracle, op, dict(payload))
+            for op, payload in script
+        ]
+        oracle.close()
+
+        rules = [
+            FaultRule("shard.kill", "kill", at=kill_msg,
+                      match={"shard": 0, "generation": 0}),
+        ]
+        if drops:
+            rules.append(FaultRule("shard.rpc.send", "drop", times=drops,
+                                   match={"op": "solve"}))
+        ex = ShardedExecutor(
+            2, faults=FaultPlan(rules),
+            rpc_timeout_s=0.5, respawn_backoff_s=0.01,
+        )
+        if not ex.start():
+            ex.close()
+            pytest.skip("platform cannot start shard subprocesses")
+        try:
+            session = RepairSession(Table(SCHEMA, {}), FDS, pool=ex)
+            got = [
+                apply_session_op(session, op, dict(payload))
+                for op, payload in script
+            ]
+            session.close()
+        finally:
+            ex.close()
+        assert got == expected
+
+    run()
+
+
+# ---------------------------------------------------------------------------
+# Executor failure modes at the pool seam
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorSeam:
+    def test_closed_executor_raises_like_the_pool(self):
+        ex = _executor(1)
+        ex.close()
+        with pytest.raises(RuntimeError):
+            ex.solve([((0,), "exact")])
+
+    def test_solver_error_surfaces_as_runtime_error(self):
+        """A shard-side solver exception is a property of the request,
+        not of the transport: it surfaces as RuntimeError (the worker
+        pool's contract) so callers fall back serially."""
+        with _executor(1) as ex:
+            assert ex.attach_table("k", _conflict_table(1, 4), FDS,
+                                   node_limit=2000)
+            with pytest.raises(RuntimeError):
+                # Unknown tuple ids → stale-state requeue would loop, so
+                # use a bogus method name: shard replies kind="solve".
+                ex.solve([((0, 1), "no-such-method")], key="k")
+
+    def test_clean_falls_back_serially_when_executor_unusable(self):
+        """The batch path keeps the serial fallback: an executor whose
+        start() fails must leave clean() untouched."""
+        table = _conflict_table()
+        dead = ShardedExecutor(1)
+        dead._broken = True  # simulate a platform that cannot spawn
+        dead._started = True
+        got = clean(table, FDS, executor=dead)
+        assert got.cleaned.to_string() == clean(table, FDS).cleaned.to_string()
+
+
+# ---------------------------------------------------------------------------
+# Journal rotation with retention
+# ---------------------------------------------------------------------------
+
+
+class TestJournalRotation:
+    def _fill(self, journal, n, start=0):
+        for i in range(n):
+            journal.append("append", "t", "s", {"i": start + i})
+
+    def test_compact_rotates_and_chain_replays_everything(self, tmp_path):
+        from repro.state import OpJournal
+
+        path = str(tmp_path / "journal.log")
+        snap = str(tmp_path / "snapshot.bin")
+        journal = OpJournal(path, keep=2)
+        self._fill(journal, 3)
+        journal.compact(snap, {"journal_seq": journal.seq})
+        self._fill(journal, 3, start=3)
+        journal.compact(snap, {"journal_seq": journal.seq})
+        self._fill(journal, 2, start=6)
+        journal.close()
+
+        assert journal.rotations == 2
+        chain = OpJournal.chain_paths(path, keep=2)
+        assert chain == [f"{path}.2", f"{path}.1", path]
+        records, last_seq = OpJournal.load_chain(path, keep=2)
+        # The whole retained history replays oldest-first, in seq order.
+        assert [r["seq"] for r in records] == list(range(1, 9))
+        assert last_seq == 8
+
+    def test_retention_window_drops_the_oldest_segment(self, tmp_path):
+        import os
+
+        from repro.state import OpJournal
+
+        path = str(tmp_path / "journal.log")
+        snap = str(tmp_path / "snapshot.bin")
+        journal = OpJournal(path, keep=1)
+        for round_no in range(3):
+            self._fill(journal, 2, start=round_no * 2)
+            journal.compact(snap, {"journal_seq": journal.seq})
+        journal.close()
+        assert os.path.exists(f"{path}.1")
+        assert not os.path.exists(f"{path}.2")
+        records, last_seq = OpJournal.load_chain(path, keep=1)
+        # Only the last retained epoch remains: seqs 5..6.
+        assert [r["seq"] for r in records] == [5, 6]
+        assert last_seq == 6
+
+    def test_oversized_flags_the_size_trigger(self, tmp_path):
+        from repro.state import OpJournal
+
+        path = str(tmp_path / "journal.log")
+        journal = OpJournal(path, max_bytes=64)
+        assert not journal.oversized
+        self._fill(journal, 4)
+        assert journal.oversized
+        journal.compact(str(tmp_path / "snap.bin"),
+                        {"journal_seq": journal.seq})
+        assert not journal.oversized  # fresh live segment
+        journal.close()
+
+    def test_load_chain_monotonic_guard_skips_replayed_seqs(self, tmp_path):
+        import shutil
+
+        from repro.state import OpJournal
+
+        path = str(tmp_path / "journal.log")
+        journal = OpJournal(path)
+        self._fill(journal, 3)
+        journal.close()
+        # A stale copy of the live segment left behind as ".1" must not
+        # replay its ops twice.
+        shutil.copy(path, f"{path}.1")
+        records, last_seq = OpJournal.load_chain(path, keep=1)
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert last_seq == 3
+
+    def test_daemon_rotates_at_size_trigger_and_recovers(self, tmp_path):
+        """End to end on the daemon: a tiny ``journal_max_bytes`` forces
+        size-triggered compaction+rotation mid-stream, and a restart on
+        the same state dir recovers every session."""
+        import os
+
+        from repro.server import ServerConfig, SessionManager
+        from repro.state import JOURNAL_NAME
+
+        state = str(tmp_path / "state")
+        config = ServerConfig(workers=0, state_dir=state,
+                              journal_max_bytes=256, journal_keep=2)
+        manager = SessionManager(config)
+        manager.open("t", "s", {"schema": list(SCHEMA), "fds": FDS_TEXT})
+        entry = manager.entry("t", "s")
+        for i in range(6):
+            manager.run_op(entry, "append", {
+                "rows": [[f"a{i}", f"b{i}", f"x{i}"],
+                         [f"a{i}", f"c{i}", f"y{i}"]],
+                "repair": False,
+            })
+            # The daemon's event loop runs this between requests; the
+            # size trigger lives there, not inside run_op.
+            manager.maybe_compact()
+        manager.run_op(entry, "repair", {})
+        manager.maybe_compact()
+        rotated = manager._journal.rotations
+        stats = manager.stats()
+        manager.shutdown()
+        assert rotated >= 1
+        assert os.path.exists(os.path.join(state, JOURNAL_NAME + ".1"))
+        assert stats["journal"]["max_bytes"] == 256
+        assert stats["journal"]["keep"] == 2
+
+        recovered = SessionManager(ServerConfig(
+            workers=0, state_dir=state, journal_keep=2,
+        ))
+        assert recovered.stats()["sessions"] == 1
+        entry = recovered.entry("t", "s")
+        result = recovered.run_op(entry, "repair", {})
+        assert result["tuples"] > 0
+        recovered.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# fdrepair recover --dry-run
+# ---------------------------------------------------------------------------
+
+
+class TestRecoverVerb:
+    def _crashed_state(self, tmp_path):
+        """A daemon that snapshotted once, then took more ops and
+        'crashed' (no clean shutdown → the tail stays in the journal)."""
+        from repro.server import ServerConfig, SessionManager
+
+        state = str(tmp_path / "state")
+        manager = SessionManager(ServerConfig(workers=0, state_dir=state))
+        manager.open("t", "s", {"schema": list(SCHEMA), "fds": FDS_TEXT})
+        entry = manager.entry("t", "s")
+        manager.run_op(entry, "append", {
+            "rows": [["a", "b", "x"], ["a", "c", "y"]], "repair": False,
+        })
+        manager.compact(force=True)
+        manager.run_op(entry, "append", {
+            "rows": [["a2", "b2", "x2"]], "repair": False,
+        })
+        manager.run_op(entry, "repair", {})
+        # Crash: abandon without shutdown (shutdown would compact the
+        # tail away).
+        manager._journal.close()
+        return state
+
+    def test_dry_run_reports_tail_without_touching_state(self, tmp_path,
+                                                         capsys):
+        import os
+
+        from repro.cli import main as cli_main
+        from repro.state import JOURNAL_NAME
+
+        state = self._crashed_state(tmp_path)
+        journal_path = os.path.join(state, JOURNAL_NAME)
+        before = open(journal_path, "rb").read()
+
+        rc = cli_main(["recover", "--state-dir", state, "--dry-run",
+                       "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["snapshot"]["sessions"] == 1
+        assert report["replay"]["ops"] == 2  # the post-snapshot tail
+        assert report["replay"]["by_op"] == {"append": 1, "repair": 1}
+        assert report["replay"]["solver_ops"] == 1
+        assert report["replay"]["sessions_touched"] == 1
+        # Inspection only: the journal is byte-for-byte untouched.
+        assert open(journal_path, "rb").read() == before
+
+    def test_recover_executes_the_replay(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        state = self._crashed_state(tmp_path)
+        rc = cli_main(["recover", "--state-dir", state])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+
+    def test_missing_state_dir_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["recover", "--state-dir",
+                       str(tmp_path / "nowhere"), "--dry-run"])
+        assert rc == 2
+
+
+# ---------------------------------------------------------------------------
+# Supervision counters survive restarts
+# ---------------------------------------------------------------------------
+
+
+class _WornPool:
+    """A stand-in executor that reports supervision wear — lets the
+    persistence path be tested without actually killing subprocesses."""
+
+    alive = True
+    worker_count = 2
+    executor_kind = "fake"
+
+    def __init__(self, counters):
+        self._counters = dict(counters)
+
+    def supervision_stats(self):
+        return dict(self._counters)
+
+    def close(self):
+        pass
+
+
+class TestSupervisionPersistence:
+    def test_counters_accumulate_across_daemon_restarts(self, tmp_path):
+        from repro.server import ServerConfig, SessionManager
+
+        state = str(tmp_path / "state")
+        wear = {"worker_deaths": 3, "respawns": 2}
+
+        manager = SessionManager(ServerConfig(workers=0, state_dir=state))
+        manager.open("t", "s", {"schema": list(SCHEMA), "fds": FDS_TEXT})
+        manager._pool = _WornPool(wear)
+        manager._pool_started = True
+        assert manager.lifetime_supervision() == wear
+        manager.shutdown()  # final compaction persists the wear
+
+        # Restart 1: snapshot base + this boot's (worn again) pool.
+        manager = SessionManager(ServerConfig(workers=0, state_dir=state))
+        assert manager._supervision_base == wear
+        manager._pool = _WornPool({"worker_deaths": 1})
+        manager._pool_started = True
+        stats = manager.stats()
+        assert stats["pool_supervision"] == {"worker_deaths": 1}
+        assert stats["pool_supervision_lifetime"] == {
+            "worker_deaths": 4, "respawns": 2,
+        }
+        manager.shutdown()
+
+        # Restart 2: lifetime totals kept accumulating.
+        manager = SessionManager(ServerConfig(workers=0, state_dir=state))
+        assert manager.lifetime_supervision() == {
+            "worker_deaths": 4, "respawns": 2,
+        }
+        manager.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Daemon over shards
+# ---------------------------------------------------------------------------
+
+
+def test_daemon_shared_pool_can_be_sharded(tmp_path):
+    """``ServerConfig(shards=N)`` swaps the daemon's shared executor for
+    the sharded one at the same seam; sessions repair identically and
+    ``stats`` reports the shard fleet."""
+    from repro.server import ServerConfig, SessionManager
+
+    probe = ShardedExecutor(1)
+    started = probe.start()
+    probe.close()
+    if not started:
+        pytest.skip("platform cannot start shard subprocesses")
+
+    oracle = RepairSession(Table(SCHEMA, {}), FDS)
+    rows = [["a", "b1", "x"], ["a", "b2", "x"], ["c", "d", "y"]]
+    expected = [
+        apply_session_op(oracle, "append", {"rows": rows, "repair": False}),
+        apply_session_op(oracle, "repair", {}),
+    ]
+    oracle.close()
+
+    manager = SessionManager(ServerConfig(
+        workers=0, shards=2, state_dir=str(tmp_path / "state"),
+    ))
+    try:
+        manager.open("t", "s", {"schema": list(SCHEMA), "fds": FDS_TEXT})
+        entry = manager.entry("t", "s")
+        got = [
+            manager.run_op(entry, "append",
+                           {"rows": rows, "repair": False}),
+            manager.run_op(entry, "repair", {}),
+        ]
+        stats = manager.stats()
+    finally:
+        manager.shutdown()
+    assert got == expected
+    assert stats["pool_kind"] == "shards"
+    assert stats["shards"] == {"count": 2, "live": 2}
+    assert "pool_supervision_lifetime" in stats
